@@ -1,0 +1,176 @@
+(* Benchmark harness.
+
+   Two layers, as the repository's benchmarks serve two purposes:
+
+   1. Reproduction benches — regenerate every table and figure of the
+      paper's evaluation on the simulated cluster (the numbers are
+      *simulated* seconds/bytes; see EXPERIMENTS.md for the side-by-side
+      with the paper).  Controlled by BENCH_SCALE=quick|full (default
+      quick so `dune exec bench/main.exe` terminates in minutes).
+
+   2. Bechamel micro-benches — real wall-clock throughput of the hot
+      substrate code: the from-scratch compressor, the checkpoint codec,
+      the event queue, and the COW address space.  One Test.make per
+      substrate, all in one executable. *)
+
+let scale =
+  match Sys.getenv_opt "BENCH_SCALE" with
+  | Some "full" -> `Full
+  | _ -> `Quick
+
+let reps = match scale with `Full -> 5 | `Quick -> 2
+
+let hr title =
+  Printf.printf "\n%s\n%s\n%s\n" (String.make 72 '=') title (String.make 72 '=');
+  flush stdout
+
+(* ------------------------------------------------------------------ *)
+(* 1. Reproduction benches *)
+
+let run_reproduction () =
+  hr "Figure 3: desktop applications (1 node, gzip on)";
+  let apps =
+    match scale with
+    | `Full -> None
+    | `Quick -> Some [ "bc"; "python"; "matlab"; "octave"; "tightvnc+twm"; "vim/cscope" ]
+  in
+  print_string (Harness.Fig3.to_text (Harness.Fig3.run ~reps ?apps ()));
+  flush stdout;
+  hr "Figure 4: distributed applications (32 nodes, 128 cores)";
+  print_string (Harness.Fig4.to_text (Harness.Fig4.run ~reps ~scale ()));
+  flush stdout;
+  hr "Figure 5: ParGeant4 scaling (local disk vs SAN/NFS)";
+  let sizes =
+    match scale with `Full -> [ 16; 32; 48; 64; 80; 96; 112; 128 ] | `Quick -> [ 16; 32; 64 ]
+  in
+  print_string (Harness.Fig5.to_text (Harness.Fig5.run ~reps:(min reps 3) ~sizes ()));
+  flush stdout;
+  hr "Figure 6: checkpoint time vs total memory (no compression)";
+  let totals, nprocs =
+    match scale with
+    | `Full -> ([ 4.; 12.; 20.; 28.; 36.; 44.; 52.; 60.; 68. ], 128)
+    | `Quick -> ([ 4.; 20.; 36. ], 32)
+  in
+  print_string (Harness.Fig6.to_text (Harness.Fig6.run ~reps:2 ~totals_gb:totals ~nprocs ()));
+  flush stdout;
+  hr "Table 1: stage breakdown (NAS/MG under OpenMPI, 8 nodes)";
+  let nprocs = match scale with `Full -> 32 | `Quick -> 16 in
+  print_string (Harness.Table1.to_text (Harness.Table1.run ~reps ~nprocs ()));
+  flush stdout;
+  hr "Section 5.1: runCMS";
+  print_string (Harness.Extras.runcms_text (Harness.Extras.runcms ~reps:2 ()));
+  flush stdout;
+  hr "Section 5.2: sync(2) cost";
+  let nprocs = match scale with `Full -> 32 | `Quick -> 16 in
+  print_string (Harness.Extras.sync_text (Harness.Extras.sync_cost ~reps:(min reps 3) ~nprocs ()));
+  flush stdout;
+  hr "Ablations";
+  print_string (Harness.Extras.forked_text (Harness.Extras.forked_ablation ()));
+  print_string (Harness.Extras.incremental_text (Harness.Extras.incremental_ablation ()));
+  print_string (Harness.Extras.algo_text (Harness.Extras.algo_ablation ()));
+  let sizes = match scale with `Full -> [ 16; 64; 128 ] | `Quick -> [ 8; 16; 32 ] in
+  print_string (Harness.Extras.coordinator_text (Harness.Extras.coordinator_ablation ~sizes ()));
+  let pairs = match scale with `Full -> [ 1; 4; 8 ] | `Quick -> [ 1; 4 ] in
+  print_string (Harness.Extras.drain_text (Harness.Extras.drain_ablation ~pairs_list:pairs ()));
+  flush stdout
+
+(* ------------------------------------------------------------------ *)
+(* 2. Bechamel micro-benches of the substrate *)
+
+let text_1mb =
+  String.concat ""
+    (List.init 4096 (fun i -> Printf.sprintf "log line %d: the quick brown fox %d\n" i (i mod 97)))
+
+let random_1mb = Bytes.unsafe_to_string (Util.Rng.bytes (Util.Rng.create 42L) 1_000_000)
+
+let micro_tests =
+  let open Bechamel in
+  [
+    Test.make ~name:"deflate-compress-text-1MB"
+      (Staged.stage (fun () -> ignore (Compress.Deflate.compress text_1mb)));
+    Test.make ~name:"deflate-roundtrip-random-64KB"
+      (Staged.stage
+         (let s = String.sub random_1mb 0 65536 in
+          fun () -> ignore (Compress.Deflate.decompress (Compress.Deflate.compress s))));
+    Test.make ~name:"rle-compress-zeros-1MB"
+      (Staged.stage
+         (let z = String.make 1_000_000 '\000' in
+          fun () -> ignore (Compress.Rle.compress z)));
+    Test.make ~name:"crc32-1MB" (Staged.stage (fun () -> ignore (Util.Crc32.digest text_1mb)));
+    Test.make ~name:"event-queue-10k"
+      (Staged.stage (fun () ->
+           let e = Sim.Engine.create () in
+           for i = 1 to 10_000 do
+             ignore (Sim.Engine.schedule e ~delay:(float_of_int i *. 1e-6) ignore)
+           done;
+           Sim.Engine.run e));
+    Test.make ~name:"address-space-cow-fork"
+      (Staged.stage
+         (let sp = Mem.Address_space.create () in
+          let r =
+            Mem.Address_space.map sp ~kind:Mem.Region.Heap ~perms:Mem.Region.rw
+              ~bytes:(256 * Mem.Page.size) ()
+          in
+          Mem.Address_space.write sp ~addr:r.Mem.Region.start_addr "data";
+          fun () -> ignore (Mem.Address_space.fork sp)));
+    Test.make ~name:"mtcp-image-encode-16MB-synthetic"
+      (Staged.stage
+         (let sp = Mem.Address_space.create () in
+          let _r =
+            Mem.Address_space.map sp ~kind:Mem.Region.Heap ~perms:Mem.Region.rw
+              ~bytes:(256 * Mem.Page.size)
+              ~content:(fun i ->
+                Mem.Page.Synthetic { seed = Int64.of_int i; cls = Mem.Entropy.Numeric })
+              ()
+          in
+          let img =
+            {
+              Mtcp.Image.cmdline = [ "bench" ];
+              env = [];
+              threads = [];
+              space = sp;
+              sigtable = [];
+              pending_signals = [];
+            }
+          in
+          fun () -> ignore (Mtcp.Image.encode ~algo:Compress.Algo.Deflate img)));
+    Test.make ~name:"codec-varint-roundtrip-10k"
+      (Staged.stage (fun () ->
+           let w = Util.Codec.Writer.create () in
+           for i = 0 to 9_999 do
+             Util.Codec.Writer.varint w (i * 31337)
+           done;
+           let r = Util.Codec.Reader.of_string (Util.Codec.Writer.contents w) in
+           for _ = 0 to 9_999 do
+             ignore (Util.Codec.Reader.varint r)
+           done));
+  ]
+
+let run_micro () =
+  hr "Substrate micro-benchmarks (real wall-clock, via bechamel)";
+  let open Bechamel in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] test in
+      let analyzed =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+          (Toolkit.Instance.monotonic_clock) results
+      in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "%-42s %14.1f ns/run\n" name est
+          | _ -> Printf.printf "%-42s (no estimate)\n" name)
+        analyzed)
+    micro_tests;
+  flush stdout
+
+let () =
+  Printf.printf "DMTCP reproduction benchmark harness (scale: %s)\n"
+    (match scale with `Full -> "full" | `Quick -> "quick");
+  run_micro ();
+  run_reproduction ();
+  hr "Done";
+  print_endline "Interpretation notes live in EXPERIMENTS.md."

@@ -1,0 +1,152 @@
+(* dmtcp_sim: command-line driver that regenerates every table and figure
+   of the paper's evaluation, plus the ablations, on the simulated
+   cluster. *)
+
+open Cmdliner
+
+let reps_arg =
+  Arg.(value & opt int 3 & info [ "reps" ] ~docv:"N" ~doc:"Repetitions per measurement (paper: 10).")
+
+let quick_arg =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Shrink process counts for a fast smoke run.")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Also append the report to $(docv).")
+
+let emit out text =
+  print_string text;
+  (match out with
+  | Some path ->
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+    output_string oc text;
+    output_string oc "\n";
+    close_out oc
+  | None -> ());
+  flush stdout
+
+(* ------------------------------------------------------------------ *)
+
+let figure3 reps quick out =
+  let apps = if quick then Some [ "bc"; "python"; "matlab"; "tightvnc+twm" ] else None in
+  emit out (Harness.Fig3.to_text (Harness.Fig3.run ~reps ?apps ()))
+
+let figure4 reps quick out =
+  let scale = if quick then `Quick else `Full in
+  emit out (Harness.Fig4.to_text (Harness.Fig4.run ~reps ~scale ()))
+
+let figure5 reps quick out =
+  let sizes = if quick then [ 16; 32 ] else [ 16; 32; 48; 64; 80; 96; 112; 128 ] in
+  emit out (Harness.Fig5.to_text (Harness.Fig5.run ~reps ~sizes ()))
+
+let figure6 reps quick out =
+  ignore reps;
+  let totals = if quick then [ 4.; 20. ] else [ 4.; 12.; 20.; 28.; 36.; 44.; 52.; 60.; 68. ] in
+  let nprocs = if quick then 16 else 128 in
+  emit out (Harness.Fig6.to_text (Harness.Fig6.run ~reps:2 ~totals_gb:totals ~nprocs ()))
+
+let table1 reps quick out =
+  let nprocs = if quick then 8 else 32 in
+  emit out (Harness.Table1.to_text (Harness.Table1.run ~reps ~nprocs ()))
+
+let runcms reps _quick out = emit out (Harness.Extras.runcms_text (Harness.Extras.runcms ~reps ()))
+
+let sync_cost reps quick out =
+  let nprocs = if quick then 8 else 32 in
+  emit out (Harness.Extras.sync_text (Harness.Extras.sync_cost ~reps ~nprocs ()))
+
+let ablations _reps quick out =
+  emit out (Harness.Extras.forked_text (Harness.Extras.forked_ablation ()));
+  emit out (Harness.Extras.incremental_text (Harness.Extras.incremental_ablation ()));
+  emit out (Harness.Extras.algo_text (Harness.Extras.algo_ablation ()));
+  let sizes = if quick then [ 8; 16 ] else [ 16; 64; 128 ] in
+  emit out (Harness.Extras.coordinator_text (Harness.Extras.coordinator_ablation ~sizes ()));
+  let pairs = if quick then [ 1; 2 ] else [ 1; 4; 8 ] in
+  emit out (Harness.Extras.drain_text (Harness.Extras.drain_ablation ~pairs_list:pairs ()))
+
+let all reps quick out =
+  figure3 reps quick out;
+  figure4 reps quick out;
+  figure5 reps quick out;
+  figure6 reps quick out;
+  table1 reps quick out;
+  runcms reps quick out;
+  sync_cost reps quick out;
+  ablations reps quick out
+
+let list_apps () =
+  Apps.Registry.register_all ();
+  print_endline "Registered programs:";
+  List.iter (fun name -> Printf.printf "  %s\n" name) (Simos.Program.registered_names ());
+  print_endline "\nFigure-3 desktop profiles:";
+  List.iter
+    (fun (p : Apps.Desktop.profile) ->
+      Printf.printf "  %-14s %6.1f MB, %d thread(s), %d child(ren)\n" p.Apps.Desktop.p_name
+        p.Apps.Desktop.mb p.Apps.Desktop.threads
+        (List.length p.Apps.Desktop.children))
+    Apps.Desktop.figure3
+
+let demo () =
+  (* the README quickstart, as a subcommand *)
+  Apps.Registry.register_all ();
+  let cl = Simos.Cluster.create ~nodes:4 () in
+  let rt = Dmtcp.Api.install cl () in
+  ignore (Dmtcp.Api.launch rt ~node:1 ~prog:"apps:desktop" ~argv:[ "python" ]);
+  Sim.Engine.run ~until:1.0 (Simos.Cluster.engine cl);
+  Dmtcp.Api.checkpoint_now rt;
+  Printf.printf "checkpointed 1 process in %.3f s (image %s)\n"
+    (Dmtcp.Api.last_checkpoint_seconds rt)
+    (Util.Units.pp_mb (fst (Dmtcp.Api.last_checkpoint_bytes rt)));
+  let script = Dmtcp.Api.restart_script rt in
+  print_string (Dmtcp.Restart_script.to_text script);
+  Dmtcp.Api.kill_computation rt;
+  let script = Dmtcp.Restart_script.remap script (fun _ -> 3) in
+  Dmtcp.Api.restart rt script;
+  Dmtcp.Api.await_restart rt;
+  Printf.printf "restarted on node 3 in %.3f s\n" (Dmtcp.Api.last_restart_seconds rt)
+
+let inspect () =
+  (* use case 5: the checkpoint image as the ultimate bug report — dump
+     everything a frozen VNC session's images contain *)
+  Apps.Registry.register_all ();
+  let cl = Simos.Cluster.create ~nodes:2 () in
+  let rt = Dmtcp.Api.install cl () in
+  ignore (Dmtcp.Api.launch rt ~node:1 ~prog:"apps:desktop" ~argv:[ "tightvnc+twm" ]);
+  Sim.Engine.run ~until:2.0 (Simos.Cluster.engine cl);
+  Dmtcp.Api.checkpoint_now rt;
+  let script = Dmtcp.Api.restart_script rt in
+  print_string (Dmtcp.Inspect.describe_checkpoint rt script)
+
+(* ------------------------------------------------------------------ *)
+
+let cmd name doc f =
+  Cmd.v (Cmd.info name ~doc) Term.(const f $ reps_arg $ quick_arg $ out_arg)
+
+let () =
+  let doc = "Reproduce the DMTCP paper's evaluation on a simulated cluster" in
+  let info = Cmd.info "dmtcp_sim" ~version:"1.0" ~doc in
+  let cmds =
+    [
+      cmd "figure3" "Figure 3: 21 desktop applications (1 node, gzip)" figure3;
+      cmd "figure4" "Figure 4: distributed applications on 32 nodes" figure4;
+      cmd "figure5" "Figure 5: ParGeant4 scaling, local disk and SAN/NFS" figure5;
+      cmd "figure6" "Figure 6: timings as memory grows (no compression)" figure6;
+      cmd "table1" "Table 1: checkpoint/restart stage breakdown (NAS/MG)" table1;
+      cmd "runcms" "Sec 5.1: the 680 MB runCMS image" runcms;
+      cmd "sync-cost" "Sec 5.2: cost of sync(2) after checkpoint" sync_cost;
+      cmd "ablation" "Design-choice ablations (forked, compression, coordinator, drain)" ablations;
+      cmd "all" "Run every experiment" all;
+      Cmd.v (Cmd.info "list-apps" ~doc:"List registered programs and profiles")
+        Term.(const list_apps $ const ());
+      Cmd.v
+        (Cmd.info "demo" ~doc:"Quickstart: checkpoint a desktop app and migrate it to another node")
+        Term.(const demo $ const ());
+      Cmd.v
+        (Cmd.info "inspect"
+           ~doc:"Use case 5: dump a checkpointed VNC session's images as a bug report")
+        Term.(const inspect $ const ());
+    ]
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

@@ -1,0 +1,1 @@
+examples/cluster_to_laptop.ml: Apps Dmtcp List Printf Sim Simos Util

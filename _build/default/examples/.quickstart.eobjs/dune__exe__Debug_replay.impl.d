@@ -1,0 +1,1 @@
+examples/debug_replay.ml: Dmtcp List Printf Sim Simos String Util

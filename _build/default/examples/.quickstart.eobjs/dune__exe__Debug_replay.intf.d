@@ -1,0 +1,1 @@
+examples/debug_replay.mli:

@@ -1,0 +1,1 @@
+examples/desktop_vnc.ml: Apps Dmtcp Hashtbl List Printf Sim Simos String Util

@@ -1,0 +1,1 @@
+examples/desktop_vnc.mli:

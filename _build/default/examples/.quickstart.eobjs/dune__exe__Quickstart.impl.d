@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dmtcp Printf Sim Simos Util

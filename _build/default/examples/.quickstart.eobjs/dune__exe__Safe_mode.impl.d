@@ -1,0 +1,1 @@
+examples/safe_mode.ml: Apps Dmtcp List Printf Sim Simnet Simos String Util

@@ -1,0 +1,1 @@
+lib/apps/desktop.ml: Hashtbl List Mem Printf Simos Util Workload_mem

@@ -1,0 +1,1 @@
+lib/apps/desktop.mli: Workload_mem

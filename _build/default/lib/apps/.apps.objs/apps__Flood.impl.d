@@ -1,0 +1,1 @@
+lib/apps/flood.ml: Mpi Nas Simos String Util Workload_mem

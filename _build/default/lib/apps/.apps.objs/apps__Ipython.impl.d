@@ -1,0 +1,1 @@
+lib/apps/ipython.ml: Float List Mpi Nas Simos Util Workload_mem

@@ -1,0 +1,1 @@
+lib/apps/launchers.ml: List Simnet Simos String Util Workload_mem

@@ -1,0 +1,1 @@
+lib/apps/launchers.mli: Simos Util

@@ -1,0 +1,1 @@
+lib/apps/mpi.ml: Array Bytes Char Int32 Int64 List Option Simnet Simos String Util

@@ -1,0 +1,1 @@
+lib/apps/mpi.mli: Simos Util

@@ -1,0 +1,1 @@
+lib/apps/nas.ml: Array Float Fun Int64 Launchers List Mpi Printf Simos String Util Workload_mem

@@ -1,0 +1,1 @@
+lib/apps/nas.mli: Mpi Simos Util Workload_mem

@@ -1,0 +1,1 @@
+lib/apps/pargeant4.ml: Float List Mpi Nas Simos Util Workload_mem

@@ -1,0 +1,1 @@
+lib/apps/pargeant4.mli:

@@ -1,0 +1,1 @@
+lib/apps/registry.ml: Desktop Flood Ipython Launchers Nas Pargeant4 Synthetic

@@ -1,0 +1,1 @@
+lib/apps/synthetic.ml: Mpi Nas Simos Util Workload_mem

@@ -1,0 +1,1 @@
+lib/apps/workload_mem.ml: Int64 Mem Simos

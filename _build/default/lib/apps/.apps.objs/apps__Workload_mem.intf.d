@@ -1,0 +1,1 @@
+lib/apps/workload_mem.mli: Mem Simos

@@ -1,0 +1,340 @@
+module W = Util.Codec.Writer
+module R = Util.Codec.Reader
+
+type t = {
+  rank : int;
+  size : int;
+  base_port : int;
+  ranks_per_node : int;
+  neighbors : int list;
+  mutable listen_fd : int;
+  mutable peer_fd : int array;
+  mutable pending_conn : (int * int) list;    (* (peer rank, fd) *)
+  mutable pending_accept : (int * string) list;  (* (fd, partial rank header) *)
+  mutable out_bufs : string array;
+  mutable in_bufs : string array;
+  mutable inbox : (char * string) list array;  (* FIFO, oldest first *)
+}
+
+let create ~rank ~size ~base_port ~ranks_per_node ~neighbors =
+  (* rank 0 is everyone's neighbour (collectives are rooted there), so by
+     symmetry rank 0 neighbours every rank *)
+  let neighbors =
+    if rank = 0 then List.init (size - 1) (fun i -> i + 1)
+    else
+      List.sort_uniq compare (0 :: neighbors)
+      |> List.filter (fun r -> r <> rank && r >= 0 && r < size)
+  in
+  {
+    rank;
+    size;
+    base_port;
+    ranks_per_node;
+    neighbors;
+    listen_fd = -1;
+    peer_fd = Array.make size (-1);
+    pending_conn = [];
+    pending_accept = [];
+    out_bufs = Array.make size "";
+    in_bufs = Array.make size "";
+    inbox = Array.make size [];
+  }
+
+let rank t = t.rank
+let size t = t.size
+let host_of_rank t r = r / t.ranks_per_node
+let port_of_rank t r = t.base_port + r
+
+(* 4-byte little-endian int *)
+let put_u32 n =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 (Int32.of_int n);
+  Bytes.unsafe_to_string b
+
+let get_u32 s off = Int32.to_int (String.get_int32_le s off)
+
+let start_connect (ctx : Simos.Program.ctx) t peer =
+  let fd = ctx.socket () in
+  (match
+     ctx.connect fd
+       (Simnet.Addr.Inet { host = host_of_rank t peer; port = port_of_rank t peer })
+   with
+  | Ok () -> t.pending_conn <- (peer, fd) :: t.pending_conn
+  | Error _ -> ctx.close_fd fd)
+
+let init_step (ctx : Simos.Program.ctx) t =
+  if t.listen_fd < 0 then begin
+    let fd = ctx.socket () in
+    (match ctx.bind fd ~port:(port_of_rank t t.rank) with
+    | Ok _ -> ()
+    | Error _ -> failwith "Mpi: cannot bind rank port");
+    (match ctx.listen fd ~backlog:(t.size + 4) with
+    | Ok () -> ()
+    | Error _ -> failwith "Mpi: cannot listen");
+    t.listen_fd <- fd;
+    (* eager connections to lower-rank neighbours *)
+    List.iter (fun peer -> if peer < t.rank then start_connect ctx t peer) t.neighbors
+  end;
+  (* progress outgoing connections *)
+  t.pending_conn <-
+    List.filter
+      (fun (peer, fd) ->
+        match ctx.sock_state fd with
+        | Some Simnet.Fabric.Established ->
+          ignore (ctx.write_fd fd (put_u32 t.rank));
+          t.peer_fd.(peer) <- fd;
+          false
+        | Some Simnet.Fabric.Connecting -> true
+        | _ ->
+          (* refused: the peer's listener is not up yet; retry *)
+          ctx.close_fd fd;
+          start_connect ctx t peer;
+          false)
+      t.pending_conn;
+  (* accept incoming *)
+  let rec accept_all () =
+    match ctx.accept t.listen_fd with
+    | Some fd ->
+      t.pending_accept <- (fd, "") :: t.pending_accept;
+      accept_all ()
+    | None -> ()
+  in
+  accept_all ();
+  t.pending_accept <-
+    List.filter_map
+      (fun (fd, hdr) ->
+        match ctx.read_fd fd ~max:(4 - String.length hdr) with
+        | `Data d ->
+          let hdr = hdr ^ d in
+          if String.length hdr >= 4 then begin
+            t.peer_fd.(get_u32 hdr 0) <- fd;
+            None
+          end
+          else Some (fd, hdr)
+        | `Eof ->
+          ctx.close_fd fd;
+          None
+        | `Would_block | `Err _ -> Some (fd, hdr))
+      t.pending_accept;
+  let ready = List.for_all (fun peer -> t.peer_fd.(peer) >= 0) t.neighbors in
+  if ready then `Ready else `Pending
+
+let frame ~tag payload = put_u32 (String.length payload + 1) ^ String.make 1 tag ^ payload
+
+let send t ~dst ~tag payload = t.out_bufs.(dst) <- t.out_bufs.(dst) ^ frame ~tag payload
+
+let progress (ctx : Simos.Program.ctx) t =
+  List.iter
+    (fun peer ->
+      (* flush pending output *)
+      let buf = t.out_bufs.(peer) in
+      if buf <> "" && t.peer_fd.(peer) >= 0 then begin
+        match ctx.write_fd t.peer_fd.(peer) buf with
+        | Ok n -> t.out_bufs.(peer) <- String.sub buf n (String.length buf - n)
+        | Error _ -> ()
+      end;
+      (* read input *)
+      if t.peer_fd.(peer) >= 0 then begin
+        let continue = ref true in
+        while !continue do
+          match ctx.read_fd t.peer_fd.(peer) ~max:65536 with
+          | `Data d -> t.in_bufs.(peer) <- t.in_bufs.(peer) ^ d
+          | `Eof | `Would_block | `Err _ -> continue := false
+        done;
+        (* parse complete frames *)
+        let buf = ref t.in_bufs.(peer) in
+        let again = ref true in
+        while !again do
+          if String.length !buf >= 4 then begin
+            let len = get_u32 !buf 0 in
+            if String.length !buf >= 4 + len then begin
+              let tag = !buf.[4] in
+              let payload = String.sub !buf 5 (len - 1) in
+              t.inbox.(peer) <- t.inbox.(peer) @ [ (tag, payload) ];
+              buf := String.sub !buf (4 + len) (String.length !buf - 4 - len)
+            end
+            else again := false
+          end
+          else again := false
+        done;
+        t.in_bufs.(peer) <- !buf
+      end)
+    t.neighbors
+
+let recv t ~src ~tag =
+  let rec take acc = function
+    | [] -> None
+    | (tg, payload) :: rest when tg = tag ->
+      t.inbox.(src) <- List.rev_append acc rest;
+      Some payload
+    | m :: rest -> take (m :: acc) rest
+  in
+  take [] t.inbox.(src)
+
+let recv_any t ~tag =
+  let rec go = function
+    | [] -> None
+    | src :: rest -> (
+      match recv t ~src ~tag with
+      | Some payload -> Some (src, payload)
+      | None -> go rest)
+  in
+  go t.neighbors
+
+let pending_out t ~dst = String.length t.out_bufs.(dst)
+
+let wait (ctx : Simos.Program.ctx) t =
+  ignore ctx;
+  let flushing = List.exists (fun p -> t.out_bufs.(p) <> "") t.neighbors in
+  if flushing then Simos.Program.Sleep_until (ctx.now () +. 1e-3)
+  else begin
+    let fds = List.filter_map (fun p -> if t.peer_fd.(p) >= 0 then Some t.peer_fd.(p) else None) t.neighbors in
+    Simos.Program.Readable_any (if t.listen_fd >= 0 then t.listen_fd :: fds else fds)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Collectives: star rooted at rank 0; tags 'g' (gather) and 'r'
+   (release) are reserved. *)
+
+let f64_str v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.bits_of_float v);
+  Bytes.unsafe_to_string b
+
+let str_f64 s = Int64.float_of_bits (String.get_int64_le s 0)
+
+module Coll = struct
+  type op = Barrier | Sum of float | Bcast of float option
+
+  let barrier = Barrier
+  let allreduce_sum v = Sum v
+  let bcast ~root_value = Bcast root_value
+
+  type st = {
+    kind : int;  (* 0 barrier, 1 sum, 2 bcast *)
+    value : float;
+    mutable phase : int;  (* 0 not started, 1 gathering/waiting *)
+    mutable got : int;
+    mutable acc : float;
+  }
+
+  let start = function
+    | Barrier -> { kind = 0; value = 0.; phase = 0; got = 0; acc = 0. }
+    | Sum v -> { kind = 1; value = v; phase = 0; got = 0; acc = 0. }
+    | Bcast v ->
+      { kind = 2; value = Option.value ~default:0. v; phase = 0; got = 0; acc = 0. }
+
+  let step (ctx : Simos.Program.ctx) comm st =
+    progress ctx comm;
+    if comm.size = 1 then `Done st.value
+    else if comm.rank <> 0 then begin
+      if st.phase = 0 then begin
+        send comm ~dst:0 ~tag:'g' (f64_str st.value);
+        st.phase <- 1
+      end;
+      progress ctx comm;
+      match recv comm ~src:0 ~tag:'r' with
+      | Some payload -> `Done (str_f64 payload)
+      | None -> `Pending
+    end
+    else begin
+      if st.phase = 0 then begin
+        st.phase <- 1;
+        st.got <- 1;
+        st.acc <- st.value
+      end;
+      let continue = ref true in
+      while !continue do
+        match recv_any comm ~tag:'g' with
+        | Some (_, payload) ->
+          st.got <- st.got + 1;
+          st.acc <- st.acc +. str_f64 payload
+        | None -> continue := false
+      done;
+      if st.got >= comm.size then begin
+        let result = if st.kind = 2 then st.value else st.acc in
+        for r = 1 to comm.size - 1 do
+          send comm ~dst:r ~tag:'r' (f64_str result)
+        done;
+        progress ctx comm;
+        `Done result
+      end
+      else `Pending
+    end
+
+  let encode w st =
+    W.uvarint w st.kind;
+    W.f64 w st.value;
+    W.uvarint w st.phase;
+    W.uvarint w st.got;
+    W.f64 w st.acc
+
+  let decode r =
+    let kind = R.uvarint r in
+    let value = R.f64 r in
+    let phase = R.uvarint r in
+    let got = R.uvarint r in
+    let acc = R.f64 r in
+    { kind; value; phase; got; acc }
+end
+
+(* ------------------------------------------------------------------ *)
+
+let encode w t =
+  W.uvarint w t.rank;
+  W.uvarint w t.size;
+  W.uvarint w t.base_port;
+  W.uvarint w t.ranks_per_node;
+  W.list W.uvarint w t.neighbors;
+  W.varint w t.listen_fd;
+  W.array W.varint w t.peer_fd;
+  W.list (W.pair W.uvarint W.varint) w t.pending_conn;
+  W.list (W.pair W.varint W.string) w t.pending_accept;
+  W.array W.string w t.out_bufs;
+  W.array W.string w t.in_bufs;
+  W.array
+    (fun w msgs ->
+      W.list
+        (fun w (tag, payload) ->
+          W.u8 w (Char.code tag);
+          W.string w payload)
+        w msgs)
+    w t.inbox
+
+let decode r =
+  let rank = R.uvarint r in
+  let size = R.uvarint r in
+  let base_port = R.uvarint r in
+  let ranks_per_node = R.uvarint r in
+  let neighbors = R.list R.uvarint r in
+  let listen_fd = R.varint r in
+  let peer_fd = R.array R.varint r in
+  let pending_conn = R.list (R.pair R.uvarint R.varint) r in
+  let pending_accept = R.list (R.pair R.varint R.string) r in
+  let out_bufs = R.array R.string r in
+  let in_bufs = R.array R.string r in
+  let inbox =
+    R.array
+      (fun r ->
+        R.list
+          (fun r ->
+            let tag = Char.chr (R.u8 r) in
+            let payload = R.string r in
+            (tag, payload))
+          r)
+      r
+  in
+  {
+    rank;
+    size;
+    base_port;
+    ranks_per_node;
+    neighbors;
+    listen_fd;
+    peer_fd;
+    pending_conn;
+    pending_accept;
+    out_bufs;
+    in_bufs;
+    inbox;
+  }

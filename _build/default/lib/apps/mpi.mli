@@ -1,0 +1,83 @@
+(** A message-passing library over the simulated cluster's TCP sockets —
+    the stand-in for MPICH2/OpenMPI in the paper's evaluation.
+
+    DMTCP deliberately knows nothing about it: checkpoints see only the
+    sockets it creates, which is the paper's whole point (no MPI-specific
+    checkpoint hooks).  The library lives *inside* application state
+    machines: a {!t} value is part of the program state and fully
+    serializable, so a checkpoint taken mid-collective restores and
+    completes correctly.
+
+    Topology: rank [r] listens on [base_port + r] of node
+    [r / ranks_per_node] and eagerly connects to every lower-rank
+    neighbour at init; the neighbour relation must be symmetric.
+    Collectives (barrier, allreduce, bcast) run over a star rooted at
+    rank 0, so rank 0 must be a neighbour of everyone. *)
+
+type t
+
+(** [create ~rank ~size ~base_port ~ranks_per_node ~neighbors] prepares a
+    communicator; drive {!init_step} until [`Ready].  [neighbors] lists
+    the peer ranks this rank communicates with (symmetric; rank 0 is
+    added automatically). *)
+val create :
+  rank:int -> size:int -> base_port:int -> ranks_per_node:int -> neighbors:int list -> t
+
+val rank : t -> int
+val size : t -> int
+
+(** Node hosting a rank under this communicator's placement. *)
+val host_of_rank : t -> int -> int
+
+(** Progress connection establishment. *)
+val init_step : Simos.Program.ctx -> t -> [ `Ready | `Pending ]
+
+(** Queue a message to [dst] (a neighbour). Never blocks; bytes drain via
+    {!progress}. *)
+val send : t -> dst:int -> tag:char -> string -> unit
+
+(** Push queued bytes out and parse arrived frames into per-peer inboxes.
+    Call once per step before receiving. *)
+val progress : Simos.Program.ctx -> t -> unit
+
+(** Take the oldest message with [tag] from [src], if present. *)
+val recv : t -> src:int -> tag:char -> string option
+
+(** Take the oldest message with [tag] from any source. *)
+val recv_any : t -> tag:char -> (int * string) option
+
+(** Bytes queued toward [dst] that have not yet entered the socket
+    (application-level backpressure signal). *)
+val pending_out : t -> dst:int -> int
+
+(** The wait condition to block on when nothing can progress. *)
+val wait : Simos.Program.ctx -> t -> Simos.Program.wait
+
+(** 8-byte float payload helpers (halo exchanges etc.). *)
+val f64_str : float -> string
+
+val str_f64 : string -> float
+
+(** {2 Collectives} — serializable sub-state machines.  Drive with
+    [step] until [`Done]; exactly one collective of a given kind may be
+    in flight at a time per communicator. *)
+
+module Coll : sig
+  type op
+
+  val barrier : op
+  val allreduce_sum : float -> op
+  val bcast : root_value:float option -> op
+    (** root passes [Some v], others [None] *)
+
+  type st
+
+  val start : op -> st
+  val step : Simos.Program.ctx -> t -> st -> [ `Done of float | `Pending ]
+
+  val encode : Util.Codec.Writer.t -> st -> unit
+  val decode : Util.Codec.Reader.t -> st
+end
+
+val encode : Util.Codec.Writer.t -> t -> unit
+val decode : Util.Codec.Reader.t -> t

@@ -1,0 +1,8 @@
+let register_all () =
+  Launchers.register ();
+  Nas.register ();
+  Pargeant4.register ();
+  Ipython.register ();
+  Synthetic.register ();
+  Desktop.register ();
+  Flood.register ()

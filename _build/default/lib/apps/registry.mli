@@ -1,0 +1,3 @@
+(** One-call registration of every workload program (idempotent). *)
+
+val register_all : unit -> unit

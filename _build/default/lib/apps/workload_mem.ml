@@ -1,0 +1,30 @@
+type mix = { f_text : float; f_code : float; f_numeric : float; f_random : float }
+
+let mostly_code = { f_text = 0.15; f_code = 0.55; f_numeric = 0.1; f_random = 0.1 }
+let mostly_numeric = { f_text = 0.05; f_code = 0.15; f_numeric = 0.6; f_random = 0.1 }
+let mostly_text = { f_text = 0.55; f_code = 0.15; f_numeric = 0.05; f_random = 0.1 }
+let all_random = { f_text = 0.; f_code = 0.; f_numeric = 0.; f_random = 1.0 }
+let all_zero = { f_text = 0.; f_code = 0.; f_numeric = 0.; f_random = 0. }
+
+let alloc (ctx : Simos.Program.ctx) ~bytes ~mix ~seed =
+  let region = ctx.mmap ~bytes ~kind:Mem.Region.Mmap_anon in
+  let npages = Mem.Region.npages region in
+  let f = float_of_int npages in
+  let n_text = int_of_float (f *. mix.f_text) in
+  let n_code = int_of_float (f *. mix.f_code) in
+  let n_numeric = int_of_float (f *. mix.f_numeric) in
+  let n_random = int_of_float (f *. mix.f_random) in
+  let page_seed i = Int64.add (Int64.mul (Int64.of_int seed) 0x100000L) (Int64.of_int i) in
+  for i = 0 to npages - 1 do
+    let cls =
+      if i < n_text then Some Mem.Entropy.Text
+      else if i < n_text + n_code then Some Mem.Entropy.Code
+      else if i < n_text + n_code + n_numeric then Some Mem.Entropy.Numeric
+      else if i < n_text + n_code + n_numeric + n_random then Some Mem.Entropy.Random
+      else None (* untouched zero page *)
+    in
+    match cls with
+    | Some cls -> Mem.Region.set_page region i (Mem.Page.Synthetic { seed = page_seed i; cls })
+    | None -> ()
+  done;
+  region

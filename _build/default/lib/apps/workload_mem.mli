@@ -1,0 +1,21 @@
+(** Helpers for giving workloads realistic memory footprints.
+
+    Applications allocate regions whose pages are synthetic descriptors of
+    chosen entropy classes, so a 680 MB runCMS image costs a few hundred
+    bytes of simulator memory while the checkpointer still sees (and
+    prices) the full footprint, with compression ratios calibrated against
+    the real codec (see {!Mem.Entropy}). *)
+
+(** Fractions of each content class; they should sum to <= 1, the
+    remainder being untouched zero pages. *)
+type mix = { f_text : float; f_code : float; f_numeric : float; f_random : float }
+
+val mostly_code : mix
+val mostly_numeric : mix
+val mostly_text : mix
+val all_random : mix
+val all_zero : mix
+
+(** [alloc ctx ~bytes ~mix ~seed] maps a region of [bytes] and populates
+    its pages per [mix]. Deterministic in [seed]. *)
+val alloc : Simos.Program.ctx -> bytes:int -> mix:mix -> seed:int -> Mem.Region.t

@@ -1,0 +1,1 @@
+lib/compress/algo.ml: Deflate Printf Rle Util

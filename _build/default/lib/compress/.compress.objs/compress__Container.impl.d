@@ -1,0 +1,1 @@
+lib/compress/container.ml: Algo Bitio Int64 String Util

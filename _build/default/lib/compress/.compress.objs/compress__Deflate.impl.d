@@ -1,0 +1,1 @@
+lib/compress/deflate.ml: Array Bitio Buffer Char Huffman Lz77 String Util

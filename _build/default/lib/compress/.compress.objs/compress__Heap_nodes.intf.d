@@ -1,0 +1,1 @@
+lib/compress/heap_nodes.mli:

@@ -1,0 +1,1 @@
+lib/compress/huffman.ml: Array Bitio Heap_nodes

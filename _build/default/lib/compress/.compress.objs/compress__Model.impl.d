@@ -1,0 +1,1 @@
+lib/compress/model.ml: Algo

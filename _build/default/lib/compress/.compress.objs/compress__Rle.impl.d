@@ -1,0 +1,1 @@
+lib/compress/rle.ml: Buffer Char String

@@ -1,0 +1,64 @@
+module Writer = struct
+  type t = { buf : Buffer.t; mutable acc : int; mutable nbits : int; mutable total : int }
+
+  let create () = { buf = Buffer.create 4096; acc = 0; nbits = 0; total = 0 }
+
+  let flush_bytes t =
+    while t.nbits >= 8 do
+      Buffer.add_char t.buf (Char.unsafe_chr (t.acc land 0xff));
+      t.acc <- t.acc lsr 8;
+      t.nbits <- t.nbits - 8
+    done
+
+  let put t ~bits ~count =
+    if count < 0 || count > 24 then invalid_arg "Bitio.Writer.put: count out of range";
+    t.acc <- t.acc lor ((bits land ((1 lsl count) - 1)) lsl t.nbits);
+    t.nbits <- t.nbits + count;
+    t.total <- t.total + count;
+    flush_bytes t
+
+  let bit_length t = t.total
+
+  let contents t =
+    if t.nbits > 0 then begin
+      Buffer.add_char t.buf (Char.unsafe_chr (t.acc land 0xff));
+      t.acc <- 0;
+      t.nbits <- 0
+    end;
+    Buffer.contents t.buf
+end
+
+module Reader = struct
+  type t = { src : string; mutable pos : int; mutable acc : int; mutable nbits : int }
+
+  exception Truncated
+
+  let of_string src = { src; pos = 0; acc = 0; nbits = 0 }
+
+  let refill t =
+    while t.nbits <= 16 && t.pos < String.length t.src do
+      t.acc <- t.acc lor (Char.code (String.unsafe_get t.src t.pos) lsl t.nbits);
+      t.pos <- t.pos + 1;
+      t.nbits <- t.nbits + 8
+    done
+
+  let get_small t count =
+    refill t;
+    if t.nbits < count then raise Truncated;
+    let v = t.acc land ((1 lsl count) - 1) in
+    t.acc <- t.acc lsr count;
+    t.nbits <- t.nbits - count;
+    v
+
+  let get t count =
+    if count < 0 || count > 24 then invalid_arg "Bitio.Reader.get: count out of range";
+    if count > 16 then begin
+      (* split to keep the accumulator small *)
+      let lo = get_small t 16 in
+      let hi = get_small t (count - 16) in
+      lo lor (hi lsl 16)
+    end
+    else get_small t count
+
+  let bit t = get t 1
+end

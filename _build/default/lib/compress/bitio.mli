@@ -1,0 +1,33 @@
+(** Bit-granular I/O for the Huffman coder. Bits are packed LSB-first
+    within each byte, as in DEFLATE. *)
+
+module Writer : sig
+  type t
+
+  val create : unit -> t
+
+  (** [put t ~bits ~count] appends the low [count] bits of [bits]
+      (0 <= count <= 24). *)
+  val put : t -> bits:int -> count:int -> unit
+
+  (** Pad to a byte boundary with zero bits and return the buffer. *)
+  val contents : t -> string
+
+  (** Bits written so far (before padding). *)
+  val bit_length : t -> int
+end
+
+module Reader : sig
+  type t
+
+  exception Truncated
+
+  val of_string : string -> t
+
+  (** [get t count] reads [count] bits (LSB-first). Raises {!Truncated}
+      past end of input. *)
+  val get : t -> int -> int
+
+  (** Read a single bit. *)
+  val bit : t -> int
+end

@@ -1,0 +1,39 @@
+exception Bad_container of string
+
+let magic = "DMZ1"
+
+let pack ~algo s =
+  let body = Algo.compress algo s in
+  let w = Util.Codec.Writer.create ~capacity:(String.length body + 32) () in
+  Util.Codec.Writer.raw w magic;
+  Algo.encode w algo;
+  Util.Codec.Writer.uvarint w (String.length s);
+  Util.Codec.Writer.i64 w (Int64.of_int32 (Util.Crc32.digest s));
+  Util.Codec.Writer.string w body;
+  Util.Codec.Writer.contents w
+
+let read_header s =
+  let r = Util.Codec.Reader.of_string s in
+  let m = try Util.Codec.Reader.raw r 4 with Util.Codec.Reader.Corrupt _ -> "" in
+  if m <> magic then raise (Bad_container "bad magic");
+  let algo = Algo.decode r in
+  (r, algo)
+
+let algo_of s =
+  let _, algo = read_header s in
+  algo
+
+let unpack s =
+  let r, algo = read_header s in
+  let orig_len = Util.Codec.Reader.uvarint r in
+  let crc = Util.Codec.Reader.i64 r in
+  let body = Util.Codec.Reader.string r in
+  Util.Codec.Reader.expect_end r;
+  let original =
+    try Algo.decompress algo body with
+    | Invalid_argument m -> raise (Bad_container ("corrupt body: " ^ m))
+    | Bitio.Reader.Truncated -> raise (Bad_container "corrupt body: truncated bitstream")
+  in
+  if String.length original <> orig_len then raise (Bad_container "length mismatch");
+  if Int64.of_int32 (Util.Crc32.digest original) <> crc then raise (Bad_container "CRC mismatch");
+  original

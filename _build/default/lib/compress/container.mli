@@ -1,0 +1,15 @@
+(** Framed compressed payloads, playing the role of the [.gz] files DMTCP
+    writes: magic, scheme tag, original length, CRC-32 of the original
+    data, and the compressed body. *)
+
+exception Bad_container of string
+
+(** [pack ~algo s] frames and compresses [s]. *)
+val pack : algo:Algo.t -> string -> string
+
+(** [unpack s] decompresses and verifies length and CRC.
+    Raises {!Bad_container} on any mismatch. *)
+val unpack : string -> string
+
+(** Scheme recorded in a frame, without unpacking the body. *)
+val algo_of : string -> Algo.t

@@ -1,0 +1,133 @@
+(* Standard DEFLATE length codes: symbol 257 + index. *)
+let length_base =
+  [| 3; 4; 5; 6; 7; 8; 9; 10; 11; 13; 15; 17; 19; 23; 27; 31; 35; 43; 51; 59; 67; 83; 99; 115; 131; 163; 195; 227; 258 |]
+
+let length_extra =
+  [| 0; 0; 0; 0; 0; 0; 0; 0; 1; 1; 1; 1; 2; 2; 2; 2; 3; 3; 3; 3; 4; 4; 4; 4; 5; 5; 5; 5; 0 |]
+
+let dist_base =
+  [| 1; 2; 3; 4; 5; 7; 9; 13; 17; 25; 33; 49; 65; 97; 129; 193; 257; 385; 513; 769; 1025; 1537; 2049; 3073; 4097; 6145; 8193; 12289; 16385; 24577 |]
+
+let dist_extra =
+  [| 0; 0; 0; 0; 1; 1; 2; 2; 3; 3; 4; 4; 5; 5; 6; 6; 7; 7; 8; 8; 9; 9; 10; 10; 11; 11; 12; 12; 13; 13 |]
+
+let eob = 256
+let num_litlen = 286
+let num_dist = 30
+
+let length_symbol len =
+  (* largest index with base <= len *)
+  let rec go i = if i + 1 < Array.length length_base && length_base.(i + 1) <= len then go (i + 1) else i in
+  go 0
+
+let dist_symbol dist =
+  let rec go i = if i + 1 < Array.length dist_base && dist_base.(i + 1) <= dist then go (i + 1) else i in
+  go 0
+
+let compress s =
+  let tokens = Lz77.tokenize s in
+  let lit_freq = Array.make num_litlen 0 in
+  let dist_freq = Array.make num_dist 0 in
+  let bump a i = a.(i) <- a.(i) + 1 in
+  Array.iter
+    (fun tok ->
+      match tok with
+      | Lz77.Literal c -> bump lit_freq (Char.code c)
+      | Lz77.Match { dist; len } ->
+        bump lit_freq (257 + length_symbol len);
+        bump dist_freq (dist_symbol dist))
+    tokens;
+  bump lit_freq eob;
+  let lit_lens = Huffman.lengths_of_freqs lit_freq in
+  let has_dist = Array.exists (fun f -> f > 0) dist_freq in
+  let dist_lens = if has_dist then Huffman.lengths_of_freqs dist_freq else Array.make num_dist 0 in
+  let lit_enc = Huffman.encoder_of_lengths lit_lens in
+  let dist_enc = if has_dist then Some (Huffman.encoder_of_lengths dist_lens) else None in
+  let bw = Bitio.Writer.create () in
+  Array.iter
+    (fun tok ->
+      match tok, dist_enc with
+      | Lz77.Literal c, _ -> Huffman.encode lit_enc bw (Char.code c)
+      | Lz77.Match { dist; len }, Some de ->
+        let ls = length_symbol len in
+        Huffman.encode lit_enc bw (257 + ls);
+        Bitio.Writer.put bw ~bits:(len - length_base.(ls)) ~count:length_extra.(ls);
+        let ds = dist_symbol dist in
+        Huffman.encode de bw ds;
+        Bitio.Writer.put bw ~bits:(dist - dist_base.(ds)) ~count:dist_extra.(ds)
+      | Lz77.Match _, None -> assert false)
+    tokens;
+  Huffman.encode lit_enc bw eob;
+  let bits = Bitio.Writer.contents bw in
+  let w = Util.Codec.Writer.create ~capacity:(String.length bits + 512) () in
+  let put_lens lens =
+    (* code lengths are 0..15: pack two per byte *)
+    let n = Array.length lens in
+    Util.Codec.Writer.uvarint w n;
+    let i = ref 0 in
+    while !i < n do
+      let lo = lens.(!i) in
+      let hi = if !i + 1 < n then lens.(!i + 1) else 0 in
+      Util.Codec.Writer.u8 w (lo lor (hi lsl 4));
+      i := !i + 2
+    done
+  in
+  Util.Codec.Writer.uvarint w (String.length s);
+  put_lens lit_lens;
+  put_lens dist_lens;
+  Util.Codec.Writer.string w bits;
+  Util.Codec.Writer.contents w
+
+let decompress packed =
+  let r = Util.Codec.Reader.of_string packed in
+  let orig_len = Util.Codec.Reader.uvarint r in
+  let get_lens () =
+    let n = Util.Codec.Reader.uvarint r in
+    let lens = Array.make n 0 in
+    let i = ref 0 in
+    while !i < n do
+      let b = Util.Codec.Reader.u8 r in
+      lens.(!i) <- b land 0xf;
+      if !i + 1 < n then lens.(!i + 1) <- b lsr 4;
+      i := !i + 2
+    done;
+    lens
+  in
+  let lit_lens = get_lens () in
+  let dist_lens = get_lens () in
+  let bits = Util.Codec.Reader.string r in
+  Util.Codec.Reader.expect_end r;
+  let lit_dec = Huffman.decoder_of_lengths lit_lens in
+  let dist_dec =
+    if Array.exists (fun l -> l > 0) dist_lens then Some (Huffman.decoder_of_lengths dist_lens)
+    else None
+  in
+  let br = Bitio.Reader.of_string bits in
+  let out = Buffer.create (max 16 orig_len) in
+  let finished = ref false in
+  while not !finished do
+    let sym = Huffman.decode lit_dec br in
+    if sym = eob then finished := true
+    else if sym < 256 then Buffer.add_char out (Char.unsafe_chr sym)
+    else begin
+      let ls = sym - 257 in
+      if ls < 0 || ls >= Array.length length_base then invalid_arg "Deflate.decompress: bad length symbol";
+      let len = length_base.(ls) + Bitio.Reader.get br length_extra.(ls) in
+      let de =
+        match dist_dec with
+        | Some d -> d
+        | None -> invalid_arg "Deflate.decompress: match without distance table"
+      in
+      let ds = Huffman.decode de br in
+      if ds >= Array.length dist_base then invalid_arg "Deflate.decompress: bad distance symbol";
+      let dist = dist_base.(ds) + Bitio.Reader.get br dist_extra.(ds) in
+      let start = Buffer.length out - dist in
+      if start < 0 then invalid_arg "Deflate.decompress: distance before start";
+      for k = 0 to len - 1 do
+        Buffer.add_char out (Buffer.nth out (start + k))
+      done
+    end
+  done;
+  let result = Buffer.contents out in
+  if String.length result <> orig_len then invalid_arg "Deflate.decompress: length mismatch";
+  result

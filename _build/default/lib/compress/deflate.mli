@@ -1,0 +1,16 @@
+(** DEFLATE-style entropy coder: LZ77 tokens encoded with two canonical
+    Huffman codes (literal/length and distance), using the standard
+    DEFLATE length and distance bucket tables.
+
+    The container format is our own (a single dynamic block with code
+    lengths stored explicitly); it is not RFC 1951 bit-compatible, but the
+    compression pipeline — hash-chain matching, canonical Huffman, extra
+    bits — is the real algorithm, so measured ratios are representative of
+    gzip's. *)
+
+(** [compress s] returns the compressed representation. *)
+val compress : string -> string
+
+(** [decompress s] inverts {!compress}. Raises [Invalid_argument] or
+    {!Util.Codec.Reader.Corrupt} on malformed input. *)
+val decompress : string -> string

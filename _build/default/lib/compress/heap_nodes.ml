@@ -1,0 +1,55 @@
+type tree = Leaf of int | Node of tree * tree
+type entry = { freq : int; seq : int; node : tree }
+
+type t = { mutable data : entry array; mutable size : int; mutable next_seq : int }
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+let size t = t.size
+
+let less a b = a.freq < b.freq || (a.freq = b.freq && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if less t.data.(i) t.data.(p) then begin
+      swap t i p;
+      sift_up t p
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let s = ref i in
+  if l < t.size && less t.data.(l) t.data.(!s) then s := l;
+  if r < t.size && less t.data.(r) t.data.(!s) then s := r;
+  if !s <> i then begin
+    swap t i !s;
+    sift_down t !s
+  end
+
+let push t freq node =
+  let e = { freq; seq = t.next_seq; node } in
+  t.next_seq <- t.next_seq + 1;
+  if t.size = Array.length t.data then begin
+    let data = Array.make (max 16 (2 * t.size)) e in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end;
+  t.data.(t.size) <- e;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  if t.size = 0 then invalid_arg "Heap_nodes.pop: empty";
+  let top = t.data.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.data.(0) <- t.data.(t.size);
+    sift_down t 0
+  end;
+  (top.freq, top.node)

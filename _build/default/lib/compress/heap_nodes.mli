@@ -1,0 +1,12 @@
+(** Internal min-heap over Huffman tree nodes, keyed by frequency.
+    Ties break by insertion order so code assignment is deterministic. *)
+
+type tree = Leaf of int | Node of tree * tree
+type t
+
+val create : unit -> t
+val size : t -> int
+val push : t -> int -> tree -> unit
+
+(** Raises [Invalid_argument] if empty. *)
+val pop : t -> int * tree

@@ -1,0 +1,148 @@
+let max_bits = 15
+
+type encoder = { codes : int array; lens : int array }
+
+(* Two-level decode is unnecessary here; we decode by walking canonical
+   first-code tables, one bit at a time. *)
+type decoder = {
+  (* for each bit length l: first canonical code of that length, and the
+     index into [sorted] where symbols of length l begin *)
+  first_code : int array;
+  first_index : int array;
+  count : int array;
+  sorted : int array;
+}
+
+(* Build Huffman code lengths with a simple heap; if the tree exceeds
+   [max_bits], damp the frequencies and retry (standard trick; converges
+   because all-equal frequencies give a balanced tree). *)
+let lengths_of_freqs freqs =
+  let n = Array.length freqs in
+  let lengths = Array.make n 0 in
+  let used = ref 0 in
+  Array.iter (fun f -> if f > 0 then incr used) freqs;
+  if !used = 0 then invalid_arg "Huffman.lengths_of_freqs: no symbols";
+  if !used = 1 then begin
+    (* A single symbol still needs one bit on the wire. *)
+    Array.iteri (fun i f -> if f > 0 then lengths.(i) <- 1) freqs;
+    lengths
+  end
+  else begin
+    let rec attempt freqs =
+      (* node = (freq, depth-estimate, children) encoded via arrays *)
+      let heap = Heap_nodes.create () in
+      Array.iteri (fun i f -> if f > 0 then Heap_nodes.push heap f (Heap_nodes.Leaf i)) freqs;
+      while Heap_nodes.size heap > 1 do
+        let f1, n1 = Heap_nodes.pop heap in
+        let f2, n2 = Heap_nodes.pop heap in
+        Heap_nodes.push heap (f1 + f2) (Heap_nodes.Node (n1, n2))
+      done;
+      let _, root = Heap_nodes.pop heap in
+      Array.fill lengths 0 n 0;
+      let too_deep = ref false in
+      let rec assign depth = function
+        | Heap_nodes.Leaf i ->
+          lengths.(i) <- max depth 1;
+          if depth > max_bits then too_deep := true
+        | Heap_nodes.Node (a, b) ->
+          assign (depth + 1) a;
+          assign (depth + 1) b
+      in
+      assign 0 root;
+      if !too_deep then begin
+        let damped = Array.map (fun f -> if f > 0 then (f / 2) + 1 else 0) freqs in
+        attempt damped
+      end
+    in
+    attempt freqs;
+    lengths
+  end
+
+(* Canonical code assignment from lengths (RFC 1951 §3.2.2). *)
+let canonical_codes lens =
+  let count = Array.make (max_bits + 1) 0 in
+  Array.iter (fun l -> if l > 0 then count.(l) <- count.(l) + 1) lens;
+  let next = Array.make (max_bits + 2) 0 in
+  let code = ref 0 in
+  for bits = 1 to max_bits do
+    code := (!code + count.(bits - 1)) lsl 1;
+    next.(bits) <- !code
+  done;
+  let codes = Array.make (Array.length lens) 0 in
+  Array.iteri
+    (fun i l ->
+      if l > 0 then begin
+        codes.(i) <- next.(l);
+        next.(l) <- next.(l) + 1
+      end)
+    lens;
+  (codes, count)
+
+(* Reverse the low [len] bits of [code]: we emit codes MSB-first logically
+   but the bit writer packs LSB-first, as DEFLATE does. *)
+let reverse_bits code len =
+  let r = ref 0 in
+  let c = ref code in
+  for _ = 1 to len do
+    r := (!r lsl 1) lor (!c land 1);
+    c := !c lsr 1
+  done;
+  !r
+
+let encoder_of_lengths lens =
+  let codes, _ = canonical_codes lens in
+  let codes = Array.mapi (fun i c -> reverse_bits c lens.(i)) codes in
+  { codes; lens = Array.copy lens }
+
+let validate_prefix_code count =
+  (* Kraft sum must not exceed 1 for a usable code. *)
+  let sum = ref 0.0 in
+  for l = 1 to max_bits do
+    sum := !sum +. (float_of_int count.(l) /. float_of_int (1 lsl l))
+  done;
+  if !sum > 1.0 +. 1e-9 then invalid_arg "Huffman: over-subscribed code lengths"
+
+let decoder_of_lengths lens =
+  let _, count = canonical_codes lens in
+  validate_prefix_code count;
+  let n = Array.length lens in
+  let total = Array.fold_left (fun acc l -> if l > 0 then acc + 1 else acc) 0 lens in
+  let sorted = Array.make (max total 1) 0 in
+  let first_code = Array.make (max_bits + 1) 0 in
+  let first_index = Array.make (max_bits + 1) 0 in
+  let code = ref 0 in
+  let index = ref 0 in
+  for l = 1 to max_bits do
+    code := (!code + if l > 1 then count.(l - 1) else 0) lsl 1;
+    first_code.(l) <- !code;
+    first_index.(l) <- !index;
+    (* canonical order: by length then symbol value *)
+    for sym = 0 to n - 1 do
+      if lens.(sym) = l then begin
+        sorted.(!index) <- sym;
+        incr index
+      end
+    done
+  done;
+  { first_code; first_index; count; sorted }
+
+let encode enc w sym =
+  let len = enc.lens.(sym) in
+  if len = 0 then invalid_arg "Huffman.encode: unused symbol";
+  Bitio.Writer.put w ~bits:enc.codes.(sym) ~count:len
+
+let decode dec r =
+  let code = ref 0 in
+  let len = ref 0 in
+  let result = ref (-1) in
+  while !result < 0 do
+    code := (!code lsl 1) lor Bitio.Reader.bit r;
+    incr len;
+    if !len > max_bits then invalid_arg "Huffman.decode: bad stream";
+    let l = !len in
+    if dec.count.(l) > 0 && !code - dec.first_code.(l) < dec.count.(l) && !code >= dec.first_code.(l)
+    then result := dec.sorted.(dec.first_index.(l) + (!code - dec.first_code.(l)))
+  done;
+  !result
+
+let length enc sym = enc.lens.(sym)

@@ -1,0 +1,105 @@
+type token = Literal of char | Match of { dist : int; len : int }
+
+let window_size = 32768
+let min_match = 3
+let max_match = 258
+let hash_bits = 15
+let hash_size = 1 lsl hash_bits
+let max_chain = 48
+
+let hash3 s i =
+  let a = Char.code (String.unsafe_get s i)
+  and b = Char.code (String.unsafe_get s (i + 1))
+  and c = Char.code (String.unsafe_get s (i + 2)) in
+  ((a lsl 10) lxor (b lsl 5) lxor c) land (hash_size - 1)
+
+let tokenize s =
+  let n = String.length s in
+  let tokens = ref [] in
+  let count = ref 0 in
+  let head = Array.make hash_size (-1) in
+  let prev = Array.make (max 1 (min n window_size * 2)) (-1) in
+  let prev_size = Array.length prev in
+  let emit tok =
+    tokens := tok :: !tokens;
+    incr count
+  in
+  let match_len i j =
+    (* length of common prefix of s[i..] and s[j..], capped *)
+    let limit = min max_match (n - i) in
+    let k = ref 0 in
+    while !k < limit && String.unsafe_get s (i + !k) = String.unsafe_get s (j + !k) do
+      incr k
+    done;
+    !k
+  in
+  let insert i =
+    if i + min_match <= n then begin
+      let h = hash3 s i in
+      prev.(i mod prev_size) <- head.(h);
+      head.(h) <- i
+    end
+  in
+  let i = ref 0 in
+  while !i < n do
+    let best_len = ref 0 and best_dist = ref 0 in
+    if !i + min_match <= n then begin
+      let h = hash3 s !i in
+      let j = ref head.(h) in
+      let chain = ref 0 in
+      while !j >= 0 && !chain < max_chain do
+        let dist = !i - !j in
+        if dist > 0 && dist <= window_size then begin
+          let len = match_len !i !j in
+          if len > !best_len then begin
+            best_len := len;
+            best_dist := dist
+          end;
+          let nxt = prev.(!j mod prev_size) in
+          (* Stop if the chain entry was overwritten (too far back). *)
+          j := if nxt >= !j || !i - nxt > window_size then -1 else nxt
+        end
+        else j := -1;
+        incr chain
+      done
+    end;
+    if !best_len >= min_match then begin
+      emit (Match { dist = !best_dist; len = !best_len });
+      (* Insert hash entries for all covered positions so later matches can
+         reference them. *)
+      for k = !i to !i + !best_len - 1 do
+        insert k
+      done;
+      i := !i + !best_len
+    end
+    else begin
+      emit (Literal (String.unsafe_get s !i));
+      insert !i;
+      incr i
+    end
+  done;
+  let arr = Array.make !count (Literal 'x') in
+  let rec fill idx = function
+    | [] -> ()
+    | tok :: rest ->
+      arr.(idx) <- tok;
+      fill (idx - 1) rest
+  in
+  fill (!count - 1) !tokens;
+  arr
+
+let reconstruct tokens =
+  let buf = Buffer.create 4096 in
+  Array.iter
+    (fun tok ->
+      match tok with
+      | Literal c -> Buffer.add_char buf c
+      | Match { dist; len } ->
+        let start = Buffer.length buf - dist in
+        if start < 0 then invalid_arg "Lz77.reconstruct: bad distance";
+        (* Byte-by-byte so overlapping copies replicate runs, as in LZ77. *)
+        for k = 0 to len - 1 do
+          Buffer.add_char buf (Buffer.nth buf (start + k))
+        done)
+    tokens;
+  Buffer.contents buf

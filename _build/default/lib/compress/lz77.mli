@@ -1,0 +1,16 @@
+(** LZ77 tokenization with a hash-chain matcher (DEFLATE-style window). *)
+
+type token =
+  | Literal of char
+  | Match of { dist : int; len : int }  (** copy [len] bytes from [dist] back *)
+
+val window_size : int
+val min_match : int
+val max_match : int
+
+(** Greedy tokenization of the whole input. *)
+val tokenize : string -> token array
+
+(** Inverse of {!tokenize}; reconstructs the original string. Raises
+    [Invalid_argument] on tokens referencing before the start. *)
+val reconstruct : token array -> string

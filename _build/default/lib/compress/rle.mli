@@ -1,0 +1,5 @@
+(** PackBits-style run-length encoding: a cheap baseline compressor used
+    in ablations against {!Deflate}. *)
+
+val compress : string -> string
+val decompress : string -> string

@@ -1,0 +1,1 @@
+lib/dmtcp/api.ml: Coordinator Hashtbl Launcher List Manager Option Options Restart Restart_script Runtime Sim Simnet Simos

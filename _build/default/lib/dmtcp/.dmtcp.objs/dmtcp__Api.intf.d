@@ -1,0 +1,1 @@
+lib/dmtcp/api.mli: Options Restart_script Runtime Simos

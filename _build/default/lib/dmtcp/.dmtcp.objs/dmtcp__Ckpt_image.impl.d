@@ -1,0 +1,1 @@
+lib/dmtcp/ckpt_image.ml: Compress Conn_id Conn_table Filename Mtcp Printf String Upid Util

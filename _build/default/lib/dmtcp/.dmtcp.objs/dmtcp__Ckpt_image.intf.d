@@ -1,0 +1,1 @@
+lib/dmtcp/ckpt_image.mli: Compress Conn_id Conn_table Mtcp Upid

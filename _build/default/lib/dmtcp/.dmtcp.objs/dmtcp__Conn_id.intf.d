@@ -1,0 +1,1 @@
+lib/dmtcp/conn_id.mli: Util

@@ -1,0 +1,1 @@
+lib/dmtcp/conn_table.ml: Conn_id Hashtbl List Printf Util

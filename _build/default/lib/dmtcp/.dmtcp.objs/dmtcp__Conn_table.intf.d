@@ -1,0 +1,1 @@
+lib/dmtcp/conn_table.mli: Conn_id Util

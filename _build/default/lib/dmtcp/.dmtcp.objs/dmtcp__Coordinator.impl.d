@@ -1,0 +1,1 @@
+lib/dmtcp/coordinator.ml: Array Fun List Options Proto Runtime Simos

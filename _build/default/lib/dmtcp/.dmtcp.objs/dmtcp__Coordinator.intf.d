@@ -1,0 +1,1 @@
+lib/dmtcp/coordinator.mli: Simos

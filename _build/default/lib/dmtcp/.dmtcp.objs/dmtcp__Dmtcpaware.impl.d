@@ -1,0 +1,1 @@
+lib/dmtcp/dmtcpaware.ml: Hashtbl Launcher Options Runtime Simos

@@ -1,0 +1,1 @@
+lib/dmtcp/dmtcpaware.mli: Simos

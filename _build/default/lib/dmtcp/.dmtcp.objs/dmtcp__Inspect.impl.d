@@ -1,0 +1,1 @@
+lib/dmtcp/inspect.ml: Array Buffer Ckpt_image Compress Conn_id Conn_table Hashtbl List Mem Mtcp Option Printf Restart_script Runtime Simos String Upid Util

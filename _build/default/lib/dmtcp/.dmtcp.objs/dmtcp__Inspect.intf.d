@@ -1,0 +1,1 @@
+lib/dmtcp/inspect.mli: Ckpt_image Restart_script Runtime

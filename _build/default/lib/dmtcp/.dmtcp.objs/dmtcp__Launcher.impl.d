@@ -1,0 +1,1 @@
+lib/dmtcp/launcher.ml: Coordinator List Options Proto Simnet Simos

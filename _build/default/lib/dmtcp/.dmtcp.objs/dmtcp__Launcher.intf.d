@@ -1,0 +1,1 @@
+lib/dmtcp/launcher.mli: Simos

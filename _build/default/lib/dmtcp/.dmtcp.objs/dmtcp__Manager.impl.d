@@ -1,0 +1,1 @@
+lib/dmtcp/manager.ml: Ckpt_image Compress Conn_table Dmtcpaware Float Hashtbl List Mem Mtcp Option Options Printexc Printf Proto Runtime Sim Simnet Simos Storage String Util

@@ -1,0 +1,1 @@
+lib/dmtcp/manager.mli: Simos

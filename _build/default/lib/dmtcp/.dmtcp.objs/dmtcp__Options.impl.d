@@ -1,0 +1,1 @@
+lib/dmtcp/options.ml: Compress List Option

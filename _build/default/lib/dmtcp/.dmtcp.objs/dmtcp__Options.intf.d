@@ -1,0 +1,1 @@
+lib/dmtcp/options.mli: Compress

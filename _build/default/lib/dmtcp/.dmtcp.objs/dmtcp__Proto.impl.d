@@ -1,0 +1,1 @@
+lib/dmtcp/proto.ml: List Printf String Upid

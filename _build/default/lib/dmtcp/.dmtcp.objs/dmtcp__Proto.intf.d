@@ -1,0 +1,1 @@
+lib/dmtcp/proto.mli: Upid

@@ -1,0 +1,1 @@
+lib/dmtcp/restart.ml: Ckpt_image Compress Conn_id Conn_table Dmtcpaware Float Hashtbl List Manager Mem Mtcp Option Printexc Printf Proto Runtime Simnet Simos Storage String Upid Util

@@ -1,0 +1,1 @@
+lib/dmtcp/restart_script.ml: Buffer Hashtbl List Option Printf String Util

@@ -1,0 +1,1 @@
+lib/dmtcp/restart_script.mli: Util

@@ -1,0 +1,1 @@
+lib/dmtcp/runtime.ml: Conn_id Conn_table Hashtbl List Mem Mtcp Options Printf Simnet Simos Upid Util

@@ -1,0 +1,1 @@
+lib/dmtcp/runtime.mli: Conn_table Hashtbl Mem Mtcp Options Simnet Simos Upid Util

@@ -1,0 +1,1 @@
+lib/dmtcp/upid.mli: Util

@@ -1,0 +1,166 @@
+let registered = ref false
+
+let register_programs () =
+  if not !registered then begin
+    registered := true;
+    Simos.Program.register Coordinator.program;
+    Simos.Program.register Manager.program;
+    Simos.Program.register Launcher.checkpoint_program;
+    Simos.Program.register Launcher.command_program;
+    Simos.Program.register Restart.program
+  end
+
+let install cl ?options () =
+  register_programs ();
+  Runtime.install cl ?options ()
+
+let launch rt ~node ~prog ~argv =
+  let k = Runtime.kernel_of rt ~node in
+  Simos.Kernel.spawn k ~prog:Launcher.checkpoint_name ~argv:(prog :: argv)
+    ~env:(Options.to_env (Runtime.options rt))
+    ()
+
+let checkpoint rt =
+  let opts = Runtime.options rt in
+  let k = Runtime.kernel_of rt ~node:opts.Options.coord_host in
+  ignore
+    (Simos.Kernel.spawn k ~prog:Launcher.command_name ~argv:[ "--checkpoint" ]
+       ~env:(Options.to_env opts) ())
+
+let run_slices rt ~timeout ~done_ =
+  let cl = Runtime.cluster rt in
+  let eng = Simos.Cluster.engine cl in
+  let deadline = Simos.Cluster.now cl +. timeout in
+  let rec go () =
+    if done_ () then ()
+    else if Simos.Cluster.now cl >= deadline then failwith "Dmtcp.Api: timed out"
+    else begin
+      Sim.Engine.run ~until:(Simos.Cluster.now cl +. 0.05) eng;
+      go ()
+    end
+  in
+  go ()
+
+let await_checkpoint ?(timeout = 600.) ?(since = 0.) rt =
+  run_slices rt ~timeout ~done_:(fun () ->
+      match Runtime.last_completed_ckpt rt with
+      | Some info ->
+        info.Runtime.started >= since
+        && info.Runtime.finished > info.Runtime.started
+        && info.Runtime.nprocs > 0
+      | None -> false)
+
+let checkpoint_now ?timeout rt =
+  let since = Simos.Cluster.now (Runtime.cluster rt) in
+  checkpoint rt;
+  await_checkpoint ?timeout ~since rt
+
+let completed rt =
+  match Runtime.last_completed_ckpt rt with
+  | Some info -> info
+  | None -> failwith "Dmtcp.Api: no completed checkpoint yet"
+
+let last_checkpoint_seconds rt =
+  let info = completed rt in
+  info.Runtime.finished -. info.Runtime.started
+
+let last_checkpoint_bytes rt =
+  let info = completed rt in
+  (info.Runtime.total_compressed, info.Runtime.total_uncompressed)
+
+let restart_script rt =
+  let opts = Runtime.options rt in
+  let info = completed rt in
+  let by_host = Hashtbl.create 8 in
+  List.iter
+    (fun (node, path) ->
+      let existing = Option.value ~default:[] (Hashtbl.find_opt by_host node) in
+      Hashtbl.replace by_host node (path :: existing))
+    info.Runtime.images;
+  let script =
+    {
+      Restart_script.coord_host = opts.Options.coord_host;
+      coord_port = opts.Options.coord_port;
+      entries =
+        Hashtbl.fold (fun h imgs acc -> (h, List.sort compare imgs) :: acc) by_host []
+        |> List.sort (fun (a, _) (b, _) -> compare a b);
+    }
+  in
+  (* write the shell script next to the images, as the real tool does *)
+  let k = Runtime.kernel_of rt ~node:opts.Options.coord_host in
+  let f =
+    Simos.Vfs.open_or_create (Simos.Kernel.vfs k)
+      (opts.Options.ckpt_dir ^ "/dmtcp_restart_script.sh")
+  in
+  Simos.Vfs.truncate f;
+  Simos.Vfs.append f (Restart_script.to_text script);
+  script
+
+let is_coordinator (proc : Simos.Kernel.process) =
+  match proc.Simos.Kernel.cmdline with
+  | p :: _ -> p = Coordinator.name
+  | [] -> false
+
+let kill_computation rt =
+  let cl = Runtime.cluster rt in
+  List.iter
+    (fun (k, (proc : Simos.Kernel.process)) ->
+      if proc.Simos.Kernel.hijacked || is_coordinator proc then begin
+        Runtime.forget_process rt ~node:(Simos.Kernel.node_id k) ~pid:proc.Simos.Kernel.pid;
+        Simos.Kernel.vanish_process k proc
+      end)
+    (Simos.Cluster.all_processes cl)
+
+(* Images may live on hosts other than where they will be restored (the
+   script may have been remapped for migration); stand in for scp/shared
+   storage by copying the file bytes across vfs instances. *)
+let ensure_image_on rt ~host path =
+  let cl = Runtime.cluster rt in
+  let target_vfs = Simos.Kernel.vfs (Runtime.kernel_of rt ~node:host) in
+  if not (Simos.Vfs.exists target_vfs path) then begin
+    let found = ref None in
+    for node = 0 to Simos.Cluster.nodes cl - 1 do
+      if !found = None then
+        match Simos.Vfs.lookup (Simos.Kernel.vfs (Simos.Cluster.kernel cl node)) path with
+        | Some f -> found := Some f
+        | None -> ()
+    done;
+    match !found with
+    | Some src ->
+      let dst = Simos.Vfs.open_or_create target_vfs path in
+      Simos.Vfs.truncate dst;
+      Simos.Vfs.append dst (Simos.Vfs.read_all src);
+      Simos.Vfs.set_sim_size dst (Simos.Vfs.sim_size src)
+    | None -> ()
+  end
+
+let restart rt (script : Restart_script.t) =
+  if script.Restart_script.entries = [] then
+    failwith "Dmtcp.Api.restart: script has no images";
+  Runtime.note_restart_start rt;
+  Runtime.bump_generation rt;
+  Runtime.shm_reset rt;
+  let cl = Runtime.cluster rt in
+  Simnet.Discovery.clear (Simos.Cluster.discovery cl);
+  let opts = { (Runtime.options rt) with Options.coord_host = script.Restart_script.coord_host } in
+  let env = Options.to_env opts in
+  (* a coordinator for the restarted computation (EADDRINUSE exits quietly
+     if one is already running) *)
+  let ck = Runtime.kernel_of rt ~node:script.Restart_script.coord_host in
+  ignore (Simos.Kernel.spawn ck ~prog:Coordinator.name ~argv:[] ~env ());
+  Runtime.set_restart_expected rt (List.length script.Restart_script.entries);
+  List.iter
+    (fun (host, images) ->
+      List.iter (fun path -> ensure_image_on rt ~host path) images;
+      let k = Runtime.kernel_of rt ~node:host in
+      ignore (Simos.Kernel.spawn k ~prog:Restart.name ~argv:images ~env ()))
+    script.Restart_script.entries
+
+let await_restart ?(timeout = 600.) rt =
+  run_slices rt ~timeout ~done_:(fun () ->
+      let info = Runtime.restart_info rt in
+      info.Runtime.nprocs >= Runtime.restart_expected rt && Runtime.restart_expected rt > 0)
+
+let last_restart_seconds rt =
+  let info = Runtime.restart_info rt in
+  info.Runtime.finished -. info.Runtime.started

@@ -1,0 +1,69 @@
+(** High-level facade over the DMTCP stack, used by the harness, examples
+    and tests.
+
+    Typical session:
+    {[
+      let cl = Simos.Cluster.create ~nodes:32 () in
+      let rt = Dmtcp.Api.install cl () in
+      let _ = Dmtcp.Api.launch rt ~node:0 ~prog:"apps:mpirun" ~argv:[...] in
+      Simos.Cluster.run ~until:30.0 cl;          (* reach steady state *)
+      Dmtcp.Api.checkpoint rt;                   (* dmtcp_command -c *)
+      Dmtcp.Api.await_checkpoint rt;
+      let script = Dmtcp.Api.restart_script rt in
+      Dmtcp.Api.kill_computation rt;             (* simulate node loss *)
+      Dmtcp.Api.restart rt script;
+      Simos.Cluster.run cl                       (* computation finishes *)
+    ]} *)
+
+(** Register the DMTCP programs (coordinator, manager, launcher, command,
+    restart) in the global program registry. Idempotent. *)
+val register_programs : unit -> unit
+
+(** Install hooks + runtime on a cluster (also registers programs). *)
+val install : Simos.Cluster.t -> ?options:Options.t -> unit -> Runtime.t
+
+(** [launch rt ~node ~prog ~argv] spawns
+    [dmtcp_checkpoint <prog> <argv...>] on [node] and returns the launcher
+    process (the target program execs in place, keeping its pid). *)
+val launch :
+  Runtime.t -> node:int -> prog:string -> argv:string list -> Simos.Kernel.process
+
+(** Spawn [dmtcp_command --checkpoint]. The caller advances the engine. *)
+val checkpoint : Runtime.t -> unit
+
+(** Run the engine until a checkpoint that *started at or after [since]*
+    completes (all barriers released) — guarding against being satisfied
+    by a previously completed checkpoint. Raises [Failure] on timeout
+    (default 600 simulated s). *)
+val await_checkpoint : ?timeout:float -> ?since:float -> Runtime.t -> unit
+
+(** Convenience: request a checkpoint and wait for it. *)
+val checkpoint_now : ?timeout:float -> Runtime.t -> unit
+
+(** Duration of the last completed checkpoint, seconds. *)
+val last_checkpoint_seconds : Runtime.t -> float
+
+(** Aggregate image bytes of the last checkpoint:
+    (compressed-on-disk, raw). *)
+val last_checkpoint_bytes : Runtime.t -> int * int
+
+(** Build the restart script record for the last checkpoint (also writes
+    [dmtcp_restart_script.sh] to the coordinator node's filesystem). *)
+val restart_script : Runtime.t -> Restart_script.t
+
+(** Kill every checkpointed process (and the coordinator), as when a
+    cluster is lost or the user stops the computation before migrating.
+    Checkpoint images survive on the nodes' filesystems. *)
+val kill_computation : Runtime.t -> unit
+
+(** [restart rt script] bumps the generation, clears the discovery
+    service, copies images to their (possibly remapped) target hosts,
+    starts a fresh coordinator if needed, and spawns one [dmtcp_restart]
+    per host. The caller advances the engine; use {!await_restart}. *)
+val restart : Runtime.t -> Restart_script.t -> unit
+
+(** Run the engine until every restart process has resumed its processes. *)
+val await_restart : ?timeout:float -> Runtime.t -> unit
+
+(** Seconds from restart initiation to the last process resuming. *)
+val last_restart_seconds : Runtime.t -> float

@@ -1,0 +1,206 @@
+type fd_info =
+  | FFile of { path : string; offset : int }
+  | FSock of {
+      state : sock_state;
+      kind : Conn_table.sock_kind;
+      role : Conn_table.role;
+      conn_id : Conn_id.t;
+      drained : string;
+    }
+  | FPty of { master : bool; pty_key : int }
+
+and sock_state =
+  | S_established
+  | S_listening of { port : int option; unix_path : string option; backlog : int }
+  | S_other
+
+type pty_record = {
+  pty_key : int;
+  pr_name : string;
+  icanon : bool;
+  echo : bool;
+  isig : bool;
+  baud : int;
+  drained_to_slave : string;
+  drained_to_master : string;
+}
+
+type t = {
+  upid : Upid.t;
+  vpid : int;
+  parent_vpid : int;
+  program : string;
+  fds : (int * int * fd_info) list;
+  ptys : pty_record list;
+  algo : Compress.Algo.t;
+  sizes : Mtcp.Image.sizes;
+  mtcp_blob : string;
+}
+
+let filename t =
+  let base = Filename.basename t.program in
+  Printf.sprintf "ckpt_%s_%s.dmtcp" base (Upid.to_string t.upid)
+
+module W = Util.Codec.Writer
+module R = Util.Codec.Reader
+
+let encode_sock_state w = function
+  | S_established -> W.u8 w 0
+  | S_listening { port; unix_path; backlog } ->
+    W.u8 w 1;
+    W.option W.uvarint w port;
+    W.option W.string w unix_path;
+    W.uvarint w backlog
+  | S_other -> W.u8 w 2
+
+let decode_sock_state r =
+  match R.u8 r with
+  | 0 -> S_established
+  | 1 ->
+    let port = R.option R.uvarint r in
+    let unix_path = R.option R.string r in
+    let backlog = R.uvarint r in
+    S_listening { port; unix_path; backlog }
+  | 2 -> S_other
+  | n -> raise (R.Corrupt (Printf.sprintf "bad sock state %d" n))
+
+let role_tag = function
+  | Conn_table.Connector -> 0
+  | Conn_table.Acceptor -> 1
+  | Conn_table.Pair_a -> 2
+  | Conn_table.Pair_b -> 3
+
+let role_of_tag = function
+  | 0 -> Conn_table.Connector
+  | 1 -> Conn_table.Acceptor
+  | 2 -> Conn_table.Pair_a
+  | 3 -> Conn_table.Pair_b
+  | n -> raise (R.Corrupt (Printf.sprintf "bad role %d" n))
+
+let kind_tag = function Conn_table.Tcp -> 0 | Conn_table.Unixsock -> 1 | Conn_table.Pair -> 2
+
+let kind_of_tag = function
+  | 0 -> Conn_table.Tcp
+  | 1 -> Conn_table.Unixsock
+  | 2 -> Conn_table.Pair
+  | n -> raise (R.Corrupt (Printf.sprintf "bad kind %d" n))
+
+let encode_fd_info w = function
+  | FFile { path; offset } ->
+    W.u8 w 0;
+    W.string w path;
+    W.uvarint w offset
+  | FSock { state; kind; role; conn_id; drained } ->
+    W.u8 w 1;
+    encode_sock_state w state;
+    W.u8 w (kind_tag kind);
+    W.u8 w (role_tag role);
+    Conn_id.encode w conn_id;
+    W.string w drained
+  | FPty { master; pty_key } ->
+    W.u8 w 2;
+    W.bool w master;
+    W.uvarint w pty_key
+
+let decode_fd_info r =
+  match R.u8 r with
+  | 0 ->
+    let path = R.string r in
+    let offset = R.uvarint r in
+    FFile { path; offset }
+  | 1 ->
+    let state = decode_sock_state r in
+    let kind = kind_of_tag (R.u8 r) in
+    let role = role_of_tag (R.u8 r) in
+    let conn_id = Conn_id.decode r in
+    let drained = R.string r in
+    FSock { state; kind; role; conn_id; drained }
+  | 2 ->
+    let master = R.bool r in
+    let pty_key = R.uvarint r in
+    FPty { master; pty_key }
+  | n -> raise (R.Corrupt (Printf.sprintf "bad fd info %d" n))
+
+let encode_pty w p =
+  W.uvarint w p.pty_key;
+  W.string w p.pr_name;
+  W.bool w p.icanon;
+  W.bool w p.echo;
+  W.bool w p.isig;
+  W.uvarint w p.baud;
+  W.string w p.drained_to_slave;
+  W.string w p.drained_to_master
+
+let decode_pty r =
+  let pty_key = R.uvarint r in
+  let pr_name = R.string r in
+  let icanon = R.bool r in
+  let echo = R.bool r in
+  let isig = R.bool r in
+  let baud = R.uvarint r in
+  let drained_to_slave = R.string r in
+  let drained_to_master = R.string r in
+  { pty_key; pr_name; icanon; echo; isig; baud; drained_to_slave; drained_to_master }
+
+let magic = "DMTCP_CKPT_V1"
+
+let encode t =
+  let w = W.create ~capacity:(String.length t.mtcp_blob + 1024) () in
+  W.raw w magic;
+  Upid.encode w t.upid;
+  W.uvarint w t.vpid;
+  W.uvarint w t.parent_vpid;
+  W.string w t.program;
+  W.list
+    (fun w (fd, key, info) ->
+      W.uvarint w fd;
+      W.uvarint w key;
+      encode_fd_info w info)
+    w t.fds;
+  W.list encode_pty w t.ptys;
+  Compress.Algo.encode w t.algo;
+  W.uvarint w t.sizes.Mtcp.Image.uncompressed;
+  W.uvarint w t.sizes.Mtcp.Image.compressed;
+  W.uvarint w t.sizes.Mtcp.Image.zero_bytes;
+  W.string w t.mtcp_blob;
+  W.contents w
+
+let decode s =
+  let r = R.of_string s in
+  let m = R.raw r (String.length magic) in
+  if m <> magic then raise (R.Corrupt "bad DMTCP image magic");
+  let upid = Upid.decode r in
+  let vpid = R.uvarint r in
+  let parent_vpid = R.uvarint r in
+  let program = R.string r in
+  let fds =
+    R.list
+      (fun r ->
+        let fd = R.uvarint r in
+        let key = R.uvarint r in
+        let info = decode_fd_info r in
+        (fd, key, info))
+      r
+  in
+  let ptys = R.list decode_pty r in
+  let algo = Compress.Algo.decode r in
+  let uncompressed = R.uvarint r in
+  let compressed = R.uvarint r in
+  let zero_bytes = R.uvarint r in
+  let mtcp_blob = R.string r in
+  R.expect_end r;
+  {
+    upid;
+    vpid;
+    parent_vpid;
+    program;
+    fds;
+    ptys;
+    algo;
+    sizes = { Mtcp.Image.uncompressed; compressed; zero_bytes };
+    mtcp_blob;
+  }
+
+let mtcp t = Mtcp.Image.decode t.mtcp_blob
+
+let sim_file_size t = t.sizes.Mtcp.Image.compressed

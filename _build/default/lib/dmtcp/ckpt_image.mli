@@ -1,0 +1,62 @@
+(** The per-process DMTCP checkpoint image: the distributed layer's
+    metadata (fd table, connection table, ptys, pid virtualization)
+    wrapped around the MTCP memory/threads image.
+
+    One such image is written per process per checkpoint, to
+    [<ckpt_dir>/ckpt_<program>_<upid>.dmtcp] on the process's node. *)
+
+(** How to re-create one fd at restart.  [desc_key] groups fds (possibly
+    across processes on the same host) that shared an open file
+    description — they must be restored to a single shared object. *)
+type fd_info =
+  | FFile of { path : string; offset : int }
+  | FSock of {
+      state : sock_state;
+      kind : Conn_table.sock_kind;
+      role : Conn_table.role;
+      conn_id : Conn_id.t;
+      drained : string;
+    }
+  | FPty of { master : bool; pty_key : int }
+
+and sock_state =
+  | S_established
+  | S_listening of { port : int option; unix_path : string option; backlog : int }
+  | S_other  (** unconnected/closed endpoints: recreated fresh *)
+
+type pty_record = {
+  pty_key : int;
+  pr_name : string;
+  icanon : bool;
+  echo : bool;
+  isig : bool;
+  baud : int;
+  drained_to_slave : string;
+  drained_to_master : string;
+}
+
+type t = {
+  upid : Upid.t;
+  vpid : int;
+  parent_vpid : int;            (** 0 = no checkpointed parent *)
+  program : string;             (** argv[0], for the image filename *)
+  fds : (int * int * fd_info) list;  (** (fd, desc_key, info) *)
+  ptys : pty_record list;
+  algo : Compress.Algo.t;
+  sizes : Mtcp.Image.sizes;
+  mtcp_blob : string;           (** framed MTCP image *)
+}
+
+val filename : t -> string
+
+val encode : t -> string
+
+(** Raises [Util.Codec.Reader.Corrupt] on damage. *)
+val decode : string -> t
+
+(** Decode the wrapped MTCP image (memory + threads). *)
+val mtcp : t -> Mtcp.Image.t
+
+(** Real bytes of the encoded image plus the simulated page payload — the
+    number the paper's figures report as "checkpoint size". *)
+val sim_file_size : t -> int

@@ -1,0 +1,18 @@
+type t = { hostid : int; pid : int; timestamp : float; seq : int }
+
+let make ~hostid ~pid ~timestamp ~seq = { hostid; pid; timestamp; seq }
+let to_key t = Printf.sprintf "conn:%d:%d:%h:%d" t.hostid t.pid t.timestamp t.seq
+let equal a b = a = b
+
+let encode w t =
+  Util.Codec.Writer.uvarint w t.hostid;
+  Util.Codec.Writer.uvarint w t.pid;
+  Util.Codec.Writer.f64 w t.timestamp;
+  Util.Codec.Writer.uvarint w t.seq
+
+let decode r =
+  let hostid = Util.Codec.Reader.uvarint r in
+  let pid = Util.Codec.Reader.uvarint r in
+  let timestamp = Util.Codec.Reader.f64 r in
+  let seq = Util.Codec.Reader.uvarint r in
+  { hostid; pid; timestamp; seq }

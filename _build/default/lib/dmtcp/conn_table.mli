@@ -1,0 +1,49 @@
+(** The per-process connection information table (paper §4.3 step 4,
+    §4.4).
+
+    Wrappers populate it as sockets are created; the drain stage completes
+    it with the peer handshake and the drained byte stash; it is written
+    into the checkpoint image and drives socket re-creation at restart. *)
+
+type role =
+  | Connector
+  | Acceptor
+  | Pair_a  (** socketpair / promoted-pipe end created first *)
+  | Pair_b
+
+type sock_kind = Tcp | Unixsock | Pair
+
+type entry = {
+  mutable conn_id : Conn_id.t;
+      (** both ends converge on the connector's ID at handshake time *)
+  mutable role : role;
+  kind : sock_kind;
+  desc_id : int;  (** physical open-file-description id (sharing key) *)
+  mutable drained : string;     (** bytes drained from our receive side *)
+  mutable saved_owner : int;    (** F_SETOWN value to restore after refill *)
+}
+
+type t
+
+val create : unit -> t
+
+(** Keyed by fd. One desc may appear under several fds (dup). *)
+val add : t -> fd:int -> entry -> unit
+
+val find : t -> fd:int -> entry option
+val remove : t -> fd:int -> unit
+
+(** All (fd, entry) pairs, ascending fd. *)
+val entries : t -> (int * entry) list
+
+(** Entries deduplicated by [desc_id] (election/drain iterate these). *)
+val unique_descs : t -> (int * entry) list
+
+(** Copy for a forked child (entries share conn ids but stashes are
+    per-process). *)
+val clone : t -> t
+
+val encode_entry : Util.Codec.Writer.t -> entry -> unit
+val decode_entry : Util.Codec.Reader.t -> entry
+val encode : Util.Codec.Writer.t -> t -> unit
+val decode : Util.Codec.Reader.t -> t

@@ -1,0 +1,186 @@
+let name = "dmtcp:coordinator"
+
+(* per-message handling cost of the centralized coordinator *)
+let msg_cost = 20e-6
+
+type client = {
+  c_fd : int;
+  mutable c_buf : string;
+  mutable c_manager : bool;
+}
+
+type state = {
+  mutable phase : [ `Boot | `Run ];
+  mutable listen_fd : int;
+  mutable clients : client list;
+  mutable counts : int array;          (* barrier arrival counts, 1-based *)
+  mutable expected : int;              (* managers participating in this ckpt *)
+  mutable in_ckpt : bool;
+  mutable next_interval : float;
+  mutable work : int;                  (* messages handled since last block *)
+  mutable last_barrier_time : float;
+}
+
+module P = struct
+  type nonrec state = state
+
+  let name = name
+  let encode _ _ = failwith "dmtcp:coordinator is not checkpointable"
+  let decode _ = failwith "dmtcp:coordinator is not checkpointable"
+
+  let init ~argv:_ =
+    {
+      phase = `Boot;
+      listen_fd = -1;
+      clients = [];
+      counts = Array.make (Runtime.nbarriers + 1) 0;
+      expected = 0;
+      in_ckpt = false;
+      next_interval = infinity;
+      work = 0;
+      last_barrier_time = 0.;
+    }
+
+  let send_line (ctx : Simos.Program.ctx) fd line =
+    (* coordinator messages are short; buffer exhaustion is not expected *)
+    match ctx.write_fd fd line with
+    | Ok _ -> ()
+    | Error _ -> ()
+
+  let managers st = List.filter (fun c -> c.c_manager) st.clients
+
+  let broadcast ctx st line = List.iter (fun c -> send_line ctx c.c_fd line) (managers st)
+
+  let start_checkpoint (ctx : Simos.Program.ctx) st =
+    if not st.in_ckpt then begin
+      let rt = Runtime.active () in
+      Runtime.note_ckpt_start rt;
+      st.in_ckpt <- true;
+      Array.fill st.counts 0 (Array.length st.counts) 0;
+      st.expected <- List.length (managers st);
+      if st.expected = 0 then begin
+        (* nothing to checkpoint *)
+        st.in_ckpt <- false;
+        Runtime.note_ckpt_end rt
+      end
+      else begin
+        st.work <- st.work + st.expected;
+        st.last_barrier_time <- ctx.now ();
+        broadcast ctx st Proto.do_checkpoint
+      end
+    end
+
+  (* Returns true if any input was consumed. *)
+  let pump_client (ctx : Simos.Program.ctx) st client =
+    let progressed = ref false in
+    let continue = ref true in
+    while !continue do
+      match ctx.read_fd client.c_fd ~max:4096 with
+      | `Data d ->
+        client.c_buf <- client.c_buf ^ d;
+        progressed := true
+      | `Eof ->
+        (* manager's process died or command client closed *)
+        ctx.close_fd client.c_fd;
+        st.clients <- List.filter (fun c -> c.c_fd <> client.c_fd) st.clients;
+        continue := false
+      | `Would_block | `Err _ -> continue := false
+    done;
+    let lines, rest = Proto.split_lines client.c_buf in
+    client.c_buf <- rest;
+    List.iter
+      (fun line ->
+        st.work <- st.work + 1;
+        match Proto.parse line with
+        | Proto.Hello _ -> client.c_manager <- true
+        | Proto.Cmd_checkpoint -> start_checkpoint ctx st
+        | Proto.Cmd_status -> send_line ctx client.c_fd (Proto.status_reply (List.length (managers st)))
+        | Proto.Cmd_quit -> raise Exit
+        | Proto.Barrier k when k >= 1 && k <= Runtime.nbarriers ->
+          st.counts.(k) <- st.counts.(k) + 1;
+          if st.counts.(k) >= st.expected then begin
+            let rt = Runtime.active () in
+            (* Table 1: stage durations are the times between the global
+               barriers, measured here at the coordinator. *)
+            let stage_name =
+              match k with
+              | 1 -> "ckpt/suspend"
+              | 2 -> "ckpt/elect"
+              | 3 -> "ckpt/drain"
+              | 4 -> "ckpt/write"
+              | _ -> "ckpt/refill"
+            in
+            Runtime.record_stage rt stage_name (ctx.now () -. st.last_barrier_time);
+            st.last_barrier_time <- ctx.now ();
+            broadcast ctx st (Proto.release k);
+            st.work <- st.work + st.expected;
+            if k = Runtime.nbarriers then begin
+              st.in_ckpt <- false;
+              Runtime.note_ckpt_end rt
+            end
+          end
+        | Proto.Barrier _ | Proto.Do_checkpoint | Proto.Release _ | Proto.Status_reply _
+        | Proto.Unknown _ ->
+          ())
+      lines;
+    !progressed || lines <> []
+
+  let step (ctx : Simos.Program.ctx) st =
+    match st.phase with
+    | `Boot ->
+      let port =
+        match ctx.argv with
+        | [ _; p ] -> ( try int_of_string p with _ -> Options.default.Options.coord_port)
+        | _ -> (Options.of_getenv ctx.getenv).Options.coord_port
+      in
+      let fd = ctx.socket () in
+      (match ctx.bind fd ~port with
+      | Ok _ -> (
+        match ctx.listen fd ~backlog:512 with
+        | Ok () ->
+          st.listen_fd <- fd;
+          st.phase <- `Run;
+          (match (Options.of_getenv ctx.getenv).Options.interval with
+          | Some i -> st.next_interval <- ctx.now () +. i
+          | None -> ());
+          Simos.Program.Continue st
+        | Error _ -> Simos.Program.Exit 1)
+      | Error Simos.Errno.EADDRINUSE ->
+        (* another coordinator won the race; quietly defer to it *)
+        Simos.Program.Exit 0
+      | Error _ -> Simos.Program.Exit 1)
+    | `Run -> (
+      st.work <- 0;
+      (* accept new clients *)
+      let rec accept_all () =
+        match ctx.accept st.listen_fd with
+        | Some fd ->
+          st.clients <- { c_fd = fd; c_buf = ""; c_manager = false } :: st.clients;
+          st.work <- st.work + 1;
+          accept_all ()
+        | None -> ()
+      in
+      accept_all ();
+      let progressed = List.exists Fun.id (List.map (pump_client ctx st) st.clients) in
+      (* interval checkpointing *)
+      (match (Options.of_getenv ctx.getenv).Options.interval with
+      | Some i when ctx.now () >= st.next_interval ->
+        st.next_interval <- ctx.now () +. i;
+        start_checkpoint ctx st
+      | _ -> ());
+      ignore progressed;
+      let cost = float_of_int st.work *. msg_cost in
+      if st.work > 0 then Simos.Program.Compute (st, cost)
+      else begin
+        let fds = st.listen_fd :: List.map (fun c -> c.c_fd) st.clients in
+        match (Options.of_getenv ctx.getenv).Options.interval with
+        | Some _ ->
+          (* poll so interval checkpoints fire even when sockets are idle *)
+          Simos.Program.Block (st, Simos.Program.Sleep_until (ctx.now () +. 0.05))
+        | None -> Simos.Program.Block (st, Simos.Program.Readable_any fds)
+      end)
+
+  let step ctx st = try step ctx st with Exit -> Simos.Program.Exit 0
+end
+
+let program = (module P : Simos.Program.S)

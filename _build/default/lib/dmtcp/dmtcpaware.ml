@@ -1,0 +1,38 @@
+let is_enabled (ctx : Simos.Program.ctx) = ctx.getenv Options.hijack_key <> None
+
+let with_runtime (ctx : Simos.Program.ctx) f =
+  if is_enabled ctx then
+    match !Runtime.active_rt_for_aware with
+    | Some rt -> f rt
+    | None -> ()
+
+let delay_checkpoints (ctx : Simos.Program.ctx) =
+  with_runtime ctx (fun rt -> Runtime.enter_critical rt ~node:ctx.node_id ~pid:ctx.pid)
+
+let allow_checkpoints (ctx : Simos.Program.ctx) =
+  with_runtime ctx (fun rt -> Runtime.leave_critical rt ~node:ctx.node_id ~pid:ctx.pid)
+
+let request_checkpoint (ctx : Simos.Program.ctx) =
+  with_runtime ctx (fun rt ->
+      let k = Runtime.kernel_of rt ~node:ctx.node_id in
+      ignore
+        (Simos.Kernel.spawn k ~prog:Launcher.command_name
+           ~argv:[ "--checkpoint" ]
+           ~env:(Options.to_env (Runtime.options rt))
+           ()))
+
+let last_known_status () = !Launcher.last_status
+
+let hooks : (string, (unit -> unit) option * (unit -> unit) option) Hashtbl.t = Hashtbl.create 8
+
+let set_hooks ~prog ?pre_ckpt ?post_ckpt () = Hashtbl.replace hooks prog (pre_ckpt, post_ckpt)
+
+let run_pre_ckpt ~prog =
+  match Hashtbl.find_opt hooks prog with
+  | Some (Some f, _) -> f ()
+  | _ -> ()
+
+let run_post_ckpt ~prog =
+  match Hashtbl.find_opt hooks prog with
+  | Some (_, Some f) -> f ()
+  | _ -> ()

@@ -1,0 +1,32 @@
+(** The application programming interface ([dmtcpaware.a], paper §3.1).
+
+    Applications that want to cooperate with DMTCP — without ceasing to
+    work when run outside it — call these from inside their [step]
+    functions. *)
+
+(** Is this process running under DMTCP? *)
+val is_enabled : Simos.Program.ctx -> bool
+
+(** Delay checkpoints during a critical section. Nestable. No-ops outside
+    DMTCP. *)
+val delay_checkpoints : Simos.Program.ctx -> unit
+
+val allow_checkpoints : Simos.Program.ctx -> unit
+
+(** Ask the coordinator for a checkpoint (fire-and-forget: spawns a
+    [dmtcp_command --checkpoint] helper process). *)
+val request_checkpoint : Simos.Program.ctx -> unit
+
+(** Status: number of processes currently under the coordinator, if this
+    process is under DMTCP and a status query has completed. *)
+val last_known_status : unit -> int option
+
+(** Register hook functions run by this process's manager before a
+    checkpoint and after a checkpoint or restart.  Keyed by program name;
+    survives checkpointing because registration is code, not state. *)
+val set_hooks : prog:string -> ?pre_ckpt:(unit -> unit) -> ?post_ckpt:(unit -> unit) -> unit -> unit
+
+(** Called by the manager (exposed for it, not for applications). *)
+val run_pre_ckpt : prog:string -> unit
+
+val run_post_ckpt : prog:string -> unit

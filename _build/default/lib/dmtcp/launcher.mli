@@ -1,0 +1,20 @@
+(** The user-facing commands (paper §3).
+
+    [dmtcp_checkpoint <program> <args>] — program name
+    ["dmtcp:checkpoint"] — spawns the coordinator if none is running,
+    marks the environment so the DMTCP library is injected, and execs the
+    target program.
+
+    [dmtcp_command --checkpoint|--status|--quit] — program name
+    ["dmtcp:command"] — connects to the coordinator's command socket and
+    sends the request. *)
+
+val checkpoint_program : (module Simos.Program.S)
+val checkpoint_name : string
+
+val command_program : (module Simos.Program.S)
+val command_name : string
+
+(** Last status-reply received by a [dmtcp_command --status] run (test
+    observability). *)
+val last_status : int option ref

@@ -1,0 +1,496 @@
+let name = "dmtcp:mgr"
+
+type drain_item = {
+  d_fd : int;
+  d_entry : Conn_table.entry;
+  mutable d_stash : string;     (* received bytes, token included at end *)
+  mutable d_token_sent : int;   (* bytes of the flush token already sent *)
+  mutable d_done : bool;
+}
+
+type phase =
+  | P_boot
+  | P_connecting of int  (* connect retries left *)
+  | P_idle
+  | P_critical_wait
+  | P_send_barrier of int * phase  (* notify arrival, then await release *)
+  | P_barrier of int * phase       (* awaiting RELEASE k, then continue *)
+  | P_elect
+  | P_drain
+  | P_write
+  | P_write_disk of { path : string; bytes : string; sim : int }
+  | P_write_file of { path : string; bytes : string; sim : int }
+  | P_refill
+  | P_refill_done
+  | P_resume
+
+type state = {
+  mutable coord_fd : int;
+  mutable buf : string;
+  mutable phase : phase;
+  mutable drains : drain_item list;
+}
+
+module P = struct
+  type nonrec state = state
+
+  let name = name
+  let encode _ _ = failwith "dmtcp:mgr is not checkpointable (recreated at restart)"
+  let decode _ = failwith "dmtcp:mgr is not checkpointable (recreated at restart)"
+  let init ~argv:_ = { coord_fd = -1; buf = ""; phase = P_boot; drains = [] }
+
+  (* -------------------------------------------------------------- *)
+  (* helpers *)
+
+  let rt () = Runtime.active ()
+
+  let my_kernel (ctx : Simos.Program.ctx) = Runtime.kernel_of (rt ()) ~node:ctx.node_id
+
+  let my_proc (ctx : Simos.Program.ctx) =
+    match Runtime.proc_of (rt ()) ~node:ctx.node_id ~pid:ctx.pid with
+    | Some p -> p
+    | None -> failwith "dmtcp:mgr: own process not found"
+
+  let my_pstate (ctx : Simos.Program.ctx) =
+    match Runtime.pstate_of (rt ()) ~node:ctx.node_id ~pid:ctx.pid with
+    | Some ps -> ps
+    | None -> failwith "dmtcp:mgr: own pstate not found"
+
+  let desc_socket (ctx : Simos.Program.ctx) fd =
+    match Simos.Kernel.fd_desc (my_proc ctx) fd with
+    | Some { Simos.Fdesc.kind = Simos.Fdesc.Sock s; _ } -> Some s
+    | _ -> None
+
+  (* read whatever the coordinator sent and return complete lines *)
+  let pump_coord (ctx : Simos.Program.ctx) st =
+    let continue = ref true in
+    while !continue do
+      match ctx.read_fd st.coord_fd ~max:4096 with
+      | `Data d -> st.buf <- st.buf ^ d
+      | `Eof | `Err _ | `Would_block -> continue := false
+    done;
+    let lines, rest = Proto.split_lines st.buf in
+    st.buf <- rest;
+    lines
+
+  let send_coord (ctx : Simos.Program.ctx) st line = ignore (ctx.write_fd st.coord_fd line)
+
+  (* transition: after the current outcome completes, announce arrival at
+     barrier [k] and wait for its release before entering [next] *)
+  let to_barrier st k next =
+    st.phase <- P_send_barrier (k, next);
+    st
+
+  (* Established sockets with a connection-table entry whose leader we
+     are, and whose peer is itself under checkpoint control. *)
+  let leader_fds (ctx : Simos.Program.ctx) =
+    let ps = my_pstate ctx in
+    Conn_table.unique_descs ps.Runtime.conns
+    |> List.filter_map (fun (fd, entry) ->
+           match desc_socket ctx fd with
+           | Some s
+             when Simnet.Fabric.state s = Simnet.Fabric.Established
+                  && ctx.get_fd_owner fd = ctx.pid ->
+             if Runtime.peer_entry (rt ()) s <> None then Some (fd, entry) else None
+           | _ -> None)
+
+  let token = Proto.drain_token
+  let token_len = String.length token
+
+  let ends_with_token s =
+    String.length s >= token_len && String.sub s (String.length s - token_len) token_len = token
+
+  (* -------------------------------------------------------------- *)
+  (* checkpoint image construction *)
+
+  let build_image (ctx : Simos.Program.ctx) =
+    let proc = my_proc ctx in
+    let ps = my_pstate ctx in
+    let opts = Options.of_getenv ctx.getenv in
+    let mtcp_image = Mtcp.Image.capture proc in
+    let sizes =
+      if opts.Options.incremental then begin
+        let s =
+          Mtcp.Image.delta_sizes opts.Options.algo ~prev:ps.Runtime.prev_space mtcp_image
+        in
+        ps.Runtime.prev_space <- Some mtcp_image.Mtcp.Image.space;
+        s
+      end
+      else Mtcp.Image.sizes opts.Options.algo mtcp_image
+    in
+    let mtcp_blob = Mtcp.Image.encode ~algo:opts.Options.algo mtcp_image in
+    let pty_records = Hashtbl.create 4 in
+    let fds =
+      ctx.fds ()
+      |> List.filter_map (fun fd ->
+             match Simos.Kernel.fd_desc proc fd with
+             | None -> None
+             | Some desc -> (
+               let key = desc.Simos.Fdesc.desc_id in
+               match desc.Simos.Fdesc.kind with
+               | Simos.Fdesc.File { file; offset } ->
+                 Some (fd, key, Ckpt_image.FFile { path = Simos.Vfs.path_of file; offset })
+               | Simos.Fdesc.Sock s -> (
+                 match Conn_table.find ps.Runtime.conns ~fd with
+                 | None -> None (* DMTCP-internal socket (coordinator link) *)
+                 | Some entry ->
+                   let state =
+                     match Simnet.Fabric.state s with
+                     | Simnet.Fabric.Established -> Ckpt_image.S_established
+                     | Simnet.Fabric.Listening ->
+                       let port, unix_path =
+                         match Simnet.Fabric.local_addr s with
+                         | Some (Simnet.Addr.Inet { port; _ }) -> (Some port, None)
+                         | Some (Simnet.Addr.Unix { path; _ }) -> (None, Some path)
+                         | None -> (None, None)
+                       in
+                       Ckpt_image.S_listening { port; unix_path; backlog = 16 }
+                     | _ -> Ckpt_image.S_other
+                   in
+                   Some
+                     ( fd,
+                       key,
+                       Ckpt_image.FSock
+                         {
+                           state;
+                           kind = entry.Conn_table.kind;
+                           role = entry.Conn_table.role;
+                           conn_id = entry.Conn_table.conn_id;
+                           drained = entry.Conn_table.drained;
+                         } ))
+               | Simos.Fdesc.Pty_m p | Simos.Fdesc.Pty_s p ->
+                 let master =
+                   match desc.Simos.Fdesc.kind with Simos.Fdesc.Pty_m _ -> true | _ -> false
+                 in
+                 let pty_key = Simos.Pty.id p in
+                 if not (Hashtbl.mem pty_records pty_key) then begin
+                   let tio = Simos.Pty.termios p in
+                   let to_slave, to_master =
+                     Option.value ~default:("", "") (Hashtbl.find_opt ps.Runtime.pty_drains pty_key)
+                   in
+                   Hashtbl.replace pty_records pty_key
+                     {
+                       Ckpt_image.pty_key;
+                       pr_name = Simos.Pty.ptsname p;
+                       icanon = tio.Simos.Pty.icanon;
+                       echo = tio.Simos.Pty.echo;
+                       isig = tio.Simos.Pty.isig;
+                       baud = tio.Simos.Pty.baud;
+                       drained_to_slave = to_slave;
+                       drained_to_master = to_master;
+                     }
+                 end;
+                 Some (fd, key, Ckpt_image.FPty { master; pty_key })
+               | Simos.Fdesc.Pipe_r _ | Simos.Fdesc.Pipe_w _ ->
+                 (* pipes are promoted to socketpairs under DMTCP; a raw
+                    pipe here predates hijacking and is dropped *)
+                 None))
+    in
+    let parent_vpid =
+      match Runtime.pstate_of (rt ()) ~node:ctx.node_id ~pid:(ctx.ppid ()) with
+      | Some parent_ps -> parent_ps.Runtime.vpid
+      | None -> 0
+    in
+    {
+      Ckpt_image.upid = ps.Runtime.upid;
+      vpid = ps.Runtime.vpid;
+      parent_vpid;
+      program = (match proc.Simos.Kernel.cmdline with p :: _ -> p | [] -> "a.out");
+      fds;
+      ptys = Hashtbl.fold (fun _ p acc -> p :: acc) pty_records [];
+      algo = opts.Options.algo;
+      sizes;
+      mtcp_blob;
+    }
+
+  (* run-to-run variation of compression and I/O (the paper's error
+     bars): +/- a few percent, deterministic in the simulation seed *)
+  let jitter (ctx : Simos.Program.ctx) dt =
+    Float.max (0.75 *. dt) (dt *. (1.0 +. (0.05 *. Util.Rng.gaussian ctx.rng ~mean:0. ~stddev:1.)))
+
+  let write_image_file (ctx : Simos.Program.ctx) path bytes sim_size =
+    let k = my_kernel ctx in
+    let f = Simos.Vfs.open_or_create (Simos.Kernel.vfs k) path in
+    Simos.Vfs.truncate f;
+    Simos.Vfs.append f bytes;
+    Simos.Vfs.set_sim_size f sim_size
+
+  (* -------------------------------------------------------------- *)
+  (* the state machine *)
+
+  let rec step (ctx : Simos.Program.ctx) st =
+    match st.phase with
+    | P_boot ->
+      st.coord_fd <- ctx.socket ();
+      let opts = Options.of_getenv ctx.getenv in
+      (match
+         ctx.connect st.coord_fd
+           (Simnet.Addr.Inet { host = opts.Options.coord_host; port = opts.Options.coord_port })
+       with
+      | Ok () ->
+        st.phase <- P_connecting 100;
+        Simos.Program.Block (st, Simos.Program.Sleep_until (ctx.now () +. 1e-3))
+      | Error _ -> Simos.Program.Exit 1)
+    | P_connecting retries -> (
+      match ctx.sock_state st.coord_fd with
+      | Some Simnet.Fabric.Established ->
+        let ps = my_pstate ctx in
+        send_coord ctx st (Proto.hello ps.Runtime.upid);
+        st.phase <- P_idle;
+        Simos.Program.Continue st
+      | Some Simnet.Fabric.Connecting ->
+        Simos.Program.Block (st, Simos.Program.Sleep_until (ctx.now () +. 1e-3))
+      | _ when retries > 0 ->
+        (* coordinator not up yet: retry *)
+        ctx.close_fd st.coord_fd;
+        st.coord_fd <- ctx.socket ();
+        let opts = Options.of_getenv ctx.getenv in
+        ignore
+          (ctx.connect st.coord_fd
+             (Simnet.Addr.Inet { host = opts.Options.coord_host; port = opts.Options.coord_port }));
+        st.phase <- P_connecting (retries - 1);
+        Simos.Program.Block (st, Simos.Program.Sleep_until (ctx.now () +. 10e-3))
+      | _ -> Simos.Program.Exit 1)
+    | P_idle -> (
+      let lines = pump_coord ctx st in
+      let ckpt_requested = List.exists (fun l -> Proto.parse l = Proto.Do_checkpoint) lines in
+      if ckpt_requested then begin
+        st.phase <- P_critical_wait;
+        Simos.Program.Continue st
+      end
+      else
+        match ctx.sock_state st.coord_fd with
+        | Some Simnet.Fabric.Established ->
+          Simos.Program.Block (st, Simos.Program.Readable st.coord_fd)
+        | _ -> Simos.Program.Exit 0)
+    | P_critical_wait ->
+      let ps = my_pstate ctx in
+      if ps.Runtime.critical > 0 then
+        (* dmtcpaware: the application asked to delay checkpoints *)
+        Simos.Program.Block (st, Simos.Program.Sleep_until (ctx.now () +. 1e-3))
+      else begin
+        (* stage 2: suspend user threads *)
+        let proc = my_proc ctx in
+        (match proc.Simos.Kernel.cmdline with
+        | prog :: _ -> Dmtcpaware.run_pre_ckpt ~prog
+        | [] -> ());
+        Simos.Kernel.suspend_user_threads (my_kernel ctx) proc;
+        let nthreads = List.length proc.Simos.Kernel.threads in
+        Simos.Program.Compute (to_barrier st 1 P_elect, Mtcp.Cost.suspend_seconds ~nthreads)
+      end
+    | P_send_barrier (k, next) ->
+      send_coord ctx st (Proto.barrier k);
+      st.phase <- P_barrier (k, next);
+      Simos.Program.Continue st
+    | P_barrier (k, next) -> (
+      let lines = pump_coord ctx st in
+      let released = List.exists (fun l -> Proto.parse l = Proto.Release k) lines in
+      if released then begin
+        st.phase <- next;
+        Simos.Program.Continue st
+      end
+      else
+        match ctx.sock_state st.coord_fd with
+        | Some Simnet.Fabric.Established ->
+          Simos.Program.Block (st, Simos.Program.Readable st.coord_fd)
+        | _ -> Simos.Program.Exit 0)
+    | P_elect ->
+      (* stage 3: elect shared-FD leaders by misusing F_SETOWN — every
+         process sharing the description sets the owner; the last one
+         wins *)
+      let ps = my_pstate ctx in
+      let entries = Conn_table.entries ps.Runtime.conns in
+      List.iter
+        (fun (fd, (entry : Conn_table.entry)) ->
+          entry.Conn_table.saved_owner <- ctx.get_fd_owner fd;
+          ctx.set_fd_owner fd ctx.pid)
+        entries;
+      Simos.Program.Compute
+        (to_barrier st 2 P_drain, Mtcp.Cost.elect_seconds ~nfds:(List.length entries))
+    | P_drain ->
+      if st.drains = [] then begin
+        (* first entry into the drain stage: pick the sockets we lead *)
+        let leaders = leader_fds ctx in
+        if leaders = [] then begin
+          drain_finished ctx st;
+          Simos.Program.Continue (to_barrier st 3 P_write)
+        end
+        else begin
+          st.drains <-
+            List.map
+              (fun (fd, entry) ->
+                { d_fd = fd; d_entry = entry; d_stash = ""; d_token_sent = 0; d_done = false })
+              leaders;
+          drain_work ctx st
+        end
+      end
+      else drain_work ctx st
+    | P_write -> (
+      (* stage 5: write the checkpoint image *)
+      let opts = Options.of_getenv ctx.getenv in
+      let image = build_image ctx in
+      let bytes = Ckpt_image.encode image in
+      let sizes = image.Ckpt_image.sizes in
+      let path = Printf.sprintf "%s/%s" opts.Options.ckpt_dir (Ckpt_image.filename image) in
+      let compress_cost =
+        jitter ctx
+          (Compress.Model.compress_seconds ~algo:opts.Options.algo
+             ~bytes:sizes.Mtcp.Image.uncompressed ~zero_bytes:sizes.Mtcp.Image.zero_bytes)
+      in
+      Runtime.record_image (rt ()) ~node:ctx.node_id ~path ~sizes;
+      if opts.Options.forked then begin
+        (* forked checkpointing: snapshot copy-on-write; compression and
+           writing happen in the "child" while the parent resumes after
+           only the fork cost (paper §5.3) *)
+        let pages =
+          Mem.Address_space.total_bytes (my_proc ctx).Simos.Kernel.space / Mem.Page.size
+        in
+        let k = my_kernel ctx in
+        let storage = Simos.Kernel.storage k in
+        let eng = Simos.Kernel.engine k in
+        ignore
+          (Sim.Engine.schedule eng ~delay:compress_cost (fun () ->
+               let write_delay = Storage.Target.write storage ~bytes:sizes.Mtcp.Image.compressed in
+               ignore
+                 (Sim.Engine.schedule eng ~delay:write_delay (fun () ->
+                      write_image_file ctx path bytes sizes.Mtcp.Image.compressed))));
+        Simos.Program.Compute (to_barrier st 4 P_refill, Mtcp.Cost.snapshot_seconds ~pages)
+      end
+      else begin
+        st.phase <- P_write_disk { path; bytes; sim = sizes.Mtcp.Image.compressed };
+        Simos.Program.Compute (st, compress_cost)
+      end)
+    | P_write_disk { path; bytes; sim } ->
+      let opts = Options.of_getenv ctx.getenv in
+      let storage = Simos.Kernel.storage (my_kernel ctx) in
+      let write_delay = jitter ctx (Storage.Target.write storage ~bytes:sim) in
+      let sync_delay = if opts.Options.sync_after then Storage.Target.sync storage else 0. in
+      st.phase <- P_write_file { path; bytes; sim };
+      Simos.Program.Block
+        (st, Simos.Program.Sleep_until (ctx.now () +. write_delay +. sync_delay))
+    | P_write_file { path; bytes; sim } ->
+      write_image_file ctx path bytes sim;
+      Simos.Program.Continue (to_barrier st 4 P_refill)
+    | P_refill ->
+      (* stage 6: re-inject drained socket data and pty buffers, restore
+         the original F_SETOWN owners *)
+      let ps = my_pstate ctx in
+      List.iter
+        (fun d ->
+          (match desc_socket ctx d.d_fd with
+          | Some s ->
+            if d.d_entry.Conn_table.drained <> "" then
+              Simnet.Fabric.inject_recv s d.d_entry.Conn_table.drained
+          | None -> ());
+          ctx.set_fd_owner d.d_fd d.d_entry.Conn_table.saved_owner)
+        st.drains;
+      let proc = my_proc ctx in
+      Hashtbl.iter
+        (fun pty_key (to_slave, to_master) ->
+          Hashtbl.iter
+            (fun _ (desc : Simos.Fdesc.t) ->
+              match desc.Simos.Fdesc.kind with
+              | Simos.Fdesc.Pty_m p when Simos.Pty.id p = pty_key ->
+                Simos.Pty.refill p ~to_slave ~to_master
+              | _ -> ())
+            proc.Simos.Kernel.fdtable)
+        ps.Runtime.pty_drains;
+      st.phase <- P_refill_done;
+      (* retransmission cost of sending drained data back (about one RTT) *)
+      Simos.Program.Block (st, Simos.Program.Sleep_until (ctx.now () +. 3e-4))
+    | P_refill_done -> Simos.Program.Continue (to_barrier st 5 P_resume)
+    | P_resume ->
+      (* stage 7: resume user threads and return to normal execution *)
+      let ps = my_pstate ctx in
+      Hashtbl.reset ps.Runtime.pty_drains;
+      st.drains <- [];
+      let proc = my_proc ctx in
+      Simos.Kernel.resume_user_threads (my_kernel ctx) proc;
+      (match proc.Simos.Kernel.cmdline with
+      | prog :: _ -> Dmtcpaware.run_post_ckpt ~prog
+      | [] -> ());
+      st.phase <- P_idle;
+      Simos.Program.Continue st
+
+  (* stage 4 inner loop: push flush tokens out, then receive until each
+     socket's stash ends with the peer's token *)
+  and drain_work (ctx : Simos.Program.ctx) st =
+    List.iter
+      (fun d ->
+        if not d.d_done then begin
+          (* finish sending our flush token *)
+          if d.d_token_sent < token_len then begin
+            let rest = String.sub token d.d_token_sent (token_len - d.d_token_sent) in
+            match ctx.write_fd d.d_fd rest with
+            | Ok n -> d.d_token_sent <- d.d_token_sent + n
+            | Error _ -> d.d_token_sent <- token_len
+          end;
+          (* drain incoming data until the peer's token appears *)
+          let reading = ref true in
+          while !reading do
+            match ctx.read_fd d.d_fd ~max:65536 with
+            | `Data data ->
+              d.d_stash <- d.d_stash ^ data;
+              if ends_with_token d.d_stash then begin
+                d.d_entry.Conn_table.drained <-
+                  String.sub d.d_stash 0 (String.length d.d_stash - token_len);
+                d.d_done <- true;
+                reading := false
+              end
+            | `Eof ->
+              (* peer closed: whatever we got is the drained data *)
+              d.d_entry.Conn_table.drained <- d.d_stash;
+              d.d_done <- true;
+              reading := false
+            | `Would_block | `Err _ -> reading := false
+          done
+        end)
+      st.drains;
+    if List.for_all (fun d -> d.d_done) st.drains then begin
+      drain_finished ctx st;
+      Simos.Program.Continue (to_barrier st 3 P_write)
+    end
+    else begin
+      let pending = List.filter (fun d -> not d.d_done) st.drains in
+      Simos.Program.Block (st, Simos.Program.Readable_any (List.map (fun d -> d.d_fd) pending))
+    end
+
+  (* pty draining, peer handshakes, and the connection-table flush at the
+     end of stage 4 *)
+  and drain_finished (ctx : Simos.Program.ctx) st =
+    ignore st;
+    let ps = my_pstate ctx in
+    let proc = my_proc ctx in
+    (* drain ptys we hold the master side of *)
+    Hashtbl.iter
+      (fun _ (desc : Simos.Fdesc.t) ->
+        match desc.Simos.Fdesc.kind with
+        | Simos.Fdesc.Pty_m p ->
+          let key = Simos.Pty.id p in
+          if not (Hashtbl.mem ps.Runtime.pty_drains key) then begin
+            let to_slave, to_master = Simos.Pty.drain p in
+            Hashtbl.replace ps.Runtime.pty_drains key (to_slave, to_master)
+          end
+        | _ -> ())
+      proc.Simos.Kernel.fdtable;
+    (* peer handshake: both ends agree on the connector's globally unique
+       ID (paper §4.3 step 4 / §4.4 step 2) *)
+    List.iter
+      (fun (fd, (entry : Conn_table.entry)) ->
+        match desc_socket ctx fd with
+        | Some s when entry.Conn_table.role = Conn_table.Acceptor -> (
+          match Runtime.peer_entry (Runtime.active ()) s with
+          | Some (_, peer) -> entry.Conn_table.conn_id <- peer.Conn_table.conn_id
+          | None -> ())
+        | _ -> ())
+      (Conn_table.entries ps.Runtime.conns);
+    Runtime.write_conn_table (Runtime.active ()) (my_kernel ctx) proc
+
+  let step ctx st =
+    try step ctx st
+    with e ->
+      ctx.log (Printf.sprintf "dmtcp:mgr crashed: %s" (Printexc.to_string e));
+      Simos.Program.Exit 70
+end
+
+let program = (module P : Simos.Program.S)

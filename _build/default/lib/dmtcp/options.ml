@@ -1,0 +1,64 @@
+type t = {
+  coord_host : int;
+  coord_port : int;
+  ckpt_dir : string;
+  algo : Compress.Algo.t;
+  forked : bool;
+  incremental : bool;
+  interval : float option;
+  sync_after : bool;
+}
+
+let default =
+  {
+    coord_host = 0;
+    coord_port = 7779;
+    ckpt_dir = "/ckpt";
+    algo = Compress.Algo.Deflate;
+    forked = false;
+    incremental = false;
+    interval = None;
+    sync_after = false;
+  }
+
+let hijack_key = "DMTCP_HIJACK"
+
+(* Note: deliberately does NOT set the hijack marker — only
+   dmtcp_checkpoint's exec wrapper injects the library, so DMTCP's own
+   helper processes (coordinator, command, restart) stay un-hijacked. *)
+let to_env t =
+  [
+    ("DMTCP_COORD_HOST", string_of_int t.coord_host);
+    ("DMTCP_COORD_PORT", string_of_int t.coord_port);
+    ("DMTCP_CHECKPOINT_DIR", t.ckpt_dir);
+    ("DMTCP_GZIP", Compress.Algo.name t.algo);
+    ("DMTCP_FORKED", if t.forked then "1" else "0");
+    ("DMTCP_INCREMENTAL", if t.incremental then "1" else "0");
+    ("DMTCP_INTERVAL", (match t.interval with Some i -> string_of_float i | None -> "0"));
+    ("DMTCP_SYNC", if t.sync_after then "1" else "0");
+  ]
+
+let of_env env =
+  let get key default = Option.value ~default (List.assoc_opt key env) in
+  let coord_host = int_of_string (get "DMTCP_COORD_HOST" (string_of_int default.coord_host)) in
+  let coord_port = int_of_string (get "DMTCP_COORD_PORT" (string_of_int default.coord_port)) in
+  let ckpt_dir = get "DMTCP_CHECKPOINT_DIR" default.ckpt_dir in
+  let algo =
+    Option.value ~default:default.algo (Compress.Algo.of_name (get "DMTCP_GZIP" "deflate"))
+  in
+  let forked = get "DMTCP_FORKED" "0" = "1" in
+  let incremental = get "DMTCP_INCREMENTAL" "0" = "1" in
+  let interval = match float_of_string (get "DMTCP_INTERVAL" "0") with 0. -> None | i -> Some i in
+  let sync_after = get "DMTCP_SYNC" "0" = "1" in
+  { coord_host; coord_port; ckpt_dir; algo; forked; incremental; interval; sync_after }
+
+let of_getenv getenv =
+  let env =
+    List.filter_map
+      (fun k -> Option.map (fun v -> (k, v)) (getenv k))
+      [
+        hijack_key; "DMTCP_COORD_HOST"; "DMTCP_COORD_PORT"; "DMTCP_CHECKPOINT_DIR"; "DMTCP_GZIP";
+        "DMTCP_FORKED"; "DMTCP_INCREMENTAL"; "DMTCP_INTERVAL"; "DMTCP_SYNC";
+      ]
+  in
+  of_env env

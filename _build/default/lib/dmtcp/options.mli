@@ -1,0 +1,30 @@
+(** DMTCP configuration, carried in process environments the way the real
+    package uses [DMTCP_*] environment variables. *)
+
+type t = {
+  coord_host : int;            (** node running the coordinator *)
+  coord_port : int;            (** default 7779, as in DMTCP *)
+  ckpt_dir : string;           (** directory for checkpoint images *)
+  algo : Compress.Algo.t;      (** [Deflate] = gzip enabled (the default) *)
+  forked : bool;               (** forked checkpointing *)
+  incremental : bool;
+      (** write only pages dirtied since the previous checkpoint *)
+  interval : float option;     (** automatic checkpoint interval, seconds *)
+  sync_after : bool;           (** issue sync(2) after writing images *)
+}
+
+val default : t
+
+(** Render as [DMTCP_*] environment entries. *)
+val to_env : t -> (string * string) list
+
+(** Parse from a process environment (missing keys = defaults). *)
+val of_env : (string * string) list -> t
+
+(** Build from a [getenv]-style lookup (a program's view of its own
+    environment). *)
+val of_getenv : (string -> string option) -> t
+
+(** Environment marker that makes {!Simos.Kernel} treat a process as
+    hijacked ([LD_PRELOAD=dmtcphijack.so] in the real system). *)
+val hijack_key : string

@@ -1,0 +1,47 @@
+let hello upid = Printf.sprintf "HELLO %s\n" (Upid.to_string upid)
+let barrier k = Printf.sprintf "BARRIER %d\n" k
+let cmd_checkpoint = "CKPT\n"
+let cmd_status = "STATUS\n"
+let cmd_quit = "QUIT\n"
+let do_checkpoint = "DO_CKPT\n"
+let release k = Printf.sprintf "RELEASE %d\n" k
+let status_reply n = Printf.sprintf "STATUS_OK %d\n" n
+
+type msg =
+  | Hello of string
+  | Barrier of int
+  | Cmd_checkpoint
+  | Cmd_status
+  | Cmd_quit
+  | Do_checkpoint
+  | Release of int
+  | Status_reply of int
+  | Unknown of string
+
+let parse line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "HELLO"; upid ] -> Hello upid
+  | [ "BARRIER"; k ] -> ( try Barrier (int_of_string k) with _ -> Unknown line)
+  | [ "CKPT" ] -> Cmd_checkpoint
+  | [ "STATUS" ] -> Cmd_status
+  | [ "QUIT" ] -> Cmd_quit
+  | [ "DO_CKPT" ] -> Do_checkpoint
+  | [ "RELEASE"; k ] -> ( try Release (int_of_string k) with _ -> Unknown line)
+  | [ "STATUS_OK"; n ] -> ( try Status_reply (int_of_string n) with _ -> Unknown line)
+  | _ -> Unknown line
+
+let drain_token = "\x00\x01DMTCP_EOB_TOKEN\xfe\xff"
+
+let handshake_len = 96
+
+let handshake_frame key =
+  if String.length key > handshake_len then invalid_arg "Proto.handshake_frame: key too long";
+  key ^ String.make (handshake_len - String.length key) ' '
+
+let parse_handshake frame = String.trim frame
+
+let split_lines buf =
+  let parts = String.split_on_char '\n' buf in
+  match List.rev parts with
+  | remainder :: complete_rev -> (List.rev complete_rev, remainder)
+  | [] -> ([], buf)

@@ -1,0 +1,51 @@
+(** Coordinator wire protocol: newline-framed text messages, plus the
+    in-band tokens used on user sockets (drain) and restart handshakes. *)
+
+(** Manager -> coordinator *)
+val hello : Upid.t -> string
+
+val barrier : int -> string
+
+(** Command client -> coordinator *)
+val cmd_checkpoint : string
+
+val cmd_status : string
+val cmd_quit : string
+
+(** Coordinator -> manager *)
+val do_checkpoint : string
+
+val release : int -> string
+
+(** Parse one line. *)
+type msg =
+  | Hello of string         (** upid string *)
+  | Barrier of int
+  | Cmd_checkpoint
+  | Cmd_status
+  | Cmd_quit
+  | Do_checkpoint
+  | Release of int
+  | Status_reply of int
+  | Unknown of string
+
+val parse : string -> msg
+val status_reply : int -> string
+
+(** The token a drain leader pushes through a socket so the receiving side
+    knows the stream is flushed (paper §4.3 step 4).  Chosen to be
+    vanishingly unlikely in user data. *)
+val drain_token : string
+
+(** Fixed-width restart handshake frame carrying a connection key. *)
+val handshake_frame : string -> string
+
+val handshake_len : int
+
+(** Inverse of {!handshake_frame}. *)
+val parse_handshake : string -> string
+
+(** {2 Line framing} *)
+
+(** [split_lines buf] returns (complete lines, remainder). *)
+val split_lines : string -> string list * string

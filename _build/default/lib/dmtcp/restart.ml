@@ -1,0 +1,527 @@
+let name = "dmtcp:restart"
+
+(* A connection endpoint to restore, deduplicated by (image, desc_key). *)
+type conn_spec = {
+  cs_key : string;            (* discovery key: the connection's unique id *)
+  cs_desc_key : int;          (* original description id, scoped per image *)
+  cs_acceptor : bool;         (* Acceptor / Pair_a side advertises *)
+  mutable cs_desc : Simos.Fdesc.t option;  (* restored socket description *)
+  cs_drained : string;
+}
+
+type pending_accept = { pa_fd : int; mutable pa_buf : string }
+
+type connecting = {
+  co_fd : int;
+  co_key : string;
+  co_spec : conn_spec;
+  mutable co_sent : bool;
+}
+
+type phase =
+  | R_boot
+  | R_files
+  | R_sockets
+  | R_sockets_wait of float  (* deadline for external peers *)
+  | R_fork
+  | R_mem
+  | R_refill
+  | R_refill_barrier
+  | R_resume
+
+type state = {
+  mutable phase : phase;
+  mutable images : Ckpt_image.t list;
+  mutable specs : conn_spec list;
+  (* desc_key -> restored description (description ids are cluster-unique) *)
+  desc_map : (int, Simos.Fdesc.t) Hashtbl.t;
+  pty_map : (int, Simos.Pty.t) Hashtbl.t;
+  mutable listen_fd : int;
+  mutable pending_accepts : pending_accept list;
+  mutable connectors : connecting list;
+  mutable restored : (Ckpt_image.t * Simos.Kernel.process) list;
+  mutable phase_t0 : float;
+}
+
+module P = struct
+  type nonrec state = state
+
+  let name = name
+  let encode _ _ = failwith "dmtcp:restart is not checkpointable"
+  let decode _ = failwith "dmtcp:restart is not checkpointable"
+
+  let init ~argv:_ =
+    {
+      phase = R_boot;
+      images = [];
+      specs = [];
+      desc_map = Hashtbl.create 16;
+      pty_map = Hashtbl.create 4;
+      listen_fd = -1;
+      pending_accepts = [];
+      connectors = [];
+      restored = [];
+      phase_t0 = 0.;
+    }
+
+  let rt () = Runtime.active ()
+  let my_kernel (ctx : Simos.Program.ctx) = Runtime.kernel_of (rt ()) ~node:ctx.node_id
+
+
+  let stage (ctx : Simos.Program.ctx) st label =
+    Runtime.record_stage (rt ()) label (ctx.now () -. st.phase_t0);
+    st.phase_t0 <- ctx.now ()
+
+  let fd_sock (ctx : Simos.Program.ctx) fd =
+    match Simos.Kernel.fd_desc (Option.get (Runtime.proc_of (rt ()) ~node:ctx.node_id ~pid:ctx.pid)) fd with
+    | Some ({ Simos.Fdesc.kind = Simos.Fdesc.Sock s; _ } as desc) -> Some (s, desc)
+    | _ -> None
+
+  (* ---------------------------------------------------------------- *)
+  (* step 1: files and ptys *)
+
+  let restore_files_and_ptys (ctx : Simos.Program.ctx) st =
+    let k = my_kernel ctx in
+    List.iter
+      (fun (img : Ckpt_image.t) ->
+        (* ptys first so slave/master fds can reference them *)
+        List.iter
+          (fun (p : Ckpt_image.pty_record) ->
+            if not (Hashtbl.mem st.pty_map p.Ckpt_image.pty_key) then begin
+              let pty = Simos.Pty.create () in
+              Simos.Pty.set_termios pty
+                {
+                  Simos.Pty.icanon = p.Ckpt_image.icanon;
+                  echo = p.Ckpt_image.echo;
+                  isig = p.Ckpt_image.isig;
+                  baud = p.Ckpt_image.baud;
+                };
+              Simos.Pty.refill pty ~to_slave:p.Ckpt_image.drained_to_slave
+                ~to_master:p.Ckpt_image.drained_to_master;
+              Hashtbl.replace st.pty_map p.Ckpt_image.pty_key pty
+            end)
+          img.Ckpt_image.ptys;
+        List.iter
+          (fun (_, desc_key, info) ->
+            if not (Hashtbl.mem st.desc_map desc_key) then
+              match info with
+              | Ckpt_image.FFile { path; offset } ->
+                (* regular files are reopened by path; on a migration
+                   target the file may be absent and is created empty, as
+                   with a fresh NFS mount *)
+                let file = Simos.Vfs.open_or_create (Simos.Kernel.vfs k) path in
+                let offset = min offset (Simos.Vfs.length file) in
+                Hashtbl.replace st.desc_map desc_key
+                  (Simos.Fdesc.make (Simos.Fdesc.File { file; offset }))
+              | Ckpt_image.FPty { master; pty_key } ->
+                let pty = Hashtbl.find st.pty_map pty_key in
+                let kind = if master then Simos.Fdesc.Pty_m pty else Simos.Fdesc.Pty_s pty in
+                Hashtbl.replace st.desc_map desc_key (Simos.Fdesc.make kind)
+              | Ckpt_image.FSock { state = Ckpt_image.S_listening { port; unix_path; backlog }; _ }
+                ->
+                (* listen sockets are rebound directly; if the original
+                   port is taken on the new host, fall back to ephemeral *)
+                let fab = Simos.Kernel.fabric k in
+                let s =
+                  match unix_path with
+                  | Some path ->
+                    let s = Simnet.Fabric.socket_unix fab ~host:ctx.node_id in
+                    (match Simnet.Fabric.bind_unix s ~path with
+                    | Ok () -> ()
+                    | Error _ -> ());
+                    s
+                  | None ->
+                    let s = Simnet.Fabric.socket fab ~host:ctx.node_id in
+                    (match Simnet.Fabric.bind s ~port:(Option.value ~default:0 port) with
+                    | Ok _ -> ()
+                    | Error _ -> ignore (Simnet.Fabric.bind s ~port:0));
+                    s
+                in
+                ignore (Simnet.Fabric.listen s ~backlog);
+                Hashtbl.replace st.desc_map desc_key (Simos.Fdesc.make (Simos.Fdesc.Sock s))
+              | Ckpt_image.FSock { state = Ckpt_image.S_other; _ } ->
+                let fab = Simos.Kernel.fabric k in
+                let s = Simnet.Fabric.socket fab ~host:ctx.node_id in
+                Hashtbl.replace st.desc_map desc_key (Simos.Fdesc.make (Simos.Fdesc.Sock s))
+              | Ckpt_image.FSock { state = Ckpt_image.S_established; _ } ->
+                (* handled by the reconnect stage *)
+                ())
+          img.Ckpt_image.fds)
+      st.images
+
+  (* ---------------------------------------------------------------- *)
+  (* step 2: sockets via the discovery service *)
+
+  (* One spec per shared description: processes that shared a socket
+     (fork/dup) are reassembled around a single restored endpoint, so the
+     dedup key is the cluster-unique desc_key.  The drained stash lives in
+     the drain leader's image; keep the longest. *)
+  let build_conn_specs st =
+    let by_desc : (int, conn_spec) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun (img : Ckpt_image.t) ->
+        List.iter
+          (fun (_, desc_key, info) ->
+            match info with
+            | Ckpt_image.FSock { state = Ckpt_image.S_established; role; conn_id; drained; _ } -> (
+              let acceptor =
+                match role with
+                | Conn_table.Acceptor | Conn_table.Pair_a -> true
+                | Conn_table.Connector | Conn_table.Pair_b -> false
+              in
+              match Hashtbl.find_opt by_desc desc_key with
+              | Some existing ->
+                if String.length drained > String.length existing.cs_drained then
+                  Hashtbl.replace by_desc desc_key { existing with cs_drained = drained }
+              | None ->
+                Hashtbl.replace by_desc desc_key
+                  {
+                    cs_key = Conn_id.to_key conn_id;
+                    cs_desc_key = desc_key;
+                    cs_acceptor = acceptor;
+                    cs_desc = None;
+                    cs_drained = drained;
+                  })
+            | _ -> ())
+          img.Ckpt_image.fds)
+      st.images;
+    Hashtbl.fold (fun _ spec acc -> spec :: acc) by_desc []
+    |> List.sort (fun a b -> compare a.cs_desc_key b.cs_desc_key)
+
+  let start_socket_restore (ctx : Simos.Program.ctx) st =
+    st.specs <- build_conn_specs st;
+    if st.specs = [] then ()
+    else begin
+      st.listen_fd <- ctx.socket ();
+      (match ctx.bind st.listen_fd ~port:0 with
+      | Ok _ -> ()
+      | Error _ -> failwith "dmtcp:restart: cannot bind restart listener");
+      ignore (ctx.listen st.listen_fd ~backlog:256);
+      let addr =
+        match ctx.sock_local_addr st.listen_fd with
+        | Some a -> a
+        | None -> failwith "dmtcp:restart: listener has no address"
+      in
+      let disc = Simos.Cluster.discovery (Runtime.cluster (rt ())) in
+      List.iter
+        (fun spec ->
+          if spec.cs_acceptor then Simnet.Discovery.advertise disc ~key:spec.cs_key addr)
+        st.specs
+    end
+
+  (* Drive accepts/connects until every spec has a socket or the deadline
+     passes (external peers never reconnect). *)
+  let socket_restore_tick (ctx : Simos.Program.ctx) st =
+    let disc = Simos.Cluster.discovery (Runtime.cluster (rt ())) in
+    (* accept side *)
+    (if st.listen_fd >= 0 then
+       let rec accept_all () =
+         match ctx.accept st.listen_fd with
+         | Some fd ->
+           st.pending_accepts <- { pa_fd = fd; pa_buf = "" } :: st.pending_accepts;
+           accept_all ()
+         | None -> ()
+       in
+       accept_all ());
+    st.pending_accepts <-
+      List.filter
+        (fun pa ->
+          let keep = ref true in
+          (match ctx.read_fd pa.pa_fd ~max:(Proto.handshake_len - String.length pa.pa_buf) with
+          | `Data d -> pa.pa_buf <- pa.pa_buf ^ d
+          | `Eof -> keep := false
+          | `Would_block | `Err _ -> ());
+          if !keep && String.length pa.pa_buf >= Proto.handshake_len then begin
+            let key = Proto.parse_handshake pa.pa_buf in
+            (match
+               List.find_opt (fun s -> s.cs_acceptor && s.cs_desc = None && s.cs_key = key) st.specs
+             with
+            | Some spec -> (
+              match fd_sock ctx pa.pa_fd with
+              | Some (_, desc) -> spec.cs_desc <- Some desc
+              | None -> ())
+            | None -> ctx.close_fd pa.pa_fd);
+            keep := false
+          end;
+          !keep)
+        st.pending_accepts;
+    (* connector side: initiate connects as advertisements appear *)
+    List.iter
+      (fun spec ->
+        if (not spec.cs_acceptor) && spec.cs_desc = None
+           && not (List.exists (fun c -> c.co_spec == spec) st.connectors)
+        then
+          match Simnet.Discovery.lookup disc ~key:spec.cs_key with
+          | Some addr ->
+            let fd = ctx.socket () in
+            ignore (ctx.connect fd addr);
+            st.connectors <- { co_fd = fd; co_key = spec.cs_key; co_spec = spec; co_sent = false } :: st.connectors
+          | None -> ())
+      st.specs;
+    st.connectors <-
+      List.filter
+        (fun co ->
+          match ctx.sock_state co.co_fd with
+          | Some Simnet.Fabric.Established ->
+            if not co.co_sent then begin
+              ignore (ctx.write_fd co.co_fd (Proto.handshake_frame co.co_key));
+              co.co_sent <- true
+            end;
+            (match fd_sock ctx co.co_fd with
+            | Some (_, desc) -> co.co_spec.cs_desc <- Some desc
+            | None -> ());
+            false
+          | Some Simnet.Fabric.Connecting -> true
+          | _ -> false)
+        st.connectors;
+    List.for_all (fun s -> s.cs_desc <> None) st.specs
+
+  (* ---------------------------------------------------------------- *)
+  (* steps 3–4: fork into user processes, rearrange fds *)
+
+  let materialize (ctx : Simos.Program.ctx) st =
+    let k = my_kernel ctx in
+    let run = rt () in
+    Runtime.shm_reset run;
+    st.restored <-
+      List.map
+        (fun (img : Ckpt_image.t) ->
+          let pid = Simos.Kernel.fresh_pid k in
+          let mtcp_img = Ckpt_image.mtcp img in
+          let proc =
+            Simos.Kernel.create_raw_process k ~pid ~ppid:0 ~env:mtcp_img.Mtcp.Image.env
+              ~hijacked:true
+          in
+          (* fd table: original numbers, shared descriptions preserved *)
+          List.iter
+            (fun (fd, desc_key, info) ->
+              let desc =
+                match info with
+                | Ckpt_image.FSock { state = Ckpt_image.S_established; _ } ->
+                  List.find_opt (fun s -> s.cs_desc_key = desc_key && s.cs_desc <> None) st.specs
+                  |> Option.map (fun s -> Option.get s.cs_desc)
+                | _ -> Hashtbl.find_opt st.desc_map desc_key
+              in
+              match desc with
+              | Some desc ->
+                Simos.Fdesc.incr_ref desc;
+                Simos.Kernel.install_fd k proc ~fd desc
+              | None -> ())
+            img.Ckpt_image.fds;
+          (* memory and threads (suspended until refill completes) *)
+          Mtcp.Image.restore_threads k proc mtcp_img;
+          (* the coordinator may have moved: point the restored process's
+             environment at the current one *)
+          List.iter
+            (fun key ->
+              match ctx.getenv key with
+              | Some v -> proc.Simos.Kernel.env <- (key, v) :: List.remove_assoc key proc.Simos.Kernel.env
+              | None -> ())
+            [ "DMTCP_COORD_HOST"; "DMTCP_COORD_PORT" ];
+          Simos.Kernel.suspend_user_threads k proc;
+          (* re-share mmap-shared segments across restored processes *)
+          List.iter
+            (fun (r : Mem.Region.t) ->
+              match r.Mem.Region.kind with
+              | Mem.Region.Mmap_shared { backing_path } -> (
+                match Runtime.shm_lookup run backing_path with
+                | Some pages ->
+                  Mem.Address_space.substitute_pages proc.Simos.Kernel.space
+                    ~region_id:r.Mem.Region.id pages
+                | None ->
+                  (* the paper's strategy: recreate the backing file if it
+                     is missing and the directory is writable *)
+                  let file = Simos.Vfs.open_or_create (Simos.Kernel.vfs k) backing_path in
+                  ignore file;
+                  Runtime.shm_register run backing_path r.Mem.Region.pages)
+              | _ -> ())
+            (Mem.Address_space.regions proc.Simos.Kernel.space);
+          (* DMTCP per-process state: virtual pid preserved, generation
+             bumped *)
+          let ps : Runtime.pstate =
+            {
+              Runtime.upid = Upid.next_generation img.Ckpt_image.upid;
+              vpid = img.Ckpt_image.vpid;
+              conns = Conn_table.create ();
+              conn_seq = 1000;
+              critical = 0;
+              pty_drains = Hashtbl.create 4;
+              prev_space = None;
+            }
+          in
+          List.iter
+            (fun (fd, desc_key, info) ->
+              match info with
+              | Ckpt_image.FSock { kind; role; conn_id; _ } -> (
+                let desc = Simos.Kernel.fd_desc proc fd in
+                match desc with
+                | Some desc ->
+                  Conn_table.add ps.Runtime.conns ~fd
+                    {
+                      Conn_table.conn_id;
+                      role;
+                      kind;
+                      desc_id = desc.Simos.Fdesc.desc_id;
+                      drained = "";
+                      saved_owner = 0;
+                    };
+                  (match desc.Simos.Fdesc.kind with
+                  | Simos.Fdesc.Sock s ->
+                    Runtime.register_sock_owner run ~sock_id:(Simnet.Fabric.id s)
+                      ~node:ctx.node_id ~pid ~fd
+                  | _ -> ());
+                  ignore desc_key
+                | None -> ())
+              | Ckpt_image.FFile _ | Ckpt_image.FPty _ -> ())
+            img.Ckpt_image.fds;
+          Runtime.register_pstate run ~node:ctx.node_id ~pid ps;
+          Runtime.claim_vpid run ~vpid:ps.Runtime.vpid ~node:ctx.node_id ~pid;
+          (img, proc))
+        st.images;
+    (* second pass: parent/child relationships via virtual pids *)
+    List.iter
+      (fun ((img : Ckpt_image.t), (proc : Simos.Kernel.process)) ->
+        if img.Ckpt_image.parent_vpid <> 0 then
+          match Runtime.resolve_vpid run img.Ckpt_image.parent_vpid with
+          | Some (pnode, ppid) when pnode = ctx.node_id -> proc.Simos.Kernel.ppid <- ppid
+          | _ -> ())
+      st.restored;
+    (* release the restart process's own references to the reconnected
+       sockets: the user processes now hold them *)
+    List.iter (fun fd -> ctx.close_fd fd) (ctx.fds ())
+
+  (* memory restore cost: storage read plus decompression, restored in
+     parallel by the forked children across the node's cores *)
+  let memory_restore_delay (ctx : Simos.Program.ctx) st =
+    let k = my_kernel ctx in
+    let storage = Simos.Kernel.storage k in
+    let cores = Simos.Kernel.cores k in
+    let read_bytes = ref 0 in
+    let decompress_total = ref 0. in
+    List.iter
+      (fun (img : Ckpt_image.t) ->
+        let sizes = img.Ckpt_image.sizes in
+        read_bytes := !read_bytes + sizes.Mtcp.Image.compressed;
+        decompress_total :=
+          !decompress_total
+          +. Compress.Model.decompress_seconds ~algo:img.Ckpt_image.algo
+               ~bytes:sizes.Mtcp.Image.uncompressed ~zero_bytes:sizes.Mtcp.Image.zero_bytes)
+      st.images;
+    (* one booking for this host's whole image set: the restart process
+       reads them serially from its disk *)
+    let read_total = ref (Storage.Target.read storage ~bytes:!read_bytes) in
+    let parallel = float_of_int (max 1 (min cores (List.length st.images))) in
+    let dt = !read_total +. (!decompress_total /. parallel) in
+    (* run-to-run I/O variation, as for checkpoint writes *)
+    Float.max (0.75 *. dt) (dt *. (1.0 +. (0.05 *. Util.Rng.gaussian ctx.rng ~mean:0. ~stddev:1.)))
+
+  let refill (ctx : Simos.Program.ctx) st =
+    ignore ctx;
+    List.iter
+      (fun spec ->
+        if spec.cs_drained <> "" then
+          match spec.cs_desc with
+          | Some { Simos.Fdesc.kind = Simos.Fdesc.Sock s; _ } ->
+            Simnet.Fabric.inject_recv s spec.cs_drained
+          | _ -> ())
+      st.specs
+
+  let resume (ctx : Simos.Program.ctx) st =
+    let k = my_kernel ctx in
+    List.iter
+      (fun ((_ : Ckpt_image.t), (proc : Simos.Kernel.process)) ->
+        let inst = Simos.Program.instantiate ~name:Manager.name ~argv:[] in
+        ignore (Simos.Kernel.add_thread k proc ~inst ~manager:true ());
+        Simos.Kernel.resume_user_threads k proc;
+        match proc.Simos.Kernel.cmdline with
+        | prog :: _ -> Dmtcpaware.run_post_ckpt ~prog
+        | [] -> ())
+      st.restored;
+    Runtime.note_restart_end (rt ())
+
+  (* ---------------------------------------------------------------- *)
+
+  let step (ctx : Simos.Program.ctx) st =
+    match st.phase with
+    | R_boot ->
+      st.phase_t0 <- ctx.now ();
+      let k = my_kernel ctx in
+      (match ctx.argv with
+      | _ :: paths ->
+        st.images <-
+          List.filter_map
+            (fun path ->
+              match Simos.Vfs.lookup (Simos.Kernel.vfs k) path with
+              | Some f -> Some (Ckpt_image.decode (Simos.Vfs.read_all f))
+              | None -> None)
+            paths
+      | [] -> ());
+      if st.images = [] then Simos.Program.Exit 1
+      else begin
+        st.phase <- R_files;
+        Simos.Program.Continue st
+      end
+    | R_files ->
+      restore_files_and_ptys ctx st;
+      let nfds = List.fold_left (fun acc (img : Ckpt_image.t) -> acc + List.length img.Ckpt_image.fds) 0 st.images in
+      st.phase <- R_sockets;
+      Simos.Program.Compute (st, Mtcp.Cost.reopen_seconds ~nfds)
+    | R_sockets ->
+      stage ctx st "restart/files";
+      start_socket_restore ctx st;
+      st.phase <- R_sockets_wait (ctx.now () +. 5.0);
+      Simos.Program.Continue st
+    | R_sockets_wait deadline ->
+      let all_done = socket_restore_tick ctx st in
+      if all_done || ctx.now () > deadline then begin
+        (* specs still unresolved belong to connections whose peer is
+           outside the checkpointed set; give them dead sockets *)
+        List.iter
+          (fun spec ->
+            if spec.cs_desc = None then begin
+              let fab = Simos.Kernel.fabric (my_kernel ctx) in
+              let s = Simnet.Fabric.socket fab ~host:ctx.node_id in
+              spec.cs_desc <- Some (Simos.Fdesc.make (Simos.Fdesc.Sock s))
+            end)
+          st.specs;
+        stage ctx st "restart/reconnect";
+        st.phase <- R_fork;
+        Simos.Program.Continue st
+      end
+      else
+        (* poll the discovery service; also woken by socket activity *)
+        Simos.Program.Block (st, Simos.Program.Sleep_until (ctx.now () +. 1e-3))
+    | R_fork ->
+      materialize ctx st;
+      st.phase <- R_mem;
+      Simos.Program.Continue st
+    | R_mem ->
+      let delay = memory_restore_delay ctx st in
+      st.phase <- R_refill;
+      Simos.Program.Block (st, Simos.Program.Sleep_until (ctx.now () +. delay))
+    | R_refill ->
+      stage ctx st "restart/mem";
+      refill ctx st;
+      Runtime.arrive_refill_barrier (rt ());
+      st.phase <- R_refill_barrier;
+      (* drained data re-traverses the network once *)
+      Simos.Program.Block (st, Simos.Program.Sleep_until (ctx.now () +. 3e-4))
+    | R_refill_barrier ->
+      if Runtime.refill_barrier_passed (rt ()) then begin
+        st.phase <- R_resume;
+        Simos.Program.Continue st
+      end
+      else Simos.Program.Block (st, Simos.Program.Sleep_until (ctx.now () +. 1e-3))
+    | R_resume ->
+      stage ctx st "restart/refill";
+      resume ctx st;
+      Simos.Program.Exit 0
+
+  let step ctx st =
+    try step ctx st
+    with e ->
+      ctx.log (Printf.sprintf "dmtcp:restart crashed: %s" (Printexc.to_string e));
+      Simos.Program.Exit 71
+end
+
+let program = (module P : Simos.Program.S)

@@ -1,0 +1,20 @@
+(** The generated restart script (paper §3): one [dmtcp_restart] call per
+    node, plus the coordinator address.  Stored both as a structured
+    record (used by the harness and tests) and as shell-script text
+    written next to the images, as the real package does. *)
+
+type t = {
+  coord_host : int;
+  coord_port : int;
+  entries : (int * string list) list;  (** (host, image paths) *)
+}
+
+(** The [dmtcp_restart_script.sh] text. *)
+val to_text : t -> string
+
+val encode : Util.Codec.Writer.t -> t -> unit
+val decode : Util.Codec.Reader.t -> t
+
+(** Remap original hosts to new hosts (process migration), e.g. restart a
+    whole cluster run on one laptop with [fun _ -> 0]. *)
+val remap : t -> (int -> int) -> t

@@ -1,0 +1,366 @@
+type pstate = {
+  mutable upid : Upid.t;
+  mutable vpid : int;
+  mutable conns : Conn_table.t;
+  mutable conn_seq : int;
+  mutable critical : int;
+  pty_drains : (int, string * string) Hashtbl.t;
+  mutable prev_space : Mem.Address_space.t option;
+      (** snapshot at the previous checkpoint (incremental mode) *)
+}
+
+type op_info = {
+  mutable started : float;
+  mutable finished : float;
+  mutable images : (int * string) list;
+  mutable total_compressed : int;
+  mutable total_uncompressed : int;
+  mutable nprocs : int;
+}
+
+let fresh_op () =
+  { started = 0.; finished = 0.; images = []; total_compressed = 0; total_uncompressed = 0; nprocs = 0 }
+
+type t = {
+  cl : Simos.Cluster.t;
+  opts : Options.t;
+  procs : (int * int, pstate) Hashtbl.t;
+  sock_owner : (int, (int * int) * int) Hashtbl.t;
+  vpids : (int, int * int) Hashtbl.t;
+  stages : (string, Util.Stats.t) Hashtbl.t;
+  mutable ckpt : op_info;
+  mutable last_complete : op_info option;
+  mutable restart : op_info;
+  mutable gen : int;
+  shm : (string, Mem.Page.content array) Hashtbl.t;
+  mutable restart_expected : int;
+  mutable refill_arrived : int;
+}
+
+let nbarriers = 5
+
+let active_rt : t option ref = ref None
+
+(* alias for Dmtcpaware, which must not fail when no runtime exists *)
+let active_rt_for_aware = active_rt
+
+let active () =
+  match !active_rt with
+  | Some rt -> rt
+  | None -> failwith "Dmtcp.Runtime.active: no runtime installed"
+
+let cluster t = t.cl
+let options t = t.opts
+let kernel_of t ~node = Simos.Cluster.kernel t.cl node
+let proc_of t ~node ~pid = Simos.Kernel.find_process (kernel_of t ~node) ~pid
+let pstate_of t ~node ~pid = Hashtbl.find_opt t.procs (node, pid)
+
+let hijacked_processes t =
+  Hashtbl.fold
+    (fun (node, pid) ps acc ->
+      match proc_of t ~node ~pid with
+      | Some p when p.Simos.Kernel.pstate = Simos.Kernel.Running -> (node, pid, ps) :: acc
+      | _ -> acc)
+    t.procs []
+  |> List.sort compare
+
+let register_sock_owner t ~sock_id ~node ~pid ~fd = Hashtbl.replace t.sock_owner sock_id ((node, pid), fd)
+
+let peer_entry t sock =
+  match Simnet.Fabric.peer_id sock with
+  | None -> None
+  | Some peer_sock_id -> (
+    match Hashtbl.find_opt t.sock_owner peer_sock_id with
+    | None -> None
+    | Some ((node, pid), fd) -> (
+      match pstate_of t ~node ~pid with
+      | None -> None
+      | Some ps -> (
+        match Conn_table.find ps.conns ~fd with
+        | Some e -> Some (ps, e)
+        | None -> None)))
+
+let vpid_taken t vpid = Hashtbl.mem t.vpids vpid
+let claim_vpid t ~vpid ~node ~pid = Hashtbl.replace t.vpids vpid (node, pid)
+let release_vpid t ~vpid = Hashtbl.remove t.vpids vpid
+let resolve_vpid t vpid = Hashtbl.find_opt t.vpids vpid
+
+let record_stage t name v =
+  let s =
+    match Hashtbl.find_opt t.stages name with
+    | Some s -> s
+    | None ->
+      let s = Util.Stats.create () in
+      Hashtbl.add t.stages name s;
+      s
+  in
+  Util.Stats.add s v
+
+let stage_stats t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.stages [] |> List.sort compare
+let reset_stage_stats t = Hashtbl.reset t.stages
+
+let ckpt_info t = t.ckpt
+let restart_info t = t.restart
+
+let note_ckpt_start t =
+  t.ckpt <- fresh_op ();
+  t.ckpt.started <- Simos.Cluster.now t.cl
+
+let note_ckpt_end t =
+  t.ckpt.finished <- Simos.Cluster.now t.cl;
+  if t.ckpt.nprocs > 0 then t.last_complete <- Some t.ckpt
+
+let last_completed_ckpt t = t.last_complete
+
+let note_restart_start t =
+  t.restart <- fresh_op ();
+  t.refill_arrived <- 0;
+  t.restart.started <- Simos.Cluster.now t.cl
+
+let note_restart_end t =
+  t.restart.finished <- max t.restart.finished (Simos.Cluster.now t.cl);
+  t.restart.nprocs <- t.restart.nprocs + 1
+
+let set_restart_expected t n = t.restart_expected <- n
+let restart_expected t = t.restart_expected
+
+(* Restart reuses the checkpoint algorithm's global barrier between
+   refill and resume (paper §4.4 step 5 resumes "at Barrier 5"): no
+   restart process may resume user threads until every restart process
+   has refilled its kernel buffers, or fresh traffic could overtake the
+   refilled bytes. *)
+let arrive_refill_barrier t = t.refill_arrived <- t.refill_arrived + 1
+
+let refill_barrier_passed t = t.restart_expected > 0 && t.refill_arrived >= t.restart_expected
+
+let forget_process t ~node ~pid =
+  match Hashtbl.find_opt t.procs (node, pid) with
+  | None -> ()
+  | Some ps ->
+    release_vpid t ~vpid:ps.vpid;
+    Hashtbl.remove t.procs (node, pid)
+
+let record_image t ~node ~path ~sizes =
+  t.ckpt.images <- (node, path) :: t.ckpt.images;
+  t.ckpt.total_compressed <- t.ckpt.total_compressed + sizes.Mtcp.Image.compressed;
+  t.ckpt.total_uncompressed <- t.ckpt.total_uncompressed + sizes.Mtcp.Image.uncompressed;
+  t.ckpt.nprocs <- t.ckpt.nprocs + 1
+
+let generation t = t.gen
+let bump_generation t = t.gen <- t.gen + 1
+let shm_lookup t path = Hashtbl.find_opt t.shm path
+let shm_register t path pages = Hashtbl.replace t.shm path pages
+let shm_reset t = Hashtbl.reset t.shm
+
+let with_pstate t ~node ~pid f =
+  match pstate_of t ~node ~pid with
+  | Some ps -> f ps
+  | None -> ()
+
+let register_pstate t ~node ~pid ps = Hashtbl.replace t.procs (node, pid) ps
+
+let enter_critical t ~node ~pid = with_pstate t ~node ~pid (fun ps -> ps.critical <- ps.critical + 1)
+let leave_critical t ~node ~pid =
+  with_pstate t ~node ~pid (fun ps -> ps.critical <- max 0 (ps.critical - 1))
+
+(* ------------------------------------------------------------------ *)
+(* Wrapper (hook) implementations *)
+
+let fresh_conn_id t ~node ~pid ps =
+  let seq = ps.conn_seq in
+  ps.conn_seq <- seq + 1;
+  Conn_id.make ~hostid:node ~pid ~timestamp:(Simos.Cluster.now t.cl) ~seq
+
+let make_pstate t ~node ~pid =
+  {
+    upid = Upid.make ~hostid:node ~pid ~generation:t.gen;
+    vpid = pid;
+    conns = Conn_table.create ();
+    conn_seq = 0;
+    critical = 0;
+    pty_drains = Hashtbl.create 4;
+    prev_space = None;
+  }
+
+let manager_prog = "dmtcp:mgr"
+
+let spawn_manager k proc =
+  let inst = Simos.Program.instantiate ~name:manager_prog ~argv:[] in
+  ignore (Simos.Kernel.add_thread k proc ~inst ~manager:true ())
+
+let has_live_manager (proc : Simos.Kernel.process) =
+  List.exists
+    (fun (th : Simos.Kernel.thread) ->
+      th.Simos.Kernel.manager && th.Simos.Kernel.tstate <> Simos.Kernel.Dead)
+    proc.Simos.Kernel.threads
+
+let on_spawn t k (proc : Simos.Kernel.process) =
+  let node = Simos.Kernel.node_id k in
+  let pid = proc.Simos.Kernel.pid in
+  (match pstate_of t ~node ~pid with
+  | Some _ -> ()  (* exec of an already-tracked process *)
+  | None ->
+    let ps = make_pstate t ~node ~pid in
+    Hashtbl.replace t.procs (node, pid) ps;
+    claim_vpid t ~vpid:ps.vpid ~node ~pid);
+  if not (has_live_manager proc) then spawn_manager k proc
+
+let rec on_fork t k ~(parent : Simos.Kernel.process) ~(child : Simos.Kernel.process) =
+  let node = Simos.Kernel.node_id k in
+  (* Virtual-pid conflict (paper §4.5): the fresh child's virtual pid is
+     its real pid; if a restored process already holds that vpid,
+     terminate the child and fork again. *)
+  if vpid_taken t child.Simos.Kernel.pid then begin
+    let child' = Simos.Kernel.refork k ~child in
+    on_fork t k ~parent ~child:child'
+  end
+  else begin
+    let pid = child.Simos.Kernel.pid in
+    let parent_ps = pstate_of t ~node ~pid:parent.Simos.Kernel.pid in
+    let ps = make_pstate t ~node ~pid in
+    (match parent_ps with
+    | Some pps -> ps.conns <- Conn_table.clone pps.conns
+    | None -> ());
+    Hashtbl.replace t.procs (node, pid) ps;
+    claim_vpid t ~vpid:pid ~node ~pid;
+    if not (has_live_manager child) then spawn_manager k child
+  end
+
+let sock_of_desc (desc : Simos.Fdesc.t) =
+  match desc.Simos.Fdesc.kind with
+  | Simos.Fdesc.Sock s -> Some s
+  | _ -> None
+
+let on_socket t k (proc : Simos.Kernel.process) ~fd (desc : Simos.Fdesc.t) =
+  match sock_of_desc desc with
+  | None -> ()
+  | Some s ->
+    let node = Simos.Kernel.node_id k in
+    let pid = proc.Simos.Kernel.pid in
+    with_pstate t ~node ~pid (fun ps ->
+        let kind = if Simnet.Fabric.is_unix s then Conn_table.Unixsock else Conn_table.Tcp in
+        let entry =
+          {
+            Conn_table.conn_id = fresh_conn_id t ~node ~pid ps;
+            role = Conn_table.Connector;
+            kind;
+            desc_id = desc.Simos.Fdesc.desc_id;
+            drained = "";
+            saved_owner = 0;
+          }
+        in
+        Conn_table.add ps.conns ~fd entry;
+        register_sock_owner t ~sock_id:(Simnet.Fabric.id s) ~node ~pid ~fd)
+
+let on_connect t k (proc : Simos.Kernel.process) ~fd (desc : Simos.Fdesc.t) =
+  ignore k;
+  ignore fd;
+  ignore t;
+  ignore proc;
+  ignore desc
+(* role already defaults to Connector; the acceptor adopts our conn id in
+   its accept wrapper *)
+
+let on_accept t k (proc : Simos.Kernel.process) ~fd (desc : Simos.Fdesc.t) =
+  match sock_of_desc desc with
+  | None -> ()
+  | Some s ->
+    let node = Simos.Kernel.node_id k in
+    let pid = proc.Simos.Kernel.pid in
+    with_pstate t ~node ~pid (fun ps ->
+        let kind = if Simnet.Fabric.is_unix s then Conn_table.Unixsock else Conn_table.Tcp in
+        let entry =
+          {
+            Conn_table.conn_id = fresh_conn_id t ~node ~pid ps;
+            role = Conn_table.Acceptor;
+            kind;
+            desc_id = desc.Simos.Fdesc.desc_id;
+            drained = "";
+            saved_owner = 0;
+          }
+        in
+        register_sock_owner t ~sock_id:(Simnet.Fabric.id s) ~node ~pid ~fd;
+        (* the connect/accept wrappers transfer the connector's globally
+           unique ID to the acceptor (paper §4.4 step 2) *)
+        (match peer_entry t s with
+        | Some (_, peer) -> entry.Conn_table.conn_id <- peer.Conn_table.conn_id
+        | None -> ());
+        Conn_table.add ps.conns ~fd entry)
+
+let promote_pipe t k (proc : Simos.Kernel.process) =
+  let node = Simos.Kernel.node_id k in
+  let pid = proc.Simos.Kernel.pid in
+  match pstate_of t ~node ~pid with
+  | None -> None
+  | Some ps ->
+    (* The pipe wrapper promotes pipes into socketpairs (paper §4.5) so
+       the drain/refill machinery and cross-host restart apply. *)
+    let a, b = Simnet.Fabric.socketpair (Simos.Kernel.fabric k) ~host:node in
+    let desc_a = Simos.Fdesc.make (Simos.Fdesc.Sock a) in
+    let desc_b = Simos.Fdesc.make (Simos.Fdesc.Sock b) in
+    let rfd = Simos.Kernel.alloc_fd k proc desc_a in
+    let wfd = Simos.Kernel.alloc_fd k proc desc_b in
+    let conn_id = fresh_conn_id t ~node ~pid ps in
+    let entry role desc_id =
+      { Conn_table.conn_id; role; kind = Conn_table.Pair; desc_id; drained = ""; saved_owner = 0 }
+    in
+    Conn_table.add ps.conns ~fd:rfd (entry Conn_table.Pair_a desc_a.Simos.Fdesc.desc_id);
+    Conn_table.add ps.conns ~fd:wfd (entry Conn_table.Pair_b desc_b.Simos.Fdesc.desc_id);
+    register_sock_owner t ~sock_id:(Simnet.Fabric.id a) ~node ~pid ~fd:rfd;
+    register_sock_owner t ~sock_id:(Simnet.Fabric.id b) ~node ~pid ~fd:wfd;
+    Some (rfd, wfd)
+
+let on_exit t k (proc : Simos.Kernel.process) =
+  let node = Simos.Kernel.node_id k in
+  let pid = proc.Simos.Kernel.pid in
+  match pstate_of t ~node ~pid with
+  | None -> ()
+  | Some ps ->
+    release_vpid t ~vpid:ps.vpid;
+    Hashtbl.remove t.procs (node, pid)
+
+let write_conn_table t k (proc : Simos.Kernel.process) =
+  let node = Simos.Kernel.node_id k in
+  let pid = proc.Simos.Kernel.pid in
+  with_pstate t ~node ~pid (fun ps ->
+      let w = Util.Codec.Writer.create () in
+      Conn_table.encode w ps.conns;
+      let path = Printf.sprintf "%s/conninfo_%s.tbl" t.opts.Options.ckpt_dir (Upid.to_string ps.upid) in
+      let f = Simos.Vfs.open_or_create (Simos.Kernel.vfs k) path in
+      Simos.Vfs.truncate f;
+      Simos.Vfs.append f (Util.Codec.Writer.contents w))
+
+let make_hooks t : Simos.Kernel.hooks =
+  {
+    Simos.Kernel.on_spawn = (fun k proc -> on_spawn t k proc);
+    on_fork = (fun k ~parent ~child -> on_fork t k ~parent ~child);
+    on_exec = (fun _ _ ~prog ~argv -> (prog, argv));
+    on_ssh = (fun _ _ ~host:_ ~prog ~argv -> (prog, argv));
+    on_socket = (fun k proc ~fd desc -> on_socket t k proc ~fd desc);
+    on_connect = (fun k proc ~fd desc -> on_connect t k proc ~fd desc);
+    on_accept = (fun k proc ~fd desc -> on_accept t k proc ~fd desc);
+    on_pipe = (fun k proc -> promote_pipe t k proc);
+    on_exit = (fun k proc -> on_exit t k proc);
+  }
+
+let install cl ?(options = Options.default) () =
+  let t =
+    {
+      cl;
+      opts = options;
+      procs = Hashtbl.create 64;
+      sock_owner = Hashtbl.create 128;
+      vpids = Hashtbl.create 64;
+      stages = Hashtbl.create 16;
+      ckpt = fresh_op ();
+      last_complete = None;
+      restart = fresh_op ();
+      gen = 0;
+      shm = Hashtbl.create 8;
+      restart_expected = 0;
+      refill_arrived = 0;
+    }
+  in
+  Simos.Cluster.set_hooks cl (make_hooks t);
+  active_rt := Some t;
+  t

@@ -1,0 +1,152 @@
+(** The DMTCP runtime: everything the injected library
+    ([dmtcphijack.so]) keeps per process, plus the wrapper (hook)
+    implementations and cluster-wide bookkeeping.
+
+    Installed once per simulated cluster; a process-wide singleton mirrors
+    the fact that the real library lives inside every checkpointed
+    process.  Manager/coordinator/restart programs reach their state
+    through {!active}. *)
+
+(** Per-process DMTCP state (the real package keeps this in the injected
+    library's data segment). *)
+type pstate = {
+  mutable upid : Upid.t;
+  mutable vpid : int;  (** virtual pid: stable across restarts *)
+  mutable conns : Conn_table.t;
+  mutable conn_seq : int;
+  mutable critical : int;  (** dmtcpaware delay-checkpoint depth *)
+  pty_drains : (int, string * string) Hashtbl.t;  (** pty key -> drained *)
+  mutable prev_space : Mem.Address_space.t option;
+      (** address-space snapshot at the previous checkpoint, for
+          incremental checkpointing *)
+}
+
+(** Cluster-wide record of one checkpoint or restart operation. *)
+type op_info = {
+  mutable started : float;
+  mutable finished : float;
+  mutable images : (int * string) list;  (** (node, image path) *)
+  mutable total_compressed : int;
+  mutable total_uncompressed : int;
+  mutable nprocs : int;
+}
+
+type t
+
+(** [install cluster ~options ()] registers the wrapper hooks in every
+    kernel and makes this runtime {!active}.  Use {!Api.install}, which
+    also registers the DMTCP programs in the program registry. *)
+val install : Simos.Cluster.t -> ?options:Options.t -> unit -> t
+
+(** The runtime of the most recently installed cluster. Raises [Failure]
+    if none. *)
+val active : unit -> t
+
+(** Same, as an option ({!Dmtcpaware} must degrade gracefully outside
+    DMTCP). *)
+val active_rt_for_aware : t option ref
+
+val cluster : t -> Simos.Cluster.t
+val options : t -> Options.t
+val kernel_of : t -> node:int -> Simos.Kernel.t
+val proc_of : t -> node:int -> pid:int -> Simos.Kernel.process option
+val pstate_of : t -> node:int -> pid:int -> pstate option
+
+(** All live checkpointed processes, as (node, pid, pstate). *)
+val hijacked_processes : t -> (int * int * pstate) list
+
+(** {2 Connection bookkeeping (used by the manager during drain)} *)
+
+(** Resolve the DMTCP state of the peer endpoint of a connected socket:
+    [Some (pstate, entry)] if the peer is itself under checkpoint
+    control. *)
+val peer_entry : t -> Simnet.Fabric.socket -> (pstate * Conn_table.entry) option
+
+(** Register/lookup of endpoint ownership, (socket id) -> ((node,pid), fd). *)
+val register_sock_owner : t -> sock_id:int -> node:int -> pid:int -> fd:int -> unit
+
+(** {2 Virtual pids} *)
+
+val vpid_taken : t -> int -> bool
+val claim_vpid : t -> vpid:int -> node:int -> pid:int -> unit
+val release_vpid : t -> vpid:int -> unit
+
+(** Current (node, real pid) for a virtual pid. *)
+val resolve_vpid : t -> int -> (int * int) option
+
+(** {2 Stage statistics and operation records} *)
+
+val record_stage : t -> string -> float -> unit
+val stage_stats : t -> (string * Util.Stats.t) list
+val reset_stage_stats : t -> unit
+
+val ckpt_info : t -> op_info
+
+(** The most recent checkpoint that finished with at least one image —
+    what a restart script should be built from (an interval checkpoint
+    may be mid-flight at any given moment). *)
+val last_completed_ckpt : t -> op_info option
+
+val restart_info : t -> op_info
+
+(** Called by the coordinator when it broadcasts a checkpoint request /
+    releases the final barrier. *)
+val note_ckpt_start : t -> unit
+
+val note_ckpt_end : t -> unit
+val note_restart_start : t -> unit
+
+(** Called once per restart process as it resumes its host's processes. *)
+val note_restart_end : t -> unit
+
+(** Number of restart processes expected / completed in the current wave. *)
+val set_restart_expected : t -> int -> unit
+
+val restart_expected : t -> int
+
+(** Global refill barrier between restart processes (restart re-enters
+    the checkpoint algorithm at Barrier 5, paper §4.4). *)
+val arrive_refill_barrier : t -> unit
+
+val refill_barrier_passed : t -> bool
+
+(** Drop DMTCP state for a process removed outside the exit path
+    (vanished/migrated). *)
+val forget_process : t -> node:int -> pid:int -> unit
+
+(** Record a written image. *)
+val record_image : t -> node:int -> path:string -> sizes:Mtcp.Image.sizes -> unit
+
+(** Number of barriers in the checkpoint protocol (paper: six global
+    barriers; the release of the last one resumes user threads). *)
+val nbarriers : int
+
+(** {2 Restart support} *)
+
+val generation : t -> int
+val bump_generation : t -> unit
+
+(** Shared-memory segment registry for the current restart wave:
+    backing path -> restored page array. *)
+val shm_lookup : t -> string -> Mem.Page.content array option
+
+val shm_register : t -> string -> Mem.Page.content array -> unit
+val shm_reset : t -> unit
+
+(** Register a restored process's DMTCP state (restart path). *)
+val register_pstate : t -> node:int -> pid:int -> pstate -> unit
+
+(** {2 dmtcpaware support} *)
+
+val enter_critical : t -> node:int -> pid:int -> unit
+val leave_critical : t -> node:int -> pid:int -> unit
+
+(** {2 Manager helpers} *)
+
+(** Create a conn-table entry for a socketpair end (pipe promotion and
+    socketpair wrapper). *)
+val promote_pipe : t -> Simos.Kernel.t -> Simos.Kernel.process -> (int * int) option
+
+(** Write the per-process connection table to disk (drain stage; small
+    file next to the images). *)
+val write_conn_table : t -> Simos.Kernel.t -> Simos.Kernel.process -> unit

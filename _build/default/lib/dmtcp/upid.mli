@@ -1,0 +1,14 @@
+(** Universally unique process IDs: (hostid, pid, generation).
+
+    Real pids are only unique per node and per boot; DMTCP identifies a
+    checkpointed process across hosts and across restart generations by
+    this triple. *)
+
+type t = { hostid : int; pid : int; generation : int }
+
+val make : hostid:int -> pid:int -> generation:int -> t
+val to_string : t -> string
+val next_generation : t -> t
+
+val encode : Util.Codec.Writer.t -> t -> unit
+val decode : Util.Codec.Reader.t -> t

@@ -1,0 +1,1 @@
+lib/harness/common.ml: Apps Dmtcp List Printf Sim Simos Util

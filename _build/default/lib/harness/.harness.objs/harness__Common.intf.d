@@ -1,0 +1,1 @@
+lib/harness/common.mli: Dmtcp Simos Util

@@ -1,0 +1,1 @@
+lib/harness/extras.ml: Apps Common Compress Dmtcp List Printf Simos String Util

@@ -1,0 +1,1 @@
+lib/harness/extras.mli: Compress Util

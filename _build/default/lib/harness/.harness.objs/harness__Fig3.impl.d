@@ -1,0 +1,1 @@
+lib/harness/fig3.ml: Apps Buffer Common List Util

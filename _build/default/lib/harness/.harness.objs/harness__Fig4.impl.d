@@ -1,0 +1,1 @@
+lib/harness/fig4.ml: Apps Buffer Common Compress Dmtcp List Printf Util

@@ -1,0 +1,1 @@
+lib/harness/fig4.mli: Common

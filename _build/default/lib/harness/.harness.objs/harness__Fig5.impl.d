@@ -1,0 +1,1 @@
+lib/harness/fig5.ml: Apps Common List Printf Simos Util

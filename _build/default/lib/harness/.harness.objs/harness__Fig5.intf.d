@@ -1,0 +1,1 @@
+lib/harness/fig5.mli: Util

@@ -1,0 +1,1 @@
+lib/harness/fig6.ml: Apps Common Compress Dmtcp List Printf Util

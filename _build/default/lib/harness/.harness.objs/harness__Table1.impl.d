@@ -1,0 +1,1 @@
+lib/harness/table1.ml: Common Compress Dmtcp List Printf Simos Util

@@ -1,0 +1,55 @@
+type row = { app : string; m : Common.ckpt_measure }
+
+(* number of processes an application profile expands to *)
+let procs_of (p : Apps.Desktop.profile) = 1 + List.length p.Apps.Desktop.children
+
+let run ?(reps = 3) ?apps () =
+  let profiles =
+    match apps with
+    | None -> Apps.Desktop.figure3
+    | Some names -> List.filter (fun p -> List.mem p.Apps.Desktop.p_name names) Apps.Desktop.figure3
+  in
+  List.map
+    (fun (p : Apps.Desktop.profile) ->
+      let env = Common.setup ~nodes:1 ~cores_per_node:8 () in
+      let w =
+        {
+          Common.w_name = p.Apps.Desktop.p_name;
+          w_kind = Common.Plain;
+          w_prog = Apps.Desktop.prog_name;
+          w_nprocs = procs_of p;
+          w_rpn = 1;
+          w_extra = [ p.Apps.Desktop.p_name ];
+          w_warmup = 1.0;
+        }
+      in
+      Common.start_workload env w;
+      let m = Common.measure env ~ckpt_reps:reps ~restart_reps:(min 2 reps) in
+      Common.teardown env;
+      { app = p.Apps.Desktop.p_name; m })
+    profiles
+
+let to_text rows =
+  let buf = Buffer.create 2048 in
+  let points f = List.map (fun r -> (r.app, f r.m)) rows in
+  Buffer.add_string buf
+    (Util.Table.bar_chart ~title:"Figure 3a: Checkpoint/Restart timings (s)" ~unit_label:"s"
+       [
+         { Util.Table.series_name = "checkpoint"; points = points (fun m -> Util.Stats.mean m.Common.ckpt_times) };
+         { Util.Table.series_name = "restart"; points = points (fun m -> Util.Stats.mean m.Common.restart_times) };
+       ]);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Util.Table.bar_chart ~title:"Figure 3b: Checkpoint size (MB, compressed)" ~unit_label:"MB"
+       [
+         {
+           Util.Table.series_name = "size";
+           points = points (fun m -> float_of_int m.Common.compressed_bytes /. 1e6);
+         };
+       ]);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Util.Table.render
+       ~header:[ "application"; "ckpt (s)"; "restart (s)"; "size MB (gz)"; "size MB (raw)"; "procs" ]
+       (List.map (fun r -> Common.row r.app r.m) rows));
+  Buffer.contents buf

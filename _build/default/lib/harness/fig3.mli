@@ -1,0 +1,12 @@
+(** Figure 3: checkpoint/restart timings (3a) and checkpoint sizes (3b)
+    for 21 common desktop applications on a single 8-core node, gzip
+    enabled. *)
+
+type row = { app : string; m : Common.ckpt_measure }
+
+(** [run ~reps ()] measures each application in {!Apps.Desktop.figure3}.
+    [apps] restricts to a subset (for quick runs). *)
+val run : ?reps:int -> ?apps:string list -> unit -> row list
+
+(** Render charts 3a and 3b plus the numeric table. *)
+val to_text : row list -> string

@@ -1,0 +1,107 @@
+type row = {
+  workload : string;
+  compressed : Common.ckpt_measure;
+  uncompressed : Common.ckpt_measure;
+}
+
+(* Process counts: the paper's class-C runs use 128 processes (EP, LU,
+   MG, IS, CG, ParGeant4, baselines) and 36 for BT/SP (a square is
+   required). `Quick shrinks everything for CI. *)
+let workloads scale =
+  let big, square, is_ranks, demo = match scale with `Full -> (128, 36, 64, 32) | `Quick -> (16, 9, 8, 8) in
+  let forever = "1000000" in
+  [
+    ( "iPython/Shell[1]",
+      { Common.w_name = "ipython-shell"; w_kind = Common.Plain; w_prog = Apps.Ipython.shell_name;
+        w_nprocs = 1; w_rpn = 1; w_extra = []; w_warmup = 1.0 } );
+    ( "iPython/Demo[1]",
+      { Common.w_name = "ipython-demo"; w_kind = Common.Direct; w_prog = Apps.Ipython.demo_name;
+        w_nprocs = demo; w_rpn = 1; w_extra = [ "1000000" ]; w_warmup = 1.0 } );
+    ( "Baseline[2]",
+      { Common.w_name = "baseline-mpich2"; w_kind = Common.Mpich2; w_prog = "nas:baseline";
+        w_nprocs = big; w_rpn = 4; w_extra = [ forever ]; w_warmup = 1.0 } );
+    ( "ParGeant4[2]",
+      { Common.w_name = "pargeant4"; w_kind = Common.Mpich2; w_prog = Apps.Pargeant4.prog_name;
+        w_nprocs = big; w_rpn = 4; w_extra = [ "2000"; forever ]; w_warmup = 1.0 } );
+    ( "NAS/CG[2]",
+      { Common.w_name = "cg"; w_kind = Common.Mpich2; w_prog = "nas:cg"; w_nprocs = big;
+        w_rpn = 4; w_extra = [ "400"; forever ]; w_warmup = 1.0 } );
+    ( "Baseline[3]",
+      { Common.w_name = "baseline-openmpi"; w_kind = Common.Openmpi; w_prog = "nas:baseline";
+        w_nprocs = big; w_rpn = 4; w_extra = [ forever ]; w_warmup = 1.0 } );
+    ( "NAS/EP[3]",
+      { Common.w_name = "ep"; w_kind = Common.Openmpi; w_prog = "nas:ep"; w_nprocs = big;
+        w_rpn = 4; w_extra = [ "100000000" ]; w_warmup = 1.0 } );
+    ( "NAS/LU[3]",
+      { Common.w_name = "lu"; w_kind = Common.Openmpi; w_prog = "nas:lu"; w_nprocs = big;
+        w_rpn = 4; w_extra = [ forever ]; w_warmup = 1.0 } );
+    ( "NAS/SP[3]",
+      { Common.w_name = "sp"; w_kind = Common.Openmpi; w_prog = "nas:sp"; w_nprocs = square;
+        w_rpn = 2; w_extra = [ forever ]; w_warmup = 1.0 } );
+    ( "NAS/MG[3]",
+      { Common.w_name = "mg"; w_kind = Common.Openmpi; w_prog = "nas:mg"; w_nprocs = big;
+        w_rpn = 4; w_extra = [ forever ]; w_warmup = 1.0 } );
+    ( "NAS/IS[3]",
+      { Common.w_name = "is"; w_kind = Common.Openmpi; w_prog = "nas:is"; w_nprocs = is_ranks;
+        w_rpn = 4; w_extra = [ "20000"; forever ]; w_warmup = 1.0 } );
+    ( "NAS/BT[3]",
+      { Common.w_name = "bt"; w_kind = Common.Openmpi; w_prog = "nas:bt"; w_nprocs = square;
+        w_rpn = 2; w_extra = [ forever ]; w_warmup = 1.0 } );
+  ]
+
+let measure_with ~algo ~reps w =
+  let options = { Dmtcp.Options.default with Dmtcp.Options.algo } in
+  let env = Common.setup ~nodes:32 ~options () in
+  Common.start_workload env w;
+  let m = Common.measure env ~ckpt_reps:reps ~restart_reps:(min 2 reps) in
+  Common.teardown env;
+  m
+
+let run ?(reps = 3) ?(scale = `Full) () =
+  List.map
+    (fun (name, w) ->
+      let compressed = measure_with ~algo:Compress.Algo.Deflate ~reps w in
+      let uncompressed = measure_with ~algo:Compress.Algo.Null ~reps w in
+      { workload = name; compressed; uncompressed })
+    (workloads scale)
+
+let to_text rows =
+  let buf = Buffer.create 4096 in
+  let chart title unit_label f =
+    Buffer.add_string buf
+      (Util.Table.bar_chart ~title ~unit_label
+         [
+           {
+             Util.Table.series_name = "uncompressed";
+             points = List.map (fun r -> (r.workload, f r.uncompressed)) rows;
+           };
+           {
+             Util.Table.series_name = "compressed";
+             points = List.map (fun r -> (r.workload, f r.compressed)) rows;
+           };
+         ]);
+    Buffer.add_char buf '\n'
+  in
+  chart "Figure 4a: Checkpoint time (s)" "s" (fun m -> Util.Stats.mean m.Common.ckpt_times);
+  chart "Figure 4b: Restart time (s)" "s" (fun m -> Util.Stats.mean m.Common.restart_times);
+  chart "Figure 4c: Aggregate checkpoint size (MB)" "MB" (fun m ->
+      float_of_int m.Common.compressed_bytes /. 1e6);
+  Buffer.add_string buf
+    (Util.Table.render
+       ~header:
+         [ "workload"; "ckpt gz (s)"; "ckpt raw (s)"; "restart gz (s)"; "restart raw (s)";
+           "size gz (MB)"; "size raw (MB)"; "procs" ]
+       (List.map
+          (fun r ->
+            [
+              r.workload;
+              Util.Stats.to_string ~decimals:2 r.compressed.Common.ckpt_times;
+              Util.Stats.to_string ~decimals:2 r.uncompressed.Common.ckpt_times;
+              Util.Stats.to_string ~decimals:2 r.compressed.Common.restart_times;
+              Util.Stats.to_string ~decimals:2 r.uncompressed.Common.restart_times;
+              Printf.sprintf "%.0f" (float_of_int r.compressed.Common.compressed_bytes /. 1e6);
+              Printf.sprintf "%.0f" (float_of_int r.uncompressed.Common.compressed_bytes /. 1e6);
+              string_of_int r.compressed.Common.nprocs;
+            ])
+          rows));
+  Buffer.contents buf

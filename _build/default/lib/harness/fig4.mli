@@ -1,0 +1,19 @@
+(** Figure 4: distributed applications on 32 nodes (128 cores) —
+    checkpoint times (4a), restart times (4b), and aggregate cluster-wide
+    checkpoint sizes (4c), with and without compression.
+
+    Workload tags follow the paper: [1] = raw sockets, [2] = MPICH2 (with
+    its mpd ring checkpointed too), [3] = OpenMPI (with orted
+    daemons). *)
+
+type row = {
+  workload : string;
+  compressed : Common.ckpt_measure;
+  uncompressed : Common.ckpt_measure;
+}
+
+(** [run ~reps ~scale ()] — [`Quick] shrinks process counts (for tests),
+    [`Full] uses the paper's 128/36-process layouts. *)
+val run : ?reps:int -> ?scale:[ `Quick | `Full ] -> unit -> row list
+
+val to_text : row list -> string

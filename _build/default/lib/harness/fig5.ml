@@ -1,0 +1,43 @@
+type point = { nprocs : int; ckpt : Util.Stats.t; restart : Util.Stats.t }
+
+type result = { local : point list; san : point list }
+
+let measure_one ~storage ~reps nprocs =
+  let nodes = max 1 (nprocs / 4) in
+  let env = Common.setup ~nodes ~storage () in
+  let w =
+    {
+      Common.w_name = Printf.sprintf "pargeant4-%d" nprocs;
+      w_kind = Common.Mpich2;
+      w_prog = Apps.Pargeant4.prog_name;
+      w_nprocs = nprocs;
+      w_rpn = 4;
+      w_extra = [ "2000"; "1000000" ];
+      w_warmup = 1.0;
+    }
+  in
+  Common.start_workload env w;
+  let m = Common.measure env ~ckpt_reps:reps ~restart_reps:(min 2 reps) in
+  Common.teardown env;
+  { nprocs; ckpt = m.Common.ckpt_times; restart = m.Common.restart_times }
+
+let run ?(reps = 3) ?(sizes = [ 16; 32; 48; 64; 80; 96; 112; 128 ]) () =
+  let local = List.map (measure_one ~storage:Simos.Cluster.Local_disks ~reps) sizes in
+  let san =
+    List.map
+      (measure_one ~storage:(Simos.Cluster.San_and_nfs { direct_nodes = 8 }) ~reps)
+      sizes
+  in
+  { local; san }
+
+let chart title points =
+  Util.Table.xy_chart ~title ~x_label:"processes" ~y_label:"(s)"
+    [
+      ("checkpoint", List.map (fun p -> (float_of_int p.nprocs, Util.Stats.mean p.ckpt)) points);
+      ("restart", List.map (fun p -> (float_of_int p.nprocs, Util.Stats.mean p.restart)) points);
+    ]
+
+let to_text r =
+  chart "Figure 5a: ParGeant4 scaling, checkpoints to local disk" r.local
+  ^ "\n"
+  ^ chart "Figure 5b: ParGeant4 scaling, checkpoints to SAN/NFS" r.san

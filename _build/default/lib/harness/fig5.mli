@@ -1,0 +1,13 @@
+(** Figure 5: checkpoint/restart time vs number of ParGeant4 compute
+    processes (16..128, four per node, MPICH2, gzip on) — (a) to local
+    disks, (b) to centralized RAID storage via SAN (8 nodes direct) and
+    NFS (the rest).  Also the paper's scalability headline: times should
+    stay nearly flat in (a). *)
+
+type point = { nprocs : int; ckpt : Util.Stats.t; restart : Util.Stats.t }
+
+type result = { local : point list; san : point list }
+
+val run : ?reps:int -> ?sizes:int list -> unit -> result
+
+val to_text : result -> string

@@ -1,0 +1,41 @@
+type point = { total_gb : float; ckpt : float; restart : float }
+
+let run ?(reps = 2) ?(totals_gb = [ 4.; 12.; 20.; 28.; 36.; 44.; 52.; 60.; 68. ]) ?(nprocs = 128)
+    () =
+  List.map
+    (fun total_gb ->
+      let mb_per_proc = int_of_float (total_gb *. 1000. /. float_of_int nprocs) in
+      let options = { Dmtcp.Options.default with Dmtcp.Options.algo = Compress.Algo.Null } in
+      let env = Common.setup ~nodes:32 ~options () in
+      let w =
+        {
+          Common.w_name = Printf.sprintf "synthetic-%.0fgb" total_gb;
+          w_kind = Common.Direct;
+          w_prog = Apps.Synthetic.prog_name;
+          w_nprocs = nprocs;
+          w_rpn = (nprocs + 31) / 32;
+          w_extra = [ string_of_int mb_per_proc; "1000000" ];
+          w_warmup = 1.0;
+        }
+      in
+      Common.start_workload env w;
+      let m = Common.measure env ~ckpt_reps:reps ~restart_reps:1 in
+      Common.teardown env;
+      {
+        total_gb;
+        ckpt = Util.Stats.mean m.Common.ckpt_times;
+        restart = Util.Stats.mean m.Common.restart_times;
+      })
+    totals_gb
+
+let to_text points =
+  Util.Table.xy_chart ~title:"Figure 6: Timings as memory usage grows (32 nodes, no compression)"
+    ~x_label:"total memory (GB)" ~y_label:"(s)"
+    [
+      ("checkpoint", List.map (fun p -> (p.total_gb, p.ckpt)) points);
+      ("restart", List.map (fun p -> (p.total_gb, p.restart)) points);
+    ]
+  ^ Printf.sprintf "\nImplied bandwidth at the largest point: %.0f MB/s/node (vs 100 MB/s raw disk)\n"
+      (match List.rev points with
+      | last :: _ when last.ckpt > 0. -> last.total_gb *. 1000. /. 32. /. last.ckpt
+      | _ -> 0.)

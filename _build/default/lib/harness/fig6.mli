@@ -1,0 +1,11 @@
+(** Figure 6: checkpoint/restart time as total memory grows — a synthetic
+    OpenMPI-style program allocating incompressible data on 32 nodes,
+    compression disabled, checkpoints to local disk.  The interesting
+    effect: the implied bandwidth exceeds raw disk because writes are
+    absorbed by the page cache. *)
+
+type point = { total_gb : float; ckpt : float; restart : float }
+
+val run : ?reps:int -> ?totals_gb:float list -> ?nprocs:int -> unit -> point list
+
+val to_text : point list -> string

@@ -1,0 +1,20 @@
+(** Table 1: per-stage breakdown of checkpoint (1a) and restart (1b) for
+    NAS/MG under OpenMPI on 8 nodes, comparing uncompressed, compressed,
+    and forked-compressed checkpointing.
+
+    Stage durations are the times between the protocol's global barriers,
+    measured at the coordinator — as in the paper. *)
+
+type stages = (string * float) list  (** stage name -> mean seconds *)
+
+type result = {
+  ckpt_uncompressed : stages;
+  ckpt_compressed : stages;
+  ckpt_forked : stages;
+  restart_uncompressed : stages;
+  restart_compressed : stages;
+}
+
+val run : ?reps:int -> ?nprocs:int -> unit -> result
+
+val to_text : result -> string

@@ -1,0 +1,1 @@
+lib/mem/address_space.ml: Array Bytes List Page Printf Region String Util

@@ -1,0 +1,1 @@
+lib/mem/entropy.ml: Buffer Bytes Char Compress Hashtbl Int64 Printf String Util

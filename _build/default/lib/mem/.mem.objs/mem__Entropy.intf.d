@@ -1,0 +1,1 @@
+lib/mem/entropy.mli: Compress Util

@@ -1,0 +1,1 @@
+lib/mem/region.ml: Array Page Printf Util

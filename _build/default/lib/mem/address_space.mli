@@ -1,0 +1,67 @@
+(** A process's virtual address space: an ordered set of page-granular
+    regions with byte-level access, copy-on-write forking, and the size
+    accounting the checkpointer needs. *)
+
+type t
+
+val create : unit -> t
+
+(** Regions in ascending address order. *)
+val regions : t -> Region.t list
+
+(** [map t ~kind ~perms ~bytes content] maps a fresh region of at least
+    [bytes] (rounded up to whole pages) at the next free address and
+    returns it.  [content] defaults to all-[Zero] pages. *)
+val map :
+  t ->
+  kind:Region.kind ->
+  perms:Region.perms ->
+  bytes:int ->
+  ?content:(int -> Page.content) ->
+  unit ->
+  Region.t
+
+(** Map a pre-built region object (used to attach shared segments: the
+    region's page array is aliased, not copied).  The region keeps its
+    identity but is re-addressed at the next free address; the re-addressed
+    region is returned. *)
+val attach : t -> Region.t -> Region.t
+
+(** Remove a region. Unknown regions are ignored. *)
+val unmap : t -> Region.t -> unit
+
+val find_region : t -> addr:int -> Region.t option
+
+(** [read t ~addr ~len] returns [len] bytes; the range must lie within one
+    region. Raises [Invalid_argument] otherwise. *)
+val read : t -> addr:int -> len:int -> string
+
+(** [write t ~addr s] stores [s]; affected pages are materialized
+    copy-on-write, so forked snapshots are unaffected. *)
+val write : t -> addr:int -> string -> unit
+
+(** Fork semantics: private regions are cloned copy-on-write; shared
+    ([Mmap_shared]) regions alias the same pages. *)
+val fork : t -> t
+
+(** Alias of {!fork}, used by forked checkpointing to snapshot the space
+    while the parent keeps running. *)
+val snapshot : t -> t
+
+(** Total mapped bytes. *)
+val total_bytes : t -> int
+
+(** Bytes in untouched ([Zero]) pages. *)
+val zero_bytes : t -> int
+
+(** Structural equality of all regions (order-sensitive). *)
+val equal : t -> t -> bool
+
+val encode : Util.Codec.Writer.t -> t -> unit
+val decode : Util.Codec.Reader.t -> t
+
+(** [substitute_pages t ~region_id pages] swaps a region's page array for
+    [pages] (aliasing, not copying) — used at restart to re-share an
+    [Mmap_shared] segment between the processes that shared it before the
+    checkpoint. Unknown ids are ignored. *)
+val substitute_pages : t -> region_id:int -> Page.content array -> unit

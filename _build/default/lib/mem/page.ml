@@ -1,0 +1,48 @@
+let size = 65536
+
+type content =
+  | Zero
+  | Materialized of bytes
+  | Synthetic of { seed : int64; cls : Entropy.t }
+
+let materialize = function
+  | Zero -> Bytes.make size '\000'
+  | Materialized b -> b
+  | Synthetic { seed; cls } -> Entropy.generate cls ~seed ~len:size
+
+let is_zero = function
+  | Zero -> true
+  | Materialized _ | Synthetic _ -> false
+
+let compressed_size algo = function
+  | Zero ->
+    (* A zero page costs a couple of bytes of token stream under any real
+       scheme; count 8 to stay conservative. *)
+    (match algo with Compress.Algo.Null -> size | _ -> 8)
+  | Materialized b -> String.length (Compress.Algo.compress algo (Bytes.unsafe_to_string b))
+  | Synthetic { cls; _ } ->
+    int_of_float (ceil (float_of_int size *. Entropy.ratio algo cls))
+
+let encode w = function
+  | Zero -> Util.Codec.Writer.u8 w 0
+  | Materialized b ->
+    Util.Codec.Writer.u8 w 1;
+    Util.Codec.Writer.bytes w b
+  | Synthetic { seed; cls } ->
+    Util.Codec.Writer.u8 w 2;
+    Util.Codec.Writer.i64 w seed;
+    Entropy.encode w cls
+
+let decode r =
+  match Util.Codec.Reader.u8 r with
+  | 0 -> Zero
+  | 1 ->
+    let b = Util.Codec.Reader.bytes r in
+    if Bytes.length b <> size then
+      raise (Util.Codec.Reader.Corrupt (Printf.sprintf "page payload of %d bytes" (Bytes.length b)));
+    Materialized b
+  | 2 ->
+    let seed = Util.Codec.Reader.i64 r in
+    let cls = Entropy.decode r in
+    Synthetic { seed; cls }
+  | n -> raise (Util.Codec.Reader.Corrupt (Printf.sprintf "bad page tag %d" n))

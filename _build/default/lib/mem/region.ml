@@ -1,0 +1,87 @@
+type kind =
+  | Text
+  | Data
+  | Heap
+  | Stack
+  | Mmap_anon
+  | Mmap_shared of { backing_path : string }
+
+type perms = { read : bool; write : bool; exec : bool }
+
+let rw = { read = true; write = true; exec = false }
+let rx = { read = true; write = false; exec = true }
+let ro = { read = true; write = false; exec = false }
+
+type t = {
+  id : int;
+  start_addr : int;
+  kind : kind;
+  perms : perms;
+  pages : Page.content array;
+}
+
+let npages t = Array.length t.pages
+let byte_size t = npages t * Page.size
+let end_addr t = t.start_addr + byte_size t
+
+let create ~id ~start_addr ~kind ~perms ~npages content =
+  if start_addr mod Page.size <> 0 then invalid_arg "Region.create: unaligned start";
+  { id; start_addr; kind; perms; pages = Array.init npages content }
+
+let clone_private t = { t with pages = Array.copy t.pages }
+let alias t = t
+let set_page t i content = t.pages.(i) <- content
+
+let kind_name = function
+  | Text -> "text"
+  | Data -> "data"
+  | Heap -> "heap"
+  | Stack -> "stack"
+  | Mmap_anon -> "mmap"
+  | Mmap_shared _ -> "mmap-shared"
+
+let encode_kind w = function
+  | Text -> Util.Codec.Writer.u8 w 0
+  | Data -> Util.Codec.Writer.u8 w 1
+  | Heap -> Util.Codec.Writer.u8 w 2
+  | Stack -> Util.Codec.Writer.u8 w 3
+  | Mmap_anon -> Util.Codec.Writer.u8 w 4
+  | Mmap_shared { backing_path } ->
+    Util.Codec.Writer.u8 w 5;
+    Util.Codec.Writer.string w backing_path
+
+let decode_kind r =
+  match Util.Codec.Reader.u8 r with
+  | 0 -> Text
+  | 1 -> Data
+  | 2 -> Heap
+  | 3 -> Stack
+  | 4 -> Mmap_anon
+  | 5 ->
+    let backing_path = Util.Codec.Reader.string r in
+    Mmap_shared { backing_path }
+  | n -> raise (Util.Codec.Reader.Corrupt (Printf.sprintf "bad region kind %d" n))
+
+let encode w t =
+  Util.Codec.Writer.uvarint w t.id;
+  Util.Codec.Writer.uvarint w t.start_addr;
+  encode_kind w t.kind;
+  Util.Codec.Writer.bool w t.perms.read;
+  Util.Codec.Writer.bool w t.perms.write;
+  Util.Codec.Writer.bool w t.perms.exec;
+  Util.Codec.Writer.array Page.encode w t.pages
+
+let decode r =
+  let id = Util.Codec.Reader.uvarint r in
+  let start_addr = Util.Codec.Reader.uvarint r in
+  let kind = decode_kind r in
+  let read = Util.Codec.Reader.bool r in
+  let write = Util.Codec.Reader.bool r in
+  let exec = Util.Codec.Reader.bool r in
+  let pages = Util.Codec.Reader.array Page.decode r in
+  { id; start_addr; kind; perms = { read; write; exec }; pages }
+
+let equal a b =
+  a.id = b.id && a.start_addr = b.start_addr && a.kind = b.kind && a.perms = b.perms
+  && npages a = npages b
+  && Array.for_all2 (fun pa pb -> pa = pb) a.pages b.pages

@@ -1,0 +1,54 @@
+(** A contiguous mapped range of an address space, page-granular, in the
+    spirit of a line of [/proc/<pid>/maps]. *)
+
+type kind =
+  | Text                                      (** program/library code *)
+  | Data                                      (** initialized globals *)
+  | Heap
+  | Stack
+  | Mmap_anon
+  | Mmap_shared of { backing_path : string }  (** shared mapping with a backing file *)
+
+type perms = { read : bool; write : bool; exec : bool }
+
+val rw : perms
+val rx : perms
+val ro : perms
+
+type t = {
+  id : int;
+  start_addr : int;
+  kind : kind;
+  perms : perms;
+  pages : Page.content array;  (** slots are mutable; contents immutable *)
+}
+
+val npages : t -> int
+val byte_size : t -> int
+val end_addr : t -> int
+
+(** [create ~id ~start_addr ~kind ~perms ~npages content] builds a region
+    whose [i]-th page is [content i]. *)
+val create :
+  id:int -> start_addr:int -> kind:kind -> perms:perms -> npages:int -> (int -> Page.content) -> t
+
+(** Private copy-on-write clone: a fresh page array sharing the immutable
+    page contents.  Shared mappings alias the same array instead (decided
+    by {!Address_space.fork}). *)
+val clone_private : t -> t
+
+(** Same region object with the page array aliased (shared mapping
+    semantics: writes by either side are seen by both). *)
+val alias : t -> t
+
+(** [set_page t i content] replaces page [i]. *)
+val set_page : t -> int -> Page.content -> unit
+
+val kind_name : kind -> string
+
+val encode : Util.Codec.Writer.t -> t -> unit
+val decode : Util.Codec.Reader.t -> t
+
+(** Structural equality of metadata and page contents (synthetic pages
+    compare by descriptor). *)
+val equal : t -> t -> bool

@@ -1,0 +1,1 @@
+lib/mtcp/cost.ml:

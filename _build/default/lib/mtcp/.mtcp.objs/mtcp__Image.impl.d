@@ -1,0 +1,1 @@
+lib/mtcp/image.ml: Array Compress Hashtbl List Mem Printf Simos Util

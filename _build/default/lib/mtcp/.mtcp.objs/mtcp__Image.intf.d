@@ -1,0 +1,1 @@
+lib/mtcp/image.mli: Compress Mem Simos

@@ -1,0 +1,201 @@
+type thread_image = {
+  ti_inst : Simos.Program.instance;
+  ti_wait : Simos.Program.wait option;
+}
+
+type t = {
+  cmdline : string list;
+  env : (string * string) list;
+  threads : thread_image list;
+  space : Mem.Address_space.t;
+  sigtable : (int * Simos.Kernel.sigaction) list;
+  pending_signals : int list;
+}
+
+let capture (proc : Simos.Kernel.process) =
+  let threads =
+    proc.Simos.Kernel.threads
+    |> List.filter (fun (th : Simos.Kernel.thread) ->
+           (not th.Simos.Kernel.manager) && th.Simos.Kernel.tstate <> Simos.Kernel.Dead)
+    |> List.map (fun (th : Simos.Kernel.thread) ->
+           let ti_wait =
+             match th.Simos.Kernel.tstate with
+             | Simos.Kernel.Blocked w -> Some w
+             | Simos.Kernel.Ready | Simos.Kernel.Dead -> None
+           in
+           (* Round-trip the instance through its codec so the snapshot is
+              decoupled from the live (mutable) instance. *)
+           let w = Util.Codec.Writer.create () in
+           Simos.Program.encode_instance w th.Simos.Kernel.inst;
+           let r = Util.Codec.Reader.of_string (Util.Codec.Writer.contents w) in
+           { ti_inst = Simos.Program.decode_instance r; ti_wait })
+  in
+  {
+    cmdline = proc.Simos.Kernel.cmdline;
+    env = proc.Simos.Kernel.env;
+    threads;
+    space = Mem.Address_space.snapshot proc.Simos.Kernel.space;
+    sigtable =
+      Hashtbl.fold (fun s a acc -> (s, a) :: acc) proc.Simos.Kernel.sigtable []
+      |> List.sort compare;
+    pending_signals = proc.Simos.Kernel.pending_signals;
+  }
+
+type sizes = { uncompressed : int; compressed : int; zero_bytes : int }
+
+(* Per-image metadata overhead charged on top of page payloads. *)
+let metadata_bytes t =
+  4096 + (1024 * List.length t.threads)
+
+let sizes algo t =
+  let uncompressed = ref (metadata_bytes t) in
+  let compressed = ref (metadata_bytes t / 4) in
+  let zero = ref 0 in
+  List.iter
+    (fun (r : Mem.Region.t) ->
+      Array.iter
+        (fun page ->
+          uncompressed := !uncompressed + Mem.Page.size;
+          if Mem.Page.is_zero page then zero := !zero + Mem.Page.size;
+          compressed :=
+            !compressed
+            +
+            match page with
+            | Mem.Page.Zero -> ( match algo with Compress.Algo.Null -> Mem.Page.size | _ -> 8)
+            | Mem.Page.Materialized _ -> Mem.Page.compressed_size algo page
+            | Mem.Page.Synthetic { cls; _ } ->
+              int_of_float (ceil (float_of_int Mem.Page.size *. Mem.Entropy.ratio algo cls)))
+        r.Mem.Region.pages)
+    (Mem.Address_space.regions t.space);
+  { uncompressed = !uncompressed; compressed = !compressed; zero_bytes = !zero }
+
+(* pages charged to an incremental image: those differing from the
+   previous snapshot (physical equality is the fast path: unchanged slots
+   alias the same immutable content) *)
+let page_changed prev_pages idx page =
+  match prev_pages with
+  | Some pages when idx < Array.length pages ->
+    let old = pages.(idx) in
+    not (old == page || old = page)
+  | _ -> true
+
+let delta_sizes algo ~prev t =
+  match prev with
+  | None -> sizes algo t
+  | Some prev_space ->
+    let prev_regions =
+      List.fold_left
+        (fun acc (r : Mem.Region.t) -> (r.Mem.Region.id, r.Mem.Region.pages) :: acc)
+        []
+        (Mem.Address_space.regions prev_space)
+    in
+    let uncompressed = ref (metadata_bytes t) in
+    let compressed = ref (metadata_bytes t / 4) in
+    let zero = ref 0 in
+    List.iter
+      (fun (r : Mem.Region.t) ->
+        let prev_pages = List.assoc_opt r.Mem.Region.id prev_regions in
+        Array.iteri
+          (fun idx page ->
+            (* one bit per page for the dirty bitmap *)
+            compressed := !compressed + 1;
+            if page_changed prev_pages idx page then begin
+              uncompressed := !uncompressed + Mem.Page.size;
+              if Mem.Page.is_zero page then zero := !zero + Mem.Page.size;
+              compressed :=
+                !compressed
+                +
+                match page with
+                | Mem.Page.Zero -> (
+                  match algo with Compress.Algo.Null -> Mem.Page.size | _ -> 8)
+                | Mem.Page.Materialized _ -> Mem.Page.compressed_size algo page
+                | Mem.Page.Synthetic { cls; _ } ->
+                  int_of_float (ceil (float_of_int Mem.Page.size *. Mem.Entropy.ratio algo cls))
+            end)
+          r.Mem.Region.pages)
+      (Mem.Address_space.regions t.space);
+    { uncompressed = !uncompressed; compressed = !compressed; zero_bytes = !zero }
+
+let encode_sigaction w = function
+  | Simos.Kernel.Sig_default -> Util.Codec.Writer.u8 w 0
+  | Simos.Kernel.Sig_ignore -> Util.Codec.Writer.u8 w 1
+  | Simos.Kernel.Sig_handler name ->
+    Util.Codec.Writer.u8 w 2;
+    Util.Codec.Writer.string w name
+
+let decode_sigaction r =
+  match Util.Codec.Reader.u8 r with
+  | 0 -> Simos.Kernel.Sig_default
+  | 1 -> Simos.Kernel.Sig_ignore
+  | 2 -> Simos.Kernel.Sig_handler (Util.Codec.Reader.string r)
+  | n -> raise (Util.Codec.Reader.Corrupt (Printf.sprintf "bad sigaction %d" n))
+
+let encode_body t =
+  let w = Util.Codec.Writer.create ~capacity:4096 () in
+  Util.Codec.Writer.list Util.Codec.Writer.string w t.cmdline;
+  Util.Codec.Writer.list
+    (Util.Codec.Writer.pair Util.Codec.Writer.string Util.Codec.Writer.string)
+    w t.env;
+  Util.Codec.Writer.list
+    (fun w ti ->
+      Simos.Program.encode_instance w ti.ti_inst;
+      Util.Codec.Writer.option Simos.Program.encode_wait w ti.ti_wait)
+    w t.threads;
+  Mem.Address_space.encode w t.space;
+  Util.Codec.Writer.list (Util.Codec.Writer.pair Util.Codec.Writer.uvarint encode_sigaction) w
+    t.sigtable;
+  Util.Codec.Writer.list Util.Codec.Writer.uvarint w t.pending_signals;
+  Util.Codec.Writer.contents w
+
+let decode_body s =
+  let r = Util.Codec.Reader.of_string s in
+  let cmdline = Util.Codec.Reader.list Util.Codec.Reader.string r in
+  let env =
+    Util.Codec.Reader.list
+      (Util.Codec.Reader.pair Util.Codec.Reader.string Util.Codec.Reader.string)
+      r
+  in
+  let threads =
+    Util.Codec.Reader.list
+      (fun r ->
+        let ti_inst = Simos.Program.decode_instance r in
+        let ti_wait = Util.Codec.Reader.option Simos.Program.decode_wait r in
+        { ti_inst; ti_wait })
+      r
+  in
+  let space = Mem.Address_space.decode r in
+  let sigtable =
+    Util.Codec.Reader.list
+      (Util.Codec.Reader.pair Util.Codec.Reader.uvarint decode_sigaction)
+      r
+  in
+  let pending_signals = Util.Codec.Reader.list Util.Codec.Reader.uvarint r in
+  Util.Codec.Reader.expect_end r;
+  { cmdline; env; threads; space; sigtable; pending_signals }
+
+let encode ~algo t = Compress.Container.pack ~algo (encode_body t)
+let decode s = decode_body (Compress.Container.unpack s)
+
+let restore_threads kernel (proc : Simos.Kernel.process) t =
+  proc.Simos.Kernel.space <- t.space;
+  proc.Simos.Kernel.cmdline <- t.cmdline;
+  proc.Simos.Kernel.env <- t.env;
+  List.iter (fun (s, a) -> Simos.Kernel.set_sigaction proc s a) t.sigtable;
+  proc.Simos.Kernel.pending_signals <- t.pending_signals;
+  List.iter
+    (fun ti -> ignore (Simos.Kernel.add_thread kernel proc ~inst:ti.ti_inst ?blocked:ti.ti_wait ()))
+    t.threads
+
+let instance_bytes inst =
+  let w = Util.Codec.Writer.create () in
+  Simos.Program.encode_instance w inst;
+  Util.Codec.Writer.contents w
+
+let equal a b =
+  a.cmdline = b.cmdline && a.env = b.env && a.sigtable = b.sigtable
+  && a.pending_signals = b.pending_signals
+  && List.length a.threads = List.length b.threads
+  && List.for_all2
+       (fun x y -> x.ti_wait = y.ti_wait && instance_bytes x.ti_inst = instance_bytes y.ti_inst)
+       a.threads b.threads
+  && Mem.Address_space.equal a.space b.space

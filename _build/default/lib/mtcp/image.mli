@@ -1,0 +1,71 @@
+(** MTCP: single-process checkpointing of memory and threads.
+
+    This is the lower of DMTCP's two layers (paper §4.1): it owns the
+    process image — address space and user threads — while the distributed
+    layer above owns sockets, files and other kernel artifacts.  The two
+    communicate through a deliberately small API, mirroring the paper's
+    claim that the split eases porting.
+
+    An image is a real byte string: thread program states are serialized
+    through the program registry and the address space through the page
+    codec, then the whole payload is framed by {!Compress.Container} with
+    the chosen scheme and a CRC.  Synthetic bulk pages are stored as
+    descriptors, so the *simulated* on-disk size (what the paper's
+    experiments measure) is computed separately by {!sizes}. *)
+
+type thread_image = {
+  ti_inst : Simos.Program.instance;
+  ti_wait : Simos.Program.wait option;  (** re-blocked on restore *)
+}
+
+type t = {
+  cmdline : string list;
+  env : (string * string) list;
+  threads : thread_image list;           (** user threads only, not managers *)
+  space : Mem.Address_space.t;
+  sigtable : (int * Simos.Kernel.sigaction) list;  (** saved signal handlers *)
+  pending_signals : int list;
+}
+
+(** [capture proc] snapshots a (suspended) process: a COW copy of the
+    address space and the current program state of every non-manager
+    thread.  The caller is responsible for having suspended user threads
+    first — capturing a running process is a checkpointing bug. *)
+val capture : Simos.Kernel.process -> t
+
+(** Size accounting for an image under a compression scheme. *)
+type sizes = {
+  uncompressed : int;   (** bytes a raw dump would occupy *)
+  compressed : int;     (** simulated on-disk bytes under the scheme *)
+  zero_bytes : int;     (** untouched pages (compress ~for free) *)
+}
+
+val sizes : Compress.Algo.t -> t -> sizes
+
+(** [delta_sizes algo ~prev t] — size accounting for an *incremental*
+    checkpoint: only pages that changed since the [prev] snapshot are
+    charged (plus a small per-page bitmap).  Page contents are immutable
+    values, so "changed" is physical-or-structural inequality of the page
+    slot.  With [prev = None] this equals {!sizes}.  Incremental
+    checkpointing is this repository's implementation of the
+    compressed-differences line of work the paper cites ([2], [25]). *)
+val delta_sizes : Compress.Algo.t -> prev:Mem.Address_space.t option -> t -> sizes
+
+(** Encode to real bytes (framed, CRC-protected). *)
+val encode : algo:Compress.Algo.t -> t -> string
+
+(** Decode; raises {!Compress.Container.Bad_container} or
+    [Util.Codec.Reader.Corrupt] on damage, [Not_found] if a program is
+    missing from the registry. *)
+val decode : string -> t
+
+(** [restore_threads kernel proc image] re-creates the image's user
+    threads inside [proc] (an empty shell from
+    {!Simos.Kernel.create_raw_process}) and installs the restored address
+    space.  Threads resume exactly where [capture] saw them: runnable
+    threads are rescheduled, blocked threads re-block on their saved wait
+    condition. *)
+val restore_threads : Simos.Kernel.t -> Simos.Kernel.process -> t -> unit
+
+(** Structural equality (used by tests). *)
+val equal : t -> t -> bool

@@ -1,0 +1,19 @@
+(** Binary min-heap keyed by [(priority, sequence)].
+
+    Two entries with equal priority pop in insertion order, which makes the
+    event engine deterministic: simultaneous events fire in the order they
+    were scheduled. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** [push h ~priority v] inserts [v]. *)
+val push : 'a t -> priority:float -> 'a -> unit
+
+(** Smallest entry, as [(priority, value)]. *)
+val peek : 'a t -> (float * 'a) option
+
+val pop : 'a t -> (float * 'a) option

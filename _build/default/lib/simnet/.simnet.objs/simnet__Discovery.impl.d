@@ -1,0 +1,1 @@
+lib/simnet/discovery.ml: Addr Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/simnet/fabric.ml: Addr Array Float Hashtbl Option Printf Queue Sim String Util

@@ -1,0 +1,26 @@
+(** The restart-time discovery service (paper §4.4 step 2).
+
+    After restart, processes may have migrated, so socket acceptors
+    advertise the address of their restart listener under the connection's
+    globally unique ID, and connectors subscribe until the advertisement
+    appears.  The service is cluster-wide; the paper notes it is
+    centralized for simplicity, as here. *)
+
+type t
+
+val create : unit -> t
+
+(** Advertise [addr] under [key], notifying pending subscribers. *)
+val advertise : t -> key:string -> Addr.t -> unit
+
+val lookup : t -> key:string -> Addr.t option
+
+(** [subscribe t ~key f] calls [f addr] immediately if [key] is already
+    advertised, otherwise as soon as it is. *)
+val subscribe : t -> key:string -> (Addr.t -> unit) -> unit
+
+(** Number of advertisements (for tests). *)
+val size : t -> int
+
+(** Drop all advertisements and subscriptions (between restart rounds). *)
+val clear : t -> unit

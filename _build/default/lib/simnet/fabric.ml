@@ -1,0 +1,337 @@
+type state = Created | Bound | Listening | Connecting | Established | Closed
+
+type error = Refused | Not_connected | Already_bound | Addr_in_use | Invalid
+
+let pp_error = function
+  | Refused -> "connection refused"
+  | Not_connected -> "not connected"
+  | Already_bound -> "already bound"
+  | Addr_in_use -> "address in use"
+  | Invalid -> "invalid operation"
+
+let buffer_capacity = 64 * 1024
+let chunk_size = 16 * 1024
+
+type socket = {
+  id : int;
+  fab : t;
+  sock_host : Addr.host;
+  unix : bool;
+  mutable st : state;
+  mutable local : Addr.t option;
+  mutable peer : socket option;
+  recv_buf : Util.Bytequeue.t;
+  send_buf : Util.Bytequeue.t;
+  mutable in_flight : int;
+  mutable pumping : bool;
+  mutable fin_sent : bool;          (* our side called close *)
+  mutable peer_closed : bool;       (* FIN received: EOF after recv_buf drains *)
+  mutable refused : bool;
+  accept_q : socket Queue.t;
+  mutable backlog : int;
+  mutable wake : unit -> unit;
+}
+
+and t = {
+  eng : Sim.Engine.t;
+  latency : float;
+  bandwidth : float;
+  loopback_latency : float;
+  n : int;
+  listeners : (Addr.t, socket) Hashtbl.t;
+  nic_free_at : float array;
+  next_port : int array;
+  mutable next_id : int;
+}
+
+let create eng ?(latency = 100e-6) ?(bandwidth = 117e6) ?(loopback_latency = 10e-6) ~nhosts () =
+  {
+    eng;
+    latency;
+    bandwidth;
+    loopback_latency;
+    n = nhosts;
+    listeners = Hashtbl.create 64;
+    nic_free_at = Array.make nhosts 0.;
+    next_port = Array.make nhosts 32768;
+    next_id = 0;
+  }
+
+let engine t = t.eng
+let nhosts t = t.n
+
+let make_socket fab ~host ~unix =
+  let id = fab.next_id in
+  fab.next_id <- id + 1;
+  {
+    id;
+    fab;
+    sock_host = host;
+    unix;
+    st = Created;
+    local = None;
+    peer = None;
+    recv_buf = Util.Bytequeue.create ();
+    send_buf = Util.Bytequeue.create ();
+    in_flight = 0;
+    pumping = false;
+    fin_sent = false;
+    peer_closed = false;
+    refused = false;
+    accept_q = Queue.create ();
+    backlog = 0;
+    wake = ignore;
+  }
+
+let socket fab ~host = make_socket fab ~host ~unix:false
+let socket_unix fab ~host = make_socket fab ~host ~unix:true
+
+let id s = s.id
+let host s = s.sock_host
+let state s = s.st
+let local_addr s = s.local
+let is_unix s = s.unix
+let connect_refused s = s.refused
+let recv_buffered s = Util.Bytequeue.length s.recv_buf
+let send_buffered s = Util.Bytequeue.length s.send_buf
+let in_flight s = s.in_flight
+let on_activity s f = s.wake <- f
+
+let peer_addr s =
+  match s.peer with
+  | None -> None
+  | Some p -> p.local
+
+let readable s =
+  match s.st with
+  | Listening -> not (Queue.is_empty s.accept_q)
+  | _ -> (not (Util.Bytequeue.is_empty s.recv_buf)) || s.peer_closed
+
+let writable s =
+  s.st = Established && (not s.fin_sent) && Util.Bytequeue.length s.send_buf < buffer_capacity
+
+(* Time for [len] bytes from [src] to [dst], charging the sender NIC. *)
+let transfer_delay fab ~src ~dst len =
+  let now = Sim.Engine.now fab.eng in
+  if src = dst then fab.loopback_latency
+  else begin
+    let depart = Float.max now fab.nic_free_at.(src) in
+    let dur = float_of_int len /. fab.bandwidth in
+    fab.nic_free_at.(src) <- depart +. dur;
+    depart -. now +. dur +. fab.latency
+  end
+
+(* Move FIN to the peer once every queued byte has been delivered. *)
+let rec maybe_deliver_fin s =
+  if s.fin_sent && Util.Bytequeue.is_empty s.send_buf && s.in_flight = 0 then
+    match s.peer with
+    | Some p when not p.peer_closed ->
+      let delay = if s.sock_host = p.sock_host then s.fab.loopback_latency else s.fab.latency in
+      ignore
+        (Sim.Engine.schedule s.fab.eng ~delay (fun () ->
+             p.peer_closed <- true;
+             p.wake ()))
+    | _ -> ()
+
+and pump s =
+  if (not s.pumping) && s.st = Established then
+    match s.peer with
+    | None -> ()
+    | Some p ->
+      let free = buffer_capacity - Util.Bytequeue.length p.recv_buf in
+      let len = min (min (Util.Bytequeue.length s.send_buf) free) chunk_size in
+      if len > 0 then begin
+        let data = Util.Bytequeue.pop s.send_buf len in
+        s.in_flight <- s.in_flight + len;
+        s.pumping <- true;
+        let delay = transfer_delay s.fab ~src:s.sock_host ~dst:p.sock_host len in
+        ignore
+          (Sim.Engine.schedule s.fab.eng ~delay (fun () ->
+               Util.Bytequeue.push p.recv_buf data;
+               s.in_flight <- s.in_flight - len;
+               s.pumping <- false;
+               p.wake ();
+               s.wake ();
+               pump s;
+               maybe_deliver_fin s))
+      end
+      else maybe_deliver_fin s
+
+let bind s ~port =
+  match s.st with
+  | Created when not s.unix ->
+    let port =
+      if port = 0 then begin
+        let p = s.fab.next_port.(s.sock_host) in
+        s.fab.next_port.(s.sock_host) <- p + 1;
+        p
+      end
+      else port
+    in
+    let addr = Addr.Inet { host = s.sock_host; port } in
+    if Hashtbl.mem s.fab.listeners addr then Error Addr_in_use
+    else begin
+      s.local <- Some addr;
+      s.st <- Bound;
+      Ok port
+    end
+  | Created -> Error Invalid
+  | _ -> Error Already_bound
+
+let bind_unix s ~path =
+  match s.st with
+  | Created when s.unix ->
+    let addr = Addr.Unix { host = s.sock_host; path } in
+    if Hashtbl.mem s.fab.listeners addr then Error Addr_in_use
+    else begin
+      s.local <- Some addr;
+      s.st <- Bound;
+      Ok ()
+    end
+  | Created -> Error Invalid
+  | _ -> Error Already_bound
+
+let listen s ~backlog =
+  match s.st, s.local with
+  | Bound, Some addr ->
+    if Hashtbl.mem s.fab.listeners addr then Error Addr_in_use
+    else begin
+      Hashtbl.replace s.fab.listeners addr s;
+      s.backlog <- max 1 backlog;
+      s.st <- Listening;
+      Ok ()
+    end
+  | _ -> Error Invalid
+
+let one_way_latency fab ~src ~dst =
+  if src = dst then fab.loopback_latency else fab.latency
+
+let connect s addr =
+  match s.st with
+  | Created ->
+    (match addr, s.unix with
+    | Addr.Inet _, true | Addr.Unix _, false -> Error Invalid
+    | _ ->
+      s.st <- Connecting;
+      let fab = s.fab in
+      let fwd = one_way_latency fab ~src:s.sock_host ~dst:(Addr.host_of addr) in
+      ignore
+        (Sim.Engine.schedule fab.eng ~delay:fwd (fun () ->
+             let refuse () =
+               let back = one_way_latency fab ~src:(Addr.host_of addr) ~dst:s.sock_host in
+               ignore
+                 (Sim.Engine.schedule fab.eng ~delay:back (fun () ->
+                      s.st <- Closed;
+                      s.refused <- true;
+                      s.wake ()))
+             in
+             match Hashtbl.find_opt fab.listeners addr with
+             | None -> refuse ()
+             | Some listener when listener.st <> Listening -> refuse ()
+             | Some listener when Queue.length listener.accept_q >= listener.backlog -> refuse ()
+             | Some listener ->
+               (* Server-side endpoint, established immediately. *)
+               let server = make_socket fab ~host:(Addr.host_of addr) ~unix:s.unix in
+               server.st <- Established;
+               server.local <- Some addr;
+               server.peer <- Some s;
+               Queue.push server listener.accept_q;
+               listener.wake ();
+               let back = one_way_latency fab ~src:(Addr.host_of addr) ~dst:s.sock_host in
+               ignore
+                 (Sim.Engine.schedule fab.eng ~delay:back (fun () ->
+                      if s.st = Connecting then begin
+                        s.st <- Established;
+                        s.peer <- Some server;
+                        (* our ephemeral local address *)
+                        if s.local = None && not s.unix then begin
+                          let p = fab.next_port.(s.sock_host) in
+                          fab.next_port.(s.sock_host) <- p + 1;
+                          s.local <- Some (Addr.Inet { host = s.sock_host; port = p })
+                        end;
+                        s.wake ();
+                        pump s;
+                        pump server
+                      end))));
+      Ok ())
+  | _ -> Error Invalid
+
+let accept s =
+  match s.st with
+  | Listening when not (Queue.is_empty s.accept_q) -> Some (Queue.pop s.accept_q)
+  | _ -> None
+
+let send s data =
+  match s.st with
+  | Established when not s.fin_sent ->
+    let free = buffer_capacity - Util.Bytequeue.length s.send_buf in
+    let n = min free (String.length data) in
+    if n > 0 then begin
+      Util.Bytequeue.push s.send_buf (String.sub data 0 n);
+      pump s
+    end;
+    Ok n
+  | Established -> Error Invalid
+  | Closed -> Error (if s.refused then Refused else Not_connected)
+  | _ -> Error Not_connected
+
+let recv s ~max =
+  match s.st with
+  | Established | Closed ->
+    if not (Util.Bytequeue.is_empty s.recv_buf) then begin
+      let data = Util.Bytequeue.pop s.recv_buf max in
+      (match s.peer with
+      | Some p -> pump p  (* room freed: let the peer push more *)
+      | None -> ());
+      `Data data
+    end
+    else if s.peer_closed then `Eof
+    else if s.st = Closed then `Error (if s.refused then Refused else Not_connected)
+    else `Would_block
+  | Listening | Created | Bound | Connecting -> `Error Not_connected
+
+let close s =
+  match s.st with
+  | Closed -> ()
+  | Listening ->
+    (match s.local with
+    | Some addr -> Hashtbl.remove s.fab.listeners addr
+    | None -> ());
+    (* pending, never-accepted connections are refused *)
+    Queue.iter
+      (fun server ->
+        match server.peer with
+        | Some client ->
+          client.st <- Closed;
+          client.refused <- true;
+          client.wake ()
+        | None -> ())
+      s.accept_q;
+    Queue.clear s.accept_q;
+    s.st <- Closed
+  | Created | Bound ->
+    (match s.local with
+    | Some addr -> Hashtbl.remove s.fab.listeners addr
+    | None -> ());
+    s.st <- Closed
+  | Connecting | Established ->
+    s.fin_sent <- true;
+    maybe_deliver_fin s;
+    s.st <- Closed
+
+let socketpair fab ~host =
+  let a = make_socket fab ~host ~unix:true in
+  let b = make_socket fab ~host ~unix:true in
+  a.st <- Established;
+  b.st <- Established;
+  a.peer <- Some b;
+  b.peer <- Some a;
+  a.local <- Some (Addr.Unix { host; path = Printf.sprintf "<pair:%d>" a.id });
+  b.local <- Some (Addr.Unix { host; path = Printf.sprintf "<pair:%d>" b.id });
+  (a, b)
+
+let inject_recv s data =
+  Util.Bytequeue.push s.recv_buf data;
+  s.wake ()
+
+let peer_id s = Option.map (fun p -> p.id) s.peer

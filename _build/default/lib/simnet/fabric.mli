@@ -1,0 +1,123 @@
+(** The cluster interconnect and its TCP-like sockets.
+
+    Each connection endpoint owns kernel-style send and receive buffers;
+    the fabric moves bytes between peers with configurable latency and
+    per-host NIC bandwidth.  At any instant data may therefore live in the
+    sender's buffer, "on the wire" (in flight), or in the receiver's
+    buffer — exactly the states DMTCP's drain protocol must empty before a
+    checkpoint (paper §4.3 step 4).
+
+    UNIX-domain sockets use the same machinery with loopback latency and
+    host-local addressing; [socketpair] returns a pre-connected pair. *)
+
+type t
+type socket
+
+type state = Created | Bound | Listening | Connecting | Established | Closed
+
+type error =
+  | Refused
+  | Not_connected
+  | Already_bound
+  | Addr_in_use
+  | Invalid
+
+val pp_error : error -> string
+
+(** [create engine ~nhosts ()] builds a fabric.
+    Defaults: 100 us latency, 117 MB/s NIC bandwidth (GbE), 10 us
+    loopback. *)
+val create :
+  Sim.Engine.t ->
+  ?latency:float ->
+  ?bandwidth:float ->
+  ?loopback_latency:float ->
+  nhosts:int ->
+  unit ->
+  t
+
+val engine : t -> Sim.Engine.t
+val nhosts : t -> int
+
+(** Buffer capacity per direction (64 KiB, "tens of kilobytes" §5.4). *)
+val buffer_capacity : int
+
+(** Fresh TCP endpoint on [host]. *)
+val socket : t -> host:Addr.host -> socket
+
+(** Fresh UNIX-domain endpoint on [host]. *)
+val socket_unix : t -> host:Addr.host -> socket
+
+(** Connected UNIX-domain pair (both ends on [host]). *)
+val socketpair : t -> host:Addr.host -> socket * socket
+
+(** [bind sock ~port] with [port = 0] picks an ephemeral port. *)
+val bind : socket -> port:int -> (int, error) result
+
+val bind_unix : socket -> path:string -> (unit, error) result
+val listen : socket -> backlog:int -> (unit, error) result
+
+(** Begin an asynchronous connect; the socket becomes [Established] (or
+    [Closed] with {!connect_refused}) after network round trips. *)
+val connect : socket -> Addr.t -> (unit, error) result
+
+(** Pop one pending connection, if any. *)
+val accept : socket -> socket option
+
+(** [send sock data] queues as much of [data] as fits in the send buffer
+    and returns the count ([Ok 0] = flow-controlled). *)
+val send : socket -> string -> (int, error) result
+
+val recv : socket -> max:int -> [ `Data of string | `Eof | `Would_block | `Error of error ]
+
+(** Half-close of our side; the peer sees EOF once all data drains. *)
+val close : socket -> unit
+
+val id : socket -> int
+val host : socket -> Addr.host
+val state : socket -> state
+val local_addr : socket -> Addr.t option
+
+(** Address of the physical peer endpoint, if connected. *)
+val peer_addr : socket -> Addr.t option
+
+val is_unix : socket -> bool
+val connect_refused : socket -> bool
+
+(** Data available to read, EOF pending, or (for listeners) a pending
+    connection. *)
+val readable : socket -> bool
+
+val writable : socket -> bool
+
+(** Bytes currently buffered on the receive side. *)
+val recv_buffered : socket -> int
+
+(** Bytes in our send buffer, not yet on the wire. *)
+val send_buffered : socket -> int
+
+(** Bytes this endpoint has put on the wire that have not yet reached the
+    peer. *)
+val in_flight : socket -> int
+
+(** Register the kernel wake-up hook, invoked on any state change
+    (data arrival, connect completion, EOF, accept-queue push). One slot;
+    later registrations replace earlier ones. *)
+val on_activity : socket -> (unit -> unit) -> unit
+
+(** {2 Checkpoint support}
+
+    [inject_recv sock data] places [data] at the tail of [sock]'s receive
+    buffer without traversing the wire.  This is the simulation shortcut
+    for DMTCP's refill step (paper §4.3 step 6): in the real system the
+    receiver sends drained data back to the sender, who re-transmits it so
+    it ends up in kernel buffers again; here the end state is produced
+    directly and the caller charges the retransmission time.  Capacity is
+    deliberately not enforced — drained data by construction fit the
+    buffers it came from. *)
+val inject_recv : socket -> string -> unit
+
+(** Unique id of the physical peer endpoint, if connected — used by the
+    DMTCP layer's connect/accept handshake to match the two ends of a
+    connection. *)
+val peer_id : socket -> int option

@@ -1,0 +1,1 @@
+lib/simos/cluster.ml: Array Int64 Kernel List Sim Simnet Storage

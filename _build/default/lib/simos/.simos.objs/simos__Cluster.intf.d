@@ -1,0 +1,1 @@
+lib/simos/cluster.mli: Kernel Sim Simnet

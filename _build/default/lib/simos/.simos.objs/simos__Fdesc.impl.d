@@ -1,0 +1,1 @@
+lib/simos/fdesc.ml: Pipe Pty Simnet Vfs

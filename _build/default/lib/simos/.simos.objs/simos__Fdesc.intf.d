@@ -1,0 +1,1 @@
+lib/simos/fdesc.mli: Pipe Pty Simnet Vfs

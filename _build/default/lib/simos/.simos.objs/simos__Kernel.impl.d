@@ -1,0 +1,1 @@
+lib/simos/kernel.ml: Array Buffer Errno Fdesc Float Hashtbl Int64 List Logs Mem Option Pipe Printf Program Pty Sim Simnet Storage String Util Vfs

@@ -1,0 +1,1 @@
+lib/simos/kernel.mli: Fdesc Hashtbl Mem Program Sim Simnet Storage Vfs

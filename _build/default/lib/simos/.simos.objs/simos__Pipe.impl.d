@@ -1,0 +1,1 @@
+lib/simos/pipe.ml: Errno String Util

@@ -1,0 +1,1 @@
+lib/simos/program.ml: Errno Hashtbl List Mem Printf Simnet Util

@@ -1,0 +1,1 @@
+lib/simos/program.mli: Errno Mem Simnet Util

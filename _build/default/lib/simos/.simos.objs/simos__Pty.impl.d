@@ -1,0 +1,1 @@
+lib/simos/pty.ml: Printf String Util

@@ -1,0 +1,1 @@
+lib/simos/vfs.ml: Bytes Errno Hashtbl List String

@@ -1,0 +1,48 @@
+type storage_config = Local_disks | San_and_nfs of { direct_nodes : int }
+
+type t = {
+  eng : Sim.Engine.t;
+  fab : Simnet.Fabric.t;
+  disc : Simnet.Discovery.t;
+  kernels : Kernel.t array;
+  targets : Storage.Target.t array;
+}
+
+let create ?(seed = 0xC1A5_7E2L) ?latency ?bandwidth ?(cores_per_node = 4)
+    ?(storage = Local_disks) ~nodes () =
+  let eng = Sim.Engine.create ~seed () in
+  let fab = Simnet.Fabric.create eng ?latency ?bandwidth ~nhosts:nodes () in
+  let disc = Simnet.Discovery.create () in
+  let targets =
+    match storage with
+    | Local_disks -> Array.init nodes (fun _ -> Storage.Target.local_disk eng ())
+    | San_and_nfs { direct_nodes } ->
+      let san = Storage.Target.san eng () in
+      Array.init nodes (fun i ->
+          if i < direct_nodes then san else Storage.Target.nfs eng ~backend:san ())
+  in
+  let kernels =
+    Array.init nodes (fun i ->
+        Kernel.create ~node_id:i ~engine:eng ~fabric:fab ~storage:targets.(i)
+          ~cores:cores_per_node
+          ~seed:(Int64.add seed (Int64.of_int (31 * (i + 1))))
+          ())
+  in
+  Array.iter (fun k -> Kernel.set_peers k kernels) kernels;
+  { eng; fab; disc; kernels; targets }
+
+let engine t = t.eng
+let fabric t = t.fab
+let discovery t = t.disc
+let nodes t = Array.length t.kernels
+let kernel t i = t.kernels.(i)
+let kernels t = t.kernels
+let set_hooks t hooks = Array.iter (fun k -> Kernel.set_hooks k hooks) t.kernels
+let run ?until t = Sim.Engine.run ?until t.eng
+let now t = Sim.Engine.now t.eng
+
+let all_processes t =
+  Array.to_list t.kernels
+  |> List.concat_map (fun k -> List.map (fun p -> (k, p)) (Kernel.processes k))
+
+let reset_storage t = Array.iter Storage.Target.reset t.targets

@@ -1,0 +1,48 @@
+(** A whole simulated cluster: one engine, one fabric, one discovery
+    service, and a kernel plus storage target per node.
+
+    Mirrors the paper's testbed (§5.2): 32 nodes, 4 cores each, Gigabit
+    Ethernet, local disk per node; optionally a SAN reachable directly
+    from the first 8 nodes and via NFS from the rest (Figure 5b). *)
+
+type storage_config =
+  | Local_disks             (** one independent disk per node (default) *)
+  | San_and_nfs of { direct_nodes : int }
+      (** shared SAN for the first [direct_nodes] nodes, NFS re-export of
+          it for the others *)
+
+type t
+
+val create :
+  ?seed:int64 ->
+  ?latency:float ->
+  ?bandwidth:float ->
+  ?cores_per_node:int ->
+  ?storage:storage_config ->
+  nodes:int ->
+  unit ->
+  t
+
+val engine : t -> Sim.Engine.t
+val fabric : t -> Simnet.Fabric.t
+val discovery : t -> Simnet.Discovery.t
+val nodes : t -> int
+val kernel : t -> int -> Kernel.t
+val kernels : t -> Kernel.t array
+
+(** Install the same hook table in every kernel. *)
+val set_hooks : t -> Kernel.hooks -> unit
+
+(** Run the simulation until quiescent or [until]. *)
+val run : ?until:float -> t -> unit
+
+(** Current virtual time. *)
+val now : t -> float
+
+(** Every running process, cluster-wide, as (kernel, process), sorted by
+    (node, pid). *)
+val all_processes : t -> (Kernel.t * Kernel.process) list
+
+(** Reset each node's storage-target cache/queue state (between
+    experiment repetitions). *)
+val reset_storage : t -> unit

@@ -1,0 +1,15 @@
+(** Error codes returned by simulated syscalls. *)
+
+type t =
+  | EBADF       (** unknown file descriptor *)
+  | ENOENT      (** no such file *)
+  | EEXIST
+  | ECONNREFUSED
+  | ENOTCONN
+  | EADDRINUSE
+  | EPIPE       (** write to a pipe with no readers *)
+  | EINVAL
+  | ECHILD      (** no children to wait for *)
+  | ESRCH       (** no such process *)
+
+val to_string : t -> string

@@ -1,0 +1,842 @@
+type sigaction = Sig_default | Sig_ignore | Sig_handler of string
+
+type thread_state = Ready | Blocked of Program.wait | Dead
+
+type thread = {
+  tid : int;
+  tproc : process;
+  mutable inst : Program.instance;
+  mutable tstate : thread_state;
+  mutable suspended : bool;
+  mutable step_pending : bool;
+  mutable generation : int;
+  mutable manager : bool;
+  mutable wake_handle : Sim.Engine.handle option;
+}
+
+and pstate = Running | Zombie of int | Reaped
+
+and process = {
+  pid : int;
+  mutable ppid : int;
+  pnode : int;
+  mutable threads : thread list;
+  fdtable : (int, Fdesc.t) Hashtbl.t;
+  mutable next_fd : int;
+  mutable space : Mem.Address_space.t;
+  mutable env : (string * string) list;
+  mutable pstate : pstate;
+  mutable hijacked : bool;
+  mutable next_tid : int;
+  mutable cmdline : string list;
+  sigtable : (int, sigaction) Hashtbl.t;
+  mutable pending_signals : int list;
+}
+
+type t = {
+  knode_id : int;
+  eng : Sim.Engine.t;
+  fab : Simnet.Fabric.t;
+  kvfs : Vfs.t;
+  store : Storage.Target.t;
+  kcores : int;
+  procs : (int, process) Hashtbl.t;
+  mutable next_pid : int;
+  krng : Util.Rng.t;
+  mutable khooks : hooks;
+  mutable peers : t array;
+  mutable poke_scheduled : bool;
+}
+
+and hooks = {
+  on_spawn : t -> process -> unit;
+  on_fork : t -> parent:process -> child:process -> unit;
+  on_exec : t -> process -> prog:string -> argv:string list -> string * string list;
+  on_ssh : t -> process -> host:int -> prog:string -> argv:string list -> string * string list;
+  on_socket : t -> process -> fd:int -> Fdesc.t -> unit;
+  on_connect : t -> process -> fd:int -> Fdesc.t -> unit;
+  on_accept : t -> process -> fd:int -> Fdesc.t -> unit;
+  on_pipe : t -> process -> (int * int) option;
+  on_exit : t -> process -> unit;
+}
+
+let default_hooks =
+  {
+    on_spawn = (fun _ _ -> ());
+    on_fork = (fun _ ~parent:_ ~child:_ -> ());
+    on_exec = (fun _ _ ~prog ~argv -> (prog, argv));
+    on_ssh = (fun _ _ ~host:_ ~prog ~argv -> (prog, argv));
+    on_socket = (fun _ _ ~fd:_ _ -> ());
+    on_connect = (fun _ _ ~fd:_ _ -> ());
+    on_accept = (fun _ _ ~fd:_ _ -> ());
+    on_pipe = (fun _ _ -> None);
+    on_exit = (fun _ _ -> ());
+  }
+
+let create ~node_id ~engine ~fabric ~storage ?(cores = 4) ?seed () =
+  let seed = Option.value seed ~default:(Int64.of_int (0x9E37 + node_id)) in
+  {
+    knode_id = node_id;
+    eng = engine;
+    fab = fabric;
+    kvfs = Vfs.create ();
+    store = storage;
+    kcores = cores;
+    procs = Hashtbl.create 32;
+    next_pid = 100 * (node_id + 1);
+    krng = Util.Rng.create seed;
+    khooks = default_hooks;
+    peers = [||];
+    poke_scheduled = false;
+  }
+
+let set_peers t peers = t.peers <- peers
+let set_hooks t hooks = t.khooks <- hooks
+let hooks t = t.khooks
+let node_id t = t.knode_id
+let engine t = t.eng
+let fabric t = t.fab
+let vfs t = t.kvfs
+let storage t = t.store
+let cores t = t.kcores
+let peer t i = t.peers.(i)
+
+(* yield cost between consecutive steps of a runnable thread *)
+let quantum = 2e-6
+
+let runnable_threads t =
+  Hashtbl.fold
+    (fun _ p acc ->
+      if p.pstate = Running then
+        acc
+        + List.length (List.filter (fun th -> th.tstate = Ready && not th.suspended) p.threads)
+      else acc)
+    t.procs 0
+
+let load_factor t = Float.max 1.0 (float_of_int (runnable_threads t) /. float_of_int t.kcores)
+
+(* ------------------------------------------------------------------ *)
+(* Wait conditions *)
+
+let fd_desc proc fd = Hashtbl.find_opt proc.fdtable fd
+
+let wait_satisfied t proc = function
+  | Program.Readable fd -> (
+    match fd_desc proc fd with
+    | None -> true (* read will return EBADF; wake it *)
+    | Some d -> Fdesc.readable d)
+  | Program.Readable_any fds ->
+    List.exists
+      (fun fd ->
+        match fd_desc proc fd with
+        | None -> true
+        | Some d -> Fdesc.readable d)
+      fds
+  | Program.Writable fd -> (
+    match fd_desc proc fd with
+    | None -> true
+    | Some d -> Fdesc.writable d)
+  | Program.Child ->
+    (* wake if there is a zombie child to reap, or no children at all
+       (the wait will return ECHILD) *)
+    let has_child = ref false in
+    let has_zombie = ref false in
+    Hashtbl.iter
+      (fun _ p ->
+        if p.ppid = proc.pid && p.pstate <> Reaped then begin
+          has_child := true;
+          match p.pstate with
+          | Zombie _ -> has_zombie := true
+          | Running | Reaped -> ()
+        end)
+      t.procs;
+    (not !has_child) || !has_zombie
+  | Program.Sleep_until deadline -> Sim.Engine.now t.eng >= deadline
+  | Program.Stopped -> false
+
+let get_sigaction proc signal =
+  Option.value ~default:Sig_default (Hashtbl.find_opt proc.sigtable signal)
+
+let set_sigaction proc signal action = Hashtbl.replace proc.sigtable signal action
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling *)
+
+let rec schedule_step t th ~delay =
+  if not th.step_pending then begin
+    th.step_pending <- true;
+    let gen = th.generation in
+    ignore
+      (Sim.Engine.schedule t.eng ~delay (fun () ->
+           if th.generation = gen then begin
+             th.step_pending <- false;
+             run_step t th
+           end))
+  end
+
+and run_step t th =
+  if th.tstate = Ready && (not th.suspended) && th.tproc.pstate = Running then begin
+    let ctx = make_ctx t th in
+    match Program.step_instance ctx th.inst with
+    | Program.B_continue -> schedule_step t th ~delay:quantum
+    | Program.B_compute dt -> schedule_step t th ~delay:(Float.max quantum (dt *. load_factor t))
+    | Program.B_block w ->
+      if wait_satisfied t th.tproc w then schedule_step t th ~delay:quantum
+      else begin
+        th.tstate <- Blocked w;
+        match w with
+        | Program.Sleep_until deadline ->
+          let gen = th.generation in
+          let delay = Float.max 0. (deadline -. Sim.Engine.now t.eng) in
+          th.wake_handle <-
+            Some
+              (Sim.Engine.schedule t.eng ~delay (fun () ->
+                   th.wake_handle <- None;
+                   if th.generation = gen && th.tstate = Blocked w then begin
+                     th.tstate <- Ready;
+                     if not th.suspended then schedule_step t th ~delay:0.
+                   end))
+        | Program.Readable _ | Program.Readable_any _ | Program.Writable _ | Program.Child
+        | Program.Stopped ->
+          ()
+      end
+    | Program.B_fork child_inst ->
+      let child = do_fork t th.tproc child_inst in
+      ignore child;
+      schedule_step t th ~delay:quantum
+    | Program.B_exec { prog; argv } ->
+      do_exec t th ~prog ~argv;
+      schedule_step t th ~delay:quantum
+    | Program.B_exit code -> do_exit t th.tproc code
+  end
+
+and make_ctx t th : Program.ctx =
+  let proc = th.tproc in
+  let check_fd fd k =
+    match fd_desc proc fd with
+    | None -> `Err Errno.EBADF
+    | Some d -> k d
+  in
+  let check_fd_res fd k =
+    match fd_desc proc fd with
+    | None -> Error Errno.EBADF
+    | Some d -> k d
+  in
+  let with_sock fd k =
+    match fd_desc proc fd with
+    | Some { Fdesc.kind = Fdesc.Sock s; _ } -> Some (k s)
+    | _ -> None
+  in
+  let install desc =
+    let fd = proc.next_fd in
+    proc.next_fd <- fd + 1;
+    Hashtbl.replace proc.fdtable fd desc;
+    fd
+  in
+  let bind_wake_sock s = Simnet.Fabric.on_activity s (fun () -> poke_later t) in
+  (* DMTCP's wrappers interpose on the application, not on the injected
+     library itself: manager threads bypass the hook table. *)
+  let wrapped = proc.hijacked && not th.manager in
+  let new_socket unix =
+    let s = if unix then Simnet.Fabric.socket_unix t.fab ~host:t.knode_id else Simnet.Fabric.socket t.fab ~host:t.knode_id in
+    bind_wake_sock s;
+    let desc = Fdesc.make (Fdesc.Sock s) in
+    let fd = install desc in
+    if wrapped then t.khooks.on_socket t proc ~fd desc;
+    fd
+  in
+  {
+    now = (fun () -> Sim.Engine.now t.eng);
+    rng = t.krng;
+    node_id = t.knode_id;
+    pid = proc.pid;
+    tid = th.tid;
+    ppid = (fun () -> proc.ppid);
+    argv = proc.cmdline;
+    getenv = (fun k -> List.assoc_opt k proc.env);
+    setenv =
+      (fun k v ->
+        proc.env <- (k, v) :: List.remove_assoc k proc.env);
+    log =
+      (fun msg ->
+        Logs.debug (fun m -> m "[%.6f n%d p%d t%d] %s" (Sim.Engine.now t.eng) t.knode_id proc.pid th.tid msg));
+    open_file =
+      (fun ?(create = true) path ->
+        match Vfs.lookup t.kvfs path with
+        | Some f -> Ok (install (Fdesc.make (Fdesc.File { file = f; offset = 0 })))
+        | None ->
+          if create then Ok (install (Fdesc.make (Fdesc.File { file = Vfs.open_or_create t.kvfs path; offset = 0 })))
+          else Error Errno.ENOENT);
+    unlink = (fun path -> Vfs.unlink t.kvfs path);
+    file_exists = (fun path -> Vfs.exists t.kvfs path);
+    read_fd =
+      (fun fd ~max ->
+        check_fd fd (fun d ->
+            match d.Fdesc.kind with
+            | Fdesc.File f ->
+              let data = Vfs.read_at f.file ~pos:f.offset ~len:max in
+              if data = "" then `Eof
+              else begin
+                f.offset <- f.offset + String.length data;
+                `Data data
+              end
+            | Fdesc.Sock s -> (
+              match Simnet.Fabric.recv s ~max with
+              | `Data d -> `Data d
+              | `Eof -> `Eof
+              | `Would_block -> `Would_block
+              | `Error _ -> `Err Errno.ENOTCONN)
+            | Fdesc.Pipe_r p -> (Pipe.read p ~max :> [ `Data of string | `Eof | `Would_block | `Err of Errno.t ])
+            | Fdesc.Pipe_w _ -> `Err Errno.EINVAL
+            | Fdesc.Pty_m p -> (
+              match Pty.master_read p ~max with
+              | `Data d -> `Data d
+              | `Would_block -> `Would_block)
+            | Fdesc.Pty_s p -> (
+              match Pty.slave_read p ~max with
+              | `Data d -> `Data d
+              | `Would_block -> `Would_block)));
+    write_fd =
+      (fun fd data ->
+        check_fd_res fd (fun d ->
+            match d.Fdesc.kind with
+            | Fdesc.File f ->
+              Vfs.write_at f.file ~pos:f.offset data;
+              f.offset <- f.offset + String.length data;
+              poke_later t;
+              Ok (String.length data)
+            | Fdesc.Sock s -> (
+              match Simnet.Fabric.send s data with
+              | Ok n -> Ok n
+              | Error Simnet.Fabric.Refused -> Error Errno.ECONNREFUSED
+              | Error _ -> Error Errno.ENOTCONN)
+            | Fdesc.Pipe_r _ -> Error Errno.EINVAL
+            | Fdesc.Pipe_w p -> Pipe.write p data
+            | Fdesc.Pty_m p -> Ok (Pty.master_write p data)
+            | Fdesc.Pty_s p -> Ok (Pty.slave_write p data)));
+    close_fd = (fun fd -> remove_fd t proc ~fd);
+    dup =
+      (fun fd ->
+        check_fd_res fd (fun d ->
+            Fdesc.incr_ref d;
+            (match d.Fdesc.kind with
+            | Fdesc.Pipe_r p -> Pipe.add_reader p
+            | Fdesc.Pipe_w p -> Pipe.add_writer p
+            | _ -> ());
+            Ok (install d)));
+    dup2 =
+      (fun ~src ~dst ->
+        check_fd_res src (fun d ->
+            if src <> dst then begin
+              (match fd_desc proc dst with
+              | Some old -> begin
+                Hashtbl.remove proc.fdtable dst;
+                decr_desc old
+              end
+              | None -> ());
+              Fdesc.incr_ref d;
+              (match d.Fdesc.kind with
+              | Fdesc.Pipe_r p -> Pipe.add_reader p
+              | Fdesc.Pipe_w p -> Pipe.add_writer p
+              | _ -> ());
+              Hashtbl.replace proc.fdtable dst d;
+              proc.next_fd <- max proc.next_fd (dst + 1)
+            end;
+            Ok ()));
+    fds = (fun () -> Hashtbl.fold (fun fd _ acc -> fd :: acc) proc.fdtable [] |> List.sort compare);
+    fd_readable = (fun fd -> match fd_desc proc fd with Some d -> Fdesc.readable d | None -> false);
+    fd_writable = (fun fd -> match fd_desc proc fd with Some d -> Fdesc.writable d | None -> false);
+    set_fd_owner =
+      (fun fd owner -> match fd_desc proc fd with Some d -> d.Fdesc.owner <- owner | None -> ());
+    get_fd_owner = (fun fd -> match fd_desc proc fd with Some d -> d.Fdesc.owner | None -> 0);
+    pipe =
+      (fun () ->
+        match (if wrapped then t.khooks.on_pipe t proc else None) with
+        | Some fds -> fds
+        | None ->
+          let p = Pipe.create () in
+          Pipe.on_activity p (fun () -> poke_later t);
+          Pipe.add_reader p;
+          Pipe.add_writer p;
+          let rfd = install (Fdesc.make (Fdesc.Pipe_r p)) in
+          let wfd = install (Fdesc.make (Fdesc.Pipe_w p)) in
+          (rfd, wfd));
+    open_pty =
+      (fun () ->
+        let p = Pty.create () in
+        Pty.on_activity p (fun () -> poke_later t);
+        let m = install (Fdesc.make (Fdesc.Pty_m p)) in
+        let s = install (Fdesc.make (Fdesc.Pty_s p)) in
+        (m, s));
+    socket = (fun () -> new_socket false);
+    socket_unix = (fun () -> new_socket true);
+    socketpair =
+      (fun () ->
+        let a, b = Simnet.Fabric.socketpair t.fab ~host:t.knode_id in
+        bind_wake_sock a;
+        bind_wake_sock b;
+        let fa = install (Fdesc.make (Fdesc.Sock a)) in
+        let fb = install (Fdesc.make (Fdesc.Sock b)) in
+        (fa, fb));
+    bind =
+      (fun fd ~port ->
+        check_fd_res fd (fun d ->
+            match d.Fdesc.kind with
+            | Fdesc.Sock s -> (
+              match Simnet.Fabric.bind s ~port with
+              | Ok p -> Ok p
+              | Error Simnet.Fabric.Addr_in_use -> Error Errno.EADDRINUSE
+              | Error _ -> Error Errno.EINVAL)
+            | _ -> Error Errno.EINVAL));
+    bind_unix =
+      (fun fd ~path ->
+        check_fd_res fd (fun d ->
+            match d.Fdesc.kind with
+            | Fdesc.Sock s -> (
+              match Simnet.Fabric.bind_unix s ~path with
+              | Ok () -> Ok ()
+              | Error Simnet.Fabric.Addr_in_use -> Error Errno.EADDRINUSE
+              | Error _ -> Error Errno.EINVAL)
+            | _ -> Error Errno.EINVAL));
+    listen =
+      (fun fd ~backlog ->
+        check_fd_res fd (fun d ->
+            match d.Fdesc.kind with
+            | Fdesc.Sock s -> (
+              match Simnet.Fabric.listen s ~backlog with
+              | Ok () -> Ok ()
+              | Error Simnet.Fabric.Addr_in_use -> Error Errno.EADDRINUSE
+              | Error _ -> Error Errno.EINVAL)
+            | _ -> Error Errno.EINVAL));
+    accept =
+      (fun fd ->
+        match fd_desc proc fd with
+        | Some { Fdesc.kind = Fdesc.Sock s; _ } -> (
+          match Simnet.Fabric.accept s with
+          | None -> None
+          | Some conn ->
+            bind_wake_sock conn;
+            let desc = Fdesc.make (Fdesc.Sock conn) in
+            let nfd = install desc in
+            if wrapped then t.khooks.on_accept t proc ~fd:nfd desc;
+            Some nfd)
+        | _ -> None);
+    connect =
+      (fun fd addr ->
+        check_fd_res fd (fun d ->
+            match d.Fdesc.kind with
+            | Fdesc.Sock s -> (
+              match Simnet.Fabric.connect s addr with
+              | Ok () ->
+                if wrapped then t.khooks.on_connect t proc ~fd d;
+                Ok ()
+              | Error _ -> Error Errno.EINVAL)
+            | _ -> Error Errno.EINVAL));
+    sock_state = (fun fd -> with_sock fd Simnet.Fabric.state);
+    sock_refused =
+      (fun fd -> match with_sock fd Simnet.Fabric.connect_refused with Some b -> b | None -> false);
+    sock_local_addr =
+      (fun fd -> match with_sock fd Simnet.Fabric.local_addr with Some a -> a | None -> None);
+    mmap = (fun ~bytes ~kind -> Mem.Address_space.map proc.space ~kind ~perms:Mem.Region.rw ~bytes ());
+    mem_write = (fun ~addr data -> Mem.Address_space.write proc.space ~addr data);
+    mem_read = (fun ~addr ~len -> Mem.Address_space.read proc.space ~addr ~len);
+    sigaction_set =
+      (fun signal action ->
+        set_sigaction proc signal
+          (match action with
+          | `Default -> Sig_default
+          | `Ignore -> Sig_ignore
+          | `Handler name -> Sig_handler name));
+    sigaction_get =
+      (fun signal ->
+        match get_sigaction proc signal with
+        | Sig_default -> `Default
+        | Sig_ignore -> `Ignore
+        | Sig_handler name -> `Handler name);
+    send_signal =
+      (fun ~pid ~signal ->
+        match Hashtbl.find_opt t.procs pid with
+        | Some target when target.pstate = Running ->
+          deliver_signal t target ~signal;
+          Ok ()
+        | Some _ | None -> Error Errno.ESRCH);
+    take_signal =
+      (fun () ->
+        match proc.pending_signals with
+        | [] -> None
+        | s :: rest ->
+          proc.pending_signals <- rest;
+          Some s);
+    spawn_thread =
+      (fun ~prog ~argv ->
+        let inst = Program.instantiate ~name:prog ~argv in
+        let nth = add_thread_internal t proc ~inst ~manager:false ~blocked:None in
+        nth.tid);
+    wait_child =
+      (fun () ->
+        let zombie = ref None in
+        let has_child = ref false in
+        Hashtbl.iter
+          (fun _ p ->
+            if p.ppid = proc.pid && p.pstate <> Reaped then begin
+              has_child := true;
+              match p.pstate with
+              | Zombie code when !zombie = None -> zombie := Some (p, code)
+              | _ -> ()
+            end)
+          t.procs;
+        match !zombie with
+        | Some (p, code) ->
+          p.pstate <- Reaped;
+          Hashtbl.remove t.procs p.pid;
+          `Child (p.pid, code)
+        | None -> if !has_child then `None else `No_children);
+    kill =
+      (fun ~pid ->
+        match Hashtbl.find_opt t.procs pid with
+        | Some p when p.pstate = Running ->
+          do_exit_process t p 143;
+          Ok ()
+        | Some _ | None -> Error Errno.ESRCH);
+    process_alive =
+      (fun ~pid ->
+        match Hashtbl.find_opt t.procs pid with
+        | Some p -> p.pstate = Running
+        | None -> false);
+    ssh =
+      (fun ~host ~prog ~argv ->
+        if host < 0 || host >= Array.length t.peers then Error Errno.EINVAL
+        else begin
+          let prog, argv =
+            if proc.hijacked then t.khooks.on_ssh t proc ~host ~prog ~argv else (prog, argv)
+          in
+          let remote = t.peers.(host) in
+          let env = proc.env in
+          match spawn_internal remote ~prog ~argv ~env ~ppid:0 ~hijacked:false with
+          | p -> Ok p.pid
+          | exception Not_found -> Error Errno.ENOENT
+        end);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* fd helpers *)
+
+and decr_desc desc =
+  (match desc.Fdesc.kind with
+  | Fdesc.Pipe_r p -> Pipe.remove_reader p
+  | Fdesc.Pipe_w p -> Pipe.remove_writer p
+  | _ -> ());
+  Fdesc.decr_ref desc
+
+and remove_fd t proc ~fd =
+  match Hashtbl.find_opt proc.fdtable fd with
+  | None -> ()
+  | Some desc ->
+    Hashtbl.remove proc.fdtable fd;
+    decr_desc desc;
+    poke_later t
+
+(* ------------------------------------------------------------------ *)
+(* poke: recheck blocked threads *)
+
+and poke_later t =
+  if not t.poke_scheduled then begin
+    t.poke_scheduled <- true;
+    ignore
+      (Sim.Engine.schedule t.eng ~delay:0. (fun () ->
+           t.poke_scheduled <- false;
+           poke t))
+  end
+
+and poke t =
+  Hashtbl.iter
+    (fun _ proc ->
+      if proc.pstate = Running then
+        List.iter
+          (fun th ->
+            match th.tstate with
+            | Blocked w when (not th.suspended) && wait_satisfied t proc w ->
+              th.tstate <- Ready;
+              schedule_step t th ~delay:0.
+            | _ -> ())
+          proc.threads)
+    t.procs
+
+and kill_thread th =
+  th.tstate <- Dead;
+  th.generation <- th.generation + 1;
+  (match th.wake_handle with
+  | Some h ->
+    Sim.Engine.cancel h;
+    th.wake_handle <- None
+  | None -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Process lifecycle *)
+
+and spawn_internal t ~prog ~argv ~env ~ppid ~hijacked =
+  let inst = Program.instantiate ~name:prog ~argv in
+  let pid = t.next_pid in
+  t.next_pid <- pid + 1;
+  let proc =
+    {
+      pid;
+      ppid;
+      pnode = t.knode_id;
+      threads = [];
+      fdtable = Hashtbl.create 8;
+      next_fd = 3;
+      space = Mem.Address_space.create ();
+      env;
+      pstate = Running;
+      hijacked;
+      next_tid = 1;
+      cmdline = prog :: argv;
+      sigtable = Hashtbl.create 4;
+      pending_signals = [];
+    }
+  in
+  Hashtbl.replace t.procs pid proc;
+  let th = add_thread_internal t proc ~inst ~manager:false ~blocked:None in
+  ignore th;
+  (* DMTCP hijack: the injected library starts the checkpoint manager
+     thread at process startup (paper §4.2). *)
+  let hijack_env = List.mem_assoc "DMTCP_HIJACK" env in
+  if hijacked || hijack_env then begin
+    proc.hijacked <- true;
+    t.khooks.on_spawn t proc
+  end;
+  proc
+
+and add_thread_internal t proc ~inst ~manager ~blocked =
+  let tid = proc.next_tid in
+  proc.next_tid <- tid + 1;
+  let th =
+    {
+      tid;
+      tproc = proc;
+      inst;
+      tstate = (match blocked with None -> Ready | Some w -> Blocked w);
+      suspended = false;
+      step_pending = false;
+      generation = 0;
+      manager;
+      wake_handle = None;
+    }
+  in
+  proc.threads <- proc.threads @ [ th ];
+  (match blocked with
+  | None -> schedule_step t th ~delay:0.
+  | Some _ -> ());
+  th
+
+and do_fork t parent child_inst =
+  let pid = t.next_pid in
+  t.next_pid <- pid + 1;
+  let child =
+    {
+      pid;
+      ppid = parent.pid;
+      pnode = t.knode_id;
+      threads = [];
+      fdtable = Hashtbl.copy parent.fdtable;
+      next_fd = parent.next_fd;
+      space = Mem.Address_space.fork parent.space;
+      env = parent.env;
+      pstate = Running;
+      hijacked = parent.hijacked;
+      next_tid = 1;
+      cmdline = parent.cmdline;
+      sigtable = Hashtbl.copy parent.sigtable;
+      pending_signals = [];
+    }
+  in
+  (* shared open file descriptions: bump refcounts *)
+  Hashtbl.iter
+    (fun _ desc ->
+      Fdesc.incr_ref desc;
+      match desc.Fdesc.kind with
+      | Fdesc.Pipe_r p -> Pipe.add_reader p
+      | Fdesc.Pipe_w p -> Pipe.add_writer p
+      | _ -> ())
+    child.fdtable;
+  Hashtbl.replace t.procs pid child;
+  ignore (add_thread_internal t child ~inst:child_inst ~manager:false ~blocked:None);
+  if child.hijacked then t.khooks.on_fork t ~parent ~child;
+  child
+
+and do_exec t th ~prog ~argv =
+  let proc = th.tproc in
+  let prog, argv = if proc.hijacked then t.khooks.on_exec t proc ~prog ~argv else (prog, argv) in
+  match Program.instantiate ~name:prog ~argv with
+  | exception Not_found -> () (* exec failed; thread continues with old image *)
+  | inst ->
+    (* exec kills all other threads and replaces the address space *)
+    List.iter (fun other -> if other.tid <> th.tid then kill_thread other) proc.threads;
+    proc.threads <- [ th ];
+    th.manager <- false;
+    proc.space <- Mem.Address_space.create ();
+    proc.cmdline <- prog :: argv;
+    th.inst <- inst;
+    (* the injected DMTCP library survives exec via the environment *)
+    if proc.hijacked || List.mem_assoc "DMTCP_HIJACK" proc.env then begin
+      proc.hijacked <- true;
+      t.khooks.on_spawn t proc
+    end
+
+and do_exit_process t proc code =
+  if proc.pstate = Running then begin
+    if proc.hijacked then t.khooks.on_exit t proc;
+    List.iter kill_thread proc.threads;
+    let fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) proc.fdtable [] in
+    List.iter (fun fd -> remove_fd t proc ~fd) fds;
+    (* reparent children to "no one": they self-reap on exit *)
+    Hashtbl.iter (fun _ p -> if p.ppid = proc.pid then p.ppid <- 0) t.procs;
+    if proc.ppid = 0 then begin
+      proc.pstate <- Reaped;
+      Hashtbl.remove t.procs proc.pid
+    end
+    else proc.pstate <- Zombie code;
+    poke_later t
+  end
+
+and do_exit t proc code = do_exit_process t proc code
+
+and deliver_signal t proc ~signal =
+  if signal = 9 then do_exit_process t proc (128 + signal)
+  else
+    match get_sigaction proc signal with
+    | Sig_ignore -> ()
+    | Sig_handler _ ->
+      proc.pending_signals <- proc.pending_signals @ [ signal ];
+      poke_later t
+    | Sig_default ->
+      (* fatal defaults only; others (e.g. SIGCHLD) are dropped *)
+      if signal = 1 || signal = 2 || signal = 15 then do_exit_process t proc (128 + signal)
+
+(* ------------------------------------------------------------------ *)
+(* Public wrappers *)
+
+let refork t ~child =
+  let inst =
+    match child.threads with
+    | [ th ] -> th.inst
+    | _ -> invalid_arg "Kernel.refork: child must be single-threaded"
+  in
+  List.iter kill_thread child.threads;
+  Hashtbl.remove t.procs child.pid;
+  let pid = t.next_pid in
+  t.next_pid <- pid + 1;
+  (* move semantics: the new process takes over the child's fd table and
+     address space, so no refcount adjustment is needed *)
+  let proc = { child with pid; threads = []; next_tid = 1 } in
+  Hashtbl.replace t.procs pid proc;
+  ignore (add_thread_internal t proc ~inst ~manager:false ~blocked:None);
+  proc
+
+let spawn t ~prog ~argv ?(env = []) ?(ppid = 0) ?(hijacked = false) () =
+  spawn_internal t ~prog ~argv ~env ~ppid ~hijacked
+
+let create_raw_process t ~pid ~ppid ~env ~hijacked =
+  let proc =
+    {
+      pid;
+      ppid;
+      pnode = t.knode_id;
+      threads = [];
+      fdtable = Hashtbl.create 8;
+      next_fd = 3;
+      space = Mem.Address_space.create ();
+      env;
+      pstate = Running;
+      hijacked;
+      next_tid = 1;
+      cmdline = [];
+      sigtable = Hashtbl.create 4;
+      pending_signals = [];
+    }
+  in
+  Hashtbl.replace t.procs pid proc;
+  proc
+
+let fresh_pid t =
+  let pid = t.next_pid in
+  t.next_pid <- pid + 1;
+  pid
+
+let add_thread t proc ~inst ?(manager = false) ?blocked () =
+  add_thread_internal t proc ~inst ~manager ~blocked
+
+let find_process t ~pid = Hashtbl.find_opt t.procs pid
+
+let processes t =
+  Hashtbl.fold (fun _ p acc -> if p.pstate = Running then p :: acc else acc) t.procs []
+  |> List.sort (fun a b -> compare a.pid b.pid)
+
+let kill_process t proc = do_exit_process t proc 137
+
+let vanish_process t proc =
+  List.iter kill_thread proc.threads;
+  let fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) proc.fdtable [] in
+  List.iter (fun fd -> remove_fd t proc ~fd) fds;
+  proc.pstate <- Reaped;
+  Hashtbl.remove t.procs proc.pid
+
+let suspend_user_threads t proc =
+  ignore t;
+  List.iter (fun th -> if not th.manager then th.suspended <- true) proc.threads
+
+let resume_user_threads t proc =
+  List.iter
+    (fun th ->
+      if th.suspended then begin
+        th.suspended <- false;
+        match th.tstate with
+        | Ready -> schedule_step t th ~delay:0.
+        | Blocked w -> if wait_satisfied t proc w then begin
+            th.tstate <- Ready;
+            schedule_step t th ~delay:0.
+          end
+        | Dead -> ()
+      end)
+    proc.threads
+
+let wake_thread t th =
+  match th.tstate with
+  | Blocked Program.Stopped ->
+    th.tstate <- Ready;
+    if not th.suspended then schedule_step t th ~delay:0.
+  | _ -> ()
+
+let proc_maps proc =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (r : Mem.Region.t) ->
+      let perms = r.Mem.Region.perms in
+      Buffer.add_string buf
+        (Printf.sprintf "%08x-%08x %c%c%c%c %s\n" r.Mem.Region.start_addr (Mem.Region.end_addr r)
+           (if perms.Mem.Region.read then 'r' else '-')
+           (if perms.Mem.Region.write then 'w' else '-')
+           (if perms.Mem.Region.exec then 'x' else '-')
+           'p' (Mem.Region.kind_name r.Mem.Region.kind)))
+    (Mem.Address_space.regions proc.space);
+  Buffer.contents buf
+
+let fd_desc proc fd = fd_desc proc fd
+let install_fd t proc ~fd desc =
+  Hashtbl.replace proc.fdtable fd desc;
+  proc.next_fd <- max proc.next_fd (fd + 1);
+  (* (re)bind wake-ups of the underlying object to this kernel *)
+  (match desc.Fdesc.kind with
+  | Fdesc.Sock s -> Simnet.Fabric.on_activity s (fun () -> poke_later t)
+  | Fdesc.Pipe_r p | Fdesc.Pipe_w p -> Pipe.on_activity p (fun () -> poke_later t)
+  | Fdesc.Pty_m p | Fdesc.Pty_s p -> Pty.on_activity p (fun () -> poke_later t)
+  | Fdesc.File _ -> ())
+
+let alloc_fd t proc desc =
+  let fd = proc.next_fd in
+  proc.next_fd <- fd + 1;
+  install_fd t proc ~fd desc;
+  fd
+
+let remove_fd t proc ~fd = remove_fd t proc ~fd

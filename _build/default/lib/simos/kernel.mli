@@ -1,0 +1,184 @@
+(** The per-node kernel: process table, thread scheduler, file
+    descriptors, and the syscall implementations behind {!Program.ctx}.
+
+    DMTCP attaches to processes through the {!hooks} table, the simulation
+    analogue of [LD_PRELOAD] symbol interposition: hooks fire only for
+    processes launched with [~hijacked:true] (i.e. under
+    [dmtcp_checkpoint]) and let the DMTCP layer wrap fork, exec, ssh,
+    socket creation, connect, accept and pipe — the same libc calls the
+    paper lists in §4.2. *)
+
+(** Disposition of a signal for a process — saved and restored by the
+    checkpointer (the paper lists signal handlers among the artifacts
+    DMTCP accounts for). [Handler] records the handler's identity; custom
+    handlers are data to the checkpointer, not executed by the kernel. *)
+type sigaction = Sig_default | Sig_ignore | Sig_handler of string
+
+type thread_state = Ready | Blocked of Program.wait | Dead
+
+type thread = {
+  tid : int;
+  tproc : process;
+  mutable inst : Program.instance;
+  mutable tstate : thread_state;
+  mutable suspended : bool;   (** checkpoint suspension (MTCP) *)
+  mutable step_pending : bool;
+  mutable generation : int;   (** invalidates stale scheduler events *)
+  mutable manager : bool;     (** DMTCP checkpoint-manager thread *)
+  mutable wake_handle : Sim.Engine.handle option;
+      (** pending sleep wake-up, cancelled when the thread dies *)
+}
+
+and pstate = Running | Zombie of int | Reaped
+
+and process = {
+  pid : int;
+  mutable ppid : int;
+  pnode : int;
+  mutable threads : thread list;
+  fdtable : (int, Fdesc.t) Hashtbl.t;
+  mutable next_fd : int;
+  mutable space : Mem.Address_space.t;
+  mutable env : (string * string) list;
+  mutable pstate : pstate;
+  mutable hijacked : bool;
+  mutable next_tid : int;
+  mutable cmdline : string list;
+  sigtable : (int, sigaction) Hashtbl.t;  (** signal number -> disposition *)
+  mutable pending_signals : int list;     (** delivered, not yet consumed *)
+}
+
+type t
+
+type hooks = {
+  on_spawn : t -> process -> unit;
+  on_fork : t -> parent:process -> child:process -> unit;
+  on_exec : t -> process -> prog:string -> argv:string list -> string * string list;
+  on_ssh : t -> process -> host:int -> prog:string -> argv:string list -> string * string list;
+  on_socket : t -> process -> fd:int -> Fdesc.t -> unit;
+  on_connect : t -> process -> fd:int -> Fdesc.t -> unit;
+  on_accept : t -> process -> fd:int -> Fdesc.t -> unit;
+  on_pipe : t -> process -> (int * int) option;
+  on_exit : t -> process -> unit;
+}
+
+val default_hooks : hooks
+
+(** [create ~node_id ~engine ~fabric ~storage ~cores ()] builds a kernel.
+    Call {!set_peers} before any cross-node operation. *)
+val create :
+  node_id:int ->
+  engine:Sim.Engine.t ->
+  fabric:Simnet.Fabric.t ->
+  storage:Storage.Target.t ->
+  ?cores:int ->
+  ?seed:int64 ->
+  unit ->
+  t
+
+val set_peers : t -> t array -> unit
+val set_hooks : t -> hooks -> unit
+val hooks : t -> hooks
+
+val node_id : t -> int
+val engine : t -> Sim.Engine.t
+val fabric : t -> Simnet.Fabric.t
+val vfs : t -> Vfs.t
+val storage : t -> Storage.Target.t
+val cores : t -> int
+val peer : t -> int -> t
+
+(** {2 Processes} *)
+
+(** [spawn t ~prog ~argv ()] creates a process whose main thread runs the
+    registered program [prog].  Raises [Not_found] for unknown programs. *)
+val spawn :
+  t ->
+  prog:string ->
+  argv:string list ->
+  ?env:(string * string) list ->
+  ?ppid:int ->
+  ?hijacked:bool ->
+  unit ->
+  process
+
+(** Assemble a process shell for restart: no threads yet, given pid is NOT
+    allocated from the normal counter (restart pids come from
+    {!fresh_pid}). *)
+val create_raw_process :
+  t -> pid:int -> ppid:int -> env:(string * string) list -> hijacked:bool -> process
+
+val fresh_pid : t -> int
+
+(** Add a thread running [inst] to the process; it is scheduled
+    immediately unless [blocked] is given. *)
+val add_thread :
+  t -> process -> inst:Program.instance -> ?manager:bool -> ?blocked:Program.wait -> unit -> thread
+
+val find_process : t -> pid:int -> process option
+
+(** All [Running] processes on this node, ascending pid. *)
+val processes : t -> process list
+
+(** Terminate a process (as by SIGKILL): threads die, fds close, parent
+    can reap. *)
+val kill_process : t -> process -> unit
+
+(** Re-create a just-forked, not-yet-run child under a fresh pid, taking
+    over its fd table and address space; the original child is discarded.
+    Used by the DMTCP fork wrapper when the child's would-be virtual pid
+    collides with a restored process (paper §4.5). Does not re-fire the
+    fork hook. *)
+val refork : t -> child:process -> process
+
+(** Forcibly delete a process without zombie bookkeeping — used when the
+    original processes are discarded after a checkpoint, simulating
+    migration or node loss. *)
+val vanish_process : t -> process -> unit
+
+(** {2 Checkpoint support (used by the MTCP layer)} *)
+
+(** Suspend every non-manager thread of the process. *)
+val suspend_user_threads : t -> process -> unit
+
+(** Resume them; blocked threads re-evaluate their wait conditions. *)
+val resume_user_threads : t -> process -> unit
+
+(** Wake a specific [Stopped] thread. *)
+val wake_thread : t -> thread -> unit
+
+(** Re-evaluate wait conditions for every blocked thread on the node
+    (scheduled internally on every I/O event; exposed for the restart
+    path). *)
+val poke : t -> unit
+
+(** Look up an fd's description. *)
+val fd_desc : process -> int -> Fdesc.t option
+
+(** Install [desc] under a specific fd number (restart path); replaces any
+    existing entry without closing it. *)
+val install_fd : t -> process -> fd:int -> Fdesc.t -> unit
+
+(** Allocate the next free fd number and install [desc] there. *)
+val alloc_fd : t -> process -> Fdesc.t -> int
+
+(** Remove an fd slot, releasing its description reference. *)
+val remove_fd : t -> process -> fd:int -> unit
+
+(** Signal dispositions: unset signals are [Sig_default]. *)
+val get_sigaction : process -> int -> sigaction
+
+val set_sigaction : process -> int -> sigaction -> unit
+
+(** [deliver_signal t proc ~signal] applies the disposition: [Sig_default]
+    terminates for the fatal signals (SIGINT=2, SIGTERM=15, SIGKILL=9 —
+    SIGKILL regardless of table), [Sig_ignore] drops it, [Sig_handler]
+    queues it on [pending_signals]. *)
+val deliver_signal : t -> process -> signal:int -> unit
+
+(** [/proc/<pid>/maps]-style rendering of the process address space. *)
+val proc_maps : process -> string
+
+(** Number of threads whose state is [Ready] and not suspended, across
+    the node (the scheduler's load estimate). *)
+val runnable_threads : t -> int

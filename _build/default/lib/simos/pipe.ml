@@ -1,0 +1,59 @@
+type t = {
+  pipe_id : int;
+  buf : Util.Bytequeue.t;
+  mutable reader_count : int;
+  mutable writer_count : int;
+  mutable wake : unit -> unit;
+}
+
+let capacity = 65536
+let next_id = ref 0
+
+let create () =
+  incr next_id;
+  { pipe_id = !next_id; buf = Util.Bytequeue.create (); reader_count = 0; writer_count = 0; wake = ignore }
+
+let id t = t.pipe_id
+let add_reader t = t.reader_count <- t.reader_count + 1
+let add_writer t = t.writer_count <- t.writer_count + 1
+
+let remove_reader t =
+  t.reader_count <- t.reader_count - 1;
+  if t.reader_count = 0 then t.wake ()
+
+let remove_writer t =
+  t.writer_count <- t.writer_count - 1;
+  if t.writer_count = 0 then t.wake ()
+
+let readers t = t.reader_count
+let writers t = t.writer_count
+
+let read t ~max =
+  if not (Util.Bytequeue.is_empty t.buf) then begin
+    let d = Util.Bytequeue.pop t.buf max in
+    t.wake ();
+    `Data d
+  end
+  else if t.writer_count = 0 then `Eof
+  else `Would_block
+
+let write t data =
+  if t.reader_count = 0 then Error Errno.EPIPE
+  else begin
+    let free = capacity - Util.Bytequeue.length t.buf in
+    let n = min free (String.length data) in
+    if n > 0 then begin
+      Util.Bytequeue.push t.buf (String.sub data 0 n);
+      t.wake ()
+    end;
+    Ok n
+  end
+
+let buffered t = Util.Bytequeue.length t.buf
+let drain t = Util.Bytequeue.pop_all t.buf
+
+let refill t data =
+  Util.Bytequeue.push t.buf data;
+  t.wake ()
+
+let on_activity t f = t.wake <- f

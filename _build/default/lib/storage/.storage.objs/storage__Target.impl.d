@@ -1,0 +1,1 @@
+lib/storage/target.ml: Float Sim

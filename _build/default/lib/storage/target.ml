@@ -1,0 +1,91 @@
+type disk = {
+  raw_rate : float;
+  cached_rate : float;
+  cache_bytes : int;
+  read_rate : float;
+  mutable cache_used : int;
+  mutable dirty : int;
+}
+
+type san_t = { rate : float; latency : float }
+
+type kind =
+  | Disk of disk
+  | San of san_t
+  | Nfs of { server_rate : float; backend : t }
+
+and t = {
+  eng : Sim.Engine.t;
+  kind : kind;
+  mutable free_at : float;  (* serialization cursor for concurrent writers *)
+}
+
+let local_disk eng ?(raw_rate = 100e6) ?(cached_rate = 350e6) ?(cache_bytes = 6_000_000_000)
+    ?(read_rate = 300e6) () =
+  {
+    eng;
+    kind = Disk { raw_rate; cached_rate; cache_bytes; read_rate; cache_used = 0; dirty = 0 };
+    free_at = 0.;
+  }
+
+let san eng ?(rate = 400e6) ?(latency = 1e-3) () = { eng; kind = San { rate; latency }; free_at = 0. }
+
+let nfs eng ?(server_rate = 117e6 *. 0.6) ~backend () =
+  { eng; kind = Nfs { server_rate; backend }; free_at = 0. }
+
+let describe t =
+  match t.kind with
+  | Disk _ -> "local disk"
+  | San _ -> "SAN"
+  | Nfs _ -> "NFS"
+
+(* Book [seconds] of service on the target's cursor starting no earlier
+   than now; returns the delay from now until completion. *)
+let book t seconds =
+  let now = Sim.Engine.now t.eng in
+  let start = Float.max now t.free_at in
+  t.free_at <- start +. seconds;
+  start -. now +. seconds
+
+let rec write t ~bytes =
+  match t.kind with
+  | Disk d ->
+    let cached = min bytes (d.cache_bytes - d.cache_used) in
+    let uncached = bytes - cached in
+    d.cache_used <- d.cache_used + cached;
+    d.dirty <- d.dirty + cached;
+    book t ((float_of_int cached /. d.cached_rate) +. (float_of_int uncached /. d.raw_rate))
+  | San s -> s.latency +. book t (float_of_int bytes /. s.rate)
+  | Nfs { server_rate; backend } ->
+    let network = book t (float_of_int bytes /. server_rate) in
+    network +. write backend ~bytes
+
+let rec read t ~bytes =
+  match t.kind with
+  | Disk d -> book t (float_of_int bytes /. d.read_rate)
+  | San s -> s.latency +. book t (float_of_int bytes /. s.rate)
+  | Nfs { server_rate; backend } ->
+    let network = book t (float_of_int bytes /. server_rate) in
+    network +. read backend ~bytes
+
+let sync t =
+  match t.kind with
+  | Disk d ->
+    let dur = float_of_int d.dirty /. d.raw_rate in
+    d.dirty <- 0;
+    dur
+  | San _ | Nfs _ -> 0.
+
+let dirty_bytes t =
+  match t.kind with
+  | Disk d -> d.dirty
+  | San _ | Nfs _ -> 0
+
+let rec reset t =
+  t.free_at <- 0.;
+  match t.kind with
+  | Disk d ->
+    d.cache_used <- 0;
+    d.dirty <- 0
+  | San _ -> ()
+  | Nfs { backend; _ } -> reset backend

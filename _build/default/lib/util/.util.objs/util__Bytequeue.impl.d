@@ -1,0 +1,1 @@
+lib/util/bytequeue.ml: Bytes Queue String

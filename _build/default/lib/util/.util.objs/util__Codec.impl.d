@@ -1,0 +1,1 @@
+lib/util/codec.ml: Array Bytes Char Format Int64 List String Sys

@@ -1,0 +1,57 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    Every stochastic choice in the simulator draws from an explicit [t] so
+    that whole-cluster runs are reproducible from a single seed.  The
+    generator is splittable: independent subsystems receive their own
+    stream via {!split} and cannot perturb each other's sequences. *)
+
+type t
+
+(** [create seed] returns a fresh generator. Equal seeds give equal
+    streams. *)
+val create : int64 -> t
+
+(** [copy t] duplicates the generator state (the copy and the original
+    then produce identical streams). *)
+val copy : t -> t
+
+(** [split t] advances [t] and returns a new, statistically independent
+    generator. *)
+val split : t -> t
+
+(** Next raw 64-bit output. *)
+val next_int64 : t -> int64
+
+(** [int t n] is uniform on [\[0, n)]. Raises [Invalid_argument] if
+    [n <= 0]. *)
+val int : t -> int -> int
+
+(** [int_in t lo hi] is uniform on [\[lo, hi\]] inclusive. *)
+val int_in : t -> int -> int -> int
+
+(** [float t x] is uniform on [\[0, x)]. *)
+val float : t -> float -> float
+
+(** Gaussian sample with the given mean and standard deviation
+    (Box–Muller). *)
+val gaussian : t -> mean:float -> stddev:float -> float
+
+(** Exponentially distributed sample with the given mean. *)
+val exponential : t -> mean:float -> float
+
+val bool : t -> bool
+
+(** [bytes t n] is [n] fresh uniformly random bytes. *)
+val bytes : t -> int -> bytes
+
+(** [choose t arr] picks a uniform element. Raises on empty array. *)
+val choose : t -> 'a array -> 'a
+
+(** [shuffle t arr] permutes [arr] in place (Fisher–Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** Raw generator state, for checkpointable programs that must serialize
+    their RNG mid-stream. *)
+val state : t -> int64
+
+val of_state : int64 -> t

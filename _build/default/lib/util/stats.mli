@@ -1,0 +1,25 @@
+(** Running summary statistics (Welford's online algorithm).
+
+    Used by the benchmark harness to report the mean and one standard
+    deviation across repeated checkpoint/restart trials, matching the error
+    bars of the paper's Figure 4. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val of_list : float list -> t
+val count : t -> int
+
+(** Mean of the samples; 0. if empty. *)
+val mean : t -> float
+
+(** Sample standard deviation (n-1 denominator); 0. for fewer than two
+    samples. *)
+val stddev : t -> float
+
+val min : t -> float
+val max : t -> float
+
+(** ["mean ± stddev"] with the given number of decimals. *)
+val to_string : ?decimals:int -> t -> string

@@ -1,0 +1,1 @@
+test/progs.ml: Bytes Dmtcp Int64 List Mem Printf Simnet Simos String Util

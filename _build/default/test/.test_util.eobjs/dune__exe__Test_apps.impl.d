@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Apps Dmtcp Hashtbl List Printf Sim Simos String Util

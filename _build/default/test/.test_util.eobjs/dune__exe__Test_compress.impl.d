@@ -1,0 +1,1 @@
+test/test_compress.ml: Alcotest Array Bytes Char Compress Gen List Printf QCheck QCheck_alcotest String Util

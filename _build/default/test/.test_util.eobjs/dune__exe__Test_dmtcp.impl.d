@@ -1,0 +1,1 @@
+test/test_dmtcp.ml: Alcotest Compress Dmtcp Float Int List Mtcp Option Printf Progs QCheck QCheck_alcotest Set Sim Simnet Simos String Util

@@ -1,0 +1,1 @@
+test/test_mtcp.ml: Alcotest Bytes Compress Digest Dmtcp List Mem Mtcp Option Printf Progs Sim Simos Util

@@ -1,0 +1,1 @@
+test/test_simnet.ml: Alcotest Buffer Format List Option Printf QCheck QCheck_alcotest Sim Simnet String Util

@@ -1,0 +1,1 @@
+test/test_simos.ml: Alcotest List Mem Option Sim Simnet Simos String Util

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bytes Codec Crc32 Fun Int64 List QCheck QCheck_alcotest Rng Stats String Table Units Util

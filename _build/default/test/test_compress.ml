@@ -1,0 +1,281 @@
+(* Tests for the compression stack: bit I/O, Huffman, LZ77, RLE, deflate,
+   container framing, and the throughput model. *)
+
+let check = Alcotest.check
+
+(* Sample corpora with different redundancy characteristics. *)
+let text_sample =
+  String.concat " "
+    (List.init 200 (fun i ->
+         Printf.sprintf "the quick brown fox %d jumps over the lazy dog" (i mod 7)))
+
+let random_sample n =
+  let rng = Util.Rng.create 0xC0FFEEL in
+  Bytes.unsafe_to_string (Util.Rng.bytes rng n)
+
+let zero_sample n = String.make n '\000'
+
+(* ------------------------------------------------------------------ *)
+(* Bitio *)
+
+let test_bitio_roundtrip () =
+  let w = Compress.Bitio.Writer.create () in
+  let fields = [ (0b1, 1); (0b1010, 4); (0xff, 8); (0b110, 3); (0x1234, 16); (0, 2) ] in
+  List.iter (fun (bits, count) -> Compress.Bitio.Writer.put w ~bits ~count) fields;
+  let r = Compress.Bitio.Reader.of_string (Compress.Bitio.Writer.contents w) in
+  List.iter
+    (fun (bits, count) -> check Alcotest.int (Printf.sprintf "%d bits" count) bits (Compress.Bitio.Reader.get r count))
+    fields
+
+let test_bitio_truncated () =
+  let r = Compress.Bitio.Reader.of_string "" in
+  Alcotest.check_raises "truncated" Compress.Bitio.Reader.Truncated (fun () ->
+      ignore (Compress.Bitio.Reader.get r 1))
+
+let test_bitio_bit_length () =
+  let w = Compress.Bitio.Writer.create () in
+  Compress.Bitio.Writer.put w ~bits:0 ~count:13;
+  check Alcotest.int "bit length" 13 (Compress.Bitio.Writer.bit_length w)
+
+let prop_bitio_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"bitio round-trips arbitrary fields"
+       QCheck.(small_list (pair (int_bound 0xffffff) (int_range 1 24)))
+       (fun fields ->
+         let fields = List.map (fun (bits, count) -> (bits land ((1 lsl count) - 1), count)) fields in
+         let w = Compress.Bitio.Writer.create () in
+         List.iter (fun (bits, count) -> Compress.Bitio.Writer.put w ~bits ~count) fields;
+         let r = Compress.Bitio.Reader.of_string (Compress.Bitio.Writer.contents w) in
+         List.for_all (fun (bits, count) -> Compress.Bitio.Reader.get r count = bits) fields))
+
+(* ------------------------------------------------------------------ *)
+(* Huffman *)
+
+let huffman_roundtrip syms nsyms =
+  let freq = Array.make nsyms 0 in
+  List.iter (fun s -> freq.(s) <- freq.(s) + 1) syms;
+  let lens = Compress.Huffman.lengths_of_freqs freq in
+  let enc = Compress.Huffman.encoder_of_lengths lens in
+  let dec = Compress.Huffman.decoder_of_lengths lens in
+  let w = Compress.Bitio.Writer.create () in
+  List.iter (fun s -> Compress.Huffman.encode enc w s) syms;
+  let r = Compress.Bitio.Reader.of_string (Compress.Bitio.Writer.contents w) in
+  List.map (fun _ -> Compress.Huffman.decode dec r) syms = syms
+
+let test_huffman_simple () =
+  Alcotest.(check bool) "round-trip" true (huffman_roundtrip [ 0; 1; 2; 0; 0; 1; 3; 0 ] 4)
+
+let test_huffman_single_symbol () =
+  Alcotest.(check bool) "single-symbol alphabet" true (huffman_roundtrip [ 5; 5; 5; 5 ] 8)
+
+let test_huffman_skewed () =
+  (* Extremely skewed frequencies exercise the depth-limit damping. *)
+  let syms = List.concat (List.init 30 (fun i -> List.init (1 lsl min i 18) (fun _ -> i))) in
+  (* This is big; sample it down but keep skew. *)
+  let syms = List.filteri (fun i _ -> i mod 97 = 0) syms in
+  Alcotest.(check bool) "skewed frequencies" true (huffman_roundtrip syms 30)
+
+let test_huffman_optimality_order () =
+  (* More frequent symbols must not get longer codes. *)
+  let freq = [| 100; 50; 20; 5; 1 |] in
+  let lens = Compress.Huffman.lengths_of_freqs freq in
+  for i = 0 to 3 do
+    Alcotest.(check bool)
+      (Printf.sprintf "len(%d) <= len(%d)" i (i + 1))
+      true
+      (lens.(i) <= lens.(i + 1))
+  done
+
+let test_huffman_no_symbols_rejected () =
+  Alcotest.check_raises "empty alphabet" (Invalid_argument "Huffman.lengths_of_freqs: no symbols")
+    (fun () -> ignore (Compress.Huffman.lengths_of_freqs [| 0; 0 |]))
+
+let prop_huffman_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"huffman round-trips arbitrary symbol lists"
+       QCheck.(list_of_size Gen.(1 -- 300) (int_bound 40))
+       (fun syms -> huffman_roundtrip syms 41))
+
+(* ------------------------------------------------------------------ *)
+(* LZ77 *)
+
+let lz77_roundtrip s = Compress.Lz77.reconstruct (Compress.Lz77.tokenize s) = s
+
+let test_lz77_empty () = Alcotest.(check bool) "empty" true (lz77_roundtrip "")
+let test_lz77_text () = Alcotest.(check bool) "text" true (lz77_roundtrip text_sample)
+let test_lz77_random () = Alcotest.(check bool) "random" true (lz77_roundtrip (random_sample 10_000))
+let test_lz77_zeros () = Alcotest.(check bool) "zeros" true (lz77_roundtrip (zero_sample 100_000))
+
+let test_lz77_finds_matches () =
+  let tokens = Compress.Lz77.tokenize (String.concat "" (List.init 50 (fun _ -> "abcdefgh"))) in
+  let matches = Array.to_list tokens |> List.filter (function Compress.Lz77.Match _ -> true | _ -> false) in
+  Alcotest.(check bool) "repetitive input yields matches" true (List.length matches > 0)
+
+let prop_lz77_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"lz77 round-trips arbitrary strings" QCheck.string lz77_roundtrip)
+
+(* ------------------------------------------------------------------ *)
+(* RLE *)
+
+let rle_roundtrip s = Compress.Rle.decompress (Compress.Rle.compress s) = s
+
+let test_rle_empty () = Alcotest.(check bool) "empty" true (rle_roundtrip "")
+let test_rle_runs () = Alcotest.(check bool) "runs" true (rle_roundtrip "aaaabbbbccccddddddddddd")
+let test_rle_no_runs () = Alcotest.(check bool) "no runs" true (rle_roundtrip "abcdefgh")
+let test_rle_zeros_shrink () =
+  let s = zero_sample 10_000 in
+  Alcotest.(check bool) "zeros shrink a lot" true
+    (String.length (Compress.Rle.compress s) < String.length s / 10)
+
+let prop_rle_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:300 ~name:"rle round-trips arbitrary strings" QCheck.string rle_roundtrip)
+
+(* ------------------------------------------------------------------ *)
+(* Deflate *)
+
+let deflate_roundtrip s = Compress.Deflate.decompress (Compress.Deflate.compress s) = s
+
+let test_deflate_empty () = Alcotest.(check bool) "empty" true (deflate_roundtrip "")
+let test_deflate_text () = Alcotest.(check bool) "text" true (deflate_roundtrip text_sample)
+let test_deflate_random () = Alcotest.(check bool) "random" true (deflate_roundtrip (random_sample 20_000))
+let test_deflate_zeros () = Alcotest.(check bool) "zeros" true (deflate_roundtrip (zero_sample 50_000))
+
+let test_deflate_compresses_text () =
+  let packed = Compress.Deflate.compress text_sample in
+  Alcotest.(check bool) "text shrinks 3x+" true (String.length packed * 3 < String.length text_sample)
+
+let test_deflate_zeros_tiny () =
+  let packed = Compress.Deflate.compress (zero_sample 100_000) in
+  Alcotest.(check bool) "zeros shrink 100x+" true (String.length packed * 100 < 100_000)
+
+let test_deflate_random_no_blowup () =
+  let s = random_sample 10_000 in
+  let packed = Compress.Deflate.compress s in
+  Alcotest.(check bool) "random data grows < 15%" true
+    (String.length packed < String.length s * 115 / 100)
+
+let prop_deflate_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"deflate round-trips arbitrary strings" QCheck.string deflate_roundtrip)
+
+let prop_deflate_roundtrip_runs =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"deflate round-trips run-heavy strings"
+       QCheck.(list (pair (map (fun n -> Char.chr (Char.code 'a' + n)) (int_bound 4)) (int_range 1 300)))
+       (fun spec ->
+         let s = String.concat "" (List.map (fun (c, n) -> String.make n c) spec) in
+         deflate_roundtrip s))
+
+(* ------------------------------------------------------------------ *)
+(* Container *)
+
+let test_container_roundtrip_all_algos () =
+  List.iter
+    (fun algo ->
+      let packed = Compress.Container.pack ~algo text_sample in
+      check Alcotest.string (Compress.Algo.name algo) text_sample (Compress.Container.unpack packed);
+      Alcotest.(check bool) "algo recorded" true (Compress.Container.algo_of packed = algo))
+    Compress.Algo.all
+
+let test_container_detects_corruption () =
+  let packed = Compress.Container.pack ~algo:Compress.Algo.Deflate text_sample in
+  (* Flip a byte in the body (past the header). *)
+  let b = Bytes.of_string packed in
+  let pos = Bytes.length b - 3 in
+  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0xff));
+  let corrupted = Bytes.to_string b in
+  Alcotest.(check bool) "corruption detected" true
+    (try
+       ignore (Compress.Container.unpack corrupted);
+       false
+     with Compress.Container.Bad_container _ -> true)
+
+let test_container_bad_magic () =
+  Alcotest.(check bool) "bad magic rejected" true
+    (try
+       ignore (Compress.Container.unpack "not a container at all");
+       false
+     with Compress.Container.Bad_container _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Model *)
+
+let test_model_compressed_slower_than_disk () =
+  (* Core Figure 4a effect: deflate at ~21 MB/s is slower than a 100 MB/s
+     disk, so compressed checkpoints take longer. *)
+  let t = Compress.Model.compress_seconds ~algo:Compress.Algo.Deflate ~bytes:100_000_000 ~zero_bytes:0 in
+  Alcotest.(check bool) "100 MB takes > 1 s to gzip" true (t > 1.0)
+
+let test_model_zeros_faster () =
+  let plain = Compress.Model.compress_seconds ~algo:Compress.Algo.Deflate ~bytes:1_000_000 ~zero_bytes:0 in
+  let zeros = Compress.Model.compress_seconds ~algo:Compress.Algo.Deflate ~bytes:1_000_000 ~zero_bytes:1_000_000 in
+  Alcotest.(check bool) "zero pages much faster" true (zeros *. 5. < plain)
+
+let test_model_decompress_faster () =
+  let c = Compress.Model.compress_seconds ~algo:Compress.Algo.Deflate ~bytes:1_000_000 ~zero_bytes:0 in
+  let d = Compress.Model.decompress_seconds ~algo:Compress.Algo.Deflate ~bytes:1_000_000 ~zero_bytes:0 in
+  Alcotest.(check bool) "gunzip faster than gzip" true (d < c)
+
+let () =
+  Alcotest.run "compress"
+    [
+      ( "bitio",
+        [
+          Alcotest.test_case "round-trip" `Quick test_bitio_roundtrip;
+          Alcotest.test_case "truncated" `Quick test_bitio_truncated;
+          Alcotest.test_case "bit length" `Quick test_bitio_bit_length;
+          prop_bitio_roundtrip;
+        ] );
+      ( "huffman",
+        [
+          Alcotest.test_case "simple" `Quick test_huffman_simple;
+          Alcotest.test_case "single symbol" `Quick test_huffman_single_symbol;
+          Alcotest.test_case "skewed" `Quick test_huffman_skewed;
+          Alcotest.test_case "frequency/length order" `Quick test_huffman_optimality_order;
+          Alcotest.test_case "empty alphabet rejected" `Quick test_huffman_no_symbols_rejected;
+          prop_huffman_roundtrip;
+        ] );
+      ( "lz77",
+        [
+          Alcotest.test_case "empty" `Quick test_lz77_empty;
+          Alcotest.test_case "text" `Quick test_lz77_text;
+          Alcotest.test_case "random" `Quick test_lz77_random;
+          Alcotest.test_case "zeros" `Quick test_lz77_zeros;
+          Alcotest.test_case "finds matches" `Quick test_lz77_finds_matches;
+          prop_lz77_roundtrip;
+        ] );
+      ( "rle",
+        [
+          Alcotest.test_case "empty" `Quick test_rle_empty;
+          Alcotest.test_case "runs" `Quick test_rle_runs;
+          Alcotest.test_case "no runs" `Quick test_rle_no_runs;
+          Alcotest.test_case "zeros shrink" `Quick test_rle_zeros_shrink;
+          prop_rle_roundtrip;
+        ] );
+      ( "deflate",
+        [
+          Alcotest.test_case "empty" `Quick test_deflate_empty;
+          Alcotest.test_case "text" `Quick test_deflate_text;
+          Alcotest.test_case "random" `Quick test_deflate_random;
+          Alcotest.test_case "zeros" `Quick test_deflate_zeros;
+          Alcotest.test_case "compresses text" `Quick test_deflate_compresses_text;
+          Alcotest.test_case "zeros compress hard" `Quick test_deflate_zeros_tiny;
+          Alcotest.test_case "random no blowup" `Quick test_deflate_random_no_blowup;
+          prop_deflate_roundtrip;
+          prop_deflate_roundtrip_runs;
+        ] );
+      ( "container",
+        [
+          Alcotest.test_case "round-trip all algos" `Quick test_container_roundtrip_all_algos;
+          Alcotest.test_case "detects corruption" `Quick test_container_detects_corruption;
+          Alcotest.test_case "bad magic" `Quick test_container_bad_magic;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "compression slower than disk" `Quick test_model_compressed_slower_than_disk;
+          Alcotest.test_case "zeros faster" `Quick test_model_zeros_faster;
+          Alcotest.test_case "decompress faster" `Quick test_model_decompress_faster;
+        ] );
+    ]

@@ -1,0 +1,776 @@
+(* End-to-end tests of the DMTCP stack: launch under dmtcp_checkpoint,
+   coordinator barriers, drain/refill, image writing, restart (same host
+   and migrated), pipe promotion, fork sharing, pid virtualization, and
+   the dmtcpaware API. *)
+
+let check = Alcotest.check
+
+let () = Progs.ensure_registered ()
+
+let make ?(nodes = 4) ?(options = Dmtcp.Options.default) () =
+  let cl = Simos.Cluster.create ~nodes () in
+  let rt = Dmtcp.Api.install cl ~options () in
+  (cl, rt)
+
+let file_content cl node path =
+  match Simos.Vfs.lookup (Simos.Kernel.vfs (Simos.Cluster.kernel cl node)) path with
+  | Some f -> Some (Simos.Vfs.read_all f)
+  | None -> None
+
+(* search every node for the file (restarted processes may move) *)
+let file_anywhere cl path =
+  let rec go node =
+    if node >= Simos.Cluster.nodes cl then None
+    else
+      match file_content cl node path with
+      | Some c -> Some c
+      | None -> go (node + 1)
+  in
+  go 0
+
+let run_for cl seconds = Sim.Engine.run ~until:(Simos.Cluster.now cl +. seconds) (Simos.Cluster.engine cl)
+
+(* ------------------------------------------------------------------ *)
+
+let test_launch_registers_with_coordinator () =
+  let cl, rt = make () in
+  let _ = Dmtcp.Api.launch rt ~node:1 ~prog:"p:counter" ~argv:[ "5000"; "/tmp/never" ] in
+  run_for cl 1.0;
+  check Alcotest.int "one process registered" 1 (List.length (Dmtcp.Runtime.hijacked_processes rt))
+
+let test_status_command () =
+  let cl, rt = make () in
+  let _ = Dmtcp.Api.launch rt ~node:1 ~prog:"p:counter" ~argv:[ "5000"; "/tmp/never" ] in
+  run_for cl 1.0;
+  let k0 = Simos.Cluster.kernel cl 0 in
+  Dmtcp.Launcher.last_status := None;
+  ignore
+    (Simos.Kernel.spawn k0 ~prog:"dmtcp:command" ~argv:[ "--status" ]
+       ~env:(Dmtcp.Options.to_env Dmtcp.Options.default) ());
+  run_for cl 1.0;
+  check (Alcotest.option Alcotest.int) "status reports one manager" (Some 1)
+    !Dmtcp.Launcher.last_status
+
+let test_checkpoint_completes () =
+  let cl, rt = make () in
+  let _ = Dmtcp.Api.launch rt ~node:1 ~prog:"p:counter" ~argv:[ "100000"; "/tmp/never" ] in
+  run_for cl 1.0;
+  Dmtcp.Api.checkpoint_now rt;
+  let info = Dmtcp.Runtime.ckpt_info rt in
+  check Alcotest.int "one image written" 1 (List.length info.Dmtcp.Runtime.images);
+  Alcotest.(check bool) "checkpoint took time" true (Dmtcp.Api.last_checkpoint_seconds rt > 0.);
+  (* the image file exists on the right node with the declared size *)
+  let node, path = List.hd info.Dmtcp.Runtime.images in
+  match Simos.Vfs.lookup (Simos.Kernel.vfs (Simos.Cluster.kernel cl node)) path with
+  | Some f -> Alcotest.(check bool) "image non-empty" true (Simos.Vfs.sim_size f > 0)
+  | None -> Alcotest.fail "image file missing"
+
+let test_checkpoint_transparent_to_app () =
+  (* the app must finish with the same result despite a mid-run ckpt *)
+  let cl, rt = make () in
+  let _ = Dmtcp.Api.launch rt ~node:1 ~prog:"p:counter" ~argv:[ "3000"; "/tmp/ck-count" ] in
+  run_for cl 1.0;
+  Dmtcp.Api.checkpoint_now rt;
+  Simos.Cluster.run cl;
+  check (Alcotest.option Alcotest.string) "counter unaffected" (Some "done:3000")
+    (file_content cl 1 "/tmp/ck-count")
+
+let test_stream_pair_survives_checkpoint () =
+  (* continuous traffic across nodes; checkpoint in the middle; the
+     sequence must still validate: drain/refill lost or duplicated
+     nothing *)
+  let cl, rt = make () in
+  let _ = Dmtcp.Api.launch rt ~node:1 ~prog:"p:stream-server" ~argv:[ "6000"; "4000"; "/tmp/stream" ] in
+  run_for cl 0.3;
+  let _ = Dmtcp.Api.launch rt ~node:2 ~prog:"p:stream-client" ~argv:[ "1"; "6000"; "4000" ] in
+  run_for cl 0.2;
+  Dmtcp.Api.checkpoint_now rt;
+  Simos.Cluster.run cl;
+  check (Alcotest.option Alcotest.string) "stream intact" (Some "OK 4000")
+    (file_content cl 1 "/tmp/stream")
+
+let test_drain_captures_buffered_data () =
+  (* after the write barrier, every checkpointed socket must have empty
+     kernel buffers; the drained bytes sit in the connection table *)
+  let cl, rt = make () in
+  let _ = Dmtcp.Api.launch rt ~node:1 ~prog:"p:stream-server" ~argv:[ "6000"; "400000"; "/tmp/s" ] in
+  run_for cl 0.3;
+  let _ = Dmtcp.Api.launch rt ~node:2 ~prog:"p:stream-client" ~argv:[ "1"; "6000"; "400000" ] in
+  run_for cl 0.5;
+  Dmtcp.Api.checkpoint_now rt;
+  (* some drained data should have been recorded in some image *)
+  let info = Dmtcp.Runtime.ckpt_info rt in
+  let drained_total =
+    List.fold_left
+      (fun acc (node, path) ->
+        match Simos.Vfs.lookup (Simos.Kernel.vfs (Simos.Cluster.kernel cl node)) path with
+        | None -> acc
+        | Some f ->
+          let img = Dmtcp.Ckpt_image.decode (Simos.Vfs.read_all f) in
+          List.fold_left
+            (fun acc (_, _, info) ->
+              match info with
+              | Dmtcp.Ckpt_image.FSock { drained; _ } -> acc + String.length drained
+              | _ -> acc)
+            acc img.Dmtcp.Ckpt_image.fds)
+      0 info.Dmtcp.Runtime.images
+  in
+  Alcotest.(check bool) "some bytes were drained into the image" true (drained_total > 0);
+  Simos.Cluster.run cl;
+  check (Alcotest.option Alcotest.string) "stream intact" (Some "OK 400000")
+    (file_content cl 1 "/tmp/s")
+
+let test_restart_same_host () =
+  let cl, rt = make () in
+  let _ = Dmtcp.Api.launch rt ~node:1 ~prog:"p:counter" ~argv:[ "3000"; "/tmp/restart-count" ] in
+  run_for cl 1.0;
+  Dmtcp.Api.checkpoint_now rt;
+  let script = Dmtcp.Api.restart_script rt in
+  Dmtcp.Api.kill_computation rt;
+  Simos.Cluster.run cl;
+  Alcotest.(check bool) "computation gone" true (file_content cl 1 "/tmp/restart-count" = None);
+  Dmtcp.Api.restart rt script;
+  Dmtcp.Api.await_restart rt;
+  Simos.Cluster.run cl;
+  check (Alcotest.option Alcotest.string) "finished after restart" (Some "done:3000")
+    (file_content cl 1 "/tmp/restart-count")
+
+let test_restart_migrated_to_other_host () =
+  (* the paper's laptop use case: checkpoint on one host, restart on
+     another *)
+  let cl, rt = make () in
+  let _ = Dmtcp.Api.launch rt ~node:1 ~prog:"p:counter" ~argv:[ "3000"; "/tmp/mig-count" ] in
+  run_for cl 1.0;
+  Dmtcp.Api.checkpoint_now rt;
+  let script = Dmtcp.Api.restart_script rt in
+  Dmtcp.Api.kill_computation rt;
+  let script = Dmtcp.Restart_script.remap script (fun _ -> 3) in
+  Dmtcp.Api.restart rt script;
+  Dmtcp.Api.await_restart rt;
+  Simos.Cluster.run cl;
+  check (Alcotest.option Alcotest.string) "finished on the new host" (Some "done:3000")
+    (file_content cl 3 "/tmp/mig-count")
+
+let test_restart_distributed_stream () =
+  (* both ends of a live TCP connection are checkpointed, killed, and
+     restarted (still on two different hosts): discovery + reconnect +
+     refill must reproduce the byte stream exactly *)
+  let cl, rt = make () in
+  let _ = Dmtcp.Api.launch rt ~node:1 ~prog:"p:stream-server" ~argv:[ "6000"; "4000"; "/tmp/rs" ] in
+  run_for cl 0.3;
+  let _ = Dmtcp.Api.launch rt ~node:2 ~prog:"p:stream-client" ~argv:[ "1"; "6000"; "4000" ] in
+  run_for cl 0.2;
+  Dmtcp.Api.checkpoint_now rt;
+  let script = Dmtcp.Api.restart_script rt in
+  Dmtcp.Api.kill_computation rt;
+  Dmtcp.Api.restart rt script;
+  Dmtcp.Api.await_restart rt;
+  Simos.Cluster.run cl;
+  check (Alcotest.option Alcotest.string) "stream intact after restart" (Some "OK 4000")
+    (file_content cl 1 "/tmp/rs")
+
+let test_restart_stream_migrated_together () =
+  (* both sides migrate (paper: "supports both sides of a socket
+     migrating"): restart everything on node 0 *)
+  let cl, rt = make () in
+  let _ = Dmtcp.Api.launch rt ~node:1 ~prog:"p:stream-server" ~argv:[ "6000"; "3000"; "/tmp/ms" ] in
+  run_for cl 0.3;
+  let _ = Dmtcp.Api.launch rt ~node:2 ~prog:"p:stream-client" ~argv:[ "1"; "6000"; "3000" ] in
+  run_for cl 0.2;
+  Dmtcp.Api.checkpoint_now rt;
+  let script = Dmtcp.Api.restart_script rt in
+  Dmtcp.Api.kill_computation rt;
+  let script = Dmtcp.Restart_script.remap script (fun _ -> 0) in
+  Dmtcp.Api.restart rt script;
+  Dmtcp.Api.await_restart rt;
+  Simos.Cluster.run cl;
+  check (Alcotest.option Alcotest.string) "stream intact on one laptop" (Some "OK 3000")
+    (file_anywhere cl "/tmp/ms")
+
+let test_pipe_promotion () =
+  (* pipes become socketpairs under DMTCP; a parent/child pipeline
+     checkpoints and restarts correctly *)
+  let cl, rt = make () in
+  let _ = Dmtcp.Api.launch rt ~node:1 ~prog:"p:pipeline" ~argv:[ "20000"; "/tmp/pipe" ] in
+  run_for cl 0.3;
+  (* the pipe wrapper must have produced Pair entries, not a raw pipe *)
+  let has_pair =
+    List.exists
+      (fun (_, _, ps) ->
+        List.exists
+          (fun (_, e) -> e.Dmtcp.Conn_table.kind = Dmtcp.Conn_table.Pair)
+          (Dmtcp.Conn_table.entries ps.Dmtcp.Runtime.conns))
+      (Dmtcp.Runtime.hijacked_processes rt)
+  in
+  Alcotest.(check bool) "promoted pipe entries exist" true has_pair;
+  Dmtcp.Api.checkpoint_now rt;
+  Simos.Cluster.run cl;
+  check (Alcotest.option Alcotest.string) "pipeline result" (Some "OK 20000")
+    (file_content cl 1 "/tmp/pipe")
+
+let test_pipeline_restart () =
+  let cl, rt = make () in
+  let _ = Dmtcp.Api.launch rt ~node:1 ~prog:"p:pipeline" ~argv:[ "20000"; "/tmp/pipe-r" ] in
+  run_for cl 0.3;
+  Dmtcp.Api.checkpoint_now rt;
+  let script = Dmtcp.Api.restart_script rt in
+  Dmtcp.Api.kill_computation rt;
+  Dmtcp.Api.restart rt script;
+  Dmtcp.Api.await_restart rt;
+  Simos.Cluster.run cl;
+  check (Alcotest.option Alcotest.string) "pipeline after restart" (Some "OK 20000")
+    (file_content cl 1 "/tmp/pipe-r")
+
+let test_forked_checkpoint_faster () =
+  let run forked =
+    let options = { Dmtcp.Options.default with Dmtcp.Options.forked } in
+    let cl, rt = make ~options () in
+    let _ = Dmtcp.Api.launch rt ~node:1 ~prog:"p:memhog" ~argv:[ "64"; "100000"; "/tmp/h" ] in
+    run_for cl 2.0;
+    Dmtcp.Api.checkpoint_now rt;
+    Dmtcp.Api.last_checkpoint_seconds rt
+  in
+  let plain = run false in
+  let forked = run true in
+  Alcotest.(check bool)
+    (Printf.sprintf "forked (%f) much faster than plain (%f)" forked plain)
+    true
+    (forked *. 2. < plain)
+
+let test_interval_checkpointing () =
+  let options = { Dmtcp.Options.default with Dmtcp.Options.interval = Some 2.0 } in
+  let cl, rt = make ~options () in
+  let _ = Dmtcp.Api.launch rt ~node:1 ~prog:"p:counter" ~argv:[ "1000000"; "/tmp/never" ] in
+  run_for cl 7.0;
+  (* at least two automatic checkpoints should have happened *)
+  let stats = Dmtcp.Runtime.stage_stats rt in
+  match List.assoc_opt "ckpt/write" stats with
+  | Some s -> Alcotest.(check bool) "several interval checkpoints" true (Util.Stats.count s >= 2)
+  | None -> Alcotest.fail "no checkpoints recorded"
+
+let test_dmtcpaware_delays_checkpoint () =
+  let cl, rt = make () in
+  let _ = Dmtcp.Api.launch rt ~node:1 ~prog:"p:aware" ~argv:[ "1.0" ] in
+  run_for cl 0.1;
+  (* the app holds the critical section for ~1s from t~=0.1 *)
+  Dmtcp.Api.checkpoint rt;
+  run_for cl 0.3;
+  let info = Dmtcp.Runtime.ckpt_info rt in
+  Alcotest.(check bool) "checkpoint not finished during critical section" true
+    (info.Dmtcp.Runtime.finished <= info.Dmtcp.Runtime.started);
+  Dmtcp.Api.await_checkpoint rt;
+  Alcotest.(check bool) "checkpoint finished after section ends" true
+    (Dmtcp.Api.last_checkpoint_seconds rt > 0.5)
+
+let test_vpid_conflict_refork () =
+  (* restore a process, then fork new processes until one would collide
+     with the restored vpid; the wrapper must refork transparently *)
+  let cl, rt = make () in
+  let _ = Dmtcp.Api.launch rt ~node:1 ~prog:"p:counter" ~argv:[ "2000"; "/tmp/v1" ] in
+  run_for cl 0.5;
+  Dmtcp.Api.checkpoint_now rt;
+  let script = Dmtcp.Api.restart_script rt in
+  Dmtcp.Api.kill_computation rt;
+  (* restart onto node 2: the restored process keeps vpid from node 1's
+     pid range *)
+  let script = Dmtcp.Restart_script.remap script (fun _ -> 2) in
+  Dmtcp.Api.restart rt script;
+  Dmtcp.Api.await_restart rt;
+  let restored_vpids =
+    List.map (fun (_, _, ps) -> ps.Dmtcp.Runtime.vpid) (Dmtcp.Runtime.hijacked_processes rt)
+  in
+  (* now run a pipeline (which forks) on node 1 where those pids came
+     from; any collision must be resolved *)
+  let _ = Dmtcp.Api.launch rt ~node:1 ~prog:"p:pipeline" ~argv:[ "500"; "/tmp/v2" ] in
+  Simos.Cluster.run cl;
+  let vpids = List.map (fun (_, _, ps) -> ps.Dmtcp.Runtime.vpid) (Dmtcp.Runtime.hijacked_processes rt) in
+  let module IS = Set.Make (Int) in
+  check Alcotest.int "all vpids distinct" (List.length vpids) (IS.cardinal (IS.of_list vpids));
+  ignore restored_vpids;
+  check (Alcotest.option Alcotest.string) "restored counter finished" (Some "done:2000")
+    (file_content cl 2 "/tmp/v1");
+  check (Alcotest.option Alcotest.string) "new pipeline finished" (Some "OK 500")
+    (file_content cl 1 "/tmp/v2")
+
+let test_stage_stats_recorded () =
+  let cl, rt = make () in
+  let _ = Dmtcp.Api.launch rt ~node:1 ~prog:"p:memhog" ~argv:[ "16"; "100000"; "/tmp/never" ] in
+  run_for cl 1.0;
+  Dmtcp.Api.checkpoint_now rt;
+  let stats = Dmtcp.Runtime.stage_stats rt in
+  List.iter
+    (fun stage ->
+      match List.assoc_opt stage stats with
+      | Some s -> Alcotest.(check bool) (stage ^ " positive") true (Util.Stats.mean s > 0.)
+      | None -> Alcotest.failf "missing stage %s" stage)
+    [ "ckpt/suspend"; "ckpt/elect"; "ckpt/drain"; "ckpt/write"; "ckpt/refill" ];
+  (* write dominated, as in Table 1 *)
+  let mean stage = Util.Stats.mean (List.assoc stage stats) in
+  Alcotest.(check bool) "write dominates suspend" true (mean "ckpt/write" > mean "ckpt/suspend")
+
+let test_restart_script_text () =
+  let cl, rt = make () in
+  let _ = Dmtcp.Api.launch rt ~node:1 ~prog:"p:counter" ~argv:[ "1000"; "/tmp/x" ] in
+  run_for cl 0.5;
+  Dmtcp.Api.checkpoint_now rt;
+  let script = Dmtcp.Api.restart_script rt in
+  let text = Dmtcp.Restart_script.to_text script in
+  Alcotest.(check bool) "script mentions dmtcp_restart" true
+    (String.length text > 0
+    && List.exists
+         (fun l -> String.length l > 4 && String.sub l 0 3 = "ssh")
+         (String.split_on_char '\n' text));
+  check (Alcotest.option Alcotest.string) "script file written" (Some text)
+    (file_content cl 0 "/ckpt/dmtcp_restart_script.sh")
+
+let test_second_checkpoint_after_restart () =
+  (* checkpoint -> restart -> checkpoint again -> restart again *)
+  let cl, rt = make () in
+  let _ = Dmtcp.Api.launch rt ~node:1 ~prog:"p:counter" ~argv:[ "5000"; "/tmp/gen" ] in
+  run_for cl 1.0;
+  Dmtcp.Api.checkpoint_now rt;
+  let script = Dmtcp.Api.restart_script rt in
+  Dmtcp.Api.kill_computation rt;
+  Dmtcp.Api.restart rt script;
+  Dmtcp.Api.await_restart rt;
+  run_for cl 1.0;
+  Dmtcp.Api.checkpoint_now rt;
+  let script2 = Dmtcp.Api.restart_script rt in
+  Dmtcp.Api.kill_computation rt;
+  Dmtcp.Api.restart rt script2;
+  Dmtcp.Api.await_restart rt;
+  Simos.Cluster.run cl;
+  check (Alcotest.option Alcotest.string) "two generations survived" (Some "done:5000")
+    (file_content cl 1 "/tmp/gen")
+
+let base_suites =
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "launch registers with coordinator" `Quick test_launch_registers_with_coordinator;
+          Alcotest.test_case "status command" `Quick test_status_command;
+          Alcotest.test_case "checkpoint completes" `Quick test_checkpoint_completes;
+          Alcotest.test_case "transparent to the app" `Quick test_checkpoint_transparent_to_app;
+          Alcotest.test_case "stage stats recorded" `Quick test_stage_stats_recorded;
+          Alcotest.test_case "restart script text" `Quick test_restart_script_text;
+        ] );
+      ( "sockets",
+        [
+          Alcotest.test_case "stream survives checkpoint" `Quick test_stream_pair_survives_checkpoint;
+          Alcotest.test_case "drain captures buffered data" `Quick test_drain_captures_buffered_data;
+        ] );
+      ( "restart",
+        [
+          Alcotest.test_case "same host" `Quick test_restart_same_host;
+          Alcotest.test_case "migrated to another host" `Quick test_restart_migrated_to_other_host;
+          Alcotest.test_case "distributed stream" `Quick test_restart_distributed_stream;
+          Alcotest.test_case "stream migrated together" `Quick test_restart_stream_migrated_together;
+          Alcotest.test_case "second generation" `Quick test_second_checkpoint_after_restart;
+        ] );
+      ( "features",
+        [
+          Alcotest.test_case "pipe promotion" `Quick test_pipe_promotion;
+          Alcotest.test_case "pipeline restart" `Quick test_pipeline_restart;
+          Alcotest.test_case "forked checkpointing faster" `Quick test_forked_checkpoint_faster;
+          Alcotest.test_case "interval checkpointing" `Quick test_interval_checkpointing;
+          Alcotest.test_case "dmtcpaware delays checkpoint" `Quick test_dmtcpaware_delays_checkpoint;
+          Alcotest.test_case "vpid conflict refork" `Quick test_vpid_conflict_refork;
+        ] );
+    ]
+
+(* additional suites: shared memory, dmtcpaware hooks, on-disk artifact
+   robustness *)
+
+let test_shm_checkpoint_restart () =
+  (* two processes sharing an mmap segment must still share after a
+     restart; the strictly-alternating counter proves writes stay
+     mutually visible *)
+  let cl, rt = make () in
+  let _ = Dmtcp.Api.launch rt ~node:1 ~prog:"p:shm" ~argv:[ "400"; "/tmp/shm-r" ] in
+  run_for cl 0.3;
+  Dmtcp.Api.checkpoint_now rt;
+  let script = Dmtcp.Api.restart_script rt in
+  Dmtcp.Api.kill_computation rt;
+  Dmtcp.Api.restart rt script;
+  Dmtcp.Api.await_restart rt;
+  Simos.Cluster.run cl;
+  check (Alcotest.option Alcotest.string) "shm ping/pong completed" (Some "SHM OK 800")
+    (file_content cl 1 "/tmp/shm-r")
+
+let test_shm_survives_migration () =
+  let cl, rt = make () in
+  let _ = Dmtcp.Api.launch rt ~node:1 ~prog:"p:shm" ~argv:[ "400"; "/tmp/shm-m" ] in
+  run_for cl 0.3;
+  Dmtcp.Api.checkpoint_now rt;
+  let script = Dmtcp.Api.restart_script rt in
+  Dmtcp.Api.kill_computation rt;
+  let script = Dmtcp.Restart_script.remap script (fun _ -> 2) in
+  Dmtcp.Api.restart rt script;
+  Dmtcp.Api.await_restart rt;
+  Simos.Cluster.run cl;
+  check (Alcotest.option Alcotest.string) "shm works on the new host" (Some "SHM OK 800")
+    (file_content cl 2 "/tmp/shm-m")
+
+let test_image_files_cleanly_decodable () =
+  (* the on-disk artifacts are well-formed: every image decodes, the
+     connection table file exists, and the image's program names resolve *)
+  let cl, rt = make () in
+  let _ = Dmtcp.Api.launch rt ~node:1 ~prog:"p:pipeline" ~argv:[ "20000"; "/tmp/pp" ] in
+  run_for cl 0.3;
+  Dmtcp.Api.checkpoint_now rt;
+  let info = Dmtcp.Runtime.ckpt_info rt in
+  check Alcotest.int "two images (parent+child)" 2 (List.length info.Dmtcp.Runtime.images);
+  List.iter
+    (fun (node, path) ->
+      match Simos.Vfs.lookup (Simos.Kernel.vfs (Simos.Cluster.kernel cl node)) path with
+      | None -> Alcotest.failf "missing image %s" path
+      | Some f ->
+        let img = Dmtcp.Ckpt_image.decode (Simos.Vfs.read_all f) in
+        let mtcp = Dmtcp.Ckpt_image.mtcp img in
+        Alcotest.(check bool) "has threads" true (List.length mtcp.Mtcp.Image.threads >= 1);
+        Alcotest.(check bool) "vpid assigned" true (img.Dmtcp.Ckpt_image.vpid > 0))
+    info.Dmtcp.Runtime.images
+
+let test_dmtcpaware_hooks_fire () =
+  let pre = ref 0 and post = ref 0 in
+  Dmtcp.Dmtcpaware.set_hooks ~prog:"p:counter"
+    ~pre_ckpt:(fun () -> incr pre)
+    ~post_ckpt:(fun () -> incr post)
+    ();
+  let cl, rt = make () in
+  let _ = Dmtcp.Api.launch rt ~node:1 ~prog:"p:counter" ~argv:[ "100000"; "/tmp/hk" ] in
+  run_for cl 0.5;
+  Dmtcp.Api.checkpoint_now rt;
+  check Alcotest.int "pre-checkpoint hook ran" 1 !pre;
+  check Alcotest.int "post-checkpoint hook ran" 1 !post;
+  (* and again after a restart (hook also covers the restart path) *)
+  let script = Dmtcp.Api.restart_script rt in
+  Dmtcp.Api.kill_computation rt;
+  Dmtcp.Api.restart rt script;
+  Dmtcp.Api.await_restart rt;
+  check Alcotest.int "post-restart hook ran" 2 !post;
+  Dmtcp.Dmtcpaware.set_hooks ~prog:"p:counter" ()
+
+let test_restart_script_roundtrip () =
+  let script =
+    { Dmtcp.Restart_script.coord_host = 3; coord_port = 7779;
+      entries = [ (0, [ "/ckpt/a" ]); (5, [ "/ckpt/b"; "/ckpt/c" ]) ] }
+  in
+  let script' =
+    Util.Codec.roundtrip Dmtcp.Restart_script.encode Dmtcp.Restart_script.decode script
+  in
+  Alcotest.(check bool) "script round-trips" true (script = script');
+  let merged = Dmtcp.Restart_script.remap script (fun _ -> 1) in
+  check Alcotest.int "remap merges hosts" 1 (List.length merged.Dmtcp.Restart_script.entries);
+  check Alcotest.int "remap moves coordinator" 1 merged.Dmtcp.Restart_script.coord_host
+
+let test_conn_table_roundtrip () =
+  let t = Dmtcp.Conn_table.create () in
+  let entry fdn role =
+    {
+      Dmtcp.Conn_table.conn_id =
+        Dmtcp.Conn_id.make ~hostid:2 ~pid:77 ~timestamp:1.5 ~seq:fdn;
+      role;
+      kind = Dmtcp.Conn_table.Tcp;
+      desc_id = 1000 + fdn;
+      drained = String.make fdn 'x';
+      saved_owner = fdn;
+    }
+  in
+  Dmtcp.Conn_table.add t ~fd:3 (entry 3 Dmtcp.Conn_table.Connector);
+  Dmtcp.Conn_table.add t ~fd:4 (entry 4 Dmtcp.Conn_table.Acceptor);
+  Dmtcp.Conn_table.add t ~fd:5 (entry 5 Dmtcp.Conn_table.Pair_a);
+  let t' = Util.Codec.roundtrip Dmtcp.Conn_table.encode Dmtcp.Conn_table.decode t in
+  check Alcotest.int "entries preserved" 3 (List.length (Dmtcp.Conn_table.entries t'));
+  (match Dmtcp.Conn_table.find t' ~fd:4 with
+  | Some e ->
+    Alcotest.(check bool) "role preserved" true (e.Dmtcp.Conn_table.role = Dmtcp.Conn_table.Acceptor);
+    check Alcotest.string "drained preserved" "xxxx" e.Dmtcp.Conn_table.drained
+  | None -> Alcotest.fail "fd 4 missing");
+  (* dup sharing: two fds on one description dedup to one drain target *)
+  let shared = entry 6 Dmtcp.Conn_table.Connector in
+  Dmtcp.Conn_table.add t ~fd:6 shared;
+  Dmtcp.Conn_table.add t ~fd:7 { shared with Dmtcp.Conn_table.drained = "" };
+  let uniques = Dmtcp.Conn_table.unique_descs t in
+  check Alcotest.int "dup'd description counted once" 4 (List.length uniques)
+
+let extra_suites =
+    [
+      ( "shared-memory",
+        [
+          Alcotest.test_case "checkpoint/restart" `Quick test_shm_checkpoint_restart;
+          Alcotest.test_case "migration" `Quick test_shm_survives_migration;
+        ] );
+      ( "artifacts",
+        [
+          Alcotest.test_case "images decode" `Quick test_image_files_cleanly_decodable;
+          Alcotest.test_case "restart script codec" `Quick test_restart_script_roundtrip;
+          Alcotest.test_case "conn table codec" `Quick test_conn_table_roundtrip;
+        ] );
+      ( "dmtcpaware",
+        [ Alcotest.test_case "hooks fire" `Quick test_dmtcpaware_hooks_fire ] );
+    ]
+
+
+
+(* failure injection *)
+
+let test_restart_with_missing_image () =
+  (* a lost image: the restart process restores what it can and the other
+     processes still come back *)
+  let cl, rt = make () in
+  let _ = Dmtcp.Api.launch rt ~node:1 ~prog:"p:counter" ~argv:[ "3000"; "/tmp/mi-a" ] in
+  let _ = Dmtcp.Api.launch rt ~node:1 ~prog:"p:counter" ~argv:[ "3000"; "/tmp/mi-b" ] in
+  run_for cl 1.0;
+  Dmtcp.Api.checkpoint_now rt;
+  let script = Dmtcp.Api.restart_script rt in
+  Dmtcp.Api.kill_computation rt;
+  (* delete one of the two images *)
+  (match script.Dmtcp.Restart_script.entries with
+  | [ (host, first :: _) ] ->
+    ignore (Simos.Vfs.unlink (Simos.Kernel.vfs (Simos.Cluster.kernel cl host)) first)
+  | _ -> Alcotest.fail "unexpected script shape");
+  Dmtcp.Api.restart rt script;
+  Dmtcp.Api.await_restart rt;
+  Simos.Cluster.run cl;
+  let a = file_content cl 1 "/tmp/mi-a" and b = file_content cl 1 "/tmp/mi-b" in
+  (* exactly one of the two finished *)
+  check Alcotest.int "one process survived the lost image" 1
+    (List.length (List.filter (fun x -> x = Some "done:3000") [ a; b ]))
+
+let test_checkpoint_excludes_unhijacked () =
+  (* a process running outside dmtcp_checkpoint must not be captured *)
+  let cl, rt = make () in
+  let _ = Dmtcp.Api.launch rt ~node:1 ~prog:"p:counter" ~argv:[ "100000"; "/tmp/in" ] in
+  let k2 = Simos.Cluster.kernel cl 2 in
+  ignore (Simos.Kernel.spawn k2 ~prog:"p:counter" ~argv:[ "100000"; "/tmp/out" ] ());
+  run_for cl 1.0;
+  Dmtcp.Api.checkpoint_now rt;
+  check Alcotest.int "only the hijacked process imaged" 1
+    (Dmtcp.Runtime.ckpt_info rt).Dmtcp.Runtime.nprocs
+
+let test_listener_port_taken_on_restart_host () =
+  (* migrating a server onto a host whose port is occupied: the restored
+     listener falls back to an ephemeral port instead of failing *)
+  let cl, rt = make () in
+  let _ = Dmtcp.Api.launch rt ~node:1 ~prog:"p:stream-server" ~argv:[ "6000"; "100000"; "/tmp/pt" ] in
+  run_for cl 0.3;
+  Dmtcp.Api.checkpoint_now rt;
+  let script = Dmtcp.Api.restart_script rt in
+  Dmtcp.Api.kill_computation rt;
+  (* occupy port 6000 on the target host *)
+  let k3 = Simos.Cluster.kernel cl 3 in
+  let squatter = Simnet.Fabric.socket (Simos.Cluster.fabric cl) ~host:3 in
+  ignore (Simnet.Fabric.bind squatter ~port:6000);
+  ignore (Simnet.Fabric.listen squatter ~backlog:1);
+  ignore k3;
+  let script = Dmtcp.Restart_script.remap script (fun _ -> 3) in
+  Dmtcp.Api.restart rt script;
+  Dmtcp.Api.await_restart rt;
+  check Alcotest.int "server restored despite the conflict" 1
+    (List.length (Dmtcp.Runtime.hijacked_processes rt))
+
+let test_kill_mid_checkpoint_recovers () =
+  (* killing the computation mid-checkpoint must not wedge later runs on
+     the same cluster *)
+  let cl, rt = make () in
+  let _ = Dmtcp.Api.launch rt ~node:1 ~prog:"p:memhog" ~argv:[ "64"; "1000000"; "/tmp/km" ] in
+  run_for cl 1.0;
+  Dmtcp.Api.checkpoint rt;
+  run_for cl 0.05;  (* inside the write stage *)
+  Dmtcp.Api.kill_computation rt;
+  run_for cl 1.0;
+  (* a fresh computation on the same cluster checkpoints normally *)
+  let _ = Dmtcp.Api.launch rt ~node:2 ~prog:"p:counter" ~argv:[ "3000"; "/tmp/km2" ] in
+  run_for cl 1.0;
+  Dmtcp.Api.checkpoint_now rt;
+  Simos.Cluster.run cl;
+  check (Alcotest.option Alcotest.string) "later computation unaffected" (Some "done:3000")
+    (file_content cl 2 "/tmp/km2")
+
+let failure_suites =
+  [
+    ( "failure-injection",
+      [
+        Alcotest.test_case "missing image" `Quick test_restart_with_missing_image;
+        Alcotest.test_case "unhijacked excluded" `Quick test_checkpoint_excludes_unhijacked;
+        Alcotest.test_case "port taken on restart host" `Quick test_listener_port_taken_on_restart_host;
+        Alcotest.test_case "kill mid-checkpoint" `Quick test_kill_mid_checkpoint_recovers;
+      ] );
+  ]
+
+(* property: whatever the stream length and whenever the checkpoint (and
+   optional restart) lands, the receiver sees every byte exactly once and
+   in order *)
+let prop_stream_integrity_under_checkpoint =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:8 ~name:"stream integrity under randomized checkpoint/restart"
+       QCheck.(triple (int_range 500 4000) (int_range 1 9) bool)
+       (fun (count, warmup_decis, do_restart) ->
+         (* clamp: qcheck shrinking can step outside the declared range *)
+         let count = max 1000 count in
+         let warmup_decis = max 1 (min 9 warmup_decis) in
+         let cl, rt = make () in
+         let _ =
+           Dmtcp.Api.launch rt ~node:1 ~prog:"p:stream-server"
+             ~argv:[ "6000"; string_of_int count; "/tmp/prop" ]
+         in
+         run_for cl 0.3;
+         let _ =
+           Dmtcp.Api.launch rt ~node:2 ~prog:"p:stream-client"
+             ~argv:[ "1"; "6000"; string_of_int count ]
+         in
+         (* aim the checkpoint inside the transfer window *)
+         run_for cl (Float.min (0.05 *. float_of_int warmup_decis)
+                       (0.5 *. float_of_int count *. 1e-4));
+         if Dmtcp.Runtime.hijacked_processes rt <> [] then begin
+           Dmtcp.Api.checkpoint_now rt;
+           if do_restart then begin
+             let script = Dmtcp.Api.restart_script rt in
+             Dmtcp.Api.kill_computation rt;
+             Dmtcp.Api.restart rt script;
+             Dmtcp.Api.await_restart rt
+           end
+         end;
+         Simos.Cluster.run cl;
+         file_content cl 1 "/tmp/prop" = Some (Printf.sprintf "OK %d" count)))
+
+(* signal dispositions and the pending queue survive checkpoint/restart *)
+let test_signals_survive_restart () =
+  let cl, rt = make () in
+  let _ = Dmtcp.Api.launch rt ~node:1 ~prog:"p:sigapp" ~argv:[ "3"; "/tmp/sigr" ] in
+  run_for cl 0.3;
+  (* deliver one handled signal before the checkpoint; it stays pending *)
+  (match Dmtcp.Runtime.hijacked_processes rt with
+  | [ (node, pid, _) ] ->
+    let k = Simos.Cluster.kernel cl node in
+    let p = Option.get (Simos.Kernel.find_process k ~pid) in
+    Simos.Kernel.suspend_user_threads k p;
+    Simos.Kernel.deliver_signal k p ~signal:10;
+    Simos.Kernel.resume_user_threads k p;
+    (* also prove SIGTERM is ignored per the app's table *)
+    Simos.Kernel.deliver_signal k p ~signal:15;
+    Alcotest.(check bool) "TERM ignored before ckpt" true
+      (p.Simos.Kernel.pstate = Simos.Kernel.Running)
+  | _ -> Alcotest.fail "expected one process");
+  Dmtcp.Api.checkpoint_now rt;
+  let script = Dmtcp.Api.restart_script rt in
+  Dmtcp.Api.kill_computation rt;
+  Dmtcp.Api.restart rt script;
+  Dmtcp.Api.await_restart rt;
+  (* the restored process still has the table: TERM remains ignored, and
+     two more USR1s complete the count of three *)
+  (match Dmtcp.Runtime.hijacked_processes rt with
+  | [ (node, pid, _) ] ->
+    let k = Simos.Cluster.kernel cl node in
+    let p = Option.get (Simos.Kernel.find_process k ~pid) in
+    Simos.Kernel.deliver_signal k p ~signal:15;
+    Alcotest.(check bool) "TERM still ignored after restart" true
+      (p.Simos.Kernel.pstate = Simos.Kernel.Running);
+    Simos.Kernel.deliver_signal k p ~signal:10;
+    Simos.Kernel.deliver_signal k p ~signal:10
+  | _ -> Alcotest.fail "expected one restored process");
+  Simos.Cluster.run cl;
+  check (Alcotest.option Alcotest.string) "handler count completed" (Some "SIGNALS 3")
+    (file_anywhere cl "/tmp/sigr")
+
+(* small-unit coverage of the DMTCP metadata types *)
+let test_options_env_roundtrip () =
+  let opts =
+    {
+      Dmtcp.Options.coord_host = 7;
+      coord_port = 1234;
+      ckpt_dir = "/images";
+      algo = Compress.Algo.Rle;
+      forked = true;
+      incremental = true;
+      interval = Some 2.5;
+      sync_after = true;
+    }
+  in
+  let opts' = Dmtcp.Options.of_env (Dmtcp.Options.to_env opts) in
+  Alcotest.(check bool) "options survive the environment" true (opts = opts')
+
+let test_upid_conn_id_codecs () =
+  let upid = Dmtcp.Upid.make ~hostid:3 ~pid:204 ~generation:2 in
+  let upid' = Util.Codec.roundtrip Dmtcp.Upid.encode Dmtcp.Upid.decode upid in
+  Alcotest.(check bool) "upid round-trips" true (upid = upid');
+  check Alcotest.string "upid string" "3-204-g2" (Dmtcp.Upid.to_string upid);
+  Alcotest.(check bool) "generation bumps" true
+    ((Dmtcp.Upid.next_generation upid).Dmtcp.Upid.generation = 3);
+  let cid = Dmtcp.Conn_id.make ~hostid:1 ~pid:55 ~timestamp:0.125 ~seq:9 in
+  let cid' = Util.Codec.roundtrip Dmtcp.Conn_id.encode Dmtcp.Conn_id.decode cid in
+  Alcotest.(check bool) "conn id round-trips" true (Dmtcp.Conn_id.equal cid cid');
+  Alcotest.(check bool) "keys distinguish connections" true
+    (Dmtcp.Conn_id.to_key cid
+    <> Dmtcp.Conn_id.to_key (Dmtcp.Conn_id.make ~hostid:1 ~pid:55 ~timestamp:0.125 ~seq:10))
+
+let test_proto_parse () =
+  Alcotest.(check bool) "hello" true
+    (match Dmtcp.Proto.parse "HELLO 1-2-g0" with Dmtcp.Proto.Hello _ -> true | _ -> false);
+  Alcotest.(check bool) "barrier" true (Dmtcp.Proto.parse "BARRIER 3" = Dmtcp.Proto.Barrier 3);
+  Alcotest.(check bool) "release" true (Dmtcp.Proto.parse "RELEASE 5" = Dmtcp.Proto.Release 5);
+  Alcotest.(check bool) "garbage tolerated" true
+    (match Dmtcp.Proto.parse "NONSENSE x y" with Dmtcp.Proto.Unknown _ -> true | _ -> false);
+  let lines, rest = Dmtcp.Proto.split_lines "A
+B
+partial" in
+  Alcotest.(check (list string)) "line split" [ "A"; "B" ] lines;
+  check Alcotest.string "remainder kept" "partial" rest;
+  let frame = Dmtcp.Proto.handshake_frame "key-123" in
+  check Alcotest.int "fixed frame width" Dmtcp.Proto.handshake_len (String.length frame);
+  check Alcotest.string "frame round-trip" "key-123" (Dmtcp.Proto.parse_handshake frame)
+
+let test_launcher_unknown_program_fails () =
+  (* dmtcp_checkpoint of a nonexistent binary exits 127 instead of
+     spinning *)
+  let cl, rt = make () in
+  let _ = Dmtcp.Api.launch rt ~node:1 ~prog:"no:such-program" ~argv:[] in
+  run_for cl 2.0;
+  check Alcotest.int "nothing registered" 0 (List.length (Dmtcp.Runtime.hijacked_processes rt));
+  (* the launcher process is gone, not spinning *)
+  let launchers =
+    List.filter
+      (fun (_, (p : Simos.Kernel.process)) ->
+        match p.Simos.Kernel.cmdline with x :: _ -> x = "dmtcp:checkpoint" | [] -> false)
+      (Simos.Cluster.all_processes cl)
+  in
+  check Alcotest.int "launcher exited" 0 (List.length launchers)
+
+let test_inspect_describe () =
+  let cl, rt = make () in
+  let _ = Dmtcp.Api.launch rt ~node:1 ~prog:"p:pipeline" ~argv:[ "20000"; "/tmp/insp" ] in
+  run_for cl 0.3;
+  Dmtcp.Api.checkpoint_now rt;
+  let script = Dmtcp.Api.restart_script rt in
+  let report = Dmtcp.Inspect.describe_checkpoint rt script in
+  let contains needle =
+    let n = String.length needle and h = String.length report in
+    let rec go i = i + n <= h && (String.sub report i n = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "report mentions %S" needle) true (contains needle))
+    [ "p:pipeline"; "vpid"; "socket"; "pair"; "drained"; "memory:"; "threads (" ]
+
+let unit_suites =
+  [
+    ( "metadata",
+      [
+        Alcotest.test_case "options env round-trip" `Quick test_options_env_roundtrip;
+        Alcotest.test_case "upid/conn-id codecs" `Quick test_upid_conn_id_codecs;
+        Alcotest.test_case "protocol parsing" `Quick test_proto_parse;
+        Alcotest.test_case "launcher exec failure" `Quick test_launcher_unknown_program_fails;
+        Alcotest.test_case "inspect describes images" `Quick test_inspect_describe;
+      ] );
+  ]
+
+let property_suites =
+  [
+    ("signals", [ Alcotest.test_case "survive restart" `Quick test_signals_survive_restart ]);
+    ("properties", [ prop_stream_integrity_under_checkpoint ]);
+  ]
+
+let () =
+  Alcotest.run "dmtcp" (base_suites @ extra_suites @ failure_suites @ unit_suites @ property_suites)

@@ -1,0 +1,243 @@
+(* Tests for the paged memory model: entropy generators, page codecs,
+   regions, address spaces, and copy-on-write fork semantics. *)
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Entropy *)
+
+let test_entropy_deterministic () =
+  List.iter
+    (fun cls ->
+      let a = Mem.Entropy.generate cls ~seed:7L ~len:1000 in
+      let b = Mem.Entropy.generate cls ~seed:7L ~len:1000 in
+      check Alcotest.bytes (Mem.Entropy.name cls) a b)
+    Mem.Entropy.all
+
+let test_entropy_seed_matters () =
+  let a = Mem.Entropy.generate Mem.Entropy.Random ~seed:1L ~len:64 in
+  let b = Mem.Entropy.generate Mem.Entropy.Random ~seed:2L ~len:64 in
+  Alcotest.(check bool) "different seeds differ" true (a <> b)
+
+let test_entropy_ratio_ordering () =
+  (* Compressibility must be ordered: zeros < text < random, and random
+     must be essentially incompressible. *)
+  let z = Mem.Entropy.deflate_ratio Mem.Entropy.Zeros in
+  let tx = Mem.Entropy.deflate_ratio Mem.Entropy.Text in
+  let r = Mem.Entropy.deflate_ratio Mem.Entropy.Random in
+  Alcotest.(check bool) "zeros < text" true (z < tx);
+  Alcotest.(check bool) "text < random" true (tx < r);
+  Alcotest.(check bool) "zeros tiny" true (z < 0.01);
+  Alcotest.(check bool) "random ~1" true (r > 0.9)
+
+let test_entropy_ratio_memoized () =
+  let a = Mem.Entropy.deflate_ratio Mem.Entropy.Code in
+  let b = Mem.Entropy.deflate_ratio Mem.Entropy.Code in
+  check (Alcotest.float 0.) "memoized ratio stable" a b
+
+let test_entropy_codec () =
+  List.iter
+    (fun cls ->
+      let cls' = Util.Codec.roundtrip Mem.Entropy.encode Mem.Entropy.decode cls in
+      Alcotest.(check bool) (Mem.Entropy.name cls) true (cls = cls'))
+    Mem.Entropy.all
+
+(* ------------------------------------------------------------------ *)
+(* Page *)
+
+let test_page_materialize_deterministic () =
+  let p = Mem.Page.Synthetic { seed = 99L; cls = Mem.Entropy.Numeric } in
+  check Alcotest.bytes "same bytes twice" (Mem.Page.materialize p) (Mem.Page.materialize p)
+
+let test_page_zero () =
+  let b = Mem.Page.materialize Mem.Page.Zero in
+  check Alcotest.int "page size" Mem.Page.size (Bytes.length b);
+  Alcotest.(check bool) "all zero" true (Bytes.for_all (fun c -> c = '\000') b)
+
+let test_page_codec_roundtrip () =
+  let pages =
+    [
+      Mem.Page.Zero;
+      Mem.Page.Materialized (Mem.Entropy.generate Mem.Entropy.Text ~seed:1L ~len:Mem.Page.size);
+      Mem.Page.Synthetic { seed = 123L; cls = Mem.Entropy.Code };
+    ]
+  in
+  List.iter
+    (fun p ->
+      let p' = Util.Codec.roundtrip Mem.Page.encode Mem.Page.decode p in
+      Alcotest.(check bool) "page round-trip" true (p = p'))
+    pages
+
+let test_page_compressed_size_zero_small () =
+  let sz = Mem.Page.compressed_size Compress.Algo.Deflate Mem.Page.Zero in
+  Alcotest.(check bool) "zero page compresses to ~nothing" true (sz < 64)
+
+(* ------------------------------------------------------------------ *)
+(* Address space *)
+
+let make_space () =
+  let sp = Mem.Address_space.create () in
+  let _text =
+    Mem.Address_space.map sp ~kind:Mem.Region.Text ~perms:Mem.Region.rx ~bytes:(8 * Mem.Page.size)
+      ~content:(fun i -> Mem.Page.Synthetic { seed = Int64.of_int i; cls = Mem.Entropy.Code })
+      ()
+  in
+  let heap = Mem.Address_space.map sp ~kind:Mem.Region.Heap ~perms:Mem.Region.rw ~bytes:(16 * Mem.Page.size) () in
+  (sp, heap)
+
+let test_space_map_addresses_disjoint () =
+  let sp = Mem.Address_space.create () in
+  let a = Mem.Address_space.map sp ~kind:Mem.Region.Heap ~perms:Mem.Region.rw ~bytes:4096 () in
+  let b = Mem.Address_space.map sp ~kind:Mem.Region.Heap ~perms:Mem.Region.rw ~bytes:4096 () in
+  Alcotest.(check bool) "disjoint" true
+    (Mem.Region.end_addr a <= b.Mem.Region.start_addr || Mem.Region.end_addr b <= a.Mem.Region.start_addr)
+
+let test_space_read_write_roundtrip () =
+  let sp, heap = make_space () in
+  let addr = heap.Mem.Region.start_addr + 100 in
+  Mem.Address_space.write sp ~addr "hello, checkpoint";
+  check Alcotest.string "read back" "hello, checkpoint"
+    (Mem.Address_space.read sp ~addr ~len:17)
+
+let test_space_write_across_pages () =
+  let sp, heap = make_space () in
+  let addr = heap.Mem.Region.start_addr + Mem.Page.size - 3 in
+  Mem.Address_space.write sp ~addr "abcdefgh";
+  check Alcotest.string "crosses page boundary" "abcdefgh" (Mem.Address_space.read sp ~addr ~len:8)
+
+let test_space_unmapped_access_rejected () =
+  let sp, _ = make_space () in
+  Alcotest.(check bool) "unmapped read raises" true
+    (try
+       ignore (Mem.Address_space.read sp ~addr:0x10 ~len:1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_space_cross_region_access_rejected () =
+  let sp, heap = make_space () in
+  let addr = Mem.Region.end_addr heap - 2 in
+  Alcotest.(check bool) "crossing region end raises" true
+    (try
+       ignore (Mem.Address_space.read sp ~addr ~len:10);
+       false
+     with Invalid_argument _ -> true)
+
+let test_space_fork_isolation () =
+  let sp, heap = make_space () in
+  let addr = heap.Mem.Region.start_addr in
+  Mem.Address_space.write sp ~addr "original";
+  let child = Mem.Address_space.fork sp in
+  Mem.Address_space.write sp ~addr "PARENT!!";
+  check Alcotest.string "child unaffected by parent write" "original"
+    (Mem.Address_space.read child ~addr ~len:8);
+  Mem.Address_space.write child ~addr "CHILD!!!";
+  check Alcotest.string "parent unaffected by child write" "PARENT!!"
+    (Mem.Address_space.read sp ~addr ~len:8)
+
+let test_space_shared_mapping_visible () =
+  let sp, _ = make_space () in
+  let shared =
+    Mem.Address_space.map sp
+      ~kind:(Mem.Region.Mmap_shared { backing_path = "/dev/shm/seg0" })
+      ~perms:Mem.Region.rw ~bytes:4096 ()
+  in
+  let child = Mem.Address_space.fork sp in
+  let addr = shared.Mem.Region.start_addr in
+  Mem.Address_space.write sp ~addr "shared-data";
+  check Alcotest.string "visible through fork" "shared-data"
+    (Mem.Address_space.read child ~addr ~len:11)
+
+let test_space_attach_aliases () =
+  let a = Mem.Address_space.create () in
+  let b = Mem.Address_space.create () in
+  let seg =
+    Mem.Address_space.map a
+      ~kind:(Mem.Region.Mmap_shared { backing_path = "/dev/shm/seg1" })
+      ~perms:Mem.Region.rw ~bytes:4096 ()
+  in
+  let seg_b = Mem.Address_space.attach b seg in
+  Mem.Address_space.write a ~addr:seg.Mem.Region.start_addr "ping";
+  check Alcotest.string "attached space sees writes" "ping"
+    (Mem.Address_space.read b ~addr:seg_b.Mem.Region.start_addr ~len:4)
+
+let test_space_zero_accounting () =
+  let sp = Mem.Address_space.create () in
+  let r = Mem.Address_space.map sp ~kind:Mem.Region.Heap ~perms:Mem.Region.rw ~bytes:(4 * Mem.Page.size) () in
+  check Alcotest.int "all zero initially" (4 * Mem.Page.size) (Mem.Address_space.zero_bytes sp);
+  Mem.Address_space.write sp ~addr:r.Mem.Region.start_addr "x";
+  check Alcotest.int "one page dirtied" (3 * Mem.Page.size) (Mem.Address_space.zero_bytes sp)
+
+let test_space_codec_roundtrip () =
+  let sp, heap = make_space () in
+  Mem.Address_space.write sp ~addr:heap.Mem.Region.start_addr "persisted";
+  let sp' = Util.Codec.roundtrip Mem.Address_space.encode Mem.Address_space.decode sp in
+  Alcotest.(check bool) "spaces equal" true (Mem.Address_space.equal sp sp');
+  check Alcotest.string "data survives" "persisted"
+    (Mem.Address_space.read sp' ~addr:heap.Mem.Region.start_addr ~len:9)
+
+let test_space_unmap () =
+  let sp, heap = make_space () in
+  let n = List.length (Mem.Address_space.regions sp) in
+  Mem.Address_space.unmap sp heap;
+  check Alcotest.int "one fewer region" (n - 1) (List.length (Mem.Address_space.regions sp));
+  Alcotest.(check bool) "address no longer mapped" true
+    (Mem.Address_space.find_region sp ~addr:heap.Mem.Region.start_addr = None)
+
+let prop_write_read =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"write then read returns written bytes"
+       QCheck.(pair (string_of_size QCheck.Gen.(1 -- 300)) (int_bound 5000))
+       (fun (s, off) ->
+         let sp = Mem.Address_space.create () in
+         let r = Mem.Address_space.map sp ~kind:Mem.Region.Heap ~perms:Mem.Region.rw ~bytes:(4 * Mem.Page.size) () in
+         let off = off mod ((4 * Mem.Page.size) - String.length s) in
+         let addr = r.Mem.Region.start_addr + off in
+         Mem.Address_space.write sp ~addr s;
+         Mem.Address_space.read sp ~addr ~len:(String.length s) = s))
+
+let prop_fork_preserves_equality =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"fork is observationally equal until a write"
+       QCheck.(small_string)
+       (fun s ->
+         let sp = Mem.Address_space.create () in
+         let r = Mem.Address_space.map sp ~kind:Mem.Region.Data ~perms:Mem.Region.rw ~bytes:4096 () in
+         if String.length s > 0 then Mem.Address_space.write sp ~addr:r.Mem.Region.start_addr s;
+         let child = Mem.Address_space.fork sp in
+         Mem.Address_space.equal sp child))
+
+let () =
+  Alcotest.run "mem"
+    [
+      ( "entropy",
+        [
+          Alcotest.test_case "deterministic" `Quick test_entropy_deterministic;
+          Alcotest.test_case "seed matters" `Quick test_entropy_seed_matters;
+          Alcotest.test_case "ratio ordering" `Quick test_entropy_ratio_ordering;
+          Alcotest.test_case "ratio memoized" `Quick test_entropy_ratio_memoized;
+          Alcotest.test_case "codec" `Quick test_entropy_codec;
+        ] );
+      ( "page",
+        [
+          Alcotest.test_case "materialize deterministic" `Quick test_page_materialize_deterministic;
+          Alcotest.test_case "zero page" `Quick test_page_zero;
+          Alcotest.test_case "codec round-trip" `Quick test_page_codec_roundtrip;
+          Alcotest.test_case "zero compressed size" `Quick test_page_compressed_size_zero_small;
+        ] );
+      ( "address-space",
+        [
+          Alcotest.test_case "disjoint mappings" `Quick test_space_map_addresses_disjoint;
+          Alcotest.test_case "read/write round-trip" `Quick test_space_read_write_roundtrip;
+          Alcotest.test_case "write across pages" `Quick test_space_write_across_pages;
+          Alcotest.test_case "unmapped access rejected" `Quick test_space_unmapped_access_rejected;
+          Alcotest.test_case "cross-region access rejected" `Quick test_space_cross_region_access_rejected;
+          Alcotest.test_case "fork isolation (COW)" `Quick test_space_fork_isolation;
+          Alcotest.test_case "shared mapping visible" `Quick test_space_shared_mapping_visible;
+          Alcotest.test_case "attach aliases" `Quick test_space_attach_aliases;
+          Alcotest.test_case "zero accounting" `Quick test_space_zero_accounting;
+          Alcotest.test_case "codec round-trip" `Quick test_space_codec_roundtrip;
+          Alcotest.test_case "unmap" `Quick test_space_unmap;
+          prop_write_read;
+          prop_fork_preserves_equality;
+        ] );
+    ]

@@ -1,0 +1,184 @@
+(* Tests for the MTCP layer: image capture/encode/decode, size
+   accounting, thread restore, snapshot isolation, and cost models. *)
+
+let check = Alcotest.check
+
+let () = Progs.ensure_registered ()
+
+let make_proc ?(mb = 2) () =
+  let cl = Simos.Cluster.create ~nodes:1 () in
+  let k = Simos.Cluster.kernel cl 0 in
+  let proc =
+    Simos.Kernel.spawn k ~prog:"p:memhog"
+      ~argv:[ string_of_int mb; "100000"; "/tmp/h" ]
+      ()
+  in
+  Sim.Engine.run ~until:0.5 (Simos.Cluster.engine cl);
+  (cl, k, proc)
+
+let test_capture_roundtrip () =
+  let _, k, proc = make_proc () in
+  Simos.Kernel.suspend_user_threads k proc;
+  let img = Mtcp.Image.capture proc in
+  let bytes = Mtcp.Image.encode ~algo:Compress.Algo.Deflate img in
+  let img' = Mtcp.Image.decode bytes in
+  Alcotest.(check bool) "image round-trips" true (Mtcp.Image.equal img img')
+
+let test_capture_all_algos () =
+  let _, k, proc = make_proc () in
+  Simos.Kernel.suspend_user_threads k proc;
+  let img = Mtcp.Image.capture proc in
+  List.iter
+    (fun algo ->
+      let bytes = Mtcp.Image.encode ~algo img in
+      Alcotest.(check bool) (Compress.Algo.name algo) true
+        (Mtcp.Image.equal img (Mtcp.Image.decode bytes)))
+    Compress.Algo.all
+
+let test_sizes_accounting () =
+  let _, k, proc = make_proc ~mb:4 () in
+  Simos.Kernel.suspend_user_threads k proc;
+  let img = Mtcp.Image.capture proc in
+  let null = Mtcp.Image.sizes Compress.Algo.Null img in
+  let gz = Mtcp.Image.sizes Compress.Algo.Deflate img in
+  Alcotest.(check bool) "uncompressed covers the footprint" true
+    (null.Mtcp.Image.uncompressed >= 4_000_000);
+  check Alcotest.int "raw scheme does not shrink pages"
+    null.Mtcp.Image.uncompressed
+    (null.Mtcp.Image.compressed + (null.Mtcp.Image.uncompressed - null.Mtcp.Image.compressed));
+  Alcotest.(check bool) "deflate shrinks (mostly-zero memhog)" true
+    (gz.Mtcp.Image.compressed * 2 < gz.Mtcp.Image.uncompressed);
+  check Alcotest.int "zero accounting consistent" gz.Mtcp.Image.zero_bytes
+    null.Mtcp.Image.zero_bytes
+
+let test_snapshot_isolation () =
+  (* the captured image must not change while the process keeps running *)
+  let cl, k, proc = make_proc () in
+  Simos.Kernel.suspend_user_threads k proc;
+  let img = Mtcp.Image.capture proc in
+  let before = Mtcp.Image.encode ~algo:Compress.Algo.Null img in
+  Simos.Kernel.resume_user_threads k proc;
+  Sim.Engine.run ~until:(Simos.Cluster.now cl +. 1.0) (Simos.Cluster.engine cl);
+  Mem.Address_space.write proc.Simos.Kernel.space
+    ~addr:
+      (List.hd (Mem.Address_space.regions proc.Simos.Kernel.space)).Mem.Region.start_addr
+    "mutated after capture";
+  let after = Mtcp.Image.encode ~algo:Compress.Algo.Null img in
+  check Alcotest.string "image bytes stable (COW snapshot)" (Digest.string before)
+    (Digest.string after)
+
+let test_restore_threads_completes () =
+  (* capture a half-done counter, restore into a fresh shell, and the
+     restored program must finish with the same answer *)
+  let cl = Simos.Cluster.create ~nodes:1 () in
+  let k = Simos.Cluster.kernel cl 0 in
+  let proc = Simos.Kernel.spawn k ~prog:"p:counter" ~argv:[ "2000"; "/tmp/out" ] () in
+  Sim.Engine.run ~until:1.0 (Simos.Cluster.engine cl);
+  Simos.Kernel.suspend_user_threads k proc;
+  let img = Mtcp.Image.capture proc in
+  Simos.Kernel.vanish_process k proc;
+  let shell = Simos.Kernel.create_raw_process k ~pid:(Simos.Kernel.fresh_pid k) ~ppid:0 ~env:[] ~hijacked:false in
+  Mtcp.Image.restore_threads k shell img;
+  Simos.Cluster.run cl;
+  (match Simos.Vfs.lookup (Simos.Kernel.vfs k) "/tmp/out" with
+  | Some f -> check Alcotest.string "restored counter finished" "done:2000" (Simos.Vfs.read_all f)
+  | None -> Alcotest.fail "no output after restore")
+
+let test_blocked_wait_preserved () =
+  (* a thread blocked on a sleep must re-block after restore, not spin *)
+  let cl = Simos.Cluster.create ~nodes:1 () in
+  let k = Simos.Cluster.kernel cl 0 in
+  let proc = Simos.Kernel.spawn k ~prog:"p:aware" ~argv:[ "100.0" ] () in
+  Sim.Engine.run ~until:0.5 (Simos.Cluster.engine cl);
+  Simos.Kernel.suspend_user_threads k proc;
+  let img = Mtcp.Image.capture proc in
+  let ti = List.hd img.Mtcp.Image.threads in
+  Alcotest.(check bool) "wait condition captured" true (ti.Mtcp.Image.ti_wait <> None)
+
+let test_decode_rejects_corruption () =
+  let _, k, proc = make_proc () in
+  Simos.Kernel.suspend_user_threads k proc;
+  let bytes = Mtcp.Image.encode ~algo:Compress.Algo.Deflate (Mtcp.Image.capture proc) in
+  let b = Bytes.of_string bytes in
+  Bytes.set b (Bytes.length b / 2) '\xee';
+  Alcotest.(check bool) "corrupt image rejected" true
+    (try
+       ignore (Mtcp.Image.decode (Bytes.to_string b));
+       false
+     with
+    | Compress.Container.Bad_container _ | Util.Codec.Reader.Corrupt _ -> true)
+
+let test_manager_threads_excluded () =
+  (* processes under DMTCP have a manager thread; it must not be captured *)
+  let cl = Simos.Cluster.create ~nodes:1 () in
+  let rt = Dmtcp.Api.install cl () in
+  let _ = Dmtcp.Api.launch rt ~node:0 ~prog:"p:counter" ~argv:[ "100000"; "/tmp/x" ] in
+  Sim.Engine.run ~until:1.0 (Simos.Cluster.engine cl);
+  match Dmtcp.Runtime.hijacked_processes rt with
+  | [ (node, pid, _) ] ->
+    let k = Simos.Cluster.kernel cl node in
+    let proc = Option.get (Simos.Kernel.find_process k ~pid) in
+    Simos.Kernel.suspend_user_threads k proc;
+    let img = Mtcp.Image.capture proc in
+    check Alcotest.int "only the user thread captured" 1 (List.length img.Mtcp.Image.threads);
+    Alcotest.(check bool) "process has more threads live" true
+      (List.length proc.Simos.Kernel.threads > 1)
+  | procs -> Alcotest.failf "expected one process, got %d" (List.length procs)
+
+let test_delta_sizes () =
+  let cl, k, proc = make_proc ~mb:4 () in
+  Simos.Kernel.suspend_user_threads k proc;
+  let img1 = Mtcp.Image.capture proc in
+  Simos.Kernel.resume_user_threads k proc;
+  Sim.Engine.run ~until:(Simos.Cluster.now cl +. 0.1) (Simos.Cluster.engine cl);
+  (* dirty exactly one page *)
+  let r = List.hd (Mem.Address_space.regions proc.Simos.Kernel.space) in
+  Mem.Address_space.write proc.Simos.Kernel.space ~addr:r.Mem.Region.start_addr "dirty!";
+  Simos.Kernel.suspend_user_threads k proc;
+  let img2 = Mtcp.Image.capture proc in
+  let full = Mtcp.Image.sizes Compress.Algo.Deflate img2 in
+  let delta =
+    Mtcp.Image.delta_sizes Compress.Algo.Deflate ~prev:(Some img1.Mtcp.Image.space) img2
+  in
+  (* memhog's pages are mostly zeros, so compare raw page volumes: the
+     full image re-writes ~4 MB, the delta only the dirtied page(s) *)
+  Alcotest.(check bool)
+    (Printf.sprintf "delta pages (%d) far below full (%d)" delta.Mtcp.Image.uncompressed
+       full.Mtcp.Image.uncompressed)
+    true
+    (delta.Mtcp.Image.uncompressed * 10 < full.Mtcp.Image.uncompressed);
+  Alcotest.(check bool) "delta covers the dirtied page" true
+    (delta.Mtcp.Image.uncompressed
+    >= Mem.Page.size + (4096 + 1024) (* one page + image metadata *));
+  (* no prev = full *)
+  let same = Mtcp.Image.delta_sizes Compress.Algo.Deflate ~prev:None img2 in
+  check Alcotest.int "no prev equals full" full.Mtcp.Image.compressed same.Mtcp.Image.compressed
+
+let test_cost_models_monotone () =
+  Alcotest.(check bool) "suspend grows with threads" true
+    (Mtcp.Cost.suspend_seconds ~nthreads:16 > Mtcp.Cost.suspend_seconds ~nthreads:1);
+  Alcotest.(check bool) "snapshot grows with pages" true
+    (Mtcp.Cost.snapshot_seconds ~pages:10_000 > Mtcp.Cost.snapshot_seconds ~pages:10);
+  Alcotest.(check bool) "elect grows with fds" true
+    (Mtcp.Cost.elect_seconds ~nfds:100 > Mtcp.Cost.elect_seconds ~nfds:1);
+  Alcotest.(check bool) "suspend near paper's 25 ms" true
+    (let t = Mtcp.Cost.suspend_seconds ~nthreads:2 in
+     t > 0.01 && t < 0.05)
+
+let () =
+  Alcotest.run "mtcp"
+    [
+      ( "image",
+        [
+          Alcotest.test_case "capture round-trip" `Quick test_capture_roundtrip;
+          Alcotest.test_case "all algorithms" `Quick test_capture_all_algos;
+          Alcotest.test_case "size accounting" `Quick test_sizes_accounting;
+          Alcotest.test_case "snapshot isolation" `Quick test_snapshot_isolation;
+          Alcotest.test_case "restore completes" `Quick test_restore_threads_completes;
+          Alcotest.test_case "blocked wait preserved" `Quick test_blocked_wait_preserved;
+          Alcotest.test_case "corruption rejected" `Quick test_decode_rejects_corruption;
+          Alcotest.test_case "manager threads excluded" `Quick test_manager_threads_excluded;
+          Alcotest.test_case "incremental delta sizes" `Quick test_delta_sizes;
+        ] );
+      ("cost", [ Alcotest.test_case "models monotone" `Quick test_cost_models_monotone ]);
+    ]

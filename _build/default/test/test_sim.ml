@@ -1,0 +1,145 @@
+(* Tests for the discrete-event engine: ordering, cancellation, time
+   limits, determinism of simultaneous events. *)
+
+let check = Alcotest.check
+
+let test_empty_run () =
+  let e = Sim.Engine.create () in
+  Sim.Engine.run e;
+  check (Alcotest.float 0.) "clock stays at 0" 0. (Sim.Engine.now e)
+
+let test_ordering () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  let at delay tag = ignore (Sim.Engine.schedule e ~delay (fun () -> log := tag :: !log)) in
+  at 3.0 "c";
+  at 1.0 "a";
+  at 2.0 "b";
+  Sim.Engine.run e;
+  check Alcotest.(list string) "fires in time order" [ "a"; "b"; "c" ] (List.rev !log);
+  check (Alcotest.float 1e-12) "clock at last event" 3.0 (Sim.Engine.now e)
+
+let test_same_time_fifo () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    ignore (Sim.Engine.schedule e ~delay:1.0 (fun () -> log := i :: !log))
+  done;
+  Sim.Engine.run e;
+  check Alcotest.(list int) "FIFO among simultaneous events" (List.init 10 Fun.id) (List.rev !log)
+
+let test_cancel () =
+  let e = Sim.Engine.create () in
+  let fired = ref false in
+  let h = Sim.Engine.schedule e ~delay:1.0 (fun () -> fired := true) in
+  Sim.Engine.cancel h;
+  Sim.Engine.run e;
+  check Alcotest.bool "cancelled event does not fire" false !fired
+
+let test_cancel_twice_ok () =
+  let e = Sim.Engine.create () in
+  let h = Sim.Engine.schedule e ~delay:1.0 ignore in
+  Sim.Engine.cancel h;
+  Sim.Engine.cancel h;
+  Sim.Engine.run e
+
+let test_nested_scheduling () =
+  let e = Sim.Engine.create () in
+  let times = ref [] in
+  ignore
+    (Sim.Engine.schedule e ~delay:1.0 (fun () ->
+         times := Sim.Engine.now e :: !times;
+         ignore (Sim.Engine.schedule e ~delay:0.5 (fun () -> times := Sim.Engine.now e :: !times))));
+  Sim.Engine.run e;
+  check Alcotest.(list (float 1e-12)) "nested event at 1.5" [ 1.0; 1.5 ] (List.rev !times)
+
+let test_run_until () =
+  let e = Sim.Engine.create () in
+  let fired = ref 0 in
+  ignore (Sim.Engine.schedule e ~delay:1.0 (fun () -> incr fired));
+  ignore (Sim.Engine.schedule e ~delay:5.0 (fun () -> incr fired));
+  Sim.Engine.run ~until:2.0 e;
+  check Alcotest.int "only the first fired" 1 !fired;
+  check (Alcotest.float 1e-12) "clock advanced to limit" 2.0 (Sim.Engine.now e);
+  Sim.Engine.run e;
+  check Alcotest.int "second fires later" 2 !fired;
+  check (Alcotest.float 1e-12) "clock at 5" 5.0 (Sim.Engine.now e)
+
+let test_advance_without_events () =
+  let e = Sim.Engine.create () in
+  Sim.Engine.advance e ~delay:7.5;
+  check (Alcotest.float 1e-12) "advance moves the clock" 7.5 (Sim.Engine.now e)
+
+let test_negative_delay_rejected () =
+  let e = Sim.Engine.create () in
+  Alcotest.check_raises "negative delay" (Invalid_argument "Engine.schedule: negative delay")
+    (fun () -> ignore (Sim.Engine.schedule e ~delay:(-1.0) ignore))
+
+let test_schedule_in_past_rejected () =
+  let e = Sim.Engine.create () in
+  ignore (Sim.Engine.schedule e ~delay:1.0 ignore);
+  Sim.Engine.run e;
+  Alcotest.check_raises "past time" (Invalid_argument "Engine.schedule_at: time in the past")
+    (fun () -> ignore (Sim.Engine.schedule_at e ~time:0.5 ignore))
+
+let test_step () =
+  let e = Sim.Engine.create () in
+  let n = ref 0 in
+  ignore (Sim.Engine.schedule e ~delay:1.0 (fun () -> incr n));
+  ignore (Sim.Engine.schedule e ~delay:2.0 (fun () -> incr n));
+  check Alcotest.bool "step fires one" true (Sim.Engine.step e);
+  check Alcotest.int "one fired" 1 !n;
+  check Alcotest.bool "step fires another" true (Sim.Engine.step e);
+  check Alcotest.bool "queue empty" false (Sim.Engine.step e)
+
+(* Heap property test: popping returns priorities in nondecreasing order. *)
+let prop_heap_sorted =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:300 ~name:"heap pops sorted"
+       QCheck.(list (float_bound_exclusive 1000.))
+       (fun priorities ->
+         let h = Sim.Heap.create () in
+         List.iteri (fun i p -> Sim.Heap.push h ~priority:p i) priorities;
+         let rec drain acc =
+           match Sim.Heap.pop h with
+           | None -> List.rev acc
+           | Some (p, _) -> drain (p :: acc)
+         in
+         let popped = drain [] in
+         popped = List.sort compare priorities))
+
+let prop_heap_fifo_ties =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"heap preserves FIFO among ties"
+       QCheck.(int_bound 50)
+       (fun n ->
+         let h = Sim.Heap.create () in
+         for i = 0 to n do
+           Sim.Heap.push h ~priority:1.0 i
+         done;
+         let rec drain acc =
+           match Sim.Heap.pop h with
+           | None -> List.rev acc
+           | Some (_, v) -> drain (v :: acc)
+         in
+         drain [] = List.init (n + 1) Fun.id))
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "empty run" `Quick test_empty_run;
+          Alcotest.test_case "ordering" `Quick test_ordering;
+          Alcotest.test_case "same-time FIFO" `Quick test_same_time_fifo;
+          Alcotest.test_case "cancel" `Quick test_cancel;
+          Alcotest.test_case "cancel twice" `Quick test_cancel_twice_ok;
+          Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
+          Alcotest.test_case "run until" `Quick test_run_until;
+          Alcotest.test_case "advance without events" `Quick test_advance_without_events;
+          Alcotest.test_case "negative delay rejected" `Quick test_negative_delay_rejected;
+          Alcotest.test_case "schedule in past rejected" `Quick test_schedule_in_past_rejected;
+          Alcotest.test_case "step" `Quick test_step;
+        ] );
+      ("heap", [ prop_heap_sorted; prop_heap_fifo_ties ]);
+    ]

@@ -1,0 +1,701 @@
+(* Tests for the simulated OS: scheduling, fork/exec/exit/wait, pipes,
+   ptys, sockets between processes, suspension, and the VFS. *)
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Tiny test programs *)
+
+(* Counts to [target], burning simulated CPU; exits with code 0 and leaves
+   its count in a file. *)
+module Counter = struct
+  type state = { n : int; target : int; out : string }
+
+  let name = "test:counter"
+
+  let encode w st =
+    Util.Codec.Writer.uvarint w st.n;
+    Util.Codec.Writer.uvarint w st.target;
+    Util.Codec.Writer.string w st.out
+
+  let decode r =
+    let n = Util.Codec.Reader.uvarint r in
+    let target = Util.Codec.Reader.uvarint r in
+    let out = Util.Codec.Reader.string r in
+    { n; target; out }
+
+  let init ~argv =
+    match argv with
+    | [ target; out ] -> { n = 0; target = int_of_string target; out }
+    | _ -> { n = 0; target = 10; out = "/tmp/count" }
+
+  let step (ctx : Simos.Program.ctx) st =
+    if st.n < st.target then Simos.Program.Compute ({ st with n = st.n + 1 }, 1e-3)
+    else begin
+      (match ctx.open_file st.out with
+      | Ok fd ->
+        ignore (ctx.write_fd fd (string_of_int st.n));
+        ctx.close_fd fd
+      | Error _ -> ());
+      Simos.Program.Exit 0
+    end
+end
+
+(* Forks a child that exits with code 7; parent waits and records the
+   reaped (pid, code). *)
+module Forker = struct
+  type state = Start | Parent | Child | Waiting
+
+  let name = "test:forker"
+
+  let encode w = function
+    | Start -> Util.Codec.Writer.u8 w 0
+    | Parent -> Util.Codec.Writer.u8 w 1
+    | Child -> Util.Codec.Writer.u8 w 2
+    | Waiting -> Util.Codec.Writer.u8 w 3
+
+  let decode r =
+    match Util.Codec.Reader.u8 r with
+    | 0 -> Start
+    | 1 -> Parent
+    | 2 -> Child
+    | _ -> Waiting
+
+  let init ~argv:_ = Start
+
+  let reaped : (int * int) option ref = ref None
+
+  let step (ctx : Simos.Program.ctx) st =
+    match st with
+    | Start -> Simos.Program.Fork { parent = Parent; child = Child }
+    | Child -> Simos.Program.Exit 7
+    | Parent | Waiting -> (
+      match ctx.wait_child () with
+      | `Child (pid, code) ->
+        reaped := Some (pid, code);
+        Simos.Program.Exit 0
+      | `None -> Simos.Program.Block (Waiting, Simos.Program.Child)
+      | `No_children -> Simos.Program.Exit 1)
+end
+
+(* Execs into test:counter. *)
+module Execer = struct
+  type state = unit
+
+  let name = "test:execer"
+  let encode _ () = ()
+  let decode _ = ()
+  let init ~argv:_ = ()
+
+  let step (_ : Simos.Program.ctx) () =
+    Simos.Program.Exec { st = (); prog = "test:counter"; argv = [ "3"; "/tmp/exec-count" ] }
+end
+
+(* Echo server: accepts one connection, echoes until EOF. *)
+module Echo_server = struct
+  type state =
+    | Boot of int  (* port *)
+    | Accepting of int  (* listen fd *)
+    | Echoing of int  (* conn fd *)
+
+  let name = "test:echo-server"
+
+  let encode w = function
+    | Boot p ->
+      Util.Codec.Writer.u8 w 0;
+      Util.Codec.Writer.uvarint w p
+    | Accepting fd ->
+      Util.Codec.Writer.u8 w 1;
+      Util.Codec.Writer.uvarint w fd
+    | Echoing fd ->
+      Util.Codec.Writer.u8 w 2;
+      Util.Codec.Writer.uvarint w fd
+
+  let decode r =
+    match Util.Codec.Reader.u8 r with
+    | 0 -> Boot (Util.Codec.Reader.uvarint r)
+    | 1 -> Accepting (Util.Codec.Reader.uvarint r)
+    | _ -> Echoing (Util.Codec.Reader.uvarint r)
+
+  let init ~argv = match argv with [ p ] -> Boot (int_of_string p) | _ -> Boot 7000
+
+  let step (ctx : Simos.Program.ctx) st =
+    match st with
+    | Boot port ->
+      let fd = ctx.socket () in
+      (match ctx.bind fd ~port with Ok _ -> () | Error e -> failwith (Simos.Errno.to_string e));
+      (match ctx.listen fd ~backlog:4 with Ok () -> () | Error e -> failwith (Simos.Errno.to_string e));
+      Simos.Program.Block (Accepting fd, Simos.Program.Readable fd)
+    | Accepting lfd -> (
+      match ctx.accept lfd with
+      | Some conn ->
+        ctx.close_fd lfd;
+        Simos.Program.Block (Echoing conn, Simos.Program.Readable conn)
+      | None -> Simos.Program.Block (Accepting lfd, Simos.Program.Readable lfd))
+    | Echoing fd -> (
+      match ctx.read_fd fd ~max:4096 with
+      | `Data d ->
+        ignore (ctx.write_fd fd d);
+        Simos.Program.Block (Echoing fd, Simos.Program.Readable fd)
+      | `Eof ->
+        ctx.close_fd fd;
+        Simos.Program.Exit 0
+      | `Would_block -> Simos.Program.Block (Echoing fd, Simos.Program.Readable fd)
+      | `Err _ -> Simos.Program.Exit 1)
+end
+
+(* Client: connects to host:port, sends a message, expects the echo, writes
+   it to a file, closes. *)
+module Echo_client = struct
+  type state =
+    | Boot of { host : int; port : int; msg : string; out : string }
+    | Connecting of { fd : int; msg : string; out : string }
+    | Reading of { fd : int; expect : int; got : string; out : string }
+
+  let name = "test:echo-client"
+
+  let encode w = function
+    | Boot { host; port; msg; out } ->
+      Util.Codec.Writer.u8 w 0;
+      Util.Codec.Writer.uvarint w host;
+      Util.Codec.Writer.uvarint w port;
+      Util.Codec.Writer.string w msg;
+      Util.Codec.Writer.string w out
+    | Connecting { fd; msg; out } ->
+      Util.Codec.Writer.u8 w 1;
+      Util.Codec.Writer.uvarint w fd;
+      Util.Codec.Writer.string w msg;
+      Util.Codec.Writer.string w out
+    | Reading { fd; expect; got; out } ->
+      Util.Codec.Writer.u8 w 2;
+      Util.Codec.Writer.uvarint w fd;
+      Util.Codec.Writer.uvarint w expect;
+      Util.Codec.Writer.string w got;
+      Util.Codec.Writer.string w out
+
+  let decode r =
+    match Util.Codec.Reader.u8 r with
+    | 0 ->
+      let host = Util.Codec.Reader.uvarint r in
+      let port = Util.Codec.Reader.uvarint r in
+      let msg = Util.Codec.Reader.string r in
+      let out = Util.Codec.Reader.string r in
+      Boot { host; port; msg; out }
+    | 1 ->
+      let fd = Util.Codec.Reader.uvarint r in
+      let msg = Util.Codec.Reader.string r in
+      let out = Util.Codec.Reader.string r in
+      Connecting { fd; msg; out }
+    | _ ->
+      let fd = Util.Codec.Reader.uvarint r in
+      let expect = Util.Codec.Reader.uvarint r in
+      let got = Util.Codec.Reader.string r in
+      let out = Util.Codec.Reader.string r in
+      Reading { fd; expect; got; out }
+
+  let init ~argv =
+    match argv with
+    | [ host; port; msg; out ] -> Boot { host = int_of_string host; port = int_of_string port; msg; out }
+    | _ -> Boot { host = 0; port = 7000; msg = "hi"; out = "/tmp/echo" }
+
+  let step (ctx : Simos.Program.ctx) st =
+    match st with
+    | Boot { host; port; msg; out } ->
+      let fd = ctx.socket () in
+      (match ctx.connect fd (Simnet.Addr.Inet { host; port }) with
+      | Ok () -> ()
+      | Error e -> failwith (Simos.Errno.to_string e));
+      Simos.Program.Block
+        (Connecting { fd; msg; out }, Simos.Program.Sleep_until (ctx.now () +. 1e-3))
+    | Connecting { fd; msg; out } -> (
+      match ctx.sock_state fd with
+      | Some Simnet.Fabric.Established ->
+        ignore (ctx.write_fd fd msg);
+        Simos.Program.Block
+          ( Reading { fd; expect = String.length msg; got = ""; out },
+            Simos.Program.Readable fd )
+      | Some Simnet.Fabric.Connecting ->
+        Simos.Program.Block (Connecting { fd; msg; out }, Simos.Program.Sleep_until (ctx.now () +. 1e-3))
+      | _ -> Simos.Program.Exit 2)
+    | Reading { fd; expect; got; out } -> (
+      match ctx.read_fd fd ~max:4096 with
+      | `Data d ->
+        let got = got ^ d in
+        if String.length got >= expect then begin
+          (match ctx.open_file out with
+          | Ok ofd ->
+            ignore (ctx.write_fd ofd got);
+            ctx.close_fd ofd
+          | Error _ -> ());
+          ctx.close_fd fd;
+          Simos.Program.Exit 0
+        end
+        else Simos.Program.Block (Reading { fd; expect; got; out }, Simos.Program.Readable fd)
+      | `Would_block -> Simos.Program.Block (Reading { fd; expect; got; out }, Simos.Program.Readable fd)
+      | `Eof | `Err _ -> Simos.Program.Exit 3)
+end
+
+(* Pipe pair inside one process: writes a message through a pipe to
+   itself, then reads it back. *)
+module Pipe_self = struct
+  type state = Start | Read of { rfd : int; acc : string }
+
+  let name = "test:pipe-self"
+
+  let encode w = function
+    | Start -> Util.Codec.Writer.u8 w 0
+    | Read { rfd; acc } ->
+      Util.Codec.Writer.u8 w 1;
+      Util.Codec.Writer.uvarint w rfd;
+      Util.Codec.Writer.string w acc
+
+  let decode r =
+    match Util.Codec.Reader.u8 r with
+    | 0 -> Start
+    | _ ->
+      let rfd = Util.Codec.Reader.uvarint r in
+      let acc = Util.Codec.Reader.string r in
+      Read { rfd; acc }
+
+  let init ~argv:_ = Start
+
+  let step (ctx : Simos.Program.ctx) st =
+    match st with
+    | Start ->
+      let rfd, wfd = ctx.pipe () in
+      ignore (ctx.write_fd wfd "through-the-pipe");
+      ctx.close_fd wfd;
+      Simos.Program.Block (Read { rfd; acc = "" }, Simos.Program.Readable rfd)
+    | Read { rfd; acc } -> (
+      match ctx.read_fd rfd ~max:4096 with
+      | `Data d -> Simos.Program.Block (Read { rfd; acc = acc ^ d }, Simos.Program.Readable rfd)
+      | `Eof ->
+        (match ctx.open_file "/tmp/pipe-out" with
+        | Ok fd ->
+          ignore (ctx.write_fd fd acc);
+          ctx.close_fd fd
+        | Error _ -> ());
+        Simos.Program.Exit 0
+      | `Would_block -> Simos.Program.Block (Read { rfd; acc }, Simos.Program.Readable rfd)
+      | `Err _ -> Simos.Program.Exit 1)
+end
+
+(* Sleeps for a given duration then exits. *)
+module Sleeper = struct
+  type state = Start of float | Done
+
+  let name = "test:sleeper"
+
+  let encode w = function
+    | Start d ->
+      Util.Codec.Writer.u8 w 0;
+      Util.Codec.Writer.f64 w d
+    | Done -> Util.Codec.Writer.u8 w 1
+
+  let decode r =
+    match Util.Codec.Reader.u8 r with
+    | 0 -> Start (Util.Codec.Reader.f64 r)
+    | _ -> Done
+
+  let init ~argv = match argv with [ d ] -> Start (float_of_string d) | _ -> Start 1.0
+
+  let step (ctx : Simos.Program.ctx) st =
+    match st with
+    | Start d -> Simos.Program.Block (Done, Simos.Program.Sleep_until (ctx.now () +. d))
+    | Done -> Simos.Program.Exit 0
+end
+
+let () =
+  List.iter Simos.Program.register
+    [
+      (module Counter : Simos.Program.S);
+      (module Forker);
+      (module Execer);
+      (module Echo_server);
+      (module Echo_client);
+      (module Pipe_self);
+      (module Sleeper);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Helpers *)
+
+let make_cluster ?(nodes = 2) () = Simos.Cluster.create ~nodes ()
+
+let file_content k path =
+  match Simos.Vfs.lookup (Simos.Kernel.vfs k) path with
+  | Some f -> Some (Simos.Vfs.read_all f)
+  | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* Tests *)
+
+let test_spawn_runs_to_exit () =
+  let c = make_cluster () in
+  let k = Simos.Cluster.kernel c 0 in
+  let p = Simos.Kernel.spawn k ~prog:"test:counter" ~argv:[ "5"; "/tmp/c5" ] () in
+  Simos.Cluster.run c;
+  check (Alcotest.option Alcotest.string) "file written" (Some "5") (file_content k "/tmp/c5");
+  Alcotest.(check bool) "process gone" true (Simos.Kernel.find_process k ~pid:p.Simos.Kernel.pid = None)
+
+let test_compute_advances_clock () =
+  let c = make_cluster () in
+  let k = Simos.Cluster.kernel c 0 in
+  ignore (Simos.Kernel.spawn k ~prog:"test:counter" ~argv:[ "100"; "/tmp/c100" ] ());
+  Simos.Cluster.run c;
+  (* 100 steps of 1 ms of compute *)
+  Alcotest.(check bool) "clock advanced by compute time" true (Simos.Cluster.now c >= 0.1)
+
+let test_fork_wait () =
+  let c = make_cluster () in
+  let k = Simos.Cluster.kernel c 0 in
+  Forker.reaped := None;
+  let p = Simos.Kernel.spawn k ~prog:"test:forker" ~argv:[] () in
+  Simos.Cluster.run c;
+  (match !Forker.reaped with
+  | Some (pid, code) ->
+    check Alcotest.int "exit code 7" 7 code;
+    Alcotest.(check bool) "child pid differs" true (pid <> p.Simos.Kernel.pid)
+  | None -> Alcotest.fail "parent did not reap the child")
+
+let test_exec_replaces_image () =
+  let c = make_cluster () in
+  let k = Simos.Cluster.kernel c 0 in
+  ignore (Simos.Kernel.spawn k ~prog:"test:execer" ~argv:[] ());
+  Simos.Cluster.run c;
+  check (Alcotest.option Alcotest.string) "counter ran after exec" (Some "3")
+    (file_content k "/tmp/exec-count")
+
+let test_pipe_within_process () =
+  let c = make_cluster () in
+  let k = Simos.Cluster.kernel c 0 in
+  ignore (Simos.Kernel.spawn k ~prog:"test:pipe-self" ~argv:[] ());
+  Simos.Cluster.run c;
+  check (Alcotest.option Alcotest.string) "pipe data" (Some "through-the-pipe")
+    (file_content k "/tmp/pipe-out")
+
+let test_sockets_cross_node () =
+  let c = make_cluster ~nodes:2 () in
+  let k0 = Simos.Cluster.kernel c 0 and k1 = Simos.Cluster.kernel c 1 in
+  ignore (Simos.Kernel.spawn k1 ~prog:"test:echo-server" ~argv:[ "7000" ] ());
+  ignore
+    (Simos.Kernel.spawn k0 ~prog:"test:echo-client" ~argv:[ "1"; "7000"; "ping-pong"; "/tmp/echoed" ] ());
+  Simos.Cluster.run c;
+  check (Alcotest.option Alcotest.string) "echo round-trip across nodes" (Some "ping-pong")
+    (file_content k0 "/tmp/echoed")
+
+let test_sleep_timing () =
+  let c = make_cluster () in
+  let k = Simos.Cluster.kernel c 0 in
+  ignore (Simos.Kernel.spawn k ~prog:"test:sleeper" ~argv:[ "2.5" ] ());
+  Simos.Cluster.run c;
+  Alcotest.(check bool) "slept 2.5s" true (Simos.Cluster.now c >= 2.5 && Simos.Cluster.now c < 2.6)
+
+let test_kill_process () =
+  let c = make_cluster () in
+  let k = Simos.Cluster.kernel c 0 in
+  let p = Simos.Kernel.spawn k ~prog:"test:sleeper" ~argv:[ "100.0" ] () in
+  Sim.Engine.run ~until:1.0 (Simos.Cluster.engine c);
+  Simos.Kernel.kill_process k p;
+  Simos.Cluster.run c;
+  Alcotest.(check bool) "clock did not wait for the sleeper" true (Simos.Cluster.now c < 100.);
+  Alcotest.(check bool) "process not running" true
+    (Simos.Kernel.processes k |> List.for_all (fun q -> q.Simos.Kernel.pid <> p.Simos.Kernel.pid))
+
+let test_suspend_resume () =
+  let c = make_cluster () in
+  let k = Simos.Cluster.kernel c 0 in
+  let p = Simos.Kernel.spawn k ~prog:"test:counter" ~argv:[ "1000"; "/tmp/s" ] () in
+  Sim.Engine.run ~until:0.010 (Simos.Cluster.engine c);
+  Simos.Kernel.suspend_user_threads k p;
+  (* With everything suspended, the world goes quiet. *)
+  Simos.Cluster.run c;
+  Alcotest.(check bool) "no output while suspended" true (file_content k "/tmp/s" = None);
+  let t_suspended = Simos.Cluster.now c in
+  Simos.Kernel.resume_user_threads k p;
+  Simos.Cluster.run c;
+  check (Alcotest.option Alcotest.string) "completes after resume" (Some "1000") (file_content k "/tmp/s");
+  Alcotest.(check bool) "time advanced after resume" true (Simos.Cluster.now c > t_suspended)
+
+let test_ssh_spawn () =
+  let c = make_cluster ~nodes:3 () in
+  let k0 = Simos.Cluster.kernel c 0 in
+  (* A one-shot program that sshes a counter onto node 2. *)
+  let module Ssher = struct
+    type state = unit
+
+    let name = "test:ssher"
+    let encode _ () = ()
+    let decode _ = ()
+    let init ~argv:_ = ()
+
+    let step (ctx : Simos.Program.ctx) () =
+      (match ctx.ssh ~host:2 ~prog:"test:counter" ~argv:[ "4"; "/tmp/remote" ] with
+      | Ok _ -> ()
+      | Error e -> failwith (Simos.Errno.to_string e));
+      Simos.Program.Exit 0
+  end in
+  Simos.Program.register (module Ssher);
+  ignore (Simos.Kernel.spawn k0 ~prog:"test:ssher" ~argv:[] ());
+  Simos.Cluster.run c;
+  check (Alcotest.option Alcotest.string) "remote counter ran" (Some "4")
+    (file_content (Simos.Cluster.kernel c 2) "/tmp/remote")
+
+let test_program_registry_roundtrip () =
+  let inst = Simos.Program.instantiate ~name:"test:counter" ~argv:[ "9"; "/x" ] in
+  let w = Util.Codec.Writer.create () in
+  Simos.Program.encode_instance w inst;
+  let r = Util.Codec.Reader.of_string (Util.Codec.Writer.contents w) in
+  let inst' = Simos.Program.decode_instance r in
+  check Alcotest.string "program name preserved" "test:counter" (Simos.Program.name_of inst')
+
+let test_program_duplicate_registration_rejected () =
+  Alcotest.(check bool) "second registration raises" true
+    (try
+       Simos.Program.register (module Counter);
+       false
+     with Invalid_argument _ -> true)
+
+let test_unknown_program_rejected () =
+  let c = make_cluster () in
+  let k = Simos.Cluster.kernel c 0 in
+  Alcotest.(check bool) "unknown program raises Not_found" true
+    (try
+       ignore (Simos.Kernel.spawn k ~prog:"no-such-program" ~argv:[] ());
+       false
+     with Not_found -> true)
+
+let test_vfs_basics () =
+  let v = Simos.Vfs.create () in
+  let f = Simos.Vfs.open_or_create v "/data/file1" in
+  Simos.Vfs.append f "hello ";
+  Simos.Vfs.append f "world";
+  check Alcotest.string "append" "hello world" (Simos.Vfs.read_all f);
+  Simos.Vfs.write_at f ~pos:0 "HELLO";
+  check Alcotest.string "overwrite" "HELLO world" (Simos.Vfs.read_all f);
+  check Alcotest.int "length" 11 (Simos.Vfs.length f);
+  Simos.Vfs.set_sim_size f 1_000_000;
+  check Alcotest.int "sim size" 1_000_000 (Simos.Vfs.sim_size f);
+  Alcotest.(check bool) "exists" true (Simos.Vfs.exists v "/data/file1");
+  (match Simos.Vfs.unlink v "/data/file1" with Ok () -> () | Error _ -> Alcotest.fail "unlink");
+  Alcotest.(check bool) "gone" false (Simos.Vfs.exists v "/data/file1")
+
+let test_vfs_sparse_write () =
+  let v = Simos.Vfs.create () in
+  let f = Simos.Vfs.open_or_create v "/sparse" in
+  Simos.Vfs.write_at f ~pos:10 "x";
+  check Alcotest.int "length includes hole" 11 (Simos.Vfs.length f);
+  check Alcotest.string "hole is zeros" (String.make 10 '\000' ^ "x") (Simos.Vfs.read_all f)
+
+let test_pty_roundtrip () =
+  let p = Simos.Pty.create () in
+  ignore (Simos.Pty.master_write p "ls\n");
+  (match Simos.Pty.slave_read p ~max:100 with
+  | `Data d -> check Alcotest.string "slave sees master input" "ls\n" d
+  | `Would_block -> Alcotest.fail "no data");
+  ignore (Simos.Pty.slave_write p "file1 file2\n");
+  (match Simos.Pty.master_read p ~max:100 with
+  | `Data d -> check Alcotest.string "master sees slave output" "file1 file2\n" d
+  | `Would_block -> Alcotest.fail "no data");
+  let tio = Simos.Pty.termios p in
+  tio.Simos.Pty.echo <- false;
+  Alcotest.(check bool) "termios persists" false (Simos.Pty.termios p).Simos.Pty.echo
+
+let test_pty_drain_refill () =
+  let p = Simos.Pty.create () in
+  ignore (Simos.Pty.master_write p "input");
+  ignore (Simos.Pty.slave_write p "output");
+  let to_slave, to_master = Simos.Pty.drain p in
+  check Alcotest.string "drained input" "input" to_slave;
+  check Alcotest.string "drained output" "output" to_master;
+  check (Alcotest.pair Alcotest.int Alcotest.int) "empty after drain" (0, 0) (Simos.Pty.buffered p);
+  Simos.Pty.refill p ~to_slave ~to_master;
+  (match Simos.Pty.slave_read p ~max:100 with
+  | `Data d -> check Alcotest.string "refilled" "input" d
+  | `Would_block -> Alcotest.fail "no data after refill")
+
+let test_proc_maps () =
+  let c = make_cluster () in
+  let k = Simos.Cluster.kernel c 0 in
+  let p = Simos.Kernel.spawn k ~prog:"test:sleeper" ~argv:[ "10.0" ] () in
+  let _ =
+    Mem.Address_space.map p.Simos.Kernel.space ~kind:Mem.Region.Heap ~perms:Mem.Region.rw
+      ~bytes:8192 ()
+  in
+  let maps = Simos.Kernel.proc_maps p in
+  Alcotest.(check bool) "maps mentions heap" true
+    (String.length maps > 0
+    && List.exists
+         (fun line -> String.length line >= 4 && String.sub line (String.length line - 4) 4 = "heap")
+         (String.split_on_char '\n' maps))
+
+let test_fd_sharing_after_dup () =
+  (* dup2 makes two fds share one description, owner included — the basis
+     of the F_SETOWN election. *)
+  let c = make_cluster () in
+  let k = Simos.Cluster.kernel c 0 in
+  let module Duper = struct
+    type state = unit
+
+    let name = "test:duper"
+    let encode _ () = ()
+    let decode _ = ()
+    let init ~argv:_ = ()
+
+    let step (ctx : Simos.Program.ctx) () =
+      let rfd, _wfd = ctx.pipe () in
+      (match ctx.dup2 ~src:rfd ~dst:10 with Ok () -> () | Error _ -> failwith "dup2");
+      ctx.set_fd_owner rfd 42;
+      assert (ctx.get_fd_owner 10 = 42);
+      Simos.Program.Exit 0
+  end in
+  Simos.Program.register (module Duper);
+  ignore (Simos.Kernel.spawn k ~prog:"test:duper" ~argv:[] ());
+  Simos.Cluster.run c
+  (* assertion inside the program would have crashed the engine *)
+
+
+let test_env_inherited_across_ssh () =
+  (* DMTCP_* variables ride ssh to remote processes — the mechanism that
+     makes remotely spawned processes hijacked transparently *)
+  let c = make_cluster ~nodes:3 () in
+  let k0 = Simos.Cluster.kernel c 0 in
+  let module Env_ssher = struct
+    type state = unit
+
+    let name = "test:env-ssher"
+    let encode _ () = ()
+    let decode _ = ()
+    let init ~argv:_ = ()
+
+    let step (ctx : Simos.Program.ctx) () =
+      ignore (ctx.ssh ~host:2 ~prog:"test:env-reader" ~argv:[]);
+      Simos.Program.Exit 0
+  end in
+  let module Env_reader = struct
+    type state = unit
+
+    let name = "test:env-reader"
+    let encode _ () = ()
+    let decode _ = ()
+    let init ~argv:_ = ()
+
+    let step (ctx : Simos.Program.ctx) () =
+      (match ctx.open_file "/tmp/env-seen" with
+      | Ok fd ->
+        ignore (ctx.write_fd fd (Option.value ~default:"(unset)" (ctx.getenv "MARKER")));
+        ctx.close_fd fd
+      | Error _ -> ());
+      Simos.Program.Exit 0
+  end in
+  Simos.Program.register (module Env_ssher);
+  Simos.Program.register (module Env_reader);
+  ignore
+    (Simos.Kernel.spawn k0 ~prog:"test:env-ssher" ~argv:[] ~env:[ ("MARKER", "rode-the-ssh") ] ());
+  Simos.Cluster.run c;
+  check (Alcotest.option Alcotest.string) "env crossed ssh" (Some "rode-the-ssh")
+    (file_content (Simos.Cluster.kernel c 2) "/tmp/env-seen")
+
+let test_exec_preserves_env_hijack () =
+  (* a process that setenvs DMTCP_HIJACK and execs stays hijacked — how
+     dmtcp_checkpoint injects the library across exec *)
+  let c = make_cluster () in
+  let k = Simos.Cluster.kernel c 0 in
+  let module Hijack_exec = struct
+    type state = bool  (* execed? *)
+
+    let name = "test:hijack-exec"
+    let encode w b = Util.Codec.Writer.bool w b
+    let decode r = Util.Codec.Reader.bool r
+    let init ~argv:_ = false
+
+    let step (ctx : Simos.Program.ctx) execed =
+      if execed then Simos.Program.Exit 0
+      else begin
+        ctx.setenv "DMTCP_HIJACK" "yes";
+        Simos.Program.Exec { st = true; prog = "test:sleeper"; argv = [ "3.0" ] }
+      end
+  end in
+  Simos.Program.register (module Hijack_exec);
+  let p = Simos.Kernel.spawn k ~prog:"test:hijack-exec" ~argv:[] () in
+  Sim.Engine.run ~until:1.0 (Simos.Cluster.engine c);
+  Alcotest.(check bool) "hijacked after exec" true p.Simos.Kernel.hijacked;
+  check Alcotest.(list string) "image replaced" [ "test:sleeper"; "3.0" ] p.Simos.Kernel.cmdline
+
+let test_signal_dispositions () =
+  let c = make_cluster () in
+  let k = Simos.Cluster.kernel c 0 in
+  let p = Simos.Kernel.spawn k ~prog:"test:sleeper" ~argv:[ "50.0" ] () in
+  Sim.Engine.run ~until:0.1 (Simos.Cluster.engine c);
+  (* SIGTERM with default disposition kills *)
+  let q = Simos.Kernel.spawn k ~prog:"test:sleeper" ~argv:[ "50.0" ] () in
+  Simos.Kernel.deliver_signal k q ~signal:15;
+  Alcotest.(check bool) "default TERM kills" true (q.Simos.Kernel.pstate <> Simos.Kernel.Running);
+  (* ignored TERM does not *)
+  Simos.Kernel.set_sigaction p 15 Simos.Kernel.Sig_ignore;
+  Simos.Kernel.deliver_signal k p ~signal:15;
+  Alcotest.(check bool) "ignored TERM survives" true (p.Simos.Kernel.pstate = Simos.Kernel.Running);
+  (* handled signal queues *)
+  Simos.Kernel.set_sigaction p 10 (Simos.Kernel.Sig_handler "on_usr1");
+  Simos.Kernel.deliver_signal k p ~signal:10;
+  Simos.Kernel.deliver_signal k p ~signal:10;
+  check Alcotest.(list int) "pending queue" [ 10; 10 ] p.Simos.Kernel.pending_signals;
+  (* SIGKILL cannot be ignored *)
+  Simos.Kernel.set_sigaction p 9 Simos.Kernel.Sig_ignore;
+  Simos.Kernel.deliver_signal k p ~signal:9;
+  Alcotest.(check bool) "KILL always kills" true (p.Simos.Kernel.pstate <> Simos.Kernel.Running)
+
+let test_signal_table_inherited_by_fork () =
+  let c = make_cluster () in
+  let k = Simos.Cluster.kernel c 0 in
+  Forker.reaped := None;
+  let p = Simos.Kernel.spawn k ~prog:"test:forker" ~argv:[] () in
+  Simos.Kernel.set_sigaction p 15 Simos.Kernel.Sig_ignore;
+  Simos.Cluster.run c;
+  Alcotest.(check bool) "fork completed with inherited table" true (!Forker.reaped <> None)
+
+let () =
+  Alcotest.run "simos"
+    [
+      ( "kernel",
+        [
+          Alcotest.test_case "spawn runs to exit" `Quick test_spawn_runs_to_exit;
+          Alcotest.test_case "compute advances clock" `Quick test_compute_advances_clock;
+          Alcotest.test_case "fork + wait" `Quick test_fork_wait;
+          Alcotest.test_case "exec replaces image" `Quick test_exec_replaces_image;
+          Alcotest.test_case "pipe within process" `Quick test_pipe_within_process;
+          Alcotest.test_case "sockets across nodes" `Quick test_sockets_cross_node;
+          Alcotest.test_case "sleep timing" `Quick test_sleep_timing;
+          Alcotest.test_case "kill process" `Quick test_kill_process;
+          Alcotest.test_case "suspend/resume" `Quick test_suspend_resume;
+          Alcotest.test_case "ssh remote spawn" `Quick test_ssh_spawn;
+          Alcotest.test_case "fd sharing after dup2" `Quick test_fd_sharing_after_dup;
+        ] );
+      ( "programs",
+        [
+          Alcotest.test_case "registry round-trip" `Quick test_program_registry_roundtrip;
+          Alcotest.test_case "duplicate registration" `Quick test_program_duplicate_registration_rejected;
+          Alcotest.test_case "unknown program" `Quick test_unknown_program_rejected;
+        ] );
+      ( "vfs",
+        [
+          Alcotest.test_case "basics" `Quick test_vfs_basics;
+          Alcotest.test_case "sparse write" `Quick test_vfs_sparse_write;
+        ] );
+      ( "pty",
+        [
+          Alcotest.test_case "round-trip" `Quick test_pty_roundtrip;
+          Alcotest.test_case "drain/refill" `Quick test_pty_drain_refill;
+        ] );
+      ("procfs", [ Alcotest.test_case "maps" `Quick test_proc_maps ]);
+      ( "signals",
+        [
+          Alcotest.test_case "dispositions" `Quick test_signal_dispositions;
+          Alcotest.test_case "inherited by fork" `Quick test_signal_table_inherited_by_fork;
+        ] );
+      ( "environment",
+        [
+          Alcotest.test_case "env crosses ssh" `Quick test_env_inherited_across_ssh;
+          Alcotest.test_case "exec preserves hijack" `Quick test_exec_preserves_env_hijack;
+        ] );
+    ]

@@ -1,0 +1,129 @@
+(* Tests for the storage models: local disk with page cache, SAN with a
+   shared cursor, NFS layering, dirty tracking and sync. *)
+
+let check = Alcotest.check
+
+let engine () = Sim.Engine.create ()
+
+let test_disk_rate () =
+  let eng = engine () in
+  (* tiny cache so writes hit the raw device *)
+  let d = Storage.Target.local_disk eng ~raw_rate:100e6 ~cache_bytes:0 () in
+  let t = Storage.Target.write d ~bytes:100_000_000 in
+  check (Alcotest.float 1e-6) "100 MB at 100 MB/s = 1 s" 1.0 t
+
+let test_cache_absorbs_writes () =
+  let eng = engine () in
+  let d = Storage.Target.local_disk eng ~raw_rate:100e6 ~cached_rate:400e6 ~cache_bytes:1_000_000_000 () in
+  let cached = Storage.Target.write d ~bytes:100_000_000 in
+  Alcotest.(check bool) "cached write ~4x faster than raw" true (cached < 0.3)
+
+let test_cache_fills_up () =
+  let eng = engine () in
+  let d =
+    Storage.Target.local_disk eng ~raw_rate:100e6 ~cached_rate:400e6 ~cache_bytes:100_000_000 ()
+  in
+  let first = Storage.Target.write d ~bytes:100_000_000 in
+  let second = Storage.Target.write d ~bytes:100_000_000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "second write hits the raw disk (%.2f vs %.2f)" first second)
+    true
+    (second > first *. 2.)
+
+let test_dirty_and_sync () =
+  let eng = engine () in
+  let d = Storage.Target.local_disk eng ~raw_rate:100e6 ~cache_bytes:1_000_000_000 () in
+  ignore (Storage.Target.write d ~bytes:50_000_000);
+  check Alcotest.int "dirty tracks cached bytes" 50_000_000 (Storage.Target.dirty_bytes d);
+  let sync_t = Storage.Target.sync d in
+  check (Alcotest.float 1e-6) "sync writes back at raw rate" 0.5 sync_t;
+  check Alcotest.int "sync clears dirty" 0 (Storage.Target.dirty_bytes d)
+
+let test_queue_serializes () =
+  (* two concurrent writers to one device: the second completes later *)
+  let eng = engine () in
+  let d = Storage.Target.local_disk eng ~raw_rate:100e6 ~cache_bytes:0 () in
+  let t1 = Storage.Target.write d ~bytes:100_000_000 in
+  let t2 = Storage.Target.write d ~bytes:100_000_000 in
+  Alcotest.(check bool) "second write waits for the first" true (t2 >= t1 +. 1.0 -. 1e-9)
+
+let test_queue_frees_over_time () =
+  let eng = engine () in
+  let d = Storage.Target.local_disk eng ~raw_rate:100e6 ~cache_bytes:0 () in
+  ignore (Storage.Target.write d ~bytes:100_000_000);
+  (* a second write issued much later does not queue *)
+  Sim.Engine.advance eng ~delay:10.0;
+  let t = Storage.Target.write d ~bytes:100_000_000 in
+  check (Alcotest.float 1e-6) "no queueing after the device drained" 1.0 t
+
+let test_san_latency_and_rate () =
+  let eng = engine () in
+  let s = Storage.Target.san eng ~rate:400e6 ~latency:1e-3 () in
+  let t = Storage.Target.write s ~bytes:400_000_000 in
+  check (Alcotest.float 1e-6) "1 s transfer + 1 ms op latency" 1.001 t;
+  check Alcotest.int "SAN has no local dirty pages" 0 (Storage.Target.dirty_bytes s)
+
+let test_san_shared_between_clients () =
+  (* the SAN cursor is shared: simultaneous writes from different nodes
+     serialize on the aggregate bandwidth — this is what bends Figure 5b *)
+  let eng = engine () in
+  let s = Storage.Target.san eng ~rate:400e6 ~latency:0. () in
+  let t1 = Storage.Target.write s ~bytes:400_000_000 in
+  let t2 = Storage.Target.write s ~bytes:400_000_000 in
+  Alcotest.(check bool) "aggregate bandwidth shared" true (t2 >= t1 +. 1.0 -. 1e-9)
+
+let test_nfs_slower_than_san () =
+  let eng = engine () in
+  let san = Storage.Target.san eng ~rate:400e6 ~latency:0. () in
+  let nfs = Storage.Target.nfs eng ~server_rate:70e6 ~backend:san () in
+  let direct = Storage.Target.write san ~bytes:70_000_000 in
+  Sim.Engine.advance eng ~delay:10.0;
+  let via_nfs = Storage.Target.write nfs ~bytes:70_000_000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "NFS path slower (%.3f vs %.3f)" via_nfs direct)
+    true (via_nfs > direct *. 2.)
+
+let test_reset () =
+  let eng = engine () in
+  let d = Storage.Target.local_disk eng ~raw_rate:100e6 ~cached_rate:400e6 ~cache_bytes:100_000_000 () in
+  ignore (Storage.Target.write d ~bytes:100_000_000);
+  Storage.Target.reset d;
+  let t = Storage.Target.write d ~bytes:100_000_000 in
+  Alcotest.(check bool) "cache free again after reset" true (t < 0.3);
+  check Alcotest.int "dirty cleared by reset" 100_000_000 (Storage.Target.dirty_bytes d)
+
+let test_read_rate () =
+  let eng = engine () in
+  let d = Storage.Target.local_disk eng ~read_rate:300e6 () in
+  let t = Storage.Target.read d ~bytes:300_000_000 in
+  check (Alcotest.float 1e-6) "300 MB at 300 MB/s" 1.0 t
+
+let test_describe () =
+  let eng = engine () in
+  check Alcotest.string "disk" "local disk" (Storage.Target.describe (Storage.Target.local_disk eng ()));
+  let san = Storage.Target.san eng () in
+  check Alcotest.string "san" "SAN" (Storage.Target.describe san);
+  check Alcotest.string "nfs" "NFS" (Storage.Target.describe (Storage.Target.nfs eng ~backend:san ()))
+
+let () =
+  Alcotest.run "storage"
+    [
+      ( "disk",
+        [
+          Alcotest.test_case "raw rate" `Quick test_disk_rate;
+          Alcotest.test_case "cache absorbs" `Quick test_cache_absorbs_writes;
+          Alcotest.test_case "cache fills" `Quick test_cache_fills_up;
+          Alcotest.test_case "dirty + sync" `Quick test_dirty_and_sync;
+          Alcotest.test_case "queue serializes" `Quick test_queue_serializes;
+          Alcotest.test_case "queue drains" `Quick test_queue_frees_over_time;
+          Alcotest.test_case "read rate" `Quick test_read_rate;
+          Alcotest.test_case "reset" `Quick test_reset;
+        ] );
+      ( "san-nfs",
+        [
+          Alcotest.test_case "latency and rate" `Quick test_san_latency_and_rate;
+          Alcotest.test_case "shared cursor" `Quick test_san_shared_between_clients;
+          Alcotest.test_case "nfs slower" `Quick test_nfs_slower_than_san;
+          Alcotest.test_case "describe" `Quick test_describe;
+        ] );
+    ]
