@@ -1,0 +1,19 @@
+#!/bin/sh
+# Repository CI gate: full build + the tier-1 test suite + a chaos smoke.
+#
+# The torture smoke runs the first 25 seeds of the pinned corpus (the
+# same block test_chaos.exe pins); widen with e.g. CHAOS_SEEDS=200 to
+# match the nightly sweep.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== dune build @check =="
+dune build @check
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== chaos smoke: 25-seed torture =="
+dune exec bin/dmtcp_sim.exe -- torture --seeds "${CHAOS_SEEDS:-25}"
+
+echo "CI OK"

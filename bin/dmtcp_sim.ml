@@ -107,6 +107,50 @@ let demo () =
   Dmtcp.Api.await_restart rt;
   Printf.printf "restarted on node 3 in %.3f s\n" (Dmtcp.Api.last_restart_seconds rt)
 
+let torture seeds base bug replay keep =
+  Chaos.Progs.ensure_registered ();
+  (match bug with
+  | Some "skip-drain" -> Dmtcp.Faults.bug_skip_drain := true
+  | Some "drop-refill" -> Dmtcp.Faults.bug_drop_refill := true
+  | Some other ->
+    Printf.eprintf "unknown --bug %S (expected skip-drain or drop-refill)\n" other;
+    exit 2
+  | None -> ());
+  let code =
+    match replay with
+    | Some seed ->
+      (* replay one scenario, optionally restricted to a shrunk fault set *)
+      let keep =
+        match keep with
+        | None -> None
+        | Some "none" -> Some []
+        | Some l -> (
+          try Some (List.map int_of_string (String.split_on_char ',' l))
+          with Failure _ ->
+            Printf.eprintf "bad --keep %S (expected comma-separated indices or 'none')\n" l;
+            exit 2)
+      in
+      let r = Chaos.Runner.run ?keep ~seed () in
+      Printf.printf "%s\n" r.Chaos.Runner.r_desc;
+      if Chaos.Runner.pass r then begin
+        Printf.printf "PASS (ckpts %d, recoveries %d)\n" r.Chaos.Runner.r_ckpts
+          r.Chaos.Runner.r_recoveries;
+        0
+      end
+      else begin
+        List.iter (Printf.printf "violation: %s\n") r.Chaos.Runner.r_violations;
+        1
+      end
+    | None ->
+      let summary =
+        Chaos.Torture.run_seeds ~log:print_endline ~base ~count:seeds ()
+      in
+      print_string (Chaos.Torture.report summary);
+      if Chaos.Torture.all_pass summary then 0 else 1
+  in
+  Dmtcp.Faults.reset ();
+  exit code
+
 let inspect () =
   (* use case 5: the checkpoint image as the ultimate bug report — dump
      everything a frozen VNC session's images contain *)
@@ -147,6 +191,39 @@ let () =
         (Cmd.info "inspect"
            ~doc:"Use case 5: dump a checkpointed VNC session's images as a bug report")
         Term.(const inspect $ const ());
+      (let seeds_arg =
+         Arg.(value & opt int 50 & info [ "seeds" ] ~docv:"N" ~doc:"Number of seeds to torture.")
+       in
+       let base_arg =
+         Arg.(value & opt int 0 & info [ "base" ] ~docv:"SEED" ~doc:"First seed of the block.")
+       in
+       let bug_arg =
+         Arg.(
+           value
+           & opt (some string) None
+           & info [ "bug" ] ~docv:"BUG"
+               ~doc:"Inject a known protocol bug (skip-drain or drop-refill) to prove the harness \
+                     catches it.")
+       in
+       let replay_arg =
+         Arg.(
+           value
+           & opt (some int) None
+           & info [ "replay" ] ~docv:"SEED" ~doc:"Replay one scenario instead of a seed block.")
+       in
+       let keep_arg =
+         Arg.(
+           value
+           & opt (some string) None
+           & info [ "keep" ] ~docv:"I,J,..."
+               ~doc:"With --replay: comma-separated fault indices to keep ('none' for no faults), \
+                     as printed by a shrunk reproducer.")
+       in
+       Cmd.v
+         (Cmd.info "torture"
+            ~doc:"Chaos harness: fault-injected checkpoint torture over a block of seeds, with \
+                  failure shrinking")
+         Term.(const torture $ seeds_arg $ base_arg $ bug_arg $ replay_arg $ keep_arg));
     ]
   in
   exit (Cmd.eval (Cmd.group info cmds))

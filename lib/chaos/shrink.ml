@@ -1,0 +1,32 @@
+(* Fault-schedule shrinking.
+
+   A failing scenario is identified by (seed, kept fault indices).  The
+   shrinker greedily bisects the kept set: drop one fault at a time,
+   keeping any removal that still reproduces the failure, until no
+   single removal does (a 1-minimal reproducer, ddmin with n = 1 — the
+   schedules are short enough that the quadratic worst case is fine).
+
+   [fails keep] must re-run the scenario with only [keep] active and
+   report whether it still fails; determinism of the simulator makes the
+   answer stable. *)
+
+let minimize ~fails keep =
+  if not (fails keep) then keep
+  else begin
+    let current = ref keep in
+    let made_progress = ref true in
+    while !made_progress do
+      made_progress := false;
+      let n = List.length !current in
+      let i = ref 0 in
+      while !i < n && not !made_progress do
+        let candidate = List.filteri (fun j _ -> j <> !i) !current in
+        if fails candidate then begin
+          current := candidate;
+          made_progress := true
+        end
+        else incr i
+      done
+    done;
+    !current
+  end

@@ -1,0 +1,84 @@
+(* The torture driver: run a block of seeds, shrink every failure to a
+   minimal reproducer, and render a report with replay instructions. *)
+
+type failure = {
+  f_result : Runner.result;  (* the original full-schedule failure *)
+  f_min_keep : int list;  (* minimal fault indices that still fail *)
+  f_min_violations : string list;  (* violations of the minimized run *)
+  f_nfaults : int;  (* faults in the full schedule *)
+}
+
+type summary = {
+  s_base : int;
+  s_count : int;
+  s_passed : int;
+  s_failures : failure list;
+}
+
+let all_pass s = s.s_failures = []
+
+let keep_to_string = function
+  | [] -> "none"
+  | l -> String.concat "," (List.map string_of_int l)
+
+let shrink_failure (r : Runner.result) =
+  let seed = r.Runner.r_seed in
+  let sc = Scenario.sample ~seed in
+  let nfaults = List.length sc.Scenario.sc_events in
+  let fails keep = not (Runner.pass (Runner.run ~keep ~seed ())) in
+  let min_keep = Shrink.minimize ~fails (List.init nfaults Fun.id) in
+  let min_run = Runner.run ~keep:min_keep ~seed () in
+  {
+    f_result = r;
+    f_min_keep = min_keep;
+    f_min_violations = min_run.Runner.r_violations;
+    f_nfaults = nfaults;
+  }
+
+(* [log] gets one line per seed as it completes (progress reporting). *)
+let run_seeds ?(log = fun (_ : string) -> ()) ~base ~count () =
+  let results =
+    List.init count (fun i ->
+        let seed = base + i in
+        let r = Runner.run ~seed () in
+        log
+          (Printf.sprintf "seed %d: %s (ckpts %d, recoveries %d)%s" seed
+             (if Runner.pass r then "ok" else "FAIL")
+             r.Runner.r_ckpts r.Runner.r_recoveries
+             (if Runner.pass r then ""
+              else ": " ^ String.concat "; " r.Runner.r_violations));
+        r)
+  in
+  let failures =
+    List.filter (fun r -> not (Runner.pass r)) results
+    |> List.map (fun r ->
+           log (Printf.sprintf "shrinking seed %d..." r.Runner.r_seed);
+           shrink_failure r)
+  in
+  {
+    s_base = base;
+    s_count = count;
+    s_passed = List.length (List.filter Runner.pass results);
+    s_failures = failures;
+  }
+
+let report s =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "torture: %d/%d seeds passed (base %d)\n" s.s_passed s.s_count s.s_base);
+  List.iter
+    (fun f ->
+      let r = f.f_result in
+      let sc = Scenario.with_faults (Scenario.sample ~seed:r.Runner.r_seed) f.f_min_keep in
+      Buffer.add_string b
+        (Printf.sprintf "\nFAIL seed %d (%d faults, minimized to %d)\n" r.Runner.r_seed
+           f.f_nfaults (List.length f.f_min_keep));
+      Buffer.add_string b (Printf.sprintf "  scenario: %s\n" (Scenario.describe sc));
+      List.iter
+        (fun v -> Buffer.add_string b (Printf.sprintf "  violation: %s\n" v))
+        (if f.f_min_violations <> [] then f.f_min_violations else r.Runner.r_violations);
+      Buffer.add_string b
+        (Printf.sprintf "  replay: dmtcp_sim torture --replay %d --keep %s\n" r.Runner.r_seed
+           (keep_to_string f.f_min_keep)))
+    s.s_failures;
+  Buffer.contents b

@@ -6,6 +6,7 @@ type fd_info =
       role : Conn_table.role;
       conn_id : Conn_id.t;
       drained : string;
+      eof : bool;  (** peer closed pre-checkpoint: EOF follows [drained] *)
     }
   | FPty of { master : bool; pty_key : int }
 
@@ -90,13 +91,14 @@ let encode_fd_info w = function
     W.u8 w 0;
     W.string w path;
     W.uvarint w offset
-  | FSock { state; kind; role; conn_id; drained } ->
+  | FSock { state; kind; role; conn_id; drained; eof } ->
     W.u8 w 1;
     encode_sock_state w state;
     W.u8 w (kind_tag kind);
     W.u8 w (role_tag role);
     Conn_id.encode w conn_id;
-    W.string w drained
+    W.string w drained;
+    W.bool w eof
   | FPty { master; pty_key } ->
     W.u8 w 2;
     W.bool w master;
@@ -114,7 +116,8 @@ let decode_fd_info r =
     let role = role_of_tag (R.u8 r) in
     let conn_id = Conn_id.decode r in
     let drained = R.string r in
-    FSock { state; kind; role; conn_id; drained }
+    let eof = R.bool r in
+    FSock { state; kind; role; conn_id; drained; eof }
   | 2 ->
     let master = R.bool r in
     let pty_key = R.uvarint r in

@@ -16,6 +16,7 @@ type fd_info =
       role : Conn_table.role;
       conn_id : Conn_id.t;
       drained : string;
+      eof : bool;  (** peer closed pre-checkpoint: EOF follows [drained] *)
     }
   | FPty of { master : bool; pty_key : int }
 

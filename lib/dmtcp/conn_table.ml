@@ -8,6 +8,7 @@ type entry = {
   kind : sock_kind;
   desc_id : int;
   mutable drained : string;
+  mutable eof : bool;
   mutable saved_owner : int;
 }
 
@@ -59,6 +60,7 @@ let encode_entry w e =
   Util.Codec.Writer.u8 w (kind_tag e.kind);
   Util.Codec.Writer.uvarint w e.desc_id;
   Util.Codec.Writer.string w e.drained;
+  Util.Codec.Writer.bool w e.eof;
   Util.Codec.Writer.varint w e.saved_owner
 
 let decode_entry r =
@@ -67,8 +69,9 @@ let decode_entry r =
   let kind = kind_of_tag (Util.Codec.Reader.u8 r) in
   let desc_id = Util.Codec.Reader.uvarint r in
   let drained = Util.Codec.Reader.string r in
+  let eof = Util.Codec.Reader.bool r in
   let saved_owner = Util.Codec.Reader.varint r in
-  { conn_id; role; kind; desc_id; drained; saved_owner }
+  { conn_id; role; kind; desc_id; drained; eof; saved_owner }
 
 let encode w t =
   Util.Codec.Writer.list

@@ -20,6 +20,9 @@ type entry = {
   kind : sock_kind;
   desc_id : int;  (** physical open-file-description id (sharing key) *)
   mutable drained : string;     (** bytes drained from our receive side *)
+  mutable eof : bool;
+      (** the peer closed before the checkpoint: the stream ends (EOF)
+          right after [drained] *)
   mutable saved_owner : int;    (** F_SETOWN value to restore after refill *)
 }
 

@@ -14,6 +14,7 @@ type state = {
   mutable listen_fd : int;
   mutable clients : client list;
   mutable counts : int array;          (* barrier arrival counts, 1-based *)
+  mutable released : bool array;       (* barriers already released, 1-based *)
   mutable expected : int;              (* managers participating in this ckpt *)
   mutable in_ckpt : bool;
   mutable next_interval : float;
@@ -34,6 +35,7 @@ module P = struct
       listen_fd = -1;
       clients = [];
       counts = Array.make (Runtime.nbarriers + 1) 0;
+      released = Array.make (Runtime.nbarriers + 1) false;
       expected = 0;
       in_ckpt = false;
       next_interval = infinity;
@@ -57,6 +59,7 @@ module P = struct
       Runtime.note_ckpt_start rt;
       st.in_ckpt <- true;
       Array.fill st.counts 0 (Array.length st.counts) 0;
+      Array.fill st.released 0 (Array.length st.released) false;
       st.expected <- List.length (managers st);
       if st.expected = 0 then begin
         (* nothing to checkpoint *)
@@ -68,6 +71,53 @@ module P = struct
         st.last_barrier_time <- ctx.now ();
         broadcast ctx st Proto.do_checkpoint
       end
+    end
+
+  (* Release every barrier whose arrivals cover the surviving
+     participants, in protocol order.  Re-run whenever an arrival lands
+     or a participant dies: a death can retroactively satisfy the
+     barrier the victim never reached. *)
+  let try_release_barriers (ctx : Simos.Program.ctx) st =
+    let continue = ref st.in_ckpt in
+    let k = ref 1 in
+    while !continue && !k <= Runtime.nbarriers do
+      let b = !k in
+      if st.released.(b) then incr k
+      else if st.counts.(b) >= st.expected then begin
+        let rt = Runtime.active () in
+        (* Table 1: stage durations are the times between the global
+           barriers, measured here at the coordinator. *)
+        let stage_name =
+          match b with
+          | 1 -> "ckpt/suspend"
+          | 2 -> "ckpt/elect"
+          | 3 -> "ckpt/drain"
+          | 4 -> "ckpt/write"
+          | _ -> "ckpt/refill"
+        in
+        Runtime.record_stage rt stage_name (ctx.now () -. st.last_barrier_time);
+        st.last_barrier_time <- ctx.now ();
+        broadcast ctx st (Proto.release b);
+        st.released.(b) <- true;
+        st.work <- st.work + st.expected;
+        if b = Runtime.nbarriers then begin
+          st.in_ckpt <- false;
+          Runtime.note_ckpt_end rt;
+          continue := false
+        end
+        else incr k
+      end
+      else continue := false
+    done
+
+  (* A manager died mid-checkpoint: shrink the participant set so the
+     survivors are not wedged on barriers the victim will never reach.
+     With nobody left, abort the round without declaring it complete —
+     whatever images were recorded are a partial set. *)
+  let drop_participant (ctx : Simos.Program.ctx) st =
+    if st.in_ckpt then begin
+      st.expected <- List.length (managers st);
+      if st.expected = 0 then st.in_ckpt <- false else try_release_barriers ctx st
     end
 
   (* Returns true if any input was consumed. *)
@@ -83,6 +133,7 @@ module P = struct
         (* manager's process died or command client closed *)
         ctx.close_fd client.c_fd;
         st.clients <- List.filter (fun c -> c.c_fd <> client.c_fd) st.clients;
+        if client.c_manager then drop_participant ctx st;
         continue := false
       | `Would_block | `Err _ -> continue := false
     done;
@@ -98,27 +149,7 @@ module P = struct
         | Proto.Cmd_quit -> raise Exit
         | Proto.Barrier k when k >= 1 && k <= Runtime.nbarriers ->
           st.counts.(k) <- st.counts.(k) + 1;
-          if st.counts.(k) >= st.expected then begin
-            let rt = Runtime.active () in
-            (* Table 1: stage durations are the times between the global
-               barriers, measured here at the coordinator. *)
-            let stage_name =
-              match k with
-              | 1 -> "ckpt/suspend"
-              | 2 -> "ckpt/elect"
-              | 3 -> "ckpt/drain"
-              | 4 -> "ckpt/write"
-              | _ -> "ckpt/refill"
-            in
-            Runtime.record_stage rt stage_name (ctx.now () -. st.last_barrier_time);
-            st.last_barrier_time <- ctx.now ();
-            broadcast ctx st (Proto.release k);
-            st.work <- st.work + st.expected;
-            if k = Runtime.nbarriers then begin
-              st.in_ckpt <- false;
-              Runtime.note_ckpt_end rt
-            end
-          end
+          try_release_barriers ctx st
         | Proto.Barrier _ | Proto.Do_checkpoint | Proto.Release _ | Proto.Status_reply _
         | Proto.Unknown _ ->
           ())

@@ -4,7 +4,7 @@ let describe_fd buf (fd, desc_key, info) =
   match info with
   | Ckpt_image.FFile { path; offset } ->
     bf buf "  fd %-3d file    %s @%d (desc %d)\n" fd path offset desc_key
-  | Ckpt_image.FSock { state; kind; role; conn_id; drained } ->
+  | Ckpt_image.FSock { state; kind; role; conn_id; drained; _ } ->
     let state_s =
       match state with
       | Ckpt_image.S_established -> "established"

@@ -29,6 +29,7 @@ type state = {
   mutable buf : string;
   mutable phase : phase;
   mutable drains : drain_item list;
+  mutable coord_eof : bool;  (* coordinator hung up on us *)
 }
 
 module P = struct
@@ -37,7 +38,7 @@ module P = struct
   let name = name
   let encode _ _ = failwith "dmtcp:mgr is not checkpointable (recreated at restart)"
   let decode _ = failwith "dmtcp:mgr is not checkpointable (recreated at restart)"
-  let init ~argv:_ = { coord_fd = -1; buf = ""; phase = P_boot; drains = [] }
+  let init ~argv:_ = { coord_fd = -1; buf = ""; phase = P_boot; drains = []; coord_eof = false }
 
   (* -------------------------------------------------------------- *)
   (* helpers *)
@@ -67,7 +68,10 @@ module P = struct
     while !continue do
       match ctx.read_fd st.coord_fd ~max:4096 with
       | `Data d -> st.buf <- st.buf ^ d
-      | `Eof | `Err _ | `Would_block -> continue := false
+      | `Eof ->
+        st.coord_eof <- true;
+        continue := false
+      | `Err _ | `Would_block -> continue := false
     done;
     let lines, rest = Proto.split_lines st.buf in
     st.buf <- rest;
@@ -82,7 +86,11 @@ module P = struct
     st
 
   (* Established sockets with a connection-table entry whose leader we
-     are, and whose peer is itself under checkpoint control. *)
+     are.  Peers under checkpoint control drain with the flush-token
+     handshake; a socket whose peer already closed (process exited or fd
+     closed — the FIN is delivered or still in flight) is an "orphan":
+     it is drained to EOF without a token, and the EOF itself is
+     recorded so the restarted stream ends where the real one did. *)
   let leader_fds (ctx : Simos.Program.ctx) =
     let ps = my_pstate ctx in
     Conn_table.unique_descs ps.Runtime.conns
@@ -91,7 +99,9 @@ module P = struct
            | Some s
              when Simnet.Fabric.state s = Simnet.Fabric.Established
                   && ctx.get_fd_owner fd = ctx.pid ->
-             if Runtime.peer_entry (rt ()) s <> None then Some (fd, entry) else None
+             if Runtime.peer_entry (rt ()) s <> None then Some (fd, entry, `Peer)
+             else if Simnet.Fabric.peer_gone s then Some (fd, entry, `Orphan)
+             else None
            | _ -> None)
 
   let token = Proto.drain_token
@@ -157,6 +167,7 @@ module P = struct
                            role = entry.Conn_table.role;
                            conn_id = entry.Conn_table.conn_id;
                            drained = entry.Conn_table.drained;
+                           eof = entry.Conn_table.eof;
                          } ))
                | Simos.Fdesc.Pty_m p | Simos.Fdesc.Pty_s p ->
                  let master =
@@ -258,6 +269,13 @@ module P = struct
         st.phase <- P_critical_wait;
         Simos.Program.Continue st
       end
+      else if st.coord_eof then
+        (* The coordinator hung up.  Without it the computation can be
+           neither checkpointed nor coherently restarted: fail stop (the
+           harness restarts from the last completed images).  Exiting
+           also avoids a same-instant wake loop — a peer-closed socket
+           stays readable forever. *)
+        Simos.Program.Exit 0
       else
         match ctx.sock_state st.coord_fd with
         | Some Simnet.Fabric.Established ->
@@ -270,6 +288,7 @@ module P = struct
         Simos.Program.Block (st, Simos.Program.Sleep_until (ctx.now () +. 1e-3))
       else begin
         (* stage 2: suspend user threads *)
+        Faults.notify ~node:ctx.node_id ~pid:ctx.pid Faults.Suspend;
         let proc = my_proc ctx in
         (match proc.Simos.Kernel.cmdline with
         | prog :: _ -> Dmtcpaware.run_pre_ckpt ~prog
@@ -279,6 +298,7 @@ module P = struct
         Simos.Program.Compute (to_barrier st 1 P_elect, Mtcp.Cost.suspend_seconds ~nthreads)
       end
     | P_send_barrier (k, next) ->
+      Faults.notify ~node:ctx.node_id ~pid:ctx.pid (Faults.Barrier k);
       send_coord ctx st (Proto.barrier k);
       st.phase <- P_barrier (k, next);
       Simos.Program.Continue st
@@ -289,6 +309,10 @@ module P = struct
         st.phase <- next;
         Simos.Program.Continue st
       end
+      else if st.coord_eof then
+        (* coordinator died mid-checkpoint: the barrier will never be
+           released; fail stop with user threads still suspended *)
+        Simos.Program.Exit 70
       else
         match ctx.sock_state st.coord_fd with
         | Some Simnet.Fabric.Established ->
@@ -298,6 +322,7 @@ module P = struct
       (* stage 3: elect shared-FD leaders by misusing F_SETOWN — every
          process sharing the description sets the owner; the last one
          wins *)
+      Faults.notify ~node:ctx.node_id ~pid:ctx.pid Faults.Elect;
       let ps = my_pstate ctx in
       let entries = Conn_table.entries ps.Runtime.conns in
       List.iter
@@ -309,6 +334,15 @@ module P = struct
         (to_barrier st 2 P_drain, Mtcp.Cost.elect_seconds ~nfds:(List.length entries))
     | P_drain ->
       if st.drains = [] then begin
+        Faults.notify ~node:ctx.node_id ~pid:ctx.pid Faults.Drain;
+        if !Faults.bug_skip_drain then begin
+          (* injected bug: skip stage 4 — no flush tokens, nothing
+             stashed; whatever the kernel buffers held is left out of
+             the image and still sitting in the buffers at write time *)
+          drain_finished ctx st;
+          Simos.Program.Continue (to_barrier st 3 P_write)
+        end
+        else begin
         (* first entry into the drain stage: pick the sockets we lead *)
         let leaders = leader_fds ctx in
         if leaders = [] then begin
@@ -318,15 +352,24 @@ module P = struct
         else begin
           st.drains <-
             List.map
-              (fun (fd, entry) ->
-                { d_fd = fd; d_entry = entry; d_stash = ""; d_token_sent = 0; d_done = false })
+              (fun (fd, entry, mode) ->
+                {
+                  d_fd = fd;
+                  d_entry = entry;
+                  d_stash = "";
+                  (* no flush token for an orphan: nobody will read it *)
+                  d_token_sent = (match mode with `Orphan -> token_len | `Peer -> 0);
+                  d_done = false;
+                })
               leaders;
           drain_work ctx st
+        end
         end
       end
       else drain_work ctx st
     | P_write -> (
       (* stage 5: write the checkpoint image *)
+      Faults.notify ~node:ctx.node_id ~pid:ctx.pid Faults.Write;
       let opts = Options.of_getenv ctx.getenv in
       let image = build_image ctx in
       let bytes = Ckpt_image.encode image in
@@ -374,12 +417,13 @@ module P = struct
     | P_refill ->
       (* stage 6: re-inject drained socket data and pty buffers, restore
          the original F_SETOWN owners *)
+      Faults.notify ~node:ctx.node_id ~pid:ctx.pid Faults.Refill;
       let ps = my_pstate ctx in
       List.iter
         (fun d ->
           (match desc_socket ctx d.d_fd with
           | Some s ->
-            if d.d_entry.Conn_table.drained <> "" then
+            if d.d_entry.Conn_table.drained <> "" && not !Faults.bug_drop_refill then
               Simnet.Fabric.inject_recv s d.d_entry.Conn_table.drained
           | None -> ());
           ctx.set_fd_owner d.d_fd d.d_entry.Conn_table.saved_owner)
@@ -401,6 +445,7 @@ module P = struct
     | P_refill_done -> Simos.Program.Continue (to_barrier st 5 P_resume)
     | P_resume ->
       (* stage 7: resume user threads and return to normal execution *)
+      Faults.notify ~node:ctx.node_id ~pid:ctx.pid Faults.Resume;
       let ps = my_pstate ctx in
       Hashtbl.reset ps.Runtime.pty_drains;
       st.drains <- [];
@@ -438,8 +483,10 @@ module P = struct
                 reading := false
               end
             | `Eof ->
-              (* peer closed: whatever we got is the drained data *)
+              (* peer closed: whatever we got is the drained data, and
+                 the restored stream must end in EOF right after it *)
               d.d_entry.Conn_table.drained <- d.d_stash;
+              d.d_entry.Conn_table.eof <- true;
               d.d_done <- true;
               reading := false
             | `Would_block | `Err _ -> reading := false

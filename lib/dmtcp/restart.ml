@@ -7,6 +7,7 @@ type conn_spec = {
   cs_acceptor : bool;         (* Acceptor / Pair_a side advertises *)
   mutable cs_desc : Simos.Fdesc.t option;  (* restored socket description *)
   cs_drained : string;
+  cs_eof : bool;  (* peer closed pre-checkpoint; no peer will reconnect *)
 }
 
 type pending_accept = { pa_fd : int; mutable pa_buf : string }
@@ -163,7 +164,8 @@ module P = struct
         List.iter
           (fun (_, desc_key, info) ->
             match info with
-            | Ckpt_image.FSock { state = Ckpt_image.S_established; role; conn_id; drained; _ } -> (
+            | Ckpt_image.FSock { state = Ckpt_image.S_established; role; conn_id; drained; eof; _ }
+              -> (
               let acceptor =
                 match role with
                 | Conn_table.Acceptor | Conn_table.Pair_a -> true
@@ -171,8 +173,12 @@ module P = struct
               in
               match Hashtbl.find_opt by_desc desc_key with
               | Some existing ->
-                if String.length drained > String.length existing.cs_drained then
-                  Hashtbl.replace by_desc desc_key { existing with cs_drained = drained }
+                let longest =
+                  if String.length drained > String.length existing.cs_drained then drained
+                  else existing.cs_drained
+                in
+                Hashtbl.replace by_desc desc_key
+                  { existing with cs_drained = longest; cs_eof = existing.cs_eof || eof }
               | None ->
                 Hashtbl.replace by_desc desc_key
                   {
@@ -181,6 +187,7 @@ module P = struct
                     cs_acceptor = acceptor;
                     cs_desc = None;
                     cs_drained = drained;
+                    cs_eof = eof;
                   })
             | _ -> ())
           img.Ckpt_image.fds)
@@ -190,7 +197,19 @@ module P = struct
 
   let start_socket_restore (ctx : Simos.Program.ctx) st =
     st.specs <- build_conn_specs st;
-    if st.specs = [] then ()
+    (* a drained-to-EOF connection has no peer to rediscover: give it its
+       dead-but-readable endpoint now instead of waiting out the
+       discovery deadline *)
+    List.iter
+      (fun spec ->
+        if spec.cs_eof then begin
+          let fab = Simos.Kernel.fabric (my_kernel ctx) in
+          let s = Simnet.Fabric.socket fab ~host:ctx.node_id in
+          Simnet.Fabric.inject_eof s;
+          spec.cs_desc <- Some (Simos.Fdesc.make (Simos.Fdesc.Sock s))
+        end)
+      st.specs;
+    if List.for_all (fun spec -> spec.cs_desc <> None) st.specs then ()
     else begin
       st.listen_fd <- ctx.socket ();
       (match ctx.bind st.listen_fd ~port:0 with
@@ -363,6 +382,7 @@ module P = struct
                       kind;
                       desc_id = desc.Simos.Fdesc.desc_id;
                       drained = "";
+                      eof = false;
                       saved_owner = 0;
                     };
                   (match desc.Simos.Fdesc.kind with

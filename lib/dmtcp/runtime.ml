@@ -246,6 +246,7 @@ let on_socket t k (proc : Simos.Kernel.process) ~fd (desc : Simos.Fdesc.t) =
             kind;
             desc_id = desc.Simos.Fdesc.desc_id;
             drained = "";
+            eof = false;
             saved_owner = 0;
           }
         in
@@ -276,6 +277,7 @@ let on_accept t k (proc : Simos.Kernel.process) ~fd (desc : Simos.Fdesc.t) =
             kind;
             desc_id = desc.Simos.Fdesc.desc_id;
             drained = "";
+            eof = false;
             saved_owner = 0;
           }
         in
@@ -302,7 +304,15 @@ let promote_pipe t k (proc : Simos.Kernel.process) =
     let wfd = Simos.Kernel.alloc_fd k proc desc_b in
     let conn_id = fresh_conn_id t ~node ~pid ps in
     let entry role desc_id =
-      { Conn_table.conn_id; role; kind = Conn_table.Pair; desc_id; drained = ""; saved_owner = 0 }
+      {
+        Conn_table.conn_id;
+        role;
+        kind = Conn_table.Pair;
+        desc_id;
+        drained = "";
+        eof = false;
+        saved_owner = 0;
+      }
     in
     Conn_table.add ps.conns ~fd:rfd (entry Conn_table.Pair_a desc_a.Simos.Fdesc.desc_id);
     Conn_table.add ps.conns ~fd:wfd (entry Conn_table.Pair_b desc_b.Simos.Fdesc.desc_id);
@@ -330,6 +340,51 @@ let write_conn_table t k (proc : Simos.Kernel.process) =
       Simos.Vfs.truncate f;
       Simos.Vfs.append f (Util.Codec.Writer.contents w))
 
+(* Close wrapper: an fd-table slot with a connection entry is going
+   away, so the entry must not linger (a stale entry is a dangling
+   socket id in the conninfo table).  If the closing fd is the
+   registered endpoint owner, hand ownership to another checkpointed
+   process still holding the same open-file description (fork shares
+   socketpair ends); drop the registration when nobody is left. *)
+let on_close t k (proc : Simos.Kernel.process) ~fd (desc : Simos.Fdesc.t) =
+  let node = Simos.Kernel.node_id k in
+  let pid = proc.Simos.Kernel.pid in
+  match pstate_of t ~node ~pid with
+  | None -> ()
+  | Some ps ->
+    Conn_table.remove ps.conns ~fd;
+    (match sock_of_desc desc with
+    | None -> ()
+    | Some s -> (
+      let sock_id = Simnet.Fabric.id s in
+      match Hashtbl.find_opt t.sock_owner sock_id with
+      | Some ((onode, opid), ofd) when onode = node && opid = pid && ofd = fd -> (
+        let heir =
+          List.find_map
+            (fun (n2, p2, ps2) ->
+              if n2 = node && p2 = pid then None
+              else
+                match proc_of t ~node:n2 ~pid:p2 with
+                | None -> None
+                | Some proc2 ->
+                  Hashtbl.fold
+                    (fun fd2 (desc2 : Simos.Fdesc.t) acc ->
+                      match acc with
+                      | Some _ -> acc
+                      | None ->
+                        if
+                          desc2.Simos.Fdesc.desc_id = desc.Simos.Fdesc.desc_id
+                          && Conn_table.find ps2.conns ~fd:fd2 <> None
+                        then Some (n2, p2, fd2)
+                        else None)
+                    proc2.Simos.Kernel.fdtable None)
+            (hijacked_processes t)
+        in
+        match heir with
+        | Some (n2, p2, f2) -> register_sock_owner t ~sock_id ~node:n2 ~pid:p2 ~fd:f2
+        | None -> Hashtbl.remove t.sock_owner sock_id)
+      | _ -> ()))
+
 let make_hooks t : Simos.Kernel.hooks =
   {
     Simos.Kernel.on_spawn = (fun k proc -> on_spawn t k proc);
@@ -340,6 +395,7 @@ let make_hooks t : Simos.Kernel.hooks =
     on_connect = (fun k proc ~fd desc -> on_connect t k proc ~fd desc);
     on_accept = (fun k proc ~fd desc -> on_accept t k proc ~fd desc);
     on_pipe = (fun k proc -> promote_pipe t k proc);
+    on_close = (fun k proc ~fd desc -> on_close t k proc ~fd desc);
     on_exit = (fun k proc -> on_exit t k proc);
   }
 

@@ -32,6 +32,10 @@ type socket = {
   mutable wake : unit -> unit;
 }
 
+(* Per-link fault state, installed by the chaos layer.  Links are
+   addressed by unordered host pair; absent entries mean healthy. *)
+and link = { mutable up : bool; mutable lat_factor : float }
+
 and t = {
   eng : Sim.Engine.t;
   latency : float;
@@ -39,6 +43,10 @@ and t = {
   loopback_latency : float;
   n : int;
   listeners : (Addr.t, socket) Hashtbl.t;
+  bound : (Addr.t, unit) Hashtbl.t;
+  links : (int * int, link) Hashtbl.t;
+  mutable drop_prob : float;
+  mutable drop_rng : Util.Rng.t option;
   nic_free_at : float array;
   next_port : int array;
   mutable next_id : int;
@@ -52,6 +60,10 @@ let create eng ?(latency = 100e-6) ?(bandwidth = 117e6) ?(loopback_latency = 10e
     loopback_latency;
     n = nhosts;
     listeners = Hashtbl.create 64;
+    bound = Hashtbl.create 64;
+    links = Hashtbl.create 8;
+    drop_prob = 0.;
+    drop_rng = None;
     nic_free_at = Array.make nhosts 0.;
     next_port = Array.make nhosts 32768;
     next_id = 0;
@@ -59,6 +71,48 @@ let create eng ?(latency = 100e-6) ?(bandwidth = 117e6) ?(loopback_latency = 10e
 
 let engine t = t.eng
 let nhosts t = t.n
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection.  Partitioned links hold traffic (senders retry
+   until the link heals); latency factors stretch propagation delay;
+   [drop_prob] models segment loss as a retransmission-timeout penalty
+   charged per chunk, drawn from a dedicated rng so fault timing stays
+   deterministic per seed.  Heal every partition before draining the
+   engine to completion: blocked senders re-arm themselves forever. *)
+
+let partition_retry = 20e-3
+let retransmit_timeout = 0.2
+
+let link_key a b = if a <= b then (a, b) else (b, a)
+
+let link_of t a b =
+  match Hashtbl.find_opt t.links (link_key a b) with
+  | Some l -> l
+  | None ->
+    let l = { up = true; lat_factor = 1.0 } in
+    Hashtbl.replace t.links (link_key a b) l;
+    l
+
+let link_up t ~a ~b = a = b || (link_of t a b).up
+let set_link_up t ~a ~b up = if a <> b then (link_of t a b).up <- up
+let set_latency_factor t ~a ~b f = if a <> b then (link_of t a b).lat_factor <- Float.max 1e-9 f
+let set_drop t ~prob rng =
+  t.drop_prob <- prob;
+  t.drop_rng <- (if prob > 0. then Some rng else None)
+
+let clear_faults t =
+  Hashtbl.reset t.links;
+  t.drop_prob <- 0.;
+  t.drop_rng <- None
+
+let lat_factor t ~src ~dst = if src = dst then 1.0 else (link_of t src dst).lat_factor
+
+let drop_penalty t ~src ~dst =
+  if src = dst || t.drop_prob <= 0. then 0.
+  else
+    match t.drop_rng with
+    | Some rng when Util.Rng.float rng 1.0 < t.drop_prob -> retransmit_timeout
+    | _ -> 0.
 
 let make_socket fab ~host ~unix =
   let id = fab.next_id in
@@ -118,19 +172,29 @@ let transfer_delay fab ~src ~dst len =
     let depart = Float.max now fab.nic_free_at.(src) in
     let dur = float_of_int len /. fab.bandwidth in
     fab.nic_free_at.(src) <- depart +. dur;
-    depart -. now +. dur +. fab.latency
+    depart -. now +. dur
+    +. (fab.latency *. lat_factor fab ~src ~dst)
+    +. drop_penalty fab ~src ~dst
   end
 
-(* Move FIN to the peer once every queued byte has been delivered. *)
+(* Move FIN to the peer once every queued byte has been delivered.  A
+   partitioned link holds the FIN and retries until it heals. *)
 let rec maybe_deliver_fin s =
   if s.fin_sent && Util.Bytequeue.is_empty s.send_buf && s.in_flight = 0 then
     match s.peer with
     | Some p when not p.peer_closed ->
-      let delay = if s.sock_host = p.sock_host then s.fab.loopback_latency else s.fab.latency in
-      ignore
-        (Sim.Engine.schedule s.fab.eng ~delay (fun () ->
-             p.peer_closed <- true;
-             p.wake ()))
+      if not (link_up s.fab ~a:s.sock_host ~b:p.sock_host) then
+        ignore
+          (Sim.Engine.schedule s.fab.eng ~delay:partition_retry (fun () -> maybe_deliver_fin s))
+      else
+        let delay =
+          if s.sock_host = p.sock_host then s.fab.loopback_latency
+          else s.fab.latency *. lat_factor s.fab ~src:s.sock_host ~dst:p.sock_host
+        in
+        ignore
+          (Sim.Engine.schedule s.fab.eng ~delay (fun () ->
+               p.peer_closed <- true;
+               p.wake ()))
     | _ -> ()
 
 and pump s =
@@ -138,39 +202,57 @@ and pump s =
     match s.peer with
     | None -> ()
     | Some p ->
-      let free = buffer_capacity - Util.Bytequeue.length p.recv_buf in
-      let len = min (min (Util.Bytequeue.length s.send_buf) free) chunk_size in
-      if len > 0 then begin
-        let data = Util.Bytequeue.pop s.send_buf len in
-        s.in_flight <- s.in_flight + len;
-        s.pumping <- true;
-        let delay = transfer_delay s.fab ~src:s.sock_host ~dst:p.sock_host len in
-        ignore
-          (Sim.Engine.schedule s.fab.eng ~delay (fun () ->
-               Util.Bytequeue.push p.recv_buf data;
-               s.in_flight <- s.in_flight - len;
-               s.pumping <- false;
-               p.wake ();
-               s.wake ();
-               pump s;
-               maybe_deliver_fin s))
+      if not (link_up s.fab ~a:s.sock_host ~b:p.sock_host) then begin
+        (* partitioned: park the sender and retry until the link heals *)
+        if Util.Bytequeue.length s.send_buf > 0 then begin
+          s.pumping <- true;
+          ignore
+            (Sim.Engine.schedule s.fab.eng ~delay:partition_retry (fun () ->
+                 s.pumping <- false;
+                 pump s))
+        end
       end
-      else maybe_deliver_fin s
+      else
+        let free = buffer_capacity - Util.Bytequeue.length p.recv_buf in
+        let len = min (min (Util.Bytequeue.length s.send_buf) free) chunk_size in
+        if len > 0 then begin
+          let data = Util.Bytequeue.pop s.send_buf len in
+          s.in_flight <- s.in_flight + len;
+          s.pumping <- true;
+          let delay = transfer_delay s.fab ~src:s.sock_host ~dst:p.sock_host len in
+          ignore
+            (Sim.Engine.schedule s.fab.eng ~delay (fun () ->
+                 Util.Bytequeue.push p.recv_buf data;
+                 s.in_flight <- s.in_flight - len;
+                 s.pumping <- false;
+                 p.wake ();
+                 s.wake ();
+                 pump s;
+                 maybe_deliver_fin s))
+        end
+        else maybe_deliver_fin s
+
+let addr_taken fab addr = Hashtbl.mem fab.bound addr || Hashtbl.mem fab.listeners addr
 
 let bind s ~port =
   match s.st with
   | Created when not s.unix ->
     let port =
       if port = 0 then begin
-        let p = s.fab.next_port.(s.sock_host) in
-        s.fab.next_port.(s.sock_host) <- p + 1;
-        p
+        (* skip ephemeral ports squatted by explicit binds *)
+        let rec fresh () =
+          let p = s.fab.next_port.(s.sock_host) in
+          s.fab.next_port.(s.sock_host) <- p + 1;
+          if addr_taken s.fab (Addr.Inet { host = s.sock_host; port = p }) then fresh () else p
+        in
+        fresh ()
       end
       else port
     in
     let addr = Addr.Inet { host = s.sock_host; port } in
-    if Hashtbl.mem s.fab.listeners addr then Error Addr_in_use
+    if addr_taken s.fab addr then Error Addr_in_use
     else begin
+      Hashtbl.replace s.fab.bound addr ();
       s.local <- Some addr;
       s.st <- Bound;
       Ok port
@@ -182,8 +264,9 @@ let bind_unix s ~path =
   match s.st with
   | Created when s.unix ->
     let addr = Addr.Unix { host = s.sock_host; path } in
-    if Hashtbl.mem s.fab.listeners addr then Error Addr_in_use
+    if addr_taken s.fab addr then Error Addr_in_use
     else begin
+      Hashtbl.replace s.fab.bound addr ();
       s.local <- Some addr;
       s.st <- Bound;
       Ok ()
@@ -204,7 +287,7 @@ let listen s ~backlog =
   | _ -> Error Invalid
 
 let one_way_latency fab ~src ~dst =
-  if src = dst then fab.loopback_latency else fab.latency
+  if src = dst then fab.loopback_latency else fab.latency *. lat_factor fab ~src ~dst
 
 let connect s addr =
   match s.st with
@@ -226,6 +309,10 @@ let connect s addr =
                       s.wake ()))
              in
              match Hashtbl.find_opt fab.listeners addr with
+             | _ when not (link_up fab ~a:s.sock_host ~b:(Addr.host_of addr)) ->
+               (* SYN lost to the partition: surface as a refusal after
+                  the would-be round trip *)
+               refuse ()
              | None -> refuse ()
              | Some listener when listener.st <> Listening -> refuse ()
              | Some listener when Queue.length listener.accept_q >= listener.backlog -> refuse ()
@@ -295,7 +382,9 @@ let close s =
   | Closed -> ()
   | Listening ->
     (match s.local with
-    | Some addr -> Hashtbl.remove s.fab.listeners addr
+    | Some addr ->
+      Hashtbl.remove s.fab.listeners addr;
+      Hashtbl.remove s.fab.bound addr
     | None -> ());
     (* pending, never-accepted connections are refused *)
     Queue.iter
@@ -311,7 +400,9 @@ let close s =
     s.st <- Closed
   | Created | Bound ->
     (match s.local with
-    | Some addr -> Hashtbl.remove s.fab.listeners addr
+    | Some addr ->
+      Hashtbl.remove s.fab.listeners addr;
+      Hashtbl.remove s.fab.bound addr
     | None -> ());
     s.st <- Closed
   | Connecting | Established ->
@@ -335,3 +426,16 @@ let inject_recv s data =
   s.wake ()
 
 let peer_id s = Option.map (fun p -> p.id) s.peer
+
+(* Restart support: turn a freshly created socket into the local end of
+   a connection whose peer closed before the checkpoint.  Reads yield
+   whatever is injected into [recv_buf] (the drained stash) followed by
+   EOF; writes fail as on any closed-by-peer stream. *)
+let inject_eof s =
+  s.st <- Established;
+  s.peer_closed <- true;
+  s.fin_sent <- true;
+  s.wake ()
+
+let peer_gone s =
+  s.peer_closed || (match s.peer with Some p -> p.fin_sent | None -> true)

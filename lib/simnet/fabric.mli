@@ -121,3 +121,39 @@ val inject_recv : socket -> string -> unit
     DMTCP layer's connect/accept handshake to match the two ends of a
     connection. *)
 val peer_id : socket -> int option
+
+(** The peer endpoint has called [close]: EOF has been received, or the
+    FIN is still in flight (an established socket with no peer is also
+    gone). *)
+val peer_gone : socket -> bool
+
+(** Turn a fresh socket into the local end of a peer-closed stream:
+    reads return injected data then EOF; writes fail (restart of a
+    half-closed connection). *)
+val inject_eof : socket -> unit
+
+(** {2 Fault injection}
+
+    Knobs for the chaos layer.  A downed link holds all traffic — senders
+    park and retry every {!partition_retry} seconds until the link heals,
+    and a SYN that would cross the partition is refused.  Latency factors
+    stretch propagation delay on a link; [set_drop] models segment loss as
+    a per-chunk retransmission-timeout penalty drawn from the supplied rng
+    so runs stay deterministic per seed.  Loopback traffic is never
+    faulted.  Always heal partitions (e.g. via [clear_faults]) before
+    draining the engine with no [until] bound: parked senders reschedule
+    themselves indefinitely. *)
+
+val partition_retry : float
+val retransmit_timeout : float
+
+val link_up : t -> a:Addr.host -> b:Addr.host -> bool
+val set_link_up : t -> a:Addr.host -> b:Addr.host -> bool -> unit
+val set_latency_factor : t -> a:Addr.host -> b:Addr.host -> float -> unit
+
+(** [set_drop t ~prob rng] makes each inter-host chunk transfer pay
+    {!retransmit_timeout} with probability [prob].  [prob = 0.] disables. *)
+val set_drop : t -> prob:float -> Util.Rng.t -> unit
+
+(** Restore every link and clear the drop model. *)
+val clear_faults : t -> unit

@@ -41,6 +41,13 @@ let set_hooks t hooks = Array.iter (fun k -> Kernel.set_hooks k hooks) t.kernels
 let run ?until t = Sim.Engine.run ?until t.eng
 let now t = Sim.Engine.now t.eng
 
+let target t i = t.targets.(i)
+
+(* Fail-stop node crash: every process on the node dies as if the machine
+   lost power.  Exit hooks still run (the DMTCP runtime unregisters the
+   victims); peers observe connection resets/EOF. *)
+let crash_node t i = List.iter (fun p -> Kernel.kill_process t.kernels.(i) p) (Kernel.processes t.kernels.(i))
+
 let all_processes t =
   Array.to_list t.kernels
   |> List.concat_map (fun k -> List.map (fun p -> (k, p)) (Kernel.processes k))

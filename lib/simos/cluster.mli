@@ -46,3 +46,11 @@ val all_processes : t -> (Kernel.t * Kernel.process) list
 (** Reset each node's storage-target cache/queue state (between
     experiment repetitions). *)
 val reset_storage : t -> unit
+
+(** Node [i]'s storage target — exposed for fault injection
+    ({!Storage.Target.set_slowdown}). *)
+val target : t -> int -> Storage.Target.t
+
+(** Fail-stop crash of node [i]: kill every process on it at the current
+    virtual time.  Exit hooks run; remote peers observe EOF. *)
+val crash_node : t -> int -> unit

@@ -57,6 +57,7 @@ and hooks = {
   on_connect : t -> process -> fd:int -> Fdesc.t -> unit;
   on_accept : t -> process -> fd:int -> Fdesc.t -> unit;
   on_pipe : t -> process -> (int * int) option;
+  on_close : t -> process -> fd:int -> Fdesc.t -> unit;
   on_exit : t -> process -> unit;
 }
 
@@ -70,6 +71,7 @@ let default_hooks =
     on_connect = (fun _ _ ~fd:_ _ -> ());
     on_accept = (fun _ _ ~fd:_ _ -> ());
     on_pipe = (fun _ _ -> None);
+    on_close = (fun _ _ ~fd:_ _ -> ());
     on_exit = (fun _ _ -> ());
   }
 
@@ -532,6 +534,7 @@ and remove_fd t proc ~fd =
   match Hashtbl.find_opt proc.fdtable fd with
   | None -> ()
   | Some desc ->
+    if proc.hijacked then t.khooks.on_close t proc ~fd desc;
     Hashtbl.remove proc.fdtable fd;
     decr_desc desc;
     poke_later t

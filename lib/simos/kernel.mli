@@ -59,6 +59,9 @@ type hooks = {
   on_connect : t -> process -> fd:int -> Fdesc.t -> unit;
   on_accept : t -> process -> fd:int -> Fdesc.t -> unit;
   on_pipe : t -> process -> (int * int) option;
+  on_close : t -> process -> fd:int -> Fdesc.t -> unit;
+      (** an fd-table slot is released (close, dup2 over, exit teardown);
+          fires before the description's refcount drops *)
   on_exit : t -> process -> unit;
 }
 

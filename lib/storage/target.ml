@@ -18,6 +18,7 @@ and t = {
   eng : Sim.Engine.t;
   kind : kind;
   mutable free_at : float;  (* serialization cursor for concurrent writers *)
+  mutable slowdown : float; (* fault-injection service-time multiplier *)
 }
 
 let local_disk eng ?(raw_rate = 100e6) ?(cached_rate = 350e6) ?(cache_bytes = 6_000_000_000)
@@ -26,12 +27,19 @@ let local_disk eng ?(raw_rate = 100e6) ?(cached_rate = 350e6) ?(cache_bytes = 6_
     eng;
     kind = Disk { raw_rate; cached_rate; cache_bytes; read_rate; cache_used = 0; dirty = 0 };
     free_at = 0.;
+    slowdown = 1.;
   }
 
-let san eng ?(rate = 400e6) ?(latency = 1e-3) () = { eng; kind = San { rate; latency }; free_at = 0. }
+let san eng ?(rate = 400e6) ?(latency = 1e-3) () =
+  { eng; kind = San { rate; latency }; free_at = 0.; slowdown = 1. }
 
 let nfs eng ?(server_rate = 117e6 *. 0.6) ~backend () =
-  { eng; kind = Nfs { server_rate; backend }; free_at = 0. }
+  { eng; kind = Nfs { server_rate; backend }; free_at = 0.; slowdown = 1. }
+
+(* Fault injection: a degraded device multiplies every booked service
+   interval; [factor = 1.] restores nominal speed. *)
+let set_slowdown t factor = t.slowdown <- Float.max 1. factor
+let slowdown t = t.slowdown
 
 let describe t =
   match t.kind with
@@ -42,6 +50,7 @@ let describe t =
 (* Book [seconds] of service on the target's cursor starting no earlier
    than now; returns the delay from now until completion. *)
 let book t seconds =
+  let seconds = seconds *. t.slowdown in
   let now = Sim.Engine.now t.eng in
   let start = Float.max now t.free_at in
   t.free_at <- start +. seconds;
@@ -83,6 +92,7 @@ let dirty_bytes t =
 
 let rec reset t =
   t.free_at <- 0.;
+  t.slowdown <- 1.;
   match t.kind with
   | Disk d ->
     d.cache_used <- 0;

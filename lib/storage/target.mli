@@ -55,5 +55,14 @@ val sync : t -> float
 val dirty_bytes : t -> int
 
 (** Forget cache occupancy and queue state between experiment
-    repetitions. *)
+    repetitions.  Also restores nominal speed. *)
 val reset : t -> unit
+
+(** {2 Fault injection}
+
+    [set_slowdown t f] degrades the device: every subsequently booked
+    service interval is multiplied by [f] (clamped to ≥ 1).  [f = 1.]
+    restores nominal speed. *)
+val set_slowdown : t -> float -> unit
+
+val slowdown : t -> float

@@ -111,6 +111,34 @@ let test_lz77_finds_matches () =
   let matches = Array.to_list tokens |> List.filter (function Compress.Lz77.Match _ -> true | _ -> false) in
   Alcotest.(check bool) "repetitive input yields matches" true (List.length matches > 0)
 
+(* Sizes that straddle the LZ77 window (32768): off-by-one bugs in
+   match-distance or hash-chain pruning live exactly here. *)
+let window = 32768
+
+let adversarial_sizes =
+  [ 0; 1; 2; window - 1; window; window + 1; (2 * window) - 1; 2 * window ]
+
+(* One deterministic corpus per (size, flavour): pinned seeds so a
+   failure names its input exactly. *)
+let adversarial_samples =
+  List.concat_map
+    (fun n ->
+      let rng = Util.Rng.create (Int64.of_int (0xBAD5EED + n)) in
+      let random = Bytes.unsafe_to_string (Util.Rng.bytes rng n) in
+      let repetitive = String.init n (fun i -> "abcabc!".[i mod 7]) in
+      let zeros = String.make n '\000' in
+      [
+        (Printf.sprintf "random/%d" n, random);
+        (Printf.sprintf "repetitive/%d" n, repetitive);
+        (Printf.sprintf "zeros/%d" n, zeros);
+      ])
+    adversarial_sizes
+
+let test_lz77_adversarial_sizes () =
+  List.iter
+    (fun (name, s) -> Alcotest.(check bool) name true (lz77_roundtrip s))
+    adversarial_samples
+
 let prop_lz77_roundtrip =
   QCheck_alcotest.to_alcotest
     (QCheck.Test.make ~count:200 ~name:"lz77 round-trips arbitrary strings" QCheck.string lz77_roundtrip)
@@ -155,6 +183,11 @@ let test_deflate_random_no_blowup () =
   let packed = Compress.Deflate.compress s in
   Alcotest.(check bool) "random data grows < 15%" true
     (String.length packed < String.length s * 115 / 100)
+
+let test_deflate_adversarial_sizes () =
+  List.iter
+    (fun (name, s) -> Alcotest.(check bool) name true (deflate_roundtrip s))
+    adversarial_samples
 
 let prop_deflate_roundtrip =
   QCheck_alcotest.to_alcotest
@@ -244,6 +277,7 @@ let () =
           Alcotest.test_case "random" `Quick test_lz77_random;
           Alcotest.test_case "zeros" `Quick test_lz77_zeros;
           Alcotest.test_case "finds matches" `Quick test_lz77_finds_matches;
+          Alcotest.test_case "adversarial sizes" `Quick test_lz77_adversarial_sizes;
           prop_lz77_roundtrip;
         ] );
       ( "rle",
@@ -263,6 +297,7 @@ let () =
           Alcotest.test_case "compresses text" `Quick test_deflate_compresses_text;
           Alcotest.test_case "zeros compress hard" `Quick test_deflate_zeros_tiny;
           Alcotest.test_case "random no blowup" `Quick test_deflate_random_no_blowup;
+          Alcotest.test_case "adversarial sizes" `Quick test_deflate_adversarial_sizes;
           prop_deflate_roundtrip;
           prop_deflate_roundtrip_runs;
         ] );

@@ -5,7 +5,7 @@
 
 let check = Alcotest.check
 
-let () = Progs.ensure_registered ()
+let () = Chaos.Progs.ensure_registered ()
 
 let make ?(nodes = 4) ?(options = Dmtcp.Options.default) () =
   let cl = Simos.Cluster.create ~nodes () in
@@ -475,6 +475,7 @@ let test_conn_table_roundtrip () =
       desc_id = 1000 + fdn;
       drained = String.make fdn 'x';
       saved_owner = fdn;
+      eof = false;
     }
   in
   Dmtcp.Conn_table.add t ~fd:3 (entry 3 Dmtcp.Conn_table.Connector);

@@ -3,7 +3,7 @@
 
 let check = Alcotest.check
 
-let () = Progs.ensure_registered ()
+let () = Chaos.Progs.ensure_registered ()
 
 let make_proc ?(mb = 2) () =
   let cl = Simos.Cluster.create ~nodes:1 () in

@@ -274,6 +274,148 @@ let prop_stream_integrity =
          got_cs = Buffer.contents expect_cs && got_sc = Buffer.contents expect_sc))
 
 (* ------------------------------------------------------------------ *)
+(* Edge cases the chaos harness leans on *)
+
+let test_connect_closed_listener () =
+  (* the listener existed once; connecting after it closed is refusal,
+     not a hang *)
+  let eng, fab = setup () in
+  let l = listen_on fab ~host:1 ~port:5000 in
+  Simnet.Fabric.close l;
+  let c = Simnet.Fabric.socket fab ~host:0 in
+  ignore (Simnet.Fabric.connect c (Simnet.Addr.Inet { host = 1; port = 5000 }));
+  Sim.Engine.run eng;
+  check Alcotest.bool "refused" true (Simnet.Fabric.connect_refused c);
+  check Alcotest.bool "closed" true (Simnet.Fabric.state c = Simnet.Fabric.Closed)
+
+let test_double_bind_same_socket () =
+  let _, fab = setup () in
+  let s = Simnet.Fabric.socket fab ~host:0 in
+  (match Simnet.Fabric.bind s ~port:8000 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "first bind: %s" (Simnet.Fabric.pp_error e));
+  match Simnet.Fabric.bind s ~port:8001 with
+  | Error Simnet.Fabric.Already_bound -> ()
+  | Ok _ -> Alcotest.fail "second bind accepted"
+  | Error e -> Alcotest.failf "expected Already_bound, got %s" (Simnet.Fabric.pp_error e)
+
+let test_double_bind_same_port () =
+  let _, fab = setup () in
+  let _l = listen_on fab ~host:0 ~port:8000 in
+  let s2 = Simnet.Fabric.socket fab ~host:0 in
+  match Simnet.Fabric.bind s2 ~port:8000 with
+  | Error Simnet.Fabric.Addr_in_use -> ()
+  | Error e -> Alcotest.failf "expected Addr_in_use, got %s" (Simnet.Fabric.pp_error e)
+  | Ok _ -> (
+    (* some stacks only detect the conflict at listen *)
+    match Simnet.Fabric.listen s2 ~backlog:1 with
+    | Error Simnet.Fabric.Addr_in_use -> ()
+    | Ok () -> Alcotest.fail "two listeners on one port"
+    | Error e -> Alcotest.failf "expected Addr_in_use, got %s" (Simnet.Fabric.pp_error e))
+
+let test_recv_while_connecting () =
+  let _, fab = setup () in
+  let _l = listen_on fab ~host:1 ~port:5000 in
+  let c = Simnet.Fabric.socket fab ~host:0 in
+  ignore (Simnet.Fabric.connect c (Simnet.Addr.Inet { host = 1; port = 5000 }));
+  (* engine has not run: SYN still in flight *)
+  check Alcotest.bool "still connecting" true (Simnet.Fabric.state c = Simnet.Fabric.Connecting);
+  match Simnet.Fabric.recv c ~max:10 with
+  | `Error Simnet.Fabric.Not_connected -> ()
+  | `Error e -> Alcotest.failf "expected Not_connected, got %s" (Simnet.Fabric.pp_error e)
+  | `Data _ | `Eof | `Would_block -> Alcotest.fail "expected Not_connected error"
+
+(* ------------------------------------------------------------------ *)
+(* Fault-injection knobs (the chaos layer's interface) *)
+
+let test_partition_defers_then_delivers () =
+  let eng, fab, c, s, _ = (fun () -> connect_pair ()) () in
+  Simnet.Fabric.set_link_up fab ~a:0 ~b:1 false;
+  ignore (Simnet.Fabric.send c "held-back");
+  (* parked senders retry forever: bound the run while partitioned *)
+  Sim.Engine.run ~until:(Sim.Engine.now eng +. 1.0) eng;
+  check Alcotest.int "nothing crosses a downed link" 0 (Simnet.Fabric.recv_buffered s);
+  Simnet.Fabric.set_link_up fab ~a:0 ~b:1 true;
+  Sim.Engine.run eng;
+  check Alcotest.string "delivered after heal" "held-back" (recv_exact eng s 9)
+
+let test_partition_refuses_syn () =
+  let eng, fab = setup () in
+  let _l = listen_on fab ~host:1 ~port:5000 in
+  Simnet.Fabric.set_link_up fab ~a:0 ~b:1 false;
+  let c = Simnet.Fabric.socket fab ~host:0 in
+  ignore (Simnet.Fabric.connect c (Simnet.Addr.Inet { host = 1; port = 5000 }));
+  Sim.Engine.run ~until:(Sim.Engine.now eng +. 1.0) eng;
+  check Alcotest.bool "SYN across partition refused" true (Simnet.Fabric.connect_refused c);
+  Simnet.Fabric.clear_faults fab
+
+let test_latency_factor_stretches_delivery () =
+  let measure factor =
+    let eng, fab, c, s, _ = connect_pair ~latency:1e-3 () in
+    if factor > 1.0 then Simnet.Fabric.set_latency_factor fab ~a:0 ~b:1 factor;
+    let t0 = Sim.Engine.now eng in
+    ignore (Simnet.Fabric.send c "x");
+    let guard = ref 0 in
+    while Simnet.Fabric.recv_buffered s = 0 && !guard < 1000 do
+      Sim.Engine.run eng;
+      incr guard
+    done;
+    Sim.Engine.now eng -. t0
+  in
+  let base = measure 1.0 in
+  let slow = measure 10.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "x10 latency factor slows delivery (%.4fs -> %.4fs)" base slow)
+    true
+    (slow > base *. 5.)
+
+let test_drop_penalizes_transfers () =
+  let eng, fab, c, s, _ = connect_pair ~latency:1e-4 () in
+  Simnet.Fabric.set_drop fab ~prob:1.0 (Util.Rng.create 42L);
+  let t0 = Sim.Engine.now eng in
+  ignore (Simnet.Fabric.send c "lossy");
+  let guard = ref 0 in
+  while Simnet.Fabric.recv_buffered s = 0 && !guard < 1000 do
+    Sim.Engine.run eng;
+    incr guard
+  done;
+  let elapsed = Sim.Engine.now eng -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "every chunk pays the retransmit timeout (%.3fs)" elapsed)
+    true
+    (elapsed >= Simnet.Fabric.retransmit_timeout);
+  check Alcotest.string "data still arrives intact" "lossy" (recv_exact eng s 5);
+  Simnet.Fabric.clear_faults fab
+
+let test_peer_gone_after_close () =
+  let eng, _, c, s, _ = connect_pair () in
+  Alcotest.(check bool) "peer present while open" false (Simnet.Fabric.peer_gone s);
+  Simnet.Fabric.close c;
+  (* FIN may still be in flight: the peer is gone either way *)
+  Alcotest.(check bool) "peer gone right after close" true (Simnet.Fabric.peer_gone s);
+  Sim.Engine.run eng;
+  Alcotest.(check bool) "still gone after FIN lands" true (Simnet.Fabric.peer_gone s)
+
+let test_inject_eof_restores_half_closed () =
+  (* restart path for a connection whose peer died before the
+     checkpoint: drained bytes first, then EOF, and writes fail *)
+  let _, fab = setup () in
+  let s = Simnet.Fabric.socket fab ~host:0 in
+  Simnet.Fabric.inject_eof s;
+  check Alcotest.bool "established" true (Simnet.Fabric.state s = Simnet.Fabric.Established);
+  Alcotest.(check bool) "peer gone" true (Simnet.Fabric.peer_gone s);
+  Simnet.Fabric.inject_recv s "tail";
+  (match Simnet.Fabric.recv s ~max:10 with
+  | `Data d -> check Alcotest.string "drained bytes first" "tail" d
+  | _ -> Alcotest.fail "expected drained data");
+  (match Simnet.Fabric.recv s ~max:10 with
+  | `Eof -> ()
+  | _ -> Alcotest.fail "expected EOF after the stash");
+  match Simnet.Fabric.send s "nope" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "write on a half-closed restart must fail"
+
+(* ------------------------------------------------------------------ *)
 (* Discovery *)
 
 let addr_testable =
@@ -404,6 +546,22 @@ let () =
           Alcotest.test_case "inject_recv ordering" `Quick test_inject_recv_ordering;
           Alcotest.test_case "NIC serializes transfers" `Quick test_nic_serializes_transfers;
           prop_stream_integrity;
+        ] );
+      ( "edges",
+        [
+          Alcotest.test_case "connect to closed listener" `Quick test_connect_closed_listener;
+          Alcotest.test_case "double bind, same socket" `Quick test_double_bind_same_socket;
+          Alcotest.test_case "double bind, same port" `Quick test_double_bind_same_port;
+          Alcotest.test_case "recv while connecting" `Quick test_recv_while_connecting;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "partition defers then delivers" `Quick test_partition_defers_then_delivers;
+          Alcotest.test_case "partition refuses SYN" `Quick test_partition_refuses_syn;
+          Alcotest.test_case "latency factor" `Quick test_latency_factor_stretches_delivery;
+          Alcotest.test_case "segment loss penalty" `Quick test_drop_penalizes_transfers;
+          Alcotest.test_case "peer gone after close" `Quick test_peer_gone_after_close;
+          Alcotest.test_case "inject EOF (half-closed restart)" `Quick test_inject_eof_restores_half_closed;
         ] );
       ( "unix",
         [
