@@ -20,6 +20,15 @@ let scale =
 
 let reps = match scale with `Full -> 5 | `Quick -> 2
 
+(* BENCH_SECTIONS=micro|repro|all picks which layer runs (default all);
+   CI's bench smoke runs just the micro layer, which finishes in
+   seconds. *)
+let sections =
+  match Sys.getenv_opt "BENCH_SECTIONS" with
+  | Some "micro" -> `Micro
+  | Some "repro" -> `Repro
+  | _ -> `All
+
 let hr title =
   Printf.printf "\n%s\n%s\n%s\n" (String.make 72 '=') title (String.make 72 '=');
   flush stdout
@@ -170,7 +179,7 @@ let run_micro () =
 let () =
   Printf.printf "DMTCP reproduction benchmark harness (scale: %s)\n"
     (match scale with `Full -> "full" | `Quick -> "quick");
-  run_micro ();
-  run_reproduction ();
+  if sections <> `Repro then run_micro ();
+  if sections <> `Micro then run_reproduction ();
   hr "Done";
   print_endline "Interpretation notes live in EXPERIMENTS.md."

@@ -13,6 +13,12 @@ dune build @check
 echo "== dune runtest =="
 dune runtest
 
+echo "== trace determinism: fixed scenario, two runs, byte-identical =="
+dune exec bin/dmtcp_sim.exe -- trace --check-determinism
+
+echo "== bench smoke (quick scale, micro layer) =="
+BENCH_SCALE=quick BENCH_SECTIONS=micro dune exec bench/main.exe > /dev/null
+
 echo "== chaos smoke: 25-seed torture =="
 dune exec bin/dmtcp_sim.exe -- torture --seeds "${CHAOS_SEEDS:-25}"
 

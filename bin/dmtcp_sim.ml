@@ -139,6 +139,10 @@ let torture seeds base bug replay keep =
       end
       else begin
         List.iter (Printf.printf "violation: %s\n") r.Chaos.Runner.r_violations;
+        if r.Chaos.Runner.r_span_tail <> [] then begin
+          print_endline "last protocol events:";
+          List.iter (Printf.printf "  %s\n") r.Chaos.Runner.r_span_tail
+        end;
         1
       end
     | None ->
@@ -150,6 +154,40 @@ let torture seeds base bug replay keep =
   in
   Dmtcp.Faults.reset ();
   exit code
+
+let trace_run format node pid cat stage metrics check =
+  if check then begin
+    (* run the fixed scenario twice; the renderings must be byte-identical *)
+    let e1, m1 = Harness.Trace_scenario.run () in
+    let e2, m2 = Harness.Trace_scenario.run () in
+    let j1 = Trace.jsonl e1 and j2 = Trace.jsonl e2 in
+    if j1 = j2 && m1 = m2 then begin
+      Printf.printf "deterministic: %d events, %d JSONL bytes, metrics snapshots equal\n"
+        (List.length e1) (String.length j1);
+      exit 0
+    end
+    else begin
+      prerr_endline "NON-DETERMINISTIC: two runs of the fixed scenario differ";
+      if j1 <> j2 then prerr_endline "  trace JSONL differs";
+      if m1 <> m2 then prerr_endline "  metrics snapshot differs";
+      exit 1
+    end
+  end
+  else begin
+    let events, msnap = Harness.Trace_scenario.run () in
+    let filter = { Trace.f_node = node; f_pid = pid; f_cat = cat; f_prefix = stage } in
+    let events = List.filter (Trace.matches filter) events in
+    (match format with
+    | "jsonl" -> print_string (Trace.jsonl events)
+    | "text" -> print_string (Trace.text events)
+    | other ->
+      Printf.eprintf "unknown --format %S (expected text or jsonl)\n" other;
+      exit 2);
+    if metrics then begin
+      print_newline ();
+      print_string msnap
+    end
+  end
 
 let inspect () =
   (* use case 5: the checkpoint image as the ultimate bug report — dump
@@ -224,6 +262,47 @@ let () =
             ~doc:"Chaos harness: fault-injected checkpoint torture over a block of seeds, with \
                   failure shrinking")
          Term.(const torture $ seeds_arg $ base_arg $ bug_arg $ replay_arg $ keep_arg));
+      (let format_arg =
+         Arg.(
+           value & opt string "text"
+           & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or jsonl.")
+       in
+       let node_arg =
+         Arg.(
+           value & opt (some int) None
+           & info [ "node" ] ~docv:"N" ~doc:"Only events from node $(docv).")
+       in
+       let pid_arg =
+         Arg.(
+           value & opt (some int) None & info [ "pid" ] ~docv:"P" ~doc:"Only events from pid $(docv).")
+       in
+       let cat_arg =
+         Arg.(
+           value & opt (some string) None
+           & info [ "cat" ] ~docv:"CAT"
+               ~doc:"Only events in category $(docv) (sim, kernel, net, storage, dmtcp).")
+       in
+       let stage_arg =
+         Arg.(
+           value & opt (some string) None
+           & info [ "stage" ] ~docv:"PREFIX" ~doc:"Only events whose name starts with $(docv).")
+       in
+       let metrics_arg =
+         Arg.(value & flag & info [ "metrics" ] ~doc:"Also print the metrics snapshot.")
+       in
+       let check_arg =
+         Arg.(
+           value & flag
+           & info [ "check-determinism" ]
+               ~doc:"Run the scenario twice and fail unless traces are byte-identical.")
+       in
+       Cmd.v
+         (Cmd.info "trace"
+            ~doc:"Trace a fixed checkpoint/restart scenario (text or JSONL), with filtering and a \
+                  determinism self-check")
+         Term.(
+           const trace_run $ format_arg $ node_arg $ pid_arg $ cat_arg $ stage_arg $ metrics_arg
+           $ check_arg));
     ]
   in
   exit (Cmd.eval (Cmd.group info cmds))

@@ -18,6 +18,8 @@ type result = {
   r_ckpts : int;  (* completed checkpoint rounds observed *)
   r_recoveries : int;  (* kill + restart/relaunch cycles performed *)
   r_violations : string list;
+  r_span_tail : string list;
+      (* on failure: the last protocol trace events per node, oldest first *)
 }
 
 let pass r = r.r_violations = []
@@ -253,6 +255,11 @@ let faulted_run sc reference =
     }
   in
   Dmtcp.Faults.on_stage := make_observer st env;
+  (* keep the tail of protocol events per node so a failure report can
+     show where each node was in the checkpoint/restart conversation *)
+  let ring = Trace.ring ~per_node:10 ~cat:"dmtcp" () in
+  let ring_sink = Trace.ring_sink ring in
+  Trace.attach ring_sink;
   let violations =
     try
       launch_all env sc;
@@ -332,9 +339,18 @@ let faulted_run sc reference =
     | Failure msg -> sprintf "engine failure: %s" msg :: st.violations
   in
   List.iter Sim.Engine.cancel st.handles;
+  Trace.detach ring_sink;
   Dmtcp.Faults.on_stage := Dmtcp.Faults.default_observer;
   (try Common.teardown env with _ -> ());
-  (st, List.sort_uniq compare violations)
+  let span_tail =
+    if violations = [] then []
+    else
+      List.concat_map
+        (fun (node, evs) ->
+          sprintf "node %d:" node :: List.map (fun e -> "  " ^ Trace.describe_short e) evs)
+        (Trace.ring_tails ring)
+  in
+  (st, List.sort_uniq compare violations, span_tail)
 
 (* ------------------------------------------------------------------ *)
 
@@ -351,9 +367,10 @@ let run ?keep ~seed () =
       r_ckpts = 0;
       r_recoveries = 0;
       r_violations = [ msg ];
+      r_span_tail = [];
     }
   | Ok reference ->
-    let st, violations = faulted_run sc reference in
+    let st, violations, span_tail = faulted_run sc reference in
     {
       r_seed = seed;
       r_desc = desc;
@@ -361,4 +378,5 @@ let run ?keep ~seed () =
       r_ckpts = st.ckpts;
       r_recoveries = st.recoveries;
       r_violations = violations;
+      r_span_tail = span_tail;
     }

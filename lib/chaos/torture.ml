@@ -5,6 +5,7 @@ type failure = {
   f_result : Runner.result;  (* the original full-schedule failure *)
   f_min_keep : int list;  (* minimal fault indices that still fail *)
   f_min_violations : string list;  (* violations of the minimized run *)
+  f_min_span_tail : string list;  (* protocol trace tail of the minimized run *)
   f_nfaults : int;  (* faults in the full schedule *)
 }
 
@@ -32,6 +33,7 @@ let shrink_failure (r : Runner.result) =
     f_result = r;
     f_min_keep = min_keep;
     f_min_violations = min_run.Runner.r_violations;
+    f_min_span_tail = min_run.Runner.r_span_tail;
     f_nfaults = nfaults;
   }
 
@@ -77,6 +79,13 @@ let report s =
       List.iter
         (fun v -> Buffer.add_string b (Printf.sprintf "  violation: %s\n" v))
         (if f.f_min_violations <> [] then f.f_min_violations else r.Runner.r_violations);
+      let tail =
+        if f.f_min_violations <> [] then f.f_min_span_tail else r.Runner.r_span_tail
+      in
+      if tail <> [] then begin
+        Buffer.add_string b "  last protocol events:\n";
+        List.iter (fun l -> Buffer.add_string b (Printf.sprintf "    %s\n" l)) tail
+      end;
       Buffer.add_string b
         (Printf.sprintf "  replay: dmtcp_sim torture --replay %d --keep %s\n" r.Runner.r_seed
            (keep_to_string f.f_min_keep)))

@@ -145,64 +145,95 @@ let decode_pty r =
   let drained_to_master = R.string r in
   { pty_key; pr_name; icanon; echo; isig; baud; drained_to_slave; drained_to_master }
 
-let magic = "DMTCP_CKPT_V1"
+let magic = "DMTCP_CKPT_V2"
+
+exception Corrupt_image of string
+
+(* V2 layout: magic, then two length-prefixed sections (metadata, mtcp
+   blob), each followed by a CRC-32 trailer over the section bytes.  A
+   truncated or bit-flipped image fails the CRC (or the bounds checks of
+   the codec) and surfaces as [Corrupt_image] rather than garbage
+   decode results at restart. *)
+
+let crc_of s = Int32.to_int (Util.Crc32.digest s) land 0xffffffff
+
+let write_section w payload =
+  W.string w payload;
+  W.u32 w (crc_of payload)
+
+let read_section r what =
+  let payload = R.string r in
+  let crc = R.u32 r in
+  if crc <> crc_of payload then
+    raise (Corrupt_image (Printf.sprintf "%s section CRC mismatch" what));
+  payload
 
 let encode t =
-  let w = W.create ~capacity:(String.length t.mtcp_blob + 1024) () in
-  W.raw w magic;
-  Upid.encode w t.upid;
-  W.uvarint w t.vpid;
-  W.uvarint w t.parent_vpid;
-  W.string w t.program;
+  let meta = W.create ~capacity:1024 () in
+  Upid.encode meta t.upid;
+  W.uvarint meta t.vpid;
+  W.uvarint meta t.parent_vpid;
+  W.string meta t.program;
   W.list
     (fun w (fd, key, info) ->
       W.uvarint w fd;
       W.uvarint w key;
       encode_fd_info w info)
-    w t.fds;
-  W.list encode_pty w t.ptys;
-  Compress.Algo.encode w t.algo;
-  W.uvarint w t.sizes.Mtcp.Image.uncompressed;
-  W.uvarint w t.sizes.Mtcp.Image.compressed;
-  W.uvarint w t.sizes.Mtcp.Image.zero_bytes;
-  W.string w t.mtcp_blob;
+    meta t.fds;
+  W.list encode_pty meta t.ptys;
+  Compress.Algo.encode meta t.algo;
+  W.uvarint meta t.sizes.Mtcp.Image.uncompressed;
+  W.uvarint meta t.sizes.Mtcp.Image.compressed;
+  W.uvarint meta t.sizes.Mtcp.Image.zero_bytes;
+  let w = W.create ~capacity:(String.length t.mtcp_blob + 1024) () in
+  W.raw w magic;
+  write_section w (W.contents meta);
+  write_section w t.mtcp_blob;
   W.contents w
 
 let decode s =
-  let r = R.of_string s in
-  let m = R.raw r (String.length magic) in
-  if m <> magic then raise (R.Corrupt "bad DMTCP image magic");
-  let upid = Upid.decode r in
-  let vpid = R.uvarint r in
-  let parent_vpid = R.uvarint r in
-  let program = R.string r in
-  let fds =
-    R.list
-      (fun r ->
-        let fd = R.uvarint r in
-        let key = R.uvarint r in
-        let info = decode_fd_info r in
-        (fd, key, info))
-      r
-  in
-  let ptys = R.list decode_pty r in
-  let algo = Compress.Algo.decode r in
-  let uncompressed = R.uvarint r in
-  let compressed = R.uvarint r in
-  let zero_bytes = R.uvarint r in
-  let mtcp_blob = R.string r in
-  R.expect_end r;
-  {
-    upid;
-    vpid;
-    parent_vpid;
-    program;
-    fds;
-    ptys;
-    algo;
-    sizes = { Mtcp.Image.uncompressed; compressed; zero_bytes };
-    mtcp_blob;
-  }
+  try
+    let r = R.of_string s in
+    let m = R.raw r (String.length magic) in
+    if m <> magic then raise (Corrupt_image "bad DMTCP image magic");
+    let meta = read_section r "metadata" in
+    let mtcp_blob = read_section r "mtcp" in
+    R.expect_end r;
+    let r = R.of_string meta in
+    let upid = Upid.decode r in
+    let vpid = R.uvarint r in
+    let parent_vpid = R.uvarint r in
+    let program = R.string r in
+    let fds =
+      R.list
+        (fun r ->
+          let fd = R.uvarint r in
+          let key = R.uvarint r in
+          let info = decode_fd_info r in
+          (fd, key, info))
+        r
+    in
+    let ptys = R.list decode_pty r in
+    let algo = Compress.Algo.decode r in
+    let uncompressed = R.uvarint r in
+    let compressed = R.uvarint r in
+    let zero_bytes = R.uvarint r in
+    R.expect_end r;
+    {
+      upid;
+      vpid;
+      parent_vpid;
+      program;
+      fds;
+      ptys;
+      algo;
+      sizes = { Mtcp.Image.uncompressed; compressed; zero_bytes };
+      mtcp_blob;
+    }
+  with
+  | Corrupt_image _ as e -> raise e
+  | R.Corrupt msg -> raise (Corrupt_image msg)
+  | Invalid_argument msg | Failure msg -> raise (Corrupt_image msg)
 
 let mtcp t = Mtcp.Image.decode t.mtcp_blob
 

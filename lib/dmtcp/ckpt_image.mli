@@ -50,9 +50,15 @@ type t = {
 
 val filename : t -> string
 
+(** A truncated or bit-flipped image: decoding failed the per-section
+    CRC-32 trailer or the codec's bounds checks. *)
+exception Corrupt_image of string
+
+(** Image bytes: magic, then metadata and MTCP-blob sections, each
+    length-prefixed and followed by a CRC-32 trailer. *)
 val encode : t -> string
 
-(** Raises [Util.Codec.Reader.Corrupt] on damage. *)
+(** Raises {!Corrupt_image} on damage. *)
 val decode : string -> t
 
 (** Decode the wrapped MTCP image (memory + threads). *)

@@ -7,6 +7,7 @@ type client = {
   c_fd : int;
   mutable c_buf : string;
   mutable c_manager : bool;
+  mutable c_upid : string;  (* from HELLO; labels per-client barrier traces *)
 }
 
 type state = {
@@ -53,6 +54,11 @@ module P = struct
 
   let broadcast ctx st line = List.iter (fun c -> send_line ctx c.c_fd line) (managers st)
 
+  let trace_coord (ctx : Simos.Program.ctx) name args =
+    if Trace.on () then
+      Trace.instant ~node:ctx.Simos.Program.node_id ~pid:ctx.Simos.Program.pid ~cat:"dmtcp"
+        ~name ~args ~time:(ctx.now ()) ()
+
   let start_checkpoint (ctx : Simos.Program.ctx) st =
     if not st.in_ckpt then begin
       let rt = Runtime.active () in
@@ -67,6 +73,7 @@ module P = struct
         Runtime.note_ckpt_end rt
       end
       else begin
+        trace_coord ctx "coord/ckpt-start" [ ("participants", string_of_int st.expected) ];
         st.work <- st.work + st.expected;
         st.last_barrier_time <- ctx.now ();
         broadcast ctx st Proto.do_checkpoint
@@ -97,11 +104,14 @@ module P = struct
         in
         Runtime.record_stage rt stage_name (ctx.now () -. st.last_barrier_time);
         st.last_barrier_time <- ctx.now ();
+        trace_coord ctx "coord/barrier-release"
+          [ ("k", string_of_int b); ("stage", stage_name) ];
         broadcast ctx st (Proto.release b);
         st.released.(b) <- true;
         st.work <- st.work + st.expected;
         if b = Runtime.nbarriers then begin
           st.in_ckpt <- false;
+          trace_coord ctx "coord/ckpt-end" [];
           Runtime.note_ckpt_end rt;
           continue := false
         end
@@ -117,6 +127,7 @@ module P = struct
   let drop_participant (ctx : Simos.Program.ctx) st =
     if st.in_ckpt then begin
       st.expected <- List.length (managers st);
+      trace_coord ctx "coord/participant-lost" [ ("remaining", string_of_int st.expected) ];
       if st.expected = 0 then st.in_ckpt <- false else try_release_barriers ctx st
     end
 
@@ -143,12 +154,20 @@ module P = struct
       (fun line ->
         st.work <- st.work + 1;
         match Proto.parse line with
-        | Proto.Hello _ -> client.c_manager <- true
+        | Proto.Hello upid ->
+          client.c_manager <- true;
+          client.c_upid <- upid
         | Proto.Cmd_checkpoint -> start_checkpoint ctx st
         | Proto.Cmd_status -> send_line ctx client.c_fd (Proto.status_reply (List.length (managers st)))
         | Proto.Cmd_quit -> raise Exit
         | Proto.Barrier k when k >= 1 && k <= Runtime.nbarriers ->
           st.counts.(k) <- st.counts.(k) + 1;
+          trace_coord ctx "coord/barrier-arrive"
+            [
+              ("k", string_of_int k);
+              ("upid", client.c_upid);
+              ("count", Printf.sprintf "%d/%d" st.counts.(k) st.expected);
+            ];
           try_release_barriers ctx st
         | Proto.Barrier _ | Proto.Do_checkpoint | Proto.Release _ | Proto.Status_reply _
         | Proto.Unknown _ ->
@@ -186,7 +205,7 @@ module P = struct
       let rec accept_all () =
         match ctx.accept st.listen_fd with
         | Some fd ->
-          st.clients <- { c_fd = fd; c_buf = ""; c_manager = false } :: st.clients;
+          st.clients <- { c_fd = fd; c_buf = ""; c_manager = false; c_upid = "" } :: st.clients;
           st.work <- st.work + 1;
           accept_all ()
         | None -> ()

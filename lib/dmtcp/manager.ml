@@ -45,6 +45,14 @@ module P = struct
 
   let rt () = Runtime.active ()
 
+  let m_drained = Trace.Metrics.counter "dmtcp.drained_bytes"
+
+  (* one instant per protocol phase entry, next to the fault hook *)
+  let trace_phase (ctx : Simos.Program.ctx) name args =
+    if Trace.on () then
+      Trace.instant ~node:ctx.Simos.Program.node_id ~pid:ctx.Simos.Program.pid ~cat:"dmtcp"
+        ~name:("mgr/" ^ name) ~args ~time:(ctx.now ()) ()
+
   let my_kernel (ctx : Simos.Program.ctx) = Runtime.kernel_of (rt ()) ~node:ctx.node_id
 
   let my_proc (ctx : Simos.Program.ctx) =
@@ -154,7 +162,10 @@ module P = struct
                          | Some (Simnet.Addr.Unix { path; _ }) -> (None, Some path)
                          | None -> (None, None)
                        in
-                       Ckpt_image.S_listening { port; unix_path; backlog = 16 }
+                       (* capture the real backlog so restart's re-listen
+                          restores it faithfully *)
+                       Ckpt_image.S_listening
+                         { port; unix_path; backlog = Simnet.Fabric.backlog s }
                      | _ -> Ckpt_image.S_other
                    in
                    Some
@@ -289,6 +300,7 @@ module P = struct
       else begin
         (* stage 2: suspend user threads *)
         Faults.notify ~node:ctx.node_id ~pid:ctx.pid Faults.Suspend;
+        trace_phase ctx "suspend" [];
         let proc = my_proc ctx in
         (match proc.Simos.Kernel.cmdline with
         | prog :: _ -> Dmtcpaware.run_pre_ckpt ~prog
@@ -299,6 +311,7 @@ module P = struct
       end
     | P_send_barrier (k, next) ->
       Faults.notify ~node:ctx.node_id ~pid:ctx.pid (Faults.Barrier k);
+      trace_phase ctx "barrier" [ ("k", string_of_int k) ];
       send_coord ctx st (Proto.barrier k);
       st.phase <- P_barrier (k, next);
       Simos.Program.Continue st
@@ -323,6 +336,7 @@ module P = struct
          process sharing the description sets the owner; the last one
          wins *)
       Faults.notify ~node:ctx.node_id ~pid:ctx.pid Faults.Elect;
+      trace_phase ctx "elect" [];
       let ps = my_pstate ctx in
       let entries = Conn_table.entries ps.Runtime.conns in
       List.iter
@@ -335,6 +349,7 @@ module P = struct
     | P_drain ->
       if st.drains = [] then begin
         Faults.notify ~node:ctx.node_id ~pid:ctx.pid Faults.Drain;
+        trace_phase ctx "drain" [];
         if !Faults.bug_skip_drain then begin
           (* injected bug: skip stage 4 — no flush tokens, nothing
              stashed; whatever the kernel buffers held is left out of
@@ -370,6 +385,7 @@ module P = struct
     | P_write -> (
       (* stage 5: write the checkpoint image *)
       Faults.notify ~node:ctx.node_id ~pid:ctx.pid Faults.Write;
+      trace_phase ctx "write" [];
       let opts = Options.of_getenv ctx.getenv in
       let image = build_image ctx in
       let bytes = Ckpt_image.encode image in
@@ -418,6 +434,7 @@ module P = struct
       (* stage 6: re-inject drained socket data and pty buffers, restore
          the original F_SETOWN owners *)
       Faults.notify ~node:ctx.node_id ~pid:ctx.pid Faults.Refill;
+      trace_phase ctx "refill" [];
       let ps = my_pstate ctx in
       List.iter
         (fun d ->
@@ -446,6 +463,7 @@ module P = struct
     | P_resume ->
       (* stage 7: resume user threads and return to normal execution *)
       Faults.notify ~node:ctx.node_id ~pid:ctx.pid Faults.Resume;
+      trace_phase ctx "resume" [];
       let ps = my_pstate ctx in
       Hashtbl.reset ps.Runtime.pty_drains;
       st.drains <- [];
@@ -505,7 +523,16 @@ module P = struct
   (* pty draining, peer handshakes, and the connection-table flush at the
      end of stage 4 *)
   and drain_finished (ctx : Simos.Program.ctx) st =
-    ignore st;
+    let drained_bytes =
+      List.fold_left
+        (fun acc d -> acc + String.length d.d_entry.Conn_table.drained)
+        0 st.drains
+    in
+    if drained_bytes > 0 then Trace.Metrics.add m_drained (float_of_int drained_bytes);
+    if Trace.on () then
+      Trace.counter ~node:ctx.Simos.Program.node_id ~pid:ctx.Simos.Program.pid ~cat:"dmtcp"
+        ~name:"mgr/drained-bytes" ~time:(ctx.now ())
+        (float_of_int drained_bytes);
     let ps = my_pstate ctx in
     let proc = my_proc ctx in
     (* drain ptys we hold the master side of *)

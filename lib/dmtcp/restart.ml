@@ -73,6 +73,11 @@ module P = struct
     Runtime.record_stage (rt ()) label (ctx.now () -. st.phase_t0);
     st.phase_t0 <- ctx.now ()
 
+  let trace_rst (ctx : Simos.Program.ctx) name args =
+    if Trace.on () then
+      Trace.instant ~node:ctx.Simos.Program.node_id ~pid:ctx.Simos.Program.pid ~cat:"dmtcp"
+        ~name:("rst/" ^ name) ~args ~time:(ctx.now ()) ()
+
   let fd_sock (ctx : Simos.Program.ctx) fd =
     match Simos.Kernel.fd_desc (Option.get (Runtime.proc_of (rt ()) ~node:ctx.node_id ~pid:ctx.pid)) fd with
     | Some ({ Simos.Fdesc.kind = Simos.Fdesc.Sock s; _ } as desc) -> Some (s, desc)
@@ -224,7 +229,10 @@ module P = struct
       let disc = Simos.Cluster.discovery (Runtime.cluster (rt ())) in
       List.iter
         (fun spec ->
-          if spec.cs_acceptor then Simnet.Discovery.advertise disc ~key:spec.cs_key addr)
+          if spec.cs_acceptor then begin
+            Simnet.Discovery.advertise disc ~key:spec.cs_key addr;
+            trace_rst ctx "advertise" [ ("key", spec.cs_key) ]
+          end)
         st.specs
     end
 
@@ -257,7 +265,9 @@ module P = struct
              with
             | Some spec -> (
               match fd_sock ctx pa.pa_fd with
-              | Some (_, desc) -> spec.cs_desc <- Some desc
+              | Some (_, desc) ->
+                spec.cs_desc <- Some desc;
+                trace_rst ctx "reconnect" [ ("key", spec.cs_key); ("side", "acceptor") ]
               | None -> ())
             | None -> ctx.close_fd pa.pa_fd);
             keep := false
@@ -287,7 +297,9 @@ module P = struct
               co.co_sent <- true
             end;
             (match fd_sock ctx co.co_fd with
-            | Some (_, desc) -> co.co_spec.cs_desc <- Some desc
+            | Some (_, desc) ->
+              co.co_spec.cs_desc <- Some desc;
+              trace_rst ctx "reconnect" [ ("key", co.co_key); ("side", "connector") ]
             | None -> ());
             false
           | Some Simnet.Fabric.Connecting -> true
@@ -463,25 +475,40 @@ module P = struct
 
   let step (ctx : Simos.Program.ctx) st =
     match st.phase with
-    | R_boot ->
+    | R_boot -> (
       st.phase_t0 <- ctx.now ();
       let k = my_kernel ctx in
+      let corrupt = ref None in
       (match ctx.argv with
       | _ :: paths ->
         st.images <-
           List.filter_map
             (fun path ->
               match Simos.Vfs.lookup (Simos.Kernel.vfs k) path with
-              | Some f -> Some (Ckpt_image.decode (Simos.Vfs.read_all f))
+              | Some f -> (
+                match Ckpt_image.decode (Simos.Vfs.read_all f) with
+                | img -> Some img
+                | exception Ckpt_image.Corrupt_image msg ->
+                  (* a damaged image must not yield a half-restored
+                     computation: report it and fail the whole restart *)
+                  ctx.log (Printf.sprintf "corrupt checkpoint image %s: %s" path msg);
+                  trace_rst ctx "corrupt-image" [ ("path", path); ("error", msg) ];
+                  if !corrupt = None then corrupt := Some path;
+                  None)
               | None -> None)
             paths
       | [] -> ());
-      if st.images = [] then Simos.Program.Exit 1
-      else begin
-        st.phase <- R_files;
-        Simos.Program.Continue st
-      end
+      match !corrupt with
+      | Some _ -> Simos.Program.Exit 72
+      | None ->
+        if st.images = [] then Simos.Program.Exit 1
+        else begin
+          trace_rst ctx "boot" [ ("images", string_of_int (List.length st.images)) ];
+          st.phase <- R_files;
+          Simos.Program.Continue st
+        end)
     | R_files ->
+      trace_rst ctx "files" [];
       restore_files_and_ptys ctx st;
       let nfds = List.fold_left (fun acc (img : Ckpt_image.t) -> acc + List.length img.Ckpt_image.fds) 0 st.images in
       st.phase <- R_sockets;
@@ -489,29 +516,40 @@ module P = struct
     | R_sockets ->
       stage ctx st "restart/files";
       start_socket_restore ctx st;
+      trace_rst ctx "sockets" [ ("specs", string_of_int (List.length st.specs)) ];
       st.phase <- R_sockets_wait (ctx.now () +. 5.0);
       Simos.Program.Continue st
     | R_sockets_wait deadline ->
       let all_done = socket_restore_tick ctx st in
-      if all_done || ctx.now () > deadline then begin
+      (* [>=], not [>]: a wakeup scheduled exactly at the deadline must
+         give up on external peers then, not at some later event *)
+      if all_done || ctx.now () >= deadline then begin
         (* specs still unresolved belong to connections whose peer is
            outside the checkpointed set; give them dead sockets *)
+        let dead = ref 0 in
         List.iter
           (fun spec ->
             if spec.cs_desc = None then begin
+              incr dead;
               let fab = Simos.Kernel.fabric (my_kernel ctx) in
               let s = Simnet.Fabric.socket fab ~host:ctx.node_id in
               spec.cs_desc <- Some (Simos.Fdesc.make (Simos.Fdesc.Sock s))
             end)
           st.specs;
+        trace_rst ctx "sockets-done"
+          [ ("external", string_of_int !dead); ("timed_out", string_of_bool (not all_done)) ];
         stage ctx st "restart/reconnect";
         st.phase <- R_fork;
         Simos.Program.Continue st
       end
       else
-        (* poll the discovery service; also woken by socket activity *)
-        Simos.Program.Block (st, Simos.Program.Sleep_until (ctx.now () +. 1e-3))
+        (* poll the discovery service; also woken by socket activity.
+           Clamp the poll to the deadline so the final wakeup lands
+           exactly on it. *)
+        Simos.Program.Block
+          (st, Simos.Program.Sleep_until (Float.min (ctx.now () +. 1e-3) deadline))
     | R_fork ->
+      trace_rst ctx "fork" [ ("procs", string_of_int (List.length st.images)) ];
       materialize ctx st;
       st.phase <- R_mem;
       Simos.Program.Continue st
@@ -521,6 +559,7 @@ module P = struct
       Simos.Program.Block (st, Simos.Program.Sleep_until (ctx.now () +. delay))
     | R_refill ->
       stage ctx st "restart/mem";
+      trace_rst ctx "refill" [];
       refill ctx st;
       Runtime.arrive_refill_barrier (rt ());
       st.phase <- R_refill_barrier;
@@ -534,6 +573,7 @@ module P = struct
       else Simos.Program.Block (st, Simos.Program.Sleep_until (ctx.now () +. 1e-3))
     | R_resume ->
       stage ctx st "restart/refill";
+      trace_rst ctx "resume" [ ("procs", string_of_int (List.length st.restored)) ];
       resume ctx st;
       Simos.Program.Exit 0
 

@@ -94,7 +94,12 @@ let record_stage t name v =
       Hashtbl.add t.stages name s;
       s
   in
-  Util.Stats.add s v
+  Util.Stats.add s v;
+  (* single emission point for protocol stage spans: Table 1 and the trace
+     CLI both read these, so they agree by construction *)
+  if Trace.on () then
+    let now = Simos.Cluster.now t.cl in
+    Trace.span ~cat:"dmtcp" ~name ~time:(now -. v) ~dur:v ()
 
 let stage_stats t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.stages [] |> List.sort compare
 let reset_stage_stats t = Hashtbl.reset t.stages

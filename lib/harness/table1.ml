@@ -8,8 +8,12 @@ type result = {
   restart_compressed : stages;
 }
 
-let stage_means rt =
-  Dmtcp.Runtime.stage_stats rt
+(* Stage durations come from the trace: [Dmtcp.Runtime.record_stage] is
+   the single emission point for both the runtime's stats and the
+   "dmtcp" spans, so querying the trace here yields the same numbers the
+   [dmtcp_sim trace] CLI reports. *)
+let stage_means events =
+  Trace.Query.stage_stats ~cat:"dmtcp" events
   |> List.map (fun (name, s) -> (name, Util.Stats.mean s))
 
 let with_env ~algo ~forked ~nprocs f =
@@ -28,33 +32,38 @@ let with_env ~algo ~forked ~nprocs f =
   in
   Common.start_workload env w;
   Dmtcp.Runtime.reset_stage_stats env.Common.rt;
-  let r = f env in
+  let coll = Trace.collector () in
+  let r = Trace.with_sink (Trace.collector_sink coll) (fun () -> f env) in
   Common.teardown env;
-  r
+  (r, Trace.events coll)
 
 let measure_ckpt_stages ~algo ~forked ~reps ~nprocs =
-  with_env ~algo ~forked ~nprocs (fun env ->
-      for _ = 1 to reps do
-        Simos.Cluster.reset_storage env.Common.cl;
-        Common.run_for env 0.3;
-        Dmtcp.Api.checkpoint_now env.Common.rt
-      done;
-      stage_means env.Common.rt)
+  let (), events =
+    with_env ~algo ~forked ~nprocs (fun env ->
+        for _ = 1 to reps do
+          Simos.Cluster.reset_storage env.Common.cl;
+          Common.run_for env 0.3;
+          Dmtcp.Api.checkpoint_now env.Common.rt
+        done)
+  in
+  stage_means events
 
 let measure_restart_stages ~algo ~reps ~nprocs =
-  with_env ~algo ~forked:false ~nprocs (fun env ->
-      for _ = 1 to reps do
-        Simos.Cluster.reset_storage env.Common.cl;
-        Common.run_for env 0.3;
-        Dmtcp.Api.checkpoint_now env.Common.rt;
-        let script = Dmtcp.Api.restart_script env.Common.rt in
-        Dmtcp.Api.kill_computation env.Common.rt;
-        Simos.Cluster.reset_storage env.Common.cl;
-        Dmtcp.Api.restart env.Common.rt script;
-        Dmtcp.Api.await_restart env.Common.rt;
-        Common.run_for env 0.5
-      done;
-      stage_means env.Common.rt)
+  let (), events =
+    with_env ~algo ~forked:false ~nprocs (fun env ->
+        for _ = 1 to reps do
+          Simos.Cluster.reset_storage env.Common.cl;
+          Common.run_for env 0.3;
+          Dmtcp.Api.checkpoint_now env.Common.rt;
+          let script = Dmtcp.Api.restart_script env.Common.rt in
+          Dmtcp.Api.kill_computation env.Common.rt;
+          Simos.Cluster.reset_storage env.Common.cl;
+          Dmtcp.Api.restart env.Common.rt script;
+          Dmtcp.Api.await_restart env.Common.rt;
+          Common.run_for env 0.5
+        done)
+  in
+  stage_means events
 
 let run ?(reps = 3) ?(nprocs = 32) () =
   {

@@ -1,0 +1,8 @@
+(** The fixed scenario behind [dmtcp_sim trace]: a 4-rank OpenMPI
+    workload on 4 nodes, checkpointed once and restarted, traced end to
+    end. *)
+
+(** Reset the metrics registry, run the scenario with a collector
+    attached, and return the full event stream plus the final metrics
+    snapshot.  Deterministic: repeated calls return identical data. *)
+val run : unit -> Trace.event list * string

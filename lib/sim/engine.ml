@@ -1,6 +1,11 @@
 type event = { mutable cancelled : bool; fn : unit -> unit }
 type handle = event
 
+(* Dispatch accounting shared by every engine in the process; reset with
+   Trace.Metrics.reset alongside the rest of the registry. *)
+let m_dispatches = Trace.Metrics.counter "sim.dispatches"
+let m_scheduled = Trace.Metrics.counter "sim.scheduled"
+
 type t = {
   mutable clock : float;
   queue : event Heap.t;
@@ -19,6 +24,7 @@ let schedule_at t ~time fn =
   let ev = { cancelled = false; fn } in
   Heap.push t.queue ~priority:time ev;
   t.live <- t.live + 1;
+  Trace.Metrics.incr m_scheduled;
   ev
 
 let schedule t ~delay fn =
@@ -40,6 +46,7 @@ let rec step t =
     if ev.cancelled then step t
     else begin
       t.clock <- time;
+      Trace.Metrics.incr m_dispatches;
       ev.fn ();
       true
     end
@@ -60,6 +67,7 @@ let run ?until ?(max_events = 50_000_000) t =
         t.live <- t.live - 1;
         if not ev.cancelled then begin
           t.clock <- time;
+          Trace.Metrics.incr m_dispatches;
           ev.fn ();
           incr count;
           if !count > max_events then failwith "Engine.run: max_events exceeded (livelock?)"

@@ -107,11 +107,21 @@ let clear_faults t =
 
 let lat_factor t ~src ~dst = if src = dst then 1.0 else (link_of t src dst).lat_factor
 
+let m_segments = Trace.Metrics.counter "net.segments_sent"
+let m_bytes = Trace.Metrics.counter "net.bytes_sent"
+let m_drops = Trace.Metrics.counter "net.segments_dropped"
+let m_refill = Trace.Metrics.counter "net.refill_bytes"
+
 let drop_penalty t ~src ~dst =
   if src = dst || t.drop_prob <= 0. then 0.
   else
     match t.drop_rng with
-    | Some rng when Util.Rng.float rng 1.0 < t.drop_prob -> retransmit_timeout
+    | Some rng when Util.Rng.float rng 1.0 < t.drop_prob ->
+      Trace.Metrics.incr m_drops;
+      Trace.instant ~node:src ~cat:"net" ~name:"seg/drop"
+        ~args:[ ("dst", string_of_int dst) ]
+        ~time:(Sim.Engine.now t.eng) ();
+      retransmit_timeout
     | _ -> 0.
 
 let make_socket fab ~host ~unix =
@@ -220,11 +230,21 @@ and pump s =
           s.in_flight <- s.in_flight + len;
           s.pumping <- true;
           let delay = transfer_delay s.fab ~src:s.sock_host ~dst:p.sock_host len in
+          Trace.Metrics.incr m_segments;
+          Trace.Metrics.add m_bytes (float_of_int len);
+          if Trace.on () then
+            Trace.instant ~node:s.sock_host ~cat:"net" ~name:"seg/send"
+              ~args:[ ("dst", string_of_int p.sock_host); ("len", string_of_int len) ]
+              ~time:(Sim.Engine.now s.fab.eng) ();
           ignore
             (Sim.Engine.schedule s.fab.eng ~delay (fun () ->
                  Util.Bytequeue.push p.recv_buf data;
                  s.in_flight <- s.in_flight - len;
                  s.pumping <- false;
+                 if Trace.on () then
+                   Trace.instant ~node:p.sock_host ~cat:"net" ~name:"seg/deliver"
+                     ~args:[ ("src", string_of_int s.sock_host); ("len", string_of_int len) ]
+                     ~time:(Sim.Engine.now s.fab.eng) ();
                  p.wake ();
                  s.wake ();
                  pump s;
@@ -423,6 +443,11 @@ let socketpair fab ~host =
 
 let inject_recv s data =
   Util.Bytequeue.push s.recv_buf data;
+  Trace.Metrics.add m_refill (float_of_int (String.length data));
+  if Trace.on () then
+    Trace.instant ~node:s.sock_host ~cat:"net" ~name:"refill"
+      ~args:[ ("bytes", string_of_int (String.length data)) ]
+      ~time:(Sim.Engine.now s.fab.eng) ();
   s.wake ()
 
 let peer_id s = Option.map (fun p -> p.id) s.peer
@@ -435,7 +460,12 @@ let inject_eof s =
   s.st <- Established;
   s.peer_closed <- true;
   s.fin_sent <- true;
+  if Trace.on () then
+    Trace.instant ~node:s.sock_host ~cat:"net" ~name:"eof-inject"
+      ~time:(Sim.Engine.now s.fab.eng) ();
   s.wake ()
 
 let peer_gone s =
   s.peer_closed || (match s.peer with Some p -> p.fin_sent | None -> true)
+
+let backlog s = s.backlog

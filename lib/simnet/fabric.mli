@@ -57,6 +57,10 @@ val bind : socket -> port:int -> (int, error) result
 val bind_unix : socket -> path:string -> (unit, error) result
 val listen : socket -> backlog:int -> (unit, error) result
 
+(** The backlog passed to {!listen} (clamped to ≥ 1); [0] before listen.
+    Checkpointing reads this so restart can re-listen faithfully. *)
+val backlog : socket -> int
+
 (** Begin an asynchronous connect; the socket becomes [Established] (or
     [Closed] with {!connect_refused}) after network round trips. *)
 val connect : socket -> Addr.t -> (unit, error) result

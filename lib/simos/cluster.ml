@@ -15,11 +15,21 @@ let create ?(seed = 0xC1A5_7E2L) ?latency ?bandwidth ?(cores_per_node = 4)
   let disc = Simnet.Discovery.create () in
   let targets =
     match storage with
-    | Local_disks -> Array.init nodes (fun _ -> Storage.Target.local_disk eng ())
+    | Local_disks ->
+      Array.init nodes (fun i ->
+          let t = Storage.Target.local_disk eng () in
+          Storage.Target.set_node t i;
+          t)
     | San_and_nfs { direct_nodes } ->
+      (* the SAN is shared — its trace events stay node-less *)
       let san = Storage.Target.san eng () in
       Array.init nodes (fun i ->
-          if i < direct_nodes then san else Storage.Target.nfs eng ~backend:san ())
+          if i < direct_nodes then san
+          else begin
+            let t = Storage.Target.nfs eng ~backend:san () in
+            Storage.Target.set_node t i;
+            t
+          end)
   in
   let kernels =
     Array.init nodes (fun i ->

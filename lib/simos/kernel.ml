@@ -103,6 +103,21 @@ let storage t = t.store
 let cores t = t.kcores
 let peer t i = t.peers.(i)
 
+(* Lifecycle and fd-op accounting; the instants carry the simulated time
+   so a collected trace interleaves exactly with protocol spans. *)
+let m_spawns = Trace.Metrics.counter "kernel.spawns"
+let m_forks = Trace.Metrics.counter "kernel.forks"
+let m_execs = Trace.Metrics.counter "kernel.execs"
+let m_exits = Trace.Metrics.counter "kernel.exits"
+let m_fd_opens = Trace.Metrics.counter "kernel.fd_opens"
+let m_fd_closes = Trace.Metrics.counter "kernel.fd_closes"
+let m_read_bytes = Trace.Metrics.counter "kernel.read_bytes"
+let m_write_bytes = Trace.Metrics.counter "kernel.write_bytes"
+
+let trace_proc t ~pid name args =
+  if Trace.on () then
+    Trace.instant ~node:t.knode_id ~pid ~cat:"kernel" ~name ~args ~time:(Sim.Engine.now t.eng) ()
+
 (* yield cost between consecutive steps of a runnable thread *)
 let quantum = 2e-6
 
@@ -233,6 +248,8 @@ and make_ctx t th : Program.ctx =
     let fd = proc.next_fd in
     proc.next_fd <- fd + 1;
     Hashtbl.replace proc.fdtable fd desc;
+    Trace.Metrics.incr m_fd_opens;
+    trace_proc t ~pid:proc.pid "fd/open" [ ("fd", string_of_int fd) ];
     fd
   in
   let bind_wake_sock s = Simnet.Fabric.on_activity s (fun () -> poke_later t) in
@@ -273,7 +290,8 @@ and make_ctx t th : Program.ctx =
     file_exists = (fun path -> Vfs.exists t.kvfs path);
     read_fd =
       (fun fd ~max ->
-        check_fd fd (fun d ->
+        let res =
+          check_fd fd (fun d ->
             match d.Fdesc.kind with
             | Fdesc.File f ->
               let data = Vfs.read_at f.file ~pos:f.offset ~len:max in
@@ -297,10 +315,16 @@ and make_ctx t th : Program.ctx =
             | Fdesc.Pty_s p -> (
               match Pty.slave_read p ~max with
               | `Data d -> `Data d
-              | `Would_block -> `Would_block)));
+              | `Would_block -> `Would_block))
+        in
+        (match res with
+        | `Data d -> Trace.Metrics.add m_read_bytes (float_of_int (String.length d))
+        | _ -> ());
+        res);
     write_fd =
       (fun fd data ->
-        check_fd_res fd (fun d ->
+        let res =
+          check_fd_res fd (fun d ->
             match d.Fdesc.kind with
             | Fdesc.File f ->
               Vfs.write_at f.file ~pos:f.offset data;
@@ -315,7 +339,12 @@ and make_ctx t th : Program.ctx =
             | Fdesc.Pipe_r _ -> Error Errno.EINVAL
             | Fdesc.Pipe_w p -> Pipe.write p data
             | Fdesc.Pty_m p -> Ok (Pty.master_write p data)
-            | Fdesc.Pty_s p -> Ok (Pty.slave_write p data)));
+            | Fdesc.Pty_s p -> Ok (Pty.slave_write p data))
+        in
+        (match res with
+        | Ok n -> Trace.Metrics.add m_write_bytes (float_of_int n)
+        | Error _ -> ());
+        res);
     close_fd = (fun fd -> remove_fd t proc ~fd);
     dup =
       (fun fd ->
@@ -536,6 +565,8 @@ and remove_fd t proc ~fd =
   | Some desc ->
     if proc.hijacked then t.khooks.on_close t proc ~fd desc;
     Hashtbl.remove proc.fdtable fd;
+    Trace.Metrics.incr m_fd_closes;
+    trace_proc t ~pid:proc.pid "fd/close" [ ("fd", string_of_int fd) ];
     decr_desc desc;
     poke_later t
 
@@ -600,6 +631,8 @@ and spawn_internal t ~prog ~argv ~env ~ppid ~hijacked =
     }
   in
   Hashtbl.replace t.procs pid proc;
+  Trace.Metrics.incr m_spawns;
+  trace_proc t ~pid "proc/spawn" [ ("prog", prog) ];
   let th = add_thread_internal t proc ~inst ~manager:false ~blocked:None in
   ignore th;
   (* DMTCP hijack: the injected library starts the checkpoint manager
@@ -664,6 +697,8 @@ and do_fork t parent child_inst =
       | _ -> ())
     child.fdtable;
   Hashtbl.replace t.procs pid child;
+  Trace.Metrics.incr m_forks;
+  trace_proc t ~pid:parent.pid "proc/fork" [ ("child", string_of_int pid) ];
   ignore (add_thread_internal t child ~inst:child_inst ~manager:false ~blocked:None);
   if child.hijacked then t.khooks.on_fork t ~parent ~child;
   child
@@ -674,6 +709,8 @@ and do_exec t th ~prog ~argv =
   match Program.instantiate ~name:prog ~argv with
   | exception Not_found -> () (* exec failed; thread continues with old image *)
   | inst ->
+    Trace.Metrics.incr m_execs;
+    trace_proc t ~pid:proc.pid "proc/exec" [ ("prog", prog) ];
     (* exec kills all other threads and replaces the address space *)
     List.iter (fun other -> if other.tid <> th.tid then kill_thread other) proc.threads;
     proc.threads <- [ th ];
@@ -689,6 +726,8 @@ and do_exec t th ~prog ~argv =
 
 and do_exit_process t proc code =
   if proc.pstate = Running then begin
+    Trace.Metrics.incr m_exits;
+    trace_proc t ~pid:proc.pid "proc/exit" [ ("code", string_of_int code) ];
     if proc.hijacked then t.khooks.on_exit t proc;
     List.iter kill_thread proc.threads;
     let fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) proc.fdtable [] in

@@ -19,7 +19,27 @@ and t = {
   kind : kind;
   mutable free_at : float;  (* serialization cursor for concurrent writers *)
   mutable slowdown : float; (* fault-injection service-time multiplier *)
+  mutable node : int;       (* owning node for trace events; -1 = shared/global *)
 }
+
+let set_node t node = t.node <- node
+let node t = t.node
+
+let m_write_bytes = Trace.Metrics.counter "storage.write_bytes"
+let m_read_bytes = Trace.Metrics.counter "storage.read_bytes"
+let m_write_seconds = Trace.Metrics.counter "storage.write_seconds"
+let m_read_seconds = Trace.Metrics.counter "storage.read_seconds"
+
+let trace_io t name ~bytes ~delay =
+  if Trace.on () then
+    Trace.instant ~node:t.node ~cat:"storage" ~name
+      ~args:
+        [
+          ("dev", match t.kind with Disk _ -> "disk" | San _ -> "san" | Nfs _ -> "nfs");
+          ("bytes", string_of_int bytes);
+          ("delay", Printf.sprintf "%.9f" delay);
+        ]
+      ~time:(Sim.Engine.now t.eng) ()
 
 let local_disk eng ?(raw_rate = 100e6) ?(cached_rate = 350e6) ?(cache_bytes = 6_000_000_000)
     ?(read_rate = 300e6) () =
@@ -28,13 +48,14 @@ let local_disk eng ?(raw_rate = 100e6) ?(cached_rate = 350e6) ?(cache_bytes = 6_
     kind = Disk { raw_rate; cached_rate; cache_bytes; read_rate; cache_used = 0; dirty = 0 };
     free_at = 0.;
     slowdown = 1.;
+    node = -1;
   }
 
 let san eng ?(rate = 400e6) ?(latency = 1e-3) () =
-  { eng; kind = San { rate; latency }; free_at = 0.; slowdown = 1. }
+  { eng; kind = San { rate; latency }; free_at = 0.; slowdown = 1.; node = -1 }
 
 let nfs eng ?(server_rate = 117e6 *. 0.6) ~backend () =
-  { eng; kind = Nfs { server_rate; backend }; free_at = 0.; slowdown = 1. }
+  { eng; kind = Nfs { server_rate; backend }; free_at = 0.; slowdown = 1.; node = -1 }
 
 (* Fault injection: a degraded device multiplies every booked service
    interval; [factor = 1.] restores nominal speed. *)
@@ -56,7 +77,7 @@ let book t seconds =
   t.free_at <- start +. seconds;
   start -. now +. seconds
 
-let rec write t ~bytes =
+let rec write_booked t ~bytes =
   match t.kind with
   | Disk d ->
     let cached = min bytes (d.cache_bytes - d.cache_used) in
@@ -67,15 +88,29 @@ let rec write t ~bytes =
   | San s -> s.latency +. book t (float_of_int bytes /. s.rate)
   | Nfs { server_rate; backend } ->
     let network = book t (float_of_int bytes /. server_rate) in
-    network +. write backend ~bytes
+    network +. write_booked backend ~bytes
 
-let rec read t ~bytes =
+let write t ~bytes =
+  let delay = write_booked t ~bytes in
+  Trace.Metrics.add m_write_bytes (float_of_int bytes);
+  Trace.Metrics.add m_write_seconds delay;
+  trace_io t "write" ~bytes ~delay;
+  delay
+
+let rec read_booked t ~bytes =
   match t.kind with
   | Disk d -> book t (float_of_int bytes /. d.read_rate)
   | San s -> s.latency +. book t (float_of_int bytes /. s.rate)
   | Nfs { server_rate; backend } ->
     let network = book t (float_of_int bytes /. server_rate) in
-    network +. read backend ~bytes
+    network +. read_booked backend ~bytes
+
+let read t ~bytes =
+  let delay = read_booked t ~bytes in
+  Trace.Metrics.add m_read_bytes (float_of_int bytes);
+  Trace.Metrics.add m_read_seconds delay;
+  trace_io t "read" ~bytes ~delay;
+  delay
 
 let sync t =
   match t.kind with

@@ -40,6 +40,12 @@ val nfs : Sim.Engine.t -> ?server_rate:float -> backend:t -> unit -> t
 
 val describe : t -> string
 
+(** Tag the target with its owning node so trace events carry a node id
+    ([-1], the default, means shared/global — e.g. the SAN). *)
+val set_node : t -> int -> unit
+
+val node : t -> int
+
 (** [write t ~bytes] books a write and returns the delay (from now) until
     it completes. *)
 val write : t -> bytes:int -> float

@@ -589,6 +589,142 @@ let test_kill_mid_checkpoint_recovers () =
   check (Alcotest.option Alcotest.string) "later computation unaffected" (Some "done:3000")
     (file_content cl 2 "/tmp/km2")
 
+let test_corrupt_image_decode_rejected () =
+  (* a bit flip or truncation anywhere in the image must surface as
+     [Corrupt_image], never as a garbage decode *)
+  let cl, rt = make () in
+  let _ = Dmtcp.Api.launch rt ~node:1 ~prog:"p:counter" ~argv:[ "3000"; "/tmp/ci" ] in
+  run_for cl 0.5;
+  Dmtcp.Api.checkpoint_now rt;
+  let node, path = List.hd (Dmtcp.Runtime.ckpt_info rt).Dmtcp.Runtime.images in
+  let bytes =
+    match Simos.Vfs.lookup (Simos.Kernel.vfs (Simos.Cluster.kernel cl node)) path with
+    | Some f -> Simos.Vfs.read_all f
+    | None -> Alcotest.fail "image missing"
+  in
+  ignore (Dmtcp.Ckpt_image.decode bytes);
+  let corrupt_at i =
+    let b = Bytes.of_string bytes in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+    Bytes.to_string b
+  in
+  let rejects what s =
+    match Dmtcp.Ckpt_image.decode s with
+    | _ -> Alcotest.failf "%s accepted" what
+    | exception Dmtcp.Ckpt_image.Corrupt_image _ -> ()
+  in
+  rejects "flip in magic" (corrupt_at 0);
+  rejects "flip in metadata" (corrupt_at 20);
+  rejects "flip in mtcp blob" (corrupt_at (String.length bytes / 2));
+  rejects "flip near the end" (corrupt_at (String.length bytes - 2));
+  rejects "truncation" (String.sub bytes 0 (String.length bytes - 3));
+  rejects "empty" ""
+
+let test_restart_with_corrupt_image_fails_cleanly () =
+  (* the restarter must refuse a damaged image set: no half-restored
+     computation, no unhandled exception *)
+  let cl, rt = make () in
+  let _ = Dmtcp.Api.launch rt ~node:1 ~prog:"p:counter" ~argv:[ "3000"; "/tmp/cr" ] in
+  run_for cl 0.5;
+  Dmtcp.Api.checkpoint_now rt;
+  let script = Dmtcp.Api.restart_script rt in
+  Dmtcp.Api.kill_computation rt;
+  let node, path = List.hd (Dmtcp.Runtime.ckpt_info rt).Dmtcp.Runtime.images in
+  let vfs = Simos.Vfs.lookup (Simos.Kernel.vfs (Simos.Cluster.kernel cl node)) path in
+  (match vfs with
+  | Some f ->
+    let bytes = Bytes.of_string (Simos.Vfs.read_all f) in
+    let mid = Bytes.length bytes / 2 in
+    Bytes.set bytes mid (Char.chr (Char.code (Bytes.get bytes mid) lxor 0x01));
+    ignore (Simos.Vfs.unlink (Simos.Kernel.vfs (Simos.Cluster.kernel cl node)) path);
+    Simos.Vfs.append
+      (Simos.Vfs.open_or_create (Simos.Kernel.vfs (Simos.Cluster.kernel cl node)) path)
+      (Bytes.to_string bytes)
+  | None -> Alcotest.fail "image missing");
+  Dmtcp.Api.restart rt script;
+  (* the restarter aborts with an error exit — await_restart would never
+     complete; just run the cluster and observe the clean failure *)
+  run_for cl 2.0;
+  check Alcotest.int "nothing restored from the corrupt image" 0
+    (List.length (Dmtcp.Runtime.hijacked_processes rt));
+  Alcotest.(check bool) "counter did not finish" true (file_content cl 1 "/tmp/cr" = None)
+
+let test_listener_backlog_captured_and_restored () =
+  (* the image must carry the server's real listen backlog (p:stream-server
+     listens with backlog 4), not a hard-coded default; and the restored
+     listener must expose the same value — proven by re-checkpointing the
+     restarted process and reading the second image *)
+  let backlog_in_image cl rt =
+    let node, path =
+      List.find
+        (fun (node, path) ->
+          match Simos.Vfs.lookup (Simos.Kernel.vfs (Simos.Cluster.kernel cl node)) path with
+          | Some f ->
+            let img = Dmtcp.Ckpt_image.decode (Simos.Vfs.read_all f) in
+            List.exists
+              (fun (_, _, i) ->
+                match i with
+                | Dmtcp.Ckpt_image.FSock { state = Dmtcp.Ckpt_image.S_listening _; _ } -> true
+                | _ -> false)
+              img.Dmtcp.Ckpt_image.fds
+          | None -> false)
+        (Dmtcp.Runtime.ckpt_info rt).Dmtcp.Runtime.images
+    in
+    let img =
+      Dmtcp.Ckpt_image.decode
+        (Simos.Vfs.read_all
+           (Option.get (Simos.Vfs.lookup (Simos.Kernel.vfs (Simos.Cluster.kernel cl node)) path)))
+    in
+    List.filter_map
+      (fun (_, _, i) ->
+        match i with
+        | Dmtcp.Ckpt_image.FSock { state = Dmtcp.Ckpt_image.S_listening { backlog; _ }; _ } ->
+          Some backlog
+        | _ -> None)
+      img.Dmtcp.Ckpt_image.fds
+    |> List.hd
+  in
+  let cl, rt = make () in
+  let _ = Dmtcp.Api.launch rt ~node:1 ~prog:"p:stream-server" ~argv:[ "6000"; "100000"; "/tmp/bl" ] in
+  run_for cl 0.3;
+  Dmtcp.Api.checkpoint_now rt;
+  check Alcotest.int "image carries the real backlog" 4 (backlog_in_image cl rt);
+  let script = Dmtcp.Api.restart_script rt in
+  Dmtcp.Api.kill_computation rt;
+  Dmtcp.Api.restart rt script;
+  Dmtcp.Api.await_restart rt;
+  run_for cl 0.3;
+  Dmtcp.Api.checkpoint_now rt;
+  check Alcotest.int "restored listener keeps it" 4 (backlog_in_image cl rt)
+
+let test_reconnect_timeout_exact_deadline () =
+  (* a restarted connector whose peer is outside the checkpointed set
+     waits for discovery until exactly the 5 s deadline; the old [>]
+     comparison plus unclamped polling overshot by at least one period *)
+  let cl, rt = make () in
+  let k1 = Simos.Cluster.kernel cl 1 in
+  (* plain (unhijacked) server: survives kill_computation and is never
+     part of the restart set *)
+  ignore (Simos.Kernel.spawn k1 ~prog:"p:stream-server" ~argv:[ "6000"; "200000"; "/tmp/ed" ] ());
+  run_for cl 0.3;
+  let _ = Dmtcp.Api.launch rt ~node:2 ~prog:"p:stream-client" ~argv:[ "1"; "6000"; "200000" ] in
+  run_for cl 0.3;
+  Dmtcp.Api.checkpoint_now rt;
+  let script = Dmtcp.Api.restart_script rt in
+  Dmtcp.Api.kill_computation rt;
+  Dmtcp.Runtime.reset_stage_stats rt;
+  Dmtcp.Api.restart rt script;
+  Dmtcp.Api.await_restart rt;
+  let stats = Dmtcp.Runtime.stage_stats rt in
+  match List.assoc_opt "restart/reconnect" stats with
+  | Some s ->
+    let d = Util.Stats.mean s in
+    Alcotest.(check bool)
+      (Printf.sprintf "gave up exactly at the 5 s deadline (got %.9f)" d)
+      true
+      (Float.abs (d -. 5.0) < 1e-6)
+  | None -> Alcotest.fail "restart/reconnect not recorded"
+
 let failure_suites =
   [
     ( "failure-injection",
@@ -597,6 +733,13 @@ let failure_suites =
         Alcotest.test_case "unhijacked excluded" `Quick test_checkpoint_excludes_unhijacked;
         Alcotest.test_case "port taken on restart host" `Quick test_listener_port_taken_on_restart_host;
         Alcotest.test_case "kill mid-checkpoint" `Quick test_kill_mid_checkpoint_recovers;
+        Alcotest.test_case "corrupt image rejected" `Quick test_corrupt_image_decode_rejected;
+        Alcotest.test_case "corrupt image fails restart cleanly" `Quick
+          test_restart_with_corrupt_image_fails_cleanly;
+        Alcotest.test_case "listen backlog captured/restored" `Quick
+          test_listener_backlog_captured_and_restored;
+        Alcotest.test_case "reconnect timeout exact deadline" `Quick
+          test_reconnect_timeout_exact_deadline;
       ] );
   ]
 

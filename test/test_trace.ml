@@ -1,0 +1,192 @@
+(* The tracing/metrics layer: emitter gating, sinks, filtering,
+   deterministic rendering (golden file), queries, the metrics registry,
+   and end-to-end trace determinism across identical chaos runs. *)
+
+let check = Alcotest.check
+
+let ev ?(node = -1) ?(pid = -1) ~cat ~name ?(args = []) ~time kind =
+  { Trace.time; node; pid; cat; name; kind; args }
+
+let sample_events =
+  [
+    ev ~time:0.5 ~cat:"sim" ~name:"boot" Trace.Instant;
+    ev ~time:1.051010125 ~node:0 ~pid:101 ~cat:"dmtcp" ~name:"coord/ckpt-start"
+      ~args:[ ("participants", "9") ]
+      Trace.Instant;
+    ev ~time:1.051010125 ~node:1 ~pid:204 ~cat:"dmtcp" ~name:"ckpt/drain" (Trace.Span 0.0021);
+    ev ~time:1.06 ~node:1 ~pid:204 ~cat:"net" ~name:"seg/send"
+      ~args:[ ("dst", "2"); ("len", "1448") ]
+      Trace.Instant;
+    ev ~time:1.2 ~node:2 ~pid:301 ~cat:"dmtcp" ~name:"mgr/drained-bytes" (Trace.Counter 8192.);
+    ev ~time:2.0 ~node:2 ~pid:301 ~cat:"storage" ~name:"write"
+      ~args:[ ("dev", "disk"); ("bytes", "65536") ]
+      Trace.Instant;
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let test_emitters_off_are_noops () =
+  Alcotest.(check bool) "off by default" false (Trace.on ());
+  (* must not raise, must not leak anywhere observable *)
+  Trace.span ~cat:"dmtcp" ~name:"x" ~time:1. ~dur:0.1 ();
+  Trace.instant ~cat:"sim" ~name:"y" ~time:1. ();
+  Trace.counter ~cat:"net" ~name:"z" ~time:1. 5.;
+  let c = Trace.collector () in
+  check Alcotest.int "nothing collected" 0 (List.length (Trace.events c))
+
+let test_collector_and_nesting () =
+  let outer = Trace.collector () in
+  let inner = Trace.collector () in
+  Trace.with_sink (Trace.collector_sink outer) (fun () ->
+      Trace.instant ~cat:"sim" ~name:"a" ~time:1. ();
+      Trace.with_sink (Trace.collector_sink inner) (fun () ->
+          Alcotest.(check bool) "on with sinks" true (Trace.on ());
+          Trace.instant ~cat:"sim" ~name:"b" ~time:2. ());
+      Trace.instant ~cat:"sim" ~name:"c" ~time:3. ());
+  Alcotest.(check bool) "off after with_sink" false (Trace.on ());
+  check Alcotest.int "outer saw all three" 3 (List.length (Trace.events outer));
+  check (Alcotest.list Alcotest.string) "inner saw only the nested one" [ "b" ]
+    (List.map (fun e -> e.Trace.name) (Trace.events inner))
+
+let test_filter () =
+  let f = { Trace.no_filter with Trace.f_cat = Some "dmtcp"; f_prefix = Some "ckpt/" } in
+  let hits = List.filter (Trace.matches f) sample_events in
+  check (Alcotest.list Alcotest.string) "cat+prefix" [ "ckpt/drain" ]
+    (List.map (fun e -> e.Trace.name) hits);
+  let f = { Trace.no_filter with Trace.f_node = Some 2 } in
+  check Alcotest.int "node filter" 2 (List.length (List.filter (Trace.matches f) sample_events));
+  let f = { Trace.no_filter with Trace.f_pid = Some 101 } in
+  check Alcotest.int "pid filter" 1 (List.length (List.filter (Trace.matches f) sample_events))
+
+let test_ring_keeps_tail_per_node () =
+  let r = Trace.ring ~per_node:3 ~cat:"dmtcp" () in
+  Trace.with_sink (Trace.ring_sink r) (fun () ->
+      for i = 1 to 10 do
+        Trace.instant ~node:1 ~pid:9 ~cat:"dmtcp"
+          ~name:(Printf.sprintf "e%d" i)
+          ~time:(float_of_int i) ();
+        (* wrong category: must be ignored *)
+        Trace.instant ~node:1 ~pid:9 ~cat:"net" ~name:"noise" ~time:(float_of_int i) ()
+      done;
+      Trace.instant ~node:0 ~pid:5 ~cat:"dmtcp" ~name:"solo" ~time:99. ());
+  match Trace.ring_tails r with
+  | [ (0, [ solo ]); (1, tail) ] ->
+    check Alcotest.string "other node kept" "solo" solo.Trace.name;
+    check (Alcotest.list Alcotest.string) "last three, oldest first" [ "e8"; "e9"; "e10" ]
+      (List.map (fun e -> e.Trace.name) tail)
+  | _ -> Alcotest.fail "unexpected ring shape"
+
+let test_jsonl_shape () =
+  let j = Trace.jsonl [ List.nth sample_events 2 ] in
+  check Alcotest.string "span line"
+    "{\"t\":1.051010125,\"node\":1,\"pid\":204,\"cat\":\"dmtcp\",\"name\":\"ckpt/drain\",\"k\":\"span\",\"dur\":0.002100000}\n"
+    j;
+  (* node/pid omitted when unset *)
+  let j = Trace.jsonl [ List.hd sample_events ] in
+  check Alcotest.string "instant line, no scope"
+    "{\"t\":0.500000000,\"cat\":\"sim\",\"name\":\"boot\",\"k\":\"inst\"}\n" j
+
+let test_text_golden () =
+  (* the human rendering is part of the tool's contract: byte-compare
+     against the checked-in golden file *)
+  let got = Trace.text sample_events in
+  let ic = open_in "trace_golden.txt" in
+  let n = in_channel_length ic in
+  let want = really_input_string ic n in
+  close_in ic;
+  check Alcotest.string "golden text" want got
+
+let test_query_stage_stats () =
+  let evs =
+    [
+      ev ~time:1. ~cat:"dmtcp" ~name:"ckpt/write" (Trace.Span 0.2);
+      ev ~time:2. ~cat:"dmtcp" ~name:"ckpt/write" (Trace.Span 0.4);
+      ev ~time:3. ~cat:"dmtcp" ~name:"ckpt/drain" (Trace.Span 0.1);
+      ev ~time:4. ~cat:"other" ~name:"ckpt/write" (Trace.Span 9.9);
+      ev ~time:5. ~cat:"dmtcp" ~name:"ckpt/write" Trace.Instant;
+    ]
+  in
+  match Trace.Query.stage_stats evs with
+  | [ ("ckpt/drain", d); ("ckpt/write", w) ] ->
+    check Alcotest.int "two write spans" 2 (Util.Stats.count w);
+    check (Alcotest.float 1e-9) "mean write" 0.3 (Util.Stats.mean w);
+    check (Alcotest.float 1e-9) "mean drain" 0.1 (Util.Stats.mean d)
+  | _ -> Alcotest.fail "unexpected stage stats"
+
+let test_query_counter_total () =
+  let evs =
+    [
+      ev ~time:1. ~cat:"dmtcp" ~name:"mgr/drained-bytes" (Trace.Counter 100.);
+      ev ~time:2. ~cat:"dmtcp" ~name:"mgr/drained-bytes" (Trace.Counter 28.);
+      ev ~time:3. ~cat:"dmtcp" ~name:"other" (Trace.Counter 5.);
+    ]
+  in
+  check (Alcotest.float 1e-9) "summed" 128.
+    (Trace.Query.counter_total ~cat:"dmtcp" ~name:"mgr/drained-bytes" evs)
+
+let test_metrics_registry () =
+  Trace.Metrics.reset ();
+  let c = Trace.Metrics.counter "t.count" in
+  let g = Trace.Metrics.gauge "t.gauge" in
+  let h = Trace.Metrics.histogram "t.hist" in
+  Trace.Metrics.incr c;
+  Trace.Metrics.add c 4.;
+  Trace.Metrics.set g 7.5;
+  Trace.Metrics.observe h 1.;
+  Trace.Metrics.observe h 3.;
+  let snap = Trace.Metrics.snapshot_text () in
+  let again = Trace.Metrics.counter "t.count" in
+  Trace.Metrics.incr again;
+  let snap2 = Trace.Metrics.snapshot_text () in
+  Alcotest.(check bool) "name interned to same instrument" true (snap <> snap2);
+  List.iter
+    (fun needle ->
+      let n = String.length needle and hlen = String.length snap in
+      let rec go i = i + n <= hlen && (String.sub snap i n = needle || go (i + 1)) in
+      Alcotest.(check bool) (Printf.sprintf "snapshot mentions %S" needle) true (go 0))
+    [ "t.count"; "5"; "t.gauge"; "7.5"; "t.hist"; "count=2"; "mean=2" ];
+  Trace.Metrics.reset ();
+  let c' = Trace.Metrics.counter "t.count" in
+  Trace.Metrics.incr c';
+  Alcotest.(check bool) "reset clears values" true (Trace.Metrics.snapshot_text () <> snap)
+
+(* same chaos seed, two full runs: the protocol trace must be
+   byte-identical — this is what makes `torture --replay` trustworthy *)
+let test_chaos_trace_deterministic () =
+  Chaos.Progs.ensure_registered ();
+  let capture () =
+    let c = Trace.collector () in
+    let r = Trace.with_sink (Trace.collector_sink c) (fun () -> Chaos.Runner.run ~seed:5 ()) in
+    (r, Trace.jsonl (Trace.events c))
+  in
+  let r1, j1 = capture () in
+  let r2, j2 = capture () in
+  check (Alcotest.list Alcotest.string) "same verdict" r1.Chaos.Runner.r_violations
+    r2.Chaos.Runner.r_violations;
+  Alcotest.(check bool) "trace non-empty" true (String.length j1 > 0);
+  Alcotest.(check bool) "byte-identical JSONL" true (String.equal j1 j2)
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "core",
+        [
+          Alcotest.test_case "emitters are no-ops when off" `Quick test_emitters_off_are_noops;
+          Alcotest.test_case "collector + sink nesting" `Quick test_collector_and_nesting;
+          Alcotest.test_case "filtering" `Quick test_filter;
+          Alcotest.test_case "ring keeps per-node tail" `Quick test_ring_keeps_tail_per_node;
+        ] );
+      ( "rendering",
+        [
+          Alcotest.test_case "jsonl shape" `Quick test_jsonl_shape;
+          Alcotest.test_case "text golden file" `Quick test_text_golden;
+        ] );
+      ( "queries",
+        [
+          Alcotest.test_case "stage stats" `Quick test_query_stage_stats;
+          Alcotest.test_case "counter total" `Quick test_query_counter_total;
+        ] );
+      ("metrics", [ Alcotest.test_case "registry" `Quick test_metrics_registry ]);
+      ( "determinism",
+        [ Alcotest.test_case "chaos seed trace stable" `Quick test_chaos_trace_deterministic ] );
+    ]
