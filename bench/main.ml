@@ -155,31 +155,123 @@ let micro_tests =
            done));
   ]
 
+(* Collect (name, ns/run) pairs so the JSON emitter below can reuse
+   them; printing happens as results arrive. *)
 let run_micro () =
   hr "Substrate micro-benchmarks (real wall-clock, via bechamel)";
   let open Bechamel in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let timings =
+    List.concat_map
+      (fun test ->
+        let results = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] test in
+        let analyzed =
+          Analyze.all
+            (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+            (Toolkit.Instance.monotonic_clock) results
+        in
+        Hashtbl.fold
+          (fun name ols acc ->
+            match Analyze.OLS.estimates ols with
+            | Some [ est ] ->
+              Printf.printf "%-42s %14.1f ns/run\n" name est;
+              (name, est) :: acc
+            | _ ->
+              Printf.printf "%-42s (no estimate)\n" name;
+              acc)
+          analyzed [])
+      micro_tests
+  in
+  flush stdout;
+  timings
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic compression-shape records: output sizes are a property
+   of the encoder, not of the machine or the run, so CI can regenerate
+   them and diff against the committed BENCH_micro.json baseline.  The
+   wall-clock timings above are machine-dependent and are excluded from
+   that comparison. *)
+
+let ratio_records () =
+  let rand64k = String.sub random_1mb 0 65536 in
+  let zeros = String.make 1_000_000 '\000' in
+  let pack algo s = String.length (Compress.Container.pack ~algo s) in
+  [
+    ("deflate-raw-text-1MB", String.length text_1mb, String.length (Compress.Deflate.compress text_1mb));
+    ("deflate-raw-random-64KB", 65536, String.length (Compress.Deflate.compress rand64k));
+    ("container-deflate-text-1MB", String.length text_1mb, pack Compress.Algo.Deflate text_1mb);
+    ("container-deflate-random-64KB", 65536, pack Compress.Algo.Deflate rand64k);
+    ("container-rle-zeros-1MB", 1_000_000, pack Compress.Algo.Rle zeros);
+    ("container-null-random-64KB", 65536, pack Compress.Algo.Null rand64k);
+  ]
+
+let print_ratios ratios =
+  hr "Compression shape (deterministic: sizes depend only on the encoder)";
   List.iter
-    (fun test ->
-      let results = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] test in
-      let analyzed =
-        Analyze.all
-          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
-          (Toolkit.Instance.monotonic_clock) results
-      in
-      Hashtbl.iter
-        (fun name ols ->
-          match Analyze.OLS.estimates ols with
-          | Some [ est ] -> Printf.printf "%-42s %14.1f ns/run\n" name est
-          | _ -> Printf.printf "%-42s (no estimate)\n" name)
-        analyzed)
-    micro_tests;
+    (fun (name, bytes_in, bytes_out) ->
+      Printf.printf "%-42s %10d -> %9d bytes  (ratio %.6f)\n" name bytes_in bytes_out
+        (float_of_int bytes_out /. float_of_int bytes_in))
+    ratios;
   flush stdout
+
+(* BENCH_JSON=path: machine-readable results, one object per line so
+   line-oriented tools (the CI baseline diff greps for "kind": "ratio")
+   can filter the deterministic records. *)
+let emit_json path timings ratios =
+  let oc = open_out path in
+  output_string oc "[\n";
+  let lines =
+    List.map
+      (fun (name, bytes_in, bytes_out) ->
+        Printf.sprintf
+          {|{"kind": "ratio", "name": "%s", "bytes_in": %d, "bytes_out": %d, "ratio": %.6f}|}
+          name bytes_in bytes_out
+          (float_of_int bytes_out /. float_of_int bytes_in))
+      ratios
+    @ List.map
+        (fun (name, ns) ->
+          Printf.sprintf {|{"kind": "timing", "name": "%s", "ns_per_run": %.1f}|} name ns)
+        timings
+  in
+  output_string oc (String.concat ",\n" lines);
+  output_string oc "\n]\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
+(* BENCH_ASSERT=1: fail (exit 1) if the compressor stops pulling its
+   weight — text must at least halve, incompressible data must not grow
+   by more than 1% (the container's stored-block fallback bounds it). *)
+let assert_invariants ratios =
+  let ratio name =
+    let _, bytes_in, bytes_out = List.find (fun (n, _, _) -> n = name) ratios in
+    float_of_int bytes_out /. float_of_int bytes_in
+  in
+  let failed = ref false in
+  let check name what limit =
+    let r = ratio name in
+    if r > limit then begin
+      Printf.printf "BENCH_ASSERT FAILED: %s: %s (ratio %.6f > %.3f)\n" name what r limit;
+      failed := true
+    end
+    else Printf.printf "bench invariant ok: %s ratio %.6f <= %.3f\n" name r limit
+  in
+  check "deflate-raw-text-1MB" "text must compress to half or better" 0.5;
+  check "container-deflate-text-1MB" "text must compress to half or better" 0.5;
+  check "deflate-raw-random-64KB" "random must expand by at most 1%" 1.01;
+  check "container-deflate-random-64KB" "random must expand by at most 1%" 1.01;
+  flush stdout;
+  if !failed then exit 1
 
 let () =
   Printf.printf "DMTCP reproduction benchmark harness (scale: %s)\n"
     (match scale with `Full -> "full" | `Quick -> "quick");
-  if sections <> `Repro then run_micro ();
+  let timings = if sections <> `Repro then run_micro () else [] in
+  let ratios = ratio_records () in
+  print_ratios ratios;
+  (match Sys.getenv_opt "BENCH_JSON" with
+  | Some path -> emit_json path timings ratios
+  | None -> ());
+  if Sys.getenv_opt "BENCH_ASSERT" = Some "1" then assert_invariants ratios;
   if sections <> `Micro then run_reproduction ();
   hr "Done";
   print_endline "Interpretation notes live in EXPERIMENTS.md."

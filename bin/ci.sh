@@ -17,7 +17,21 @@ echo "== trace determinism: fixed scenario, two runs, byte-identical =="
 dune exec bin/dmtcp_sim.exe -- trace --check-determinism
 
 echo "== bench smoke (quick scale, micro layer) =="
-BENCH_SCALE=quick BENCH_SECTIONS=micro dune exec bench/main.exe > /dev/null
+# Emits the machine-readable artifact, enforces the compression-shape
+# invariants (text halves, random expands <= 1%), then checks that the
+# deterministic ratio records still match the committed baseline --
+# timings are machine-dependent and excluded from the comparison.
+mkdir -p _artifacts
+BENCH_SCALE=quick BENCH_SECTIONS=micro BENCH_ASSERT=1 \
+  BENCH_JSON=_artifacts/bench_micro.json dune exec bench/main.exe > /dev/null
+grep '"kind": "ratio"' _artifacts/bench_micro.json > _artifacts/bench_ratios.json
+if ! diff -u BENCH_micro.json _artifacts/bench_ratios.json; then
+  echo "FAIL: deterministic bench ratios diverged from BENCH_micro.json." >&2
+  echo "If the encoder change is intentional, refresh the baseline with:" >&2
+  echo "  cp _artifacts/bench_ratios.json BENCH_micro.json" >&2
+  exit 1
+fi
+echo "bench ratios match committed BENCH_micro.json"
 
 echo "== chaos smoke: 25-seed torture =="
 dune exec bin/dmtcp_sim.exe -- torture --seeds "${CHAOS_SEEDS:-25}"

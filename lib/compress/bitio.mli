@@ -24,9 +24,18 @@ module Reader : sig
 
   val of_string : string -> t
 
-  (** [get t count] reads [count] bits (LSB-first). Raises {!Truncated}
-      past end of input. *)
+  (** [get t count] reads [count] bits (LSB-first, 0 <= count <= 24).
+      Raises {!Truncated} past end of input. *)
   val get : t -> int -> int
+
+  (** [peek t count] returns the next [count] bits (count <= 24) without
+      consuming them; positions past the end of the input read as zero.
+      The table-driven Huffman decoder keys its root lookup on this. *)
+  val peek : t -> int -> int
+
+  (** [consume t count] discards [count] previously peeked bits. Raises
+      {!Truncated} if fewer than [count] bits remain. *)
+  val consume : t -> int -> unit
 
   (** Read a single bit. *)
   val bit : t -> int

@@ -1,11 +1,135 @@
 exception Bad_container of string
 
-let magic = "DMZ1"
+let magic_v1 = "DMZ1"
+let magic = "DMZ2"
+let default_block_size = 256 * 1024
 
-let pack ~algo s =
+(* Hard decode-side bounds: a header field past these is corrupt by
+   definition, and rejecting it *before* any [Bytes.create] keeps a
+   flipped varint from demanding a multi-GB allocation. *)
+let max_block_size = 1 lsl 26
+
+(* Cheapest possible encodings: RLE emits at most 128 bytes per 2-byte
+   control pair (64x), deflate at most 258 bytes per 2-bit match (1032x).
+   Anything above deflate's bound cannot be a real payload. *)
+let max_expansion_per_byte = Deflate.max_expansion_per_byte
+
+let plausible_len ~payload_bytes orig_len =
+  orig_len <= (payload_bytes * max_expansion_per_byte) + 64
+
+(* ------------------------------------------------------------------ *)
+(* compression metrics: cheap unconditional accumulators surfaced by
+   `dmtcp_sim trace --metrics` *)
+
+let m_bytes_in algo = Trace.Metrics.counter ("compress." ^ Algo.name algo ^ ".bytes_in")
+let m_bytes_out algo = Trace.Metrics.counter ("compress." ^ Algo.name algo ^ ".bytes_out")
+let m_in_null = m_bytes_in Algo.Null
+let m_out_null = m_bytes_out Algo.Null
+let m_in_rle = m_bytes_in Algo.Rle
+let m_out_rle = m_bytes_out Algo.Rle
+let m_in_deflate = m_bytes_in Algo.Deflate
+let m_out_deflate = m_bytes_out Algo.Deflate
+let m_blocks_stored = Trace.Metrics.counter "compress.blocks.stored"
+let m_blocks_rle = Trace.Metrics.counter "compress.blocks.rle"
+let m_blocks_deflate = Trace.Metrics.counter "compress.blocks.deflate"
+
+let note_pack algo ~bytes_in ~bytes_out =
+  let m_in, m_out =
+    match algo with
+    | Algo.Null -> (m_in_null, m_out_null)
+    | Algo.Rle -> (m_in_rle, m_out_rle)
+    | Algo.Deflate -> (m_in_deflate, m_out_deflate)
+  in
+  Trace.Metrics.add m_in (float_of_int bytes_in);
+  Trace.Metrics.add m_out (float_of_int bytes_out)
+
+(* ------------------------------------------------------------------ *)
+(* per-block encodings *)
+
+(* Block encoding tags. Distinct from {!Algo}: the algo records what the
+   caller asked for; each block then independently gets the cheapest
+   encoding its algo allows (stored is always allowed, which bounds
+   expansion on incompressible data to the framing overhead). *)
+let enc_stored = 0
+let enc_rle = 1
+let enc_deflate = 2
+
+let encode_block ~algo block =
+  (* candidates by requested algo: Null never pays compression cost,
+     Rle tries RLE, Deflate tries both RLE and deflate; stored is the
+     universal fallback *)
+  let best_tag = ref enc_stored and best = ref block in
+  let consider tag payload =
+    if String.length payload < String.length !best then begin
+      best_tag := tag;
+      best := payload
+    end
+  in
+  (match algo with
+  | Algo.Null -> ()
+  | Algo.Rle -> consider enc_rle (Rle.compress block)
+  | Algo.Deflate ->
+    consider enc_rle (Rle.compress block);
+    consider enc_deflate (Deflate.compress block));
+  (match !best_tag with
+  | t when t = enc_stored -> Trace.Metrics.incr m_blocks_stored
+  | t when t = enc_rle -> Trace.Metrics.incr m_blocks_rle
+  | _ -> Trace.Metrics.incr m_blocks_deflate);
+  (!best_tag, !best)
+
+let decode_block ~tag ~expect_len payload =
+  let original =
+    if tag = enc_stored then payload
+    else if tag = enc_rle then Rle.decompress payload
+    else if tag = enc_deflate then Deflate.decompress payload
+    else raise (Bad_container (Printf.sprintf "bad block encoding tag %d" tag))
+  in
+  if String.length original <> expect_len then raise (Bad_container "block length mismatch");
+  original
+
+(* ------------------------------------------------------------------ *)
+(* DMZ2: block-based container.
+
+   Layout: magic "DMZ2", algo tag, uvarint block_size, uvarint orig_len,
+   uvarint nblocks, then per block: u8 encoding tag, uvarint original
+   block length, u32 CRC-32 of the original block bytes, length-prefixed
+   payload.  Blocks are independent — corruption is reported with the
+   damaged block's index, and a future encoder can compress them in
+   parallel or stream them. *)
+
+let pack ?(block_size = default_block_size) ~algo s =
+  if block_size <= 0 then invalid_arg "Container.pack: block_size must be positive";
+  let n = String.length s in
+  let nblocks = (n + block_size - 1) / block_size in
+  let w = Util.Codec.Writer.create ~capacity:(n / 2 + 64) () in
+  Util.Codec.Writer.raw w magic;
+  Algo.encode w algo;
+  Util.Codec.Writer.uvarint w block_size;
+  Util.Codec.Writer.uvarint w n;
+  Util.Codec.Writer.uvarint w nblocks;
+  for b = 0 to nblocks - 1 do
+    let off = b * block_size in
+    let len = min block_size (n - off) in
+    let block = String.sub s off len in
+    let tag, payload = encode_block ~algo block in
+    Util.Codec.Writer.u8 w tag;
+    Util.Codec.Writer.uvarint w len;
+    Util.Codec.Writer.u32 w (Int32.to_int (Util.Crc32.digest block) land 0xffffffff);
+    Util.Codec.Writer.string w payload
+  done;
+  let packed = Util.Codec.Writer.contents w in
+  note_pack algo ~bytes_in:n ~bytes_out:(String.length packed);
+  packed
+
+(* ------------------------------------------------------------------ *)
+(* DMZ1: the legacy whole-image format — one compressed body, one CRC.
+   Kept encodable for the golden-image test and decodable so images
+   written before the block pipeline still restore. *)
+
+let pack_v1 ~algo s =
   let body = Algo.compress algo s in
   let w = Util.Codec.Writer.create ~capacity:(String.length body + 32) () in
-  Util.Codec.Writer.raw w magic;
+  Util.Codec.Writer.raw w magic_v1;
   Algo.encode w algo;
   Util.Codec.Writer.uvarint w (String.length s);
   Util.Codec.Writer.i64 w (Int64.of_int32 (Util.Crc32.digest s));
@@ -15,17 +139,20 @@ let pack ~algo s =
 let read_header s =
   let r = Util.Codec.Reader.of_string s in
   let m = try Util.Codec.Reader.raw r 4 with Util.Codec.Reader.Corrupt _ -> "" in
-  if m <> magic then raise (Bad_container "bad magic");
+  if m <> magic && m <> magic_v1 then raise (Bad_container "bad magic");
   let algo = Algo.decode r in
-  (r, algo)
+  (r, m, algo)
 
 let algo_of s =
-  let _, algo = read_header s in
-  algo
+  try
+    let _, _, algo = read_header s in
+    algo
+  with Util.Codec.Reader.Corrupt msg -> raise (Bad_container ("corrupt frame: " ^ msg))
 
-let unpack s =
-  let r, algo = read_header s in
+let unpack_v1 r ~payload_bytes algo =
   let orig_len = Util.Codec.Reader.uvarint r in
+  if not (plausible_len ~payload_bytes orig_len) then
+    raise (Bad_container "implausible declared length");
   let crc = Util.Codec.Reader.i64 r in
   let body = Util.Codec.Reader.string r in
   Util.Codec.Reader.expect_end r;
@@ -37,3 +164,42 @@ let unpack s =
   if String.length original <> orig_len then raise (Bad_container "length mismatch");
   if Int64.of_int32 (Util.Crc32.digest original) <> crc then raise (Bad_container "CRC mismatch");
   original
+
+let unpack_v2 r ~payload_bytes =
+  let block_size = Util.Codec.Reader.uvarint r in
+  if block_size <= 0 || block_size > max_block_size then
+    raise (Bad_container "implausible block size");
+  let orig_len = Util.Codec.Reader.uvarint r in
+  if not (plausible_len ~payload_bytes orig_len) then
+    raise (Bad_container "implausible declared length");
+  let nblocks = Util.Codec.Reader.uvarint r in
+  if nblocks <> (orig_len + block_size - 1) / block_size then
+    raise (Bad_container "block count disagrees with declared length");
+  let out = Bytes.create orig_len in
+  for b = 0 to nblocks - 1 do
+    let off = b * block_size in
+    let expect_len = min block_size (orig_len - off) in
+    let fail msg = raise (Bad_container (Printf.sprintf "block %d/%d: %s" b nblocks msg)) in
+    let tag = Util.Codec.Reader.u8 r in
+    let blen = Util.Codec.Reader.uvarint r in
+    if blen <> expect_len then fail "bad block length";
+    let crc = Util.Codec.Reader.u32 r in
+    let payload = Util.Codec.Reader.string r in
+    let block =
+      try decode_block ~tag ~expect_len payload with
+      | Bad_container msg -> fail msg
+      | Invalid_argument msg -> fail ("corrupt body: " ^ msg)
+      | Bitio.Reader.Truncated -> fail "corrupt body: truncated bitstream"
+    in
+    if Int32.to_int (Util.Crc32.digest block) land 0xffffffff <> crc then fail "CRC mismatch";
+    Bytes.blit_string block 0 out off expect_len
+  done;
+  Util.Codec.Reader.expect_end r;
+  Bytes.unsafe_to_string out
+
+let unpack s =
+  try
+    let r, m, algo = read_header s in
+    let payload_bytes = String.length s in
+    if m = magic then unpack_v2 r ~payload_bytes else unpack_v1 r ~payload_bytes algo
+  with Util.Codec.Reader.Corrupt msg -> raise (Bad_container ("corrupt frame: " ^ msg))

@@ -1,14 +1,36 @@
 (** Framed compressed payloads, playing the role of the [.gz] files DMTCP
-    writes: magic, scheme tag, original length, CRC-32 of the original
-    data, and the compressed body. *)
+    writes.
+
+    The current format ("DMZ2") is block-based: the input is split into
+    fixed-size blocks (default 256 KiB) and each block is independently
+    encoded with the cheapest of stored / RLE / deflate that the requested
+    {!Algo.t} allows.  The stored fallback bounds expansion on
+    incompressible data to the per-block framing overhead, a per-block
+    CRC-32 names the damaged block on corruption, and block independence
+    is what a streaming or parallel encoder needs.
+
+    The legacy whole-image format ("DMZ1") is still decoded, so checkpoint
+    images written before the block pipeline restore unchanged. *)
 
 exception Bad_container of string
 
-(** [pack ~algo s] frames and compresses [s]. *)
-val pack : algo:Algo.t -> string -> string
+(** Block size used by {!pack} when none is given: 256 KiB. *)
+val default_block_size : int
 
-(** [unpack s] decompresses and verifies length and CRC.
-    Raises {!Bad_container} on any mismatch. *)
+(** [pack ~algo s] frames and compresses [s] into a DMZ2 container.
+    [block_size] is exposed for tests (block-boundary coverage); the
+    default is {!default_block_size}. *)
+val pack : ?block_size:int -> algo:Algo.t -> string -> string
+
+(** [pack_v1 ~algo s] writes the legacy DMZ1 frame (single compressed
+    body, whole-image CRC).  Kept for format-compatibility tests. *)
+val pack_v1 : algo:Algo.t -> string -> string
+
+(** [unpack s] decompresses and verifies lengths and CRCs (both DMZ2 and
+    legacy DMZ1 frames).  Raises {!Bad_container} on any mismatch; for
+    DMZ2 frames the message names the damaged block index.  Corrupt or
+    implausible header fields are rejected before any allocation sized
+    from them. *)
 val unpack : string -> string
 
 (** Scheme recorded in a frame, without unpacking the body. *)

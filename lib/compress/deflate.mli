@@ -8,6 +8,11 @@
     bits — is the real algorithm, so measured ratios are representative of
     gzip's. *)
 
+(** Worst-case decoded bytes per payload byte (a 2-bit match emitting 258
+    bytes); declared lengths above [payload * this] are rejected before
+    any allocation is sized from them. *)
+val max_expansion_per_byte : int
+
 (** [compress s] returns the compressed representation. *)
 val compress : string -> string
 

@@ -2,16 +2,29 @@ let max_bits = 15
 
 type encoder = { codes : int array; lens : int array }
 
-(* Two-level decode is unnecessary here; we decode by walking canonical
-   first-code tables, one bit at a time. *)
+(* Decoding is table-driven: a root lookup table keyed on the next
+   [root_bits] bits of the stream resolves codes of length <= root_bits in
+   one peek/consume pair.  Longer codes (rare: root_bits covers every code
+   of a near-balanced tree and all frequent symbols of a skewed one) fall
+   back to the canonical first-code walk. *)
+let root_bits = 10
+
 type decoder = {
-  (* for each bit length l: first canonical code of that length, and the
-     index into [sorted] where symbols of length l begin *)
+  (* root table: index = next [root_bits] bits (LSB-first as read from the
+     stream); entry = (symbol lsl 4) lor code_length for short codes,
+     [long_code] for prefixes of codes longer than root_bits, 0 for bit
+     patterns no code covers *)
+  table : int array;
+  (* canonical walk state for the fallback path: for each bit length l,
+     first canonical code of that length, and the index into [sorted]
+     where symbols of length l begin *)
   first_code : int array;
   first_index : int array;
   count : int array;
   sorted : int array;
 }
+
+let long_code = -1
 
 (* Build Huffman code lengths with a simple heap; if the tree exceeds
    [max_bits], damp the frequencies and retry (standard trick; converges
@@ -103,7 +116,7 @@ let validate_prefix_code count =
   if !sum > 1.0 +. 1e-9 then invalid_arg "Huffman: over-subscribed code lengths"
 
 let decoder_of_lengths lens =
-  let _, count = canonical_codes lens in
+  let codes, count = canonical_codes lens in
   validate_prefix_code count;
   let n = Array.length lens in
   let total = Array.fold_left (fun acc l -> if l > 0 then acc + 1 else acc) 0 lens in
@@ -124,14 +137,38 @@ let decoder_of_lengths lens =
       end
     done
   done;
-  { first_code; first_index; count; sorted }
+  let table = Array.make (1 lsl root_bits) 0 in
+  for sym = 0 to n - 1 do
+    let l = lens.(sym) in
+    if l > 0 then begin
+      let rc = reverse_bits codes.(sym) l in
+      if l <= root_bits then begin
+        (* every completion of the code's reversed bits up to root_bits *)
+        let step = 1 lsl l in
+        let entry = (sym lsl 4) lor l in
+        let i = ref rc in
+        while !i < 1 lsl root_bits do
+          table.(!i) <- entry;
+          i := !i + step
+        done
+      end
+      else
+        (* mark the root-sized prefix so decode takes the slow path *)
+        table.(rc land ((1 lsl root_bits) - 1)) <- long_code
+    end
+  done;
+  { table; first_code; first_index; count; sorted }
+
+let tables enc = (enc.codes, enc.lens)
 
 let encode enc w sym =
   let len = enc.lens.(sym) in
   if len = 0 then invalid_arg "Huffman.encode: unused symbol";
   Bitio.Writer.put w ~bits:enc.codes.(sym) ~count:len
 
-let decode dec r =
+(* Fallback for codes longer than [root_bits]: the original canonical
+   first-code walk, one bit at a time. *)
+let decode_slow dec r =
   let code = ref 0 in
   let len = ref 0 in
   let result = ref (-1) in
@@ -144,5 +181,14 @@ let decode dec r =
     then result := dec.sorted.(dec.first_index.(l) + (!code - dec.first_code.(l)))
   done;
   !result
+
+let decode dec r =
+  let e = Array.unsafe_get dec.table (Bitio.Reader.peek r root_bits) in
+  if e > 0 then begin
+    Bitio.Reader.consume r (e land 0xf);
+    e lsr 4
+  end
+  else if e = 0 then invalid_arg "Huffman.decode: bad stream"
+  else decode_slow dec r
 
 let length enc sym = enc.lens.(sym)

@@ -24,6 +24,12 @@ val decoder_of_lengths : int array -> decoder
 (** [encode enc w sym] appends [sym]'s code. Raises if [sym] is unused. *)
 val encode : encoder -> Bitio.Writer.t -> int -> unit
 
+(** [tables enc] is the ((bit-reversed) code, bit-length) arrays indexed
+    by symbol, for hot encode loops that inline the {!Bitio.Writer} calls;
+    lengths are 0 for unused symbols.  The arrays are live — do not
+    mutate them. *)
+val tables : encoder -> int array * int array
+
 (** [decode dec r] reads one symbol. *)
 val decode : decoder -> Bitio.Reader.t -> int
 

@@ -235,6 +235,12 @@ let decode s =
   | R.Corrupt msg -> raise (Corrupt_image msg)
   | Invalid_argument msg | Failure msg -> raise (Corrupt_image msg)
 
-let mtcp t = Mtcp.Image.decode t.mtcp_blob
+(* The mtcp blob is itself a compressed container; bit-flips inside it
+   surface as [Bad_container] (with the damaged block's index for DMZ2
+   frames) — convert so restart's corrupt-image path handles both. *)
+let mtcp t =
+  try Mtcp.Image.decode t.mtcp_blob with
+  | Compress.Container.Bad_container msg -> raise (Corrupt_image ("mtcp body: " ^ msg))
+  | Util.Codec.Reader.Corrupt msg -> raise (Corrupt_image ("mtcp body: " ^ msg))
 
 let sim_file_size t = t.sizes.Mtcp.Image.compressed

@@ -548,11 +548,19 @@ module P = struct
            exactly on it. *)
         Simos.Program.Block
           (st, Simos.Program.Sleep_until (Float.min (ctx.now () +. 1e-3) deadline))
-    | R_fork ->
+    | R_fork -> (
       trace_rst ctx "fork" [ ("procs", string_of_int (List.length st.images)) ];
-      materialize ctx st;
-      st.phase <- R_mem;
-      Simos.Program.Continue st
+      (* decoding the mtcp body happens here, after reconnect: damage that
+         only per-block CRCs catch must still abort the whole restart
+         cleanly rather than yield a half-restored computation *)
+      match materialize ctx st with
+      | () ->
+        st.phase <- R_mem;
+        Simos.Program.Continue st
+      | exception Ckpt_image.Corrupt_image msg ->
+        ctx.log (Printf.sprintf "corrupt checkpoint image at materialize: %s" msg);
+        trace_rst ctx "corrupt-image" [ ("error", msg) ];
+        Simos.Program.Exit 72)
     | R_mem ->
       let delay = memory_restore_delay ctx st in
       st.phase <- R_refill;

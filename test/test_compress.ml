@@ -106,10 +106,25 @@ let test_lz77_text () = Alcotest.(check bool) "text" true (lz77_roundtrip text_s
 let test_lz77_random () = Alcotest.(check bool) "random" true (lz77_roundtrip (random_sample 10_000))
 let test_lz77_zeros () = Alcotest.(check bool) "zeros" true (lz77_roundtrip (zero_sample 100_000))
 
+let count_matches tokens =
+  Compress.Lz77.fold tokens ~init:0 ~lit:(fun acc _ -> acc) ~mtch:(fun acc ~dist:_ ~len:_ -> acc + 1)
+
 let test_lz77_finds_matches () =
   let tokens = Compress.Lz77.tokenize (String.concat "" (List.init 50 (fun _ -> "abcdefgh"))) in
-  let matches = Array.to_list tokens |> List.filter (function Compress.Lz77.Match _ -> true | _ -> false) in
-  Alcotest.(check bool) "repetitive input yields matches" true (List.length matches > 0)
+  Alcotest.(check bool) "repetitive input yields matches" true (count_matches tokens > 0)
+
+let test_lz77_token_bounds () =
+  (* every emitted token decodes to an in-range literal or match *)
+  let t = Compress.Lz77.tokenize (text_sample ^ random_sample 5_000) in
+  let ok = ref true in
+  Compress.Lz77.fold t ~init:()
+    ~lit:(fun () c -> if Char.code c < 0 || Char.code c > 255 then ok := false)
+    ~mtch:(fun () ~dist ~len ->
+      if
+        dist < 1 || dist > Compress.Lz77.window_size || len < Compress.Lz77.min_match
+        || len > Compress.Lz77.max_match
+      then ok := false);
+  Alcotest.(check bool) "tokens within bounds" true !ok
 
 (* Sizes that straddle the LZ77 window (32768): off-by-one bugs in
    match-distance or hash-chain pruning live exactly here. *)
@@ -202,7 +217,7 @@ let prop_deflate_roundtrip_runs =
          deflate_roundtrip s))
 
 (* ------------------------------------------------------------------ *)
-(* Container *)
+(* Container (DMZ2 block format + legacy DMZ1) *)
 
 let test_container_roundtrip_all_algos () =
   List.iter
@@ -231,6 +246,218 @@ let test_container_bad_magic () =
        ignore (Compress.Container.unpack "not a container at all");
        false
      with Compress.Container.Bad_container _ -> true)
+
+(* Block-boundary sizes with a small test block size: off-by-one bugs in
+   block splitting/reassembly live exactly at 0, 1, b-1, b, b+1 and a
+   multi-block size with a ragged tail. *)
+let block = 4096
+
+let boundary_sizes = [ 0; 1; block - 1; block; block + 1; (3 * block) + 17 ]
+
+let test_container_block_boundaries () =
+  List.iter
+    (fun algo ->
+      List.iter
+        (fun n ->
+          let flavours =
+            [
+              ("random", random_sample n);
+              ("repetitive", String.init n (fun i -> "abcabc!".[i mod 7]));
+              ("zeros", zero_sample n);
+            ]
+          in
+          List.iter
+            (fun (flavour, s) ->
+              let packed = Compress.Container.pack ~block_size:block ~algo s in
+              check Alcotest.string
+                (Printf.sprintf "%s/%s/%d" (Compress.Algo.name algo) flavour n)
+                s (Compress.Container.unpack packed))
+            flavours)
+        boundary_sizes)
+    Compress.Algo.all
+
+let prop_container_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:150 ~name:"container round-trips arbitrary strings at small block size"
+       QCheck.(pair string (int_range 1 500))
+       (fun (s, bs) ->
+         Compress.Container.unpack (Compress.Container.pack ~block_size:bs ~algo:Compress.Algo.Deflate s) = s))
+
+let test_container_stored_fallback () =
+  (* incompressible input must not expand beyond the framing overhead:
+     the deflate algo falls back to stored blocks *)
+  List.iter
+    (fun n ->
+      let s = random_sample n in
+      let packed = Compress.Container.pack ~algo:Compress.Algo.Deflate s in
+      Alcotest.(check bool)
+        (Printf.sprintf "random %d expands <= 1%%" n)
+        true
+        (String.length packed <= n + 64 + (n / 100)))
+    [ 1_000; 65_536; 1_000_000 ]
+
+let test_container_reports_block_index () =
+  (* corrupt one block of a multi-block image: the error must name a
+     block, and blocks other than the first must be nameable *)
+  let s = String.concat "" (List.init 40 (fun i -> Printf.sprintf "block payload %d %s" i text_sample)) in
+  let packed = Compress.Container.pack ~block_size:block ~algo:Compress.Algo.Deflate s in
+  let flip pos =
+    let b = Bytes.of_string packed in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x01));
+    Bytes.to_string b
+  in
+  let block_of_error pos =
+    try
+      ignore (Compress.Container.unpack (flip pos));
+      None
+    with Compress.Container.Bad_container msg -> (
+      try Scanf.sscanf msg "block %d/%d" (fun b _ -> Some b) with Scanf.Scan_failure _ | End_of_file -> None)
+  in
+  (* a flip near the end lands in a late block; near the start of the
+     payload area, in an early one *)
+  match (block_of_error (String.length packed - 4), block_of_error 40) with
+  | Some late, Some early ->
+    Alcotest.(check bool) "late flip names a late block" true (late > early);
+    Alcotest.(check bool) "early flip names an early block" true (early >= 0)
+  | other ->
+    Alcotest.failf "expected block-indexed errors, got %s"
+      (match other with
+      | None, None -> "neither"
+      | None, _ -> "no late index"
+      | _, None -> "no early index"
+      | _ -> "?")
+
+let prop_container_flip_detected =
+  let packed = Compress.Container.pack ~block_size:256 ~algo:Compress.Algo.Deflate text_sample in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"container: any single-byte flip is detected or harmless"
+       QCheck.(pair (int_bound 1_000_000) (int_bound 255))
+       (fun (posseed, delta) ->
+         let pos = posseed mod String.length packed in
+         let b = Bytes.of_string packed in
+         Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor max 1 delta));
+         (* either the flip is rejected, or (e.g. the recorded algo tag,
+            which block decoding does not rely on) the data still decodes
+            exactly *)
+         match Compress.Container.unpack (Bytes.to_string b) with
+         | s -> s = text_sample
+         | exception Compress.Container.Bad_container _ -> true))
+
+(* legacy DMZ1 images (whole-body compression, single CRC) must keep
+   decoding: both a fresh pack_v1 and a byte-for-byte golden image *)
+let test_container_v1_roundtrip () =
+  List.iter
+    (fun algo ->
+      let packed = Compress.Container.pack_v1 ~algo text_sample in
+      check Alcotest.string
+        ("v1 " ^ Compress.Algo.name algo)
+        text_sample (Compress.Container.unpack packed);
+      Alcotest.(check bool) "v1 algo recorded" true (Compress.Container.algo_of packed = algo))
+    Compress.Algo.all
+
+let golden_v1_hex =
+  String.concat ""
+    [
+      "444d5a31021cf063f582ffffffffb2011c9e02000000000000000000000000000000000300000000";
+      "00050000000000000000000000000000000000000000000000000040404555455045350505040000";
+      "00000000000000000000000000000000000000000000000000000000000000000000000000000000";
+      "00000000000000000000000000000000000000000000000000000004000000000000000000000000";
+      "00001e0000000000000000000000000000000fba4cf7a3df84874c6be0e918fc2159";
+    ]
+let golden_v1_plain = "checkpoint image, old format"
+
+let of_hex h =
+  String.init (String.length h / 2) (fun i -> Char.chr (int_of_string ("0x" ^ String.sub h (2 * i) 2)))
+
+let test_container_v1_golden () =
+  check Alcotest.string "golden DMZ1 image decodes" golden_v1_plain
+    (Compress.Container.unpack (of_hex golden_v1_hex))
+
+(* ------------------------------------------------------------------ *)
+(* corrupt-header hardening: implausible declared lengths must be
+   rejected before any allocation is sized from them *)
+
+let expect_bad_container name f =
+  Alcotest.(check bool) name true
+    (try
+       ignore (f ());
+       false
+     with Compress.Container.Bad_container _ -> true)
+
+let test_container_huge_orig_len_rejected () =
+  let w = Util.Codec.Writer.create () in
+  Util.Codec.Writer.raw w "DMZ2";
+  Util.Codec.Writer.u8 w 2 (* deflate *);
+  Util.Codec.Writer.uvarint w 262144 (* block size *);
+  Util.Codec.Writer.uvarint w (1 lsl 40) (* ~1 TB declared length *);
+  Util.Codec.Writer.uvarint w 1;
+  expect_bad_container "huge v2 orig_len rejected" (fun () ->
+      Compress.Container.unpack (Util.Codec.Writer.contents w))
+
+let test_container_huge_block_size_rejected () =
+  let w = Util.Codec.Writer.create () in
+  Util.Codec.Writer.raw w "DMZ2";
+  Util.Codec.Writer.u8 w 2;
+  Util.Codec.Writer.uvarint w (1 lsl 40);
+  Util.Codec.Writer.uvarint w 100;
+  Util.Codec.Writer.uvarint w 1;
+  expect_bad_container "huge v2 block size rejected" (fun () ->
+      Compress.Container.unpack (Util.Codec.Writer.contents w))
+
+let test_container_v1_huge_orig_len_rejected () =
+  let w = Util.Codec.Writer.create () in
+  Util.Codec.Writer.raw w "DMZ1";
+  Util.Codec.Writer.u8 w 2;
+  Util.Codec.Writer.uvarint w (1 lsl 40);
+  Util.Codec.Writer.i64 w 0L;
+  Util.Codec.Writer.string w "tiny";
+  expect_bad_container "huge v1 orig_len rejected" (fun () ->
+      Compress.Container.unpack (Util.Codec.Writer.contents w))
+
+let test_deflate_huge_orig_len_rejected () =
+  let w = Util.Codec.Writer.create () in
+  Util.Codec.Writer.uvarint w (1 lsl 40);
+  Util.Codec.Writer.uvarint w 0;
+  Util.Codec.Writer.uvarint w 0;
+  Util.Codec.Writer.string w "";
+  Alcotest.(check bool) "huge deflate orig_len rejected" true
+    (try
+       ignore (Compress.Deflate.decompress (Util.Codec.Writer.contents w));
+       false
+     with Invalid_argument _ -> true)
+
+let prop_container_header_fuzz =
+  (* random mutations of the first 16 header bytes never crash, never
+     demand absurd allocations: every outcome is Bad_container or a
+     successful decode *)
+  let packed = Compress.Container.pack ~block_size:512 ~algo:Compress.Algo.Deflate text_sample in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:300 ~name:"container header fuzz: mutate first bytes"
+       QCheck.(pair (int_bound 15) (int_range 1 255))
+       (fun (pos, delta) ->
+         let pos = min pos (String.length packed - 1) in
+         let b = Bytes.of_string packed in
+         Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor delta));
+         match Compress.Container.unpack (Bytes.to_string b) with
+         | _ -> true
+         | exception Compress.Container.Bad_container _ -> true))
+
+(* ------------------------------------------------------------------ *)
+(* compression metrics surfaced through the trace registry *)
+
+let test_container_metrics () =
+  Trace.Metrics.reset ();
+  ignore (Compress.Container.pack ~algo:Compress.Algo.Deflate (text_sample ^ random_sample 4096));
+  let snap = Trace.Metrics.snapshot_text () in
+  let mentions needle =
+    let n = String.length needle and hlen = String.length snap in
+    let rec go i = i + n <= hlen && (String.sub snap i n = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "metrics mention %S" needle) true (mentions needle))
+    [ "compress.deflate.bytes_in"; "compress.deflate.bytes_out"; "compress.blocks." ]
 
 (* ------------------------------------------------------------------ *)
 (* Model *)
@@ -277,6 +504,7 @@ let () =
           Alcotest.test_case "random" `Quick test_lz77_random;
           Alcotest.test_case "zeros" `Quick test_lz77_zeros;
           Alcotest.test_case "finds matches" `Quick test_lz77_finds_matches;
+          Alcotest.test_case "token bounds" `Quick test_lz77_token_bounds;
           Alcotest.test_case "adversarial sizes" `Quick test_lz77_adversarial_sizes;
           prop_lz77_roundtrip;
         ] );
@@ -306,7 +534,24 @@ let () =
           Alcotest.test_case "round-trip all algos" `Quick test_container_roundtrip_all_algos;
           Alcotest.test_case "detects corruption" `Quick test_container_detects_corruption;
           Alcotest.test_case "bad magic" `Quick test_container_bad_magic;
+          Alcotest.test_case "block boundaries" `Quick test_container_block_boundaries;
+          Alcotest.test_case "stored fallback bounds expansion" `Quick test_container_stored_fallback;
+          Alcotest.test_case "corruption names block index" `Quick test_container_reports_block_index;
+          Alcotest.test_case "v1 round-trip" `Quick test_container_v1_roundtrip;
+          Alcotest.test_case "v1 golden image" `Quick test_container_v1_golden;
+          prop_container_roundtrip;
+          prop_container_flip_detected;
         ] );
+      ( "hardening",
+        [
+          Alcotest.test_case "huge v2 orig_len" `Quick test_container_huge_orig_len_rejected;
+          Alcotest.test_case "huge v2 block size" `Quick test_container_huge_block_size_rejected;
+          Alcotest.test_case "huge v1 orig_len" `Quick test_container_v1_huge_orig_len_rejected;
+          Alcotest.test_case "huge deflate orig_len" `Quick test_deflate_huge_orig_len_rejected;
+          prop_container_header_fuzz;
+        ] );
+      ( "metrics",
+        [ Alcotest.test_case "pack feeds the trace registry" `Quick test_container_metrics ] );
       ( "model",
         [
           Alcotest.test_case "compression slower than disk" `Quick test_model_compressed_slower_than_disk;
