@@ -205,6 +205,57 @@ let ratio_records () =
     ("container-null-random-64KB", 65536, pack Compress.Algo.Null rand64k);
   ]
 
+(* Store dedup shape: two generations of a frame-chunked checkpoint
+   image through the content-addressed store, generation 1 dirtying one
+   256 KiB window out of 16.  Target bytes are a property of the chunker
+   and the store, not of the machine, so they join the ratio baseline:
+   gen 0 ships the whole image, gen 1 ships only the dirtied frame. *)
+let store_records () =
+  let eng = Sim.Engine.create () in
+  let targets =
+    Array.init 4 (fun i ->
+        let t = Storage.Target.local_disk eng () in
+        Storage.Target.set_node t i;
+        t)
+  in
+  let store = Store.create ~replicas:2 ~engine:eng ~targets () in
+  let n = 16 * 256 * 1024 in
+  let image g =
+    let b =
+      Bytes.init n (fun i ->
+          Char.chr ((i * 131 + ((i lsr 8) * 17) + ((i lsr 16) * 211)) land 0xff))
+    in
+    if g > 0 then Bytes.fill b (5 * 256 * 1024) (256 * 1024) (Char.chr (g land 0xff));
+    Dmtcp.Ckpt_image.encode
+      {
+        Dmtcp.Ckpt_image.upid = Dmtcp.Upid.make ~hostid:2 ~pid:41 ~generation:g;
+        vpid = 41;
+        parent_vpid = 0;
+        program = "p:bench";
+        fds = [];
+        ptys = [];
+        algo = Compress.Algo.Null;
+        sizes = { Mtcp.Image.uncompressed = n; compressed = n; zero_bytes = 0 };
+        mtcp_blob = Compress.Container.pack ~algo:Compress.Algo.Null (Bytes.to_string b);
+      }
+  in
+  let put_gen g =
+    let bytes = image g in
+    ignore
+      (Store.put store ~node:0 ~lineage:"2-41" ~generation:g
+         ~name:(Printf.sprintf "img-g%d" g) ~program:"p:bench"
+         ~sim_bytes:(String.length bytes) ~chunks:(Dmtcp.Ckpt_image.chunk bytes));
+    String.length bytes
+  in
+  let full = put_gen 0 in
+  let s0 = Store.stats store in
+  ignore (put_gen 1);
+  let s1 = Store.stats store in
+  [
+    ("store.gen0-full-write", full, s0.Store.bytes_written);
+    ("store.gen1-dedup-dirty-1of16", full, s1.Store.bytes_written - s0.Store.bytes_written);
+  ]
+
 let print_ratios ratios =
   hr "Compression shape (deterministic: sizes depend only on the encoder)";
   List.iter
@@ -259,6 +310,10 @@ let assert_invariants ratios =
   check "container-deflate-text-1MB" "text must compress to half or better" 0.5;
   check "deflate-raw-random-64KB" "random must expand by at most 1%" 1.01;
   check "container-deflate-random-64KB" "random must expand by at most 1%" 1.01;
+  check "store.gen0-full-write" "first generation ships at most the image plus catalog overhead"
+    1.01;
+  check "store.gen1-dedup-dirty-1of16"
+    "a 1-of-16-dirty generation must dedup to an eighth of the image or less" 0.125;
   flush stdout;
   if !failed then exit 1
 
@@ -266,7 +321,7 @@ let () =
   Printf.printf "DMTCP reproduction benchmark harness (scale: %s)\n"
     (match scale with `Full -> "full" | `Quick -> "quick");
   let timings = if sections <> `Repro then run_micro () else [] in
-  let ratios = ratio_records () in
+  let ratios = ratio_records () @ store_records () in
   print_ratios ratios;
   (match Sys.getenv_opt "BENCH_JSON" with
   | Some path -> emit_json path timings ratios

@@ -16,11 +16,16 @@ dune runtest
 echo "== trace determinism: fixed scenario, two runs, byte-identical =="
 dune exec bin/dmtcp_sim.exe -- trace --check-determinism
 
+echo "== store smoke: catalog verify over the canned two-generation scenario =="
+dune exec bin/dmtcp_sim.exe -- store verify
+
 echo "== bench smoke (quick scale, micro layer) =="
 # Emits the machine-readable artifact, enforces the compression-shape
-# invariants (text halves, random expands <= 1%), then checks that the
-# deterministic ratio records still match the committed baseline --
-# timings are machine-dependent and excluded from the comparison.
+# invariants (text halves, random expands <= 1%) and the store dedup
+# shape (a 1-of-16-dirty generation ships <= 1/8 of the image), then
+# checks that the deterministic ratio records still match the committed
+# baseline -- timings are machine-dependent and excluded from the
+# comparison.
 mkdir -p _artifacts
 BENCH_SCALE=quick BENCH_SECTIONS=micro BENCH_ASSERT=1 \
   BENCH_JSON=_artifacts/bench_micro.json dune exec bench/main.exe > /dev/null

@@ -201,6 +201,81 @@ let inspect () =
   let script = Dmtcp.Api.restart_script rt in
   print_string (Dmtcp.Inspect.describe_checkpoint rt script)
 
+(* canned deterministic store scenario: a dirty-page workload
+   checkpointed across two generations (restart in between) plus an
+   interval re-checkpoint at the second generation, so the catalog holds
+   deduplicated generations for ls/stat/gc/verify to act on *)
+let store_scenario () =
+  Chaos.Progs.ensure_registered ();
+  let cl = Simos.Cluster.create ~nodes:4 () in
+  let options =
+    {
+      Dmtcp.Options.default with
+      Dmtcp.Options.store = true;
+      store_replicas = 2;
+      keep_generations = 2;
+    }
+  in
+  let rt = Dmtcp.Api.install cl ~options () in
+  let run s = Sim.Engine.run ~until:(Simos.Cluster.now cl +. s) (Simos.Cluster.engine cl) in
+  ignore (Dmtcp.Api.launch rt ~node:1 ~prog:"p:dirty" ~argv:[ "24"; "2"; "20000"; "/tmp/st" ]);
+  run 0.5;
+  Dmtcp.Api.checkpoint_now rt;
+  let script = Dmtcp.Api.restart_script rt in
+  Dmtcp.Api.kill_computation rt;
+  Dmtcp.Api.restart rt script;
+  Dmtcp.Api.await_restart rt;
+  run 0.5;
+  Dmtcp.Api.checkpoint_now rt;
+  run 0.5;
+  Dmtcp.Api.checkpoint_now rt;
+  Option.get (Dmtcp.Runtime.store rt)
+
+let store_run action =
+  let store = store_scenario () in
+  match action with
+  | "ls" ->
+    Printf.printf "%-28s %-8s %3s %8s %8s %6s  %s\n" "NAME" "LINEAGE" "GEN" "REAL" "SIM"
+      "BLOCKS" "PROGRAM";
+    List.iter
+      (fun (m : Store.manifest) ->
+        Printf.printf "%-28s %-8s %3d %8d %8d %6d  %s\n" m.Store.m_name m.Store.m_lineage
+          m.Store.m_generation m.Store.m_real_len m.Store.m_sim_bytes
+          (List.length m.Store.m_blocks) m.Store.m_program)
+      (Store.manifests store)
+  | "stat" ->
+    let s = Store.stats store in
+    Printf.printf "manifests          %d\n" (List.length (Store.manifests store));
+    Printf.printf "unique blocks      %d\n" (Store.block_count store);
+    Printf.printf "replicas / quorum  %d / %d (keep %d generations)\n" (Store.replicas store)
+      (Store.quorum store) (Store.keep store);
+    Printf.printf "blocks written     %d\n" s.Store.blocks_written;
+    Printf.printf "blocks deduped     %d\n" s.Store.blocks_deduped;
+    Printf.printf "blocks replicated  %d\n" s.Store.blocks_replicated;
+    Printf.printf "blocks gc'd        %d\n" s.Store.blocks_gcd;
+    Printf.printf "bytes written      %d\n" s.Store.bytes_written;
+    Printf.printf "bytes deduped      %d\n" s.Store.bytes_deduped;
+    Printf.printf "bytes reclaimed    %d\n" s.Store.bytes_reclaimed
+  | "gc" ->
+    let r = Store.gc ~keep:1 store in
+    Printf.printf "gc --keep 1: dropped %d manifest(s), reclaimed %d block(s) / %d modeled bytes\n"
+      r.Store.gc_manifests r.Store.gc_blocks r.Store.gc_bytes;
+    Printf.printf "%d manifest(s), %d unique block(s) remain\n"
+      (List.length (Store.manifests store))
+      (Store.block_count store)
+  | "verify" -> (
+    match Store.verify store with
+    | [] ->
+      Printf.printf "catalog healthy: %d manifest(s), %d unique block(s), all replicated\n"
+        (List.length (Store.manifests store))
+        (Store.block_count store)
+    | problems ->
+      List.iter (Printf.printf "PROBLEM: %s\n") problems;
+      exit 1)
+  | other ->
+    Printf.eprintf "unknown store action %S (expected ls, stat, gc or verify)\n" other;
+    exit 2
+
 (* ------------------------------------------------------------------ *)
 
 let cmd name doc f =
@@ -229,6 +304,17 @@ let () =
         (Cmd.info "inspect"
            ~doc:"Use case 5: dump a checkpointed VNC session's images as a bug report")
         Term.(const inspect $ const ());
+      (let action_arg =
+         Arg.(
+           required
+           & pos 0 (some string) None
+           & info [] ~docv:"ACTION" ~doc:"One of ls, stat, gc or verify.")
+       in
+       Cmd.v
+         (Cmd.info "store"
+            ~doc:"Inspect the replicated content-addressed checkpoint store over a canned \
+                  two-generation dirty-page scenario")
+         Term.(const store_run $ action_arg));
       (let seeds_arg =
          Arg.(value & opt int 50 & info [ "seeds" ] ~docv:"N" ~doc:"Number of seeds to torture.")
        in

@@ -83,6 +83,16 @@ let conn_tables rt =
   in
   List.concat_map check_proc (Dmtcp.Runtime.hijacked_processes rt)
 
+(* Replicated-store hygiene: every block referenced by a catalog
+   manifest must still exist in the block table, match its
+   content-address, and keep at least one replica on a surviving node —
+   otherwise the store claims a restart point it can no longer produce.
+   Vacuously holds when the runtime was installed without the store. *)
+let store_replication rt =
+  match Dmtcp.Runtime.store rt with
+  | None -> []
+  | Some store -> List.map (fun e -> "store: " ^ e) (Store.verify store)
+
 (* After a scenario completes and the fabric settles, nothing must be
    leaked: no checkpointed process still alive, no stray non-coordinator
    process, exactly one coordinator, and the coordinator itself holding

@@ -593,6 +593,97 @@ module Sigapp = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* p:dirty — materializes real (incompressible) data across many pages,
+   then keeps computing while rewriting a small page subset each
+   iteration.  This is the dirty-page workload for the content-addressed
+   store: successive checkpoints share every frame covering the stable
+   pages and re-ship only the dirtied ones. *)
+
+module Dirty = struct
+  type state = {
+    phase : int;
+    pages : int;  (* pages of real data to materialize *)
+    dirty : int;  (* pages rewritten every iteration *)
+    iters : int;
+    done_ : int;
+    base : int;  (* region start address, 0 until mapped *)
+    out : string;
+  }
+
+  let name = "p:dirty"
+
+  let encode w st =
+    W.uvarint w st.phase;
+    W.uvarint w st.pages;
+    W.uvarint w st.dirty;
+    W.uvarint w st.iters;
+    W.uvarint w st.done_;
+    W.uvarint w st.base;
+    W.string w st.out
+
+  let decode r =
+    let phase = R.uvarint r in
+    let pages = R.uvarint r in
+    let dirty = R.uvarint r in
+    let iters = R.uvarint r in
+    let done_ = R.uvarint r in
+    let base = R.uvarint r in
+    let out = R.string r in
+    { phase; pages; dirty; iters; done_; base; out }
+
+  let init ~argv =
+    match argv with
+    | [ pages; dirty; iters; out ] ->
+      {
+        phase = 0;
+        pages = int_of_string pages;
+        dirty = int_of_string dirty;
+        iters = int_of_string iters;
+        done_ = 0;
+        base = 0;
+        out;
+      }
+    | _ -> { phase = 0; pages = 16; dirty = 2; iters = 100; done_ = 0; base = 0; out = "/tmp/dirty" }
+
+  (* page-sized, deterministic, non-periodic, and incompressible enough
+     that the checkpoint pipeline cannot shrink it away *)
+  let page_payload ~page ~version =
+    String.init Mem.Page.size (fun i ->
+        let v =
+          (i * 131) + ((i lsr 8) * 17) + ((i lsr 16) * 211) + (page * 7919) + (version * 104729)
+        in
+        Char.chr (v land 0xff))
+
+  let write_page (ctx : Simos.Program.ctx) st ~page ~version =
+    ctx.mem_write ~addr:(st.base + (page * Mem.Page.size)) (page_payload ~page ~version)
+
+  let step (ctx : Simos.Program.ctx) st =
+    if st.phase = 0 then begin
+      let region = ctx.mmap ~bytes:(st.pages * Mem.Page.size) ~kind:Mem.Region.Heap in
+      let st = { st with phase = 1; base = region.Mem.Region.start_addr } in
+      for page = 0 to st.pages - 1 do
+        write_page ctx st ~page ~version:0
+      done;
+      Simos.Program.Continue st
+    end
+    else if st.done_ < st.iters then begin
+      let st = { st with done_ = st.done_ + 1 } in
+      for page = 0 to min st.dirty st.pages - 1 do
+        write_page ctx st ~page ~version:st.done_
+      done;
+      Simos.Program.Compute (st, 2e-3)
+    end
+    else begin
+      (match ctx.open_file st.out with
+      | Ok fd ->
+        ignore (ctx.write_fd fd (Printf.sprintf "dirty:%d" st.done_));
+        ctx.close_fd fd
+      | Error _ -> ());
+      Simos.Program.Exit 0
+    end
+end
+
+(* ------------------------------------------------------------------ *)
 
 let registered = ref false
 
@@ -603,6 +694,7 @@ let ensure_registered () =
       [
         (module Counter : Simos.Program.S);
         (module Memhog);
+        (module Dirty);
         (module Stream_server);
         (module Stream_client);
         (module Pipeline);

@@ -216,12 +216,15 @@ let recover st env sc =
   st.recovery <- false;
   Dmtcp.Api.kill_computation env.Common.rt;
   match st.saved with
-  | Some (script, snaps) ->
+  | Some (script, snaps) when Dmtcp.Api.script_images_available env.Common.rt script ->
     (* rewind the output files to their state at checkpoint capture so
        a restarted process re-executes its writes onto a clean slate *)
     List.iter (restore_output env) snaps;
     Dmtcp.Api.restart env.Common.rt script
-  | None ->
+  | Some _ | None ->
+    (* no checkpoint yet, or its images are no longer producible (file
+       unlinked by retention and store replicas lost): relaunch from
+       scratch rather than spawn a restarter doomed to exit 1/73 *)
     List.iter (unlink_output env) sc.Scenario.sc_outputs;
     launch_all env sc
 

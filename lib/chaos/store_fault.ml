@@ -1,0 +1,123 @@
+(* Store-specific chaos: replica loss between checkpoint and restart.
+
+   These scenarios live in their own module — not in [Scenario.sample] —
+   so the seeded generator's draw order, and with it the pinned chaos
+   corpus, stays byte-identical.  Both are fully deterministic.
+
+   - [replica_loss]: checkpoint into the replicated store, then lose the
+     restart host's disk — every block's local replica.  The restarter
+     must resolve the images through the catalog, pull the surviving
+     remote replicas, and the computation must finish with the exact
+     output of an unfaulted run.
+
+   - [total_loss]: same, but every replica of the blocks is lost.  The
+     restart must fail cleanly — exit code 73 with the unrecoverable
+     blocks named in the trace — and restore nothing. *)
+
+module Common = Harness.Common
+
+let sprintf = Printf.sprintf
+
+(* one process, 8 MB resident, deterministic output *)
+let prog = "p:memhog"
+let out_path = "/data/sf_out"
+let iters = 400
+let expected = sprintf "hog:%d" iters
+let home = 1  (* node the workload runs (and restarts) on *)
+
+let options () =
+  {
+    Dmtcp.Options.default with
+    Dmtcp.Options.store = true;
+    store_replicas = 2;
+    keep_generations = 2;
+  }
+
+(* launch, settle, checkpoint into the store, kill the computation;
+   returns the env, the store, and the restart script *)
+let checkpointed () =
+  Progs.ensure_registered ();
+  let env = Common.setup ~nodes:4 ~cores_per_node:2 ~options:(options ()) () in
+  ignore
+    (Dmtcp.Api.launch env.Common.rt ~node:home ~prog
+       ~argv:[ "8"; string_of_int iters; out_path ]);
+  Common.run_for env 0.5;
+  Dmtcp.Api.checkpoint_now env.Common.rt;
+  let script = Dmtcp.Api.restart_script env.Common.rt in
+  Dmtcp.Api.kill_computation env.Common.rt;
+  let store =
+    match Dmtcp.Runtime.store env.Common.rt with
+    | Some s -> s
+    | None -> failwith "store_fault: runtime installed without the store"
+  in
+  (env, store, script)
+
+let output env =
+  match
+    Simos.Vfs.lookup (Simos.Kernel.vfs (Simos.Cluster.kernel env.Common.cl home)) out_path
+  with
+  | Some f -> Some (Simos.Vfs.read_all f)
+  | None -> None
+
+let run_until env ~deadline pred =
+  while (not (pred ())) && Simos.Cluster.now env.Common.cl < deadline do
+    Common.run_for env 0.1
+  done
+
+let replica_loss () =
+  let env, store, script = checkpointed () in
+  let violations = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> violations := m :: !violations) fmt in
+  (* the home node's disk dies: every image block loses its local copy *)
+  Store.drop_node store home;
+  if not (Dmtcp.Api.script_images_available env.Common.rt script) then
+    fail "images reported unavailable with a replica of every block surviving";
+  List.iter (fun e -> fail "store verify after one-replica loss: %s" e) (Store.verify store);
+  Dmtcp.Api.restart env.Common.rt script;
+  Dmtcp.Api.await_restart env.Common.rt;
+  let deadline = Simos.Cluster.now env.Common.cl +. 30. in
+  run_until env ~deadline (fun () -> output env <> None);
+  (match output env with
+  | Some got when got = expected -> ()
+  | Some got ->
+    fail "restart from surviving replica diverged: expected %S, got %S" expected got
+  | None -> fail "restart from surviving replica never finished (no output)");
+  !violations @ Invariant.store_replication env.Common.rt
+
+let total_loss () =
+  let env, store, script = checkpointed () in
+  let violations = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> violations := m :: !violations) fmt in
+  (* every node's disk dies: no replica of any block survives *)
+  for node = 0 to Simos.Cluster.nodes env.Common.cl - 1 do
+    Store.drop_node store node
+  done;
+  if Dmtcp.Api.script_images_available env.Common.rt script then
+    fail "images reported available with every replica lost";
+  let col = Trace.collector () in
+  let sink = Trace.collector_sink col in
+  Trace.attach sink;
+  Dmtcp.Api.restart env.Common.rt script;
+  Common.run_for env 5.0;
+  Trace.detach sink;
+  let events = Trace.events col in
+  let exit_codes =
+    List.filter_map
+      (fun (e : Trace.event) ->
+        if e.Trace.name = "proc/exit" then List.assoc_opt "code" e.Trace.args else None)
+      events
+  in
+  if not (List.mem "73" exit_codes) then
+    fail "restarter did not exit 73 on total replica loss (saw exits: %s)"
+      (String.concat "," exit_codes);
+  (match
+     List.find_opt (fun (e : Trace.event) -> e.Trace.name = "rst/missing-blocks") events
+   with
+  | None -> fail "no missing-blocks report from the restarter"
+  | Some e ->
+    if Option.value ~default:"" (List.assoc_opt "blocks" e.Trace.args) = "" then
+      fail "missing-blocks report does not name the lost blocks");
+  if Dmtcp.Runtime.hijacked_processes env.Common.rt <> [] then
+    fail "processes half-restored after a failed (exit 73) restart";
+  if output env <> None then fail "output produced despite unrecoverable images";
+  !violations

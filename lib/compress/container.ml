@@ -203,3 +203,50 @@ let unpack s =
     let payload_bytes = String.length s in
     if m = magic then unpack_v2 r ~payload_bytes else unpack_v1 r ~payload_bytes algo
   with Util.Codec.Reader.Corrupt msg -> raise (Bad_container ("corrupt frame: " ^ msg))
+
+(* ------------------------------------------------------------------ *)
+(* Frame boundaries, for content-addressed chunking.
+
+   Each DMZ2 per-block record is self-delimiting and covers a fixed
+   256 KiB window of the *input*, so its boundaries do not shift when a
+   neighbouring block's compressed payload changes size.  That makes
+   the records the natural dedup unit of a content-addressed store: a
+   page dirtied in one input block re-encodes exactly one frame. *)
+
+let frame_bounds s =
+  let module R = Util.Codec.Reader in
+  let total = String.length s in
+  if total < 4 || String.sub s 0 4 <> magic then None
+  else
+    try
+      let r = R.of_string s in
+      let pos () = total - R.remaining r in
+      ignore (R.raw r 4);
+      let _algo = Algo.decode r in
+      let block_size = R.uvarint r in
+      let orig_len = R.uvarint r in
+      let nblocks = R.uvarint r in
+      if
+        block_size <= 0 || block_size > max_block_size
+        || nblocks <> (orig_len + block_size - 1) / block_size
+      then None
+      else begin
+        let bounds = ref [] in
+        let start = ref 0 in
+        let cut () =
+          let p = pos () in
+          bounds := (!start, p - !start) :: !bounds;
+          start := p
+        in
+        cut ();
+        for _ = 1 to nblocks do
+          let (_ : int) = R.u8 r in
+          let (_ : int) = R.uvarint r in
+          let (_ : int) = R.u32 r in
+          let (_ : string) = R.string r in
+          cut ()
+        done;
+        R.expect_end r;
+        Some (List.rev !bounds)
+      end
+    with R.Corrupt _ | Bad_container _ -> None

@@ -35,3 +35,13 @@ val unpack : string -> string
 
 (** Scheme recorded in a frame, without unpacking the body. *)
 val algo_of : string -> Algo.t
+
+(** [frame_bounds s] returns the DMZ2 frame boundaries of [s]: the
+    header and each per-block record as [(offset, length)] pairs, in
+    order, whose concatenation reproduces [s] exactly.  Block records
+    cover fixed windows of the input, so a localized change to the
+    uncompressed data re-encodes exactly one frame — the dedup unit of
+    the content-addressed checkpoint store.  [None] if [s] is not a
+    well-formed DMZ2 container (legacy DMZ1 frames and raw strings
+    dedup as a single unit). *)
+val frame_bounds : string -> (int * int) list option

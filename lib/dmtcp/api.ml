@@ -113,11 +113,13 @@ let kill_computation rt =
 
 (* Images may live on hosts other than where they will be restored (the
    script may have been remapped for migration); stand in for scp/shared
-   storage by copying the file bytes across vfs instances. *)
+   storage by copying the file bytes across vfs instances.  Under the
+   replicated store there is nothing to copy: restart resolves the image
+   through the catalog and pulls a replica itself. *)
 let ensure_image_on rt ~host path =
   let cl = Runtime.cluster rt in
   let target_vfs = Simos.Kernel.vfs (Runtime.kernel_of rt ~node:host) in
-  if not (Simos.Vfs.exists target_vfs path) then begin
+  if Runtime.store rt = None && not (Simos.Vfs.exists target_vfs path) then begin
     let found = ref None in
     for node = 0 to Simos.Cluster.nodes cl - 1 do
       if !found = None then
@@ -133,6 +135,31 @@ let ensure_image_on rt ~host path =
       Simos.Vfs.set_sim_size dst (Simos.Vfs.sim_size src)
     | None -> ()
   end
+
+(* Can every image of [script] still be produced somewhere — as a file on
+   some node, or from the store with all blocks on surviving replicas?
+   Chaos recovery uses this to decide between restart and relaunch. *)
+let script_images_available rt (script : Restart_script.t) =
+  let cl = Runtime.cluster rt in
+  let on_some_node path =
+    let found = ref false in
+    for node = 0 to Simos.Cluster.nodes cl - 1 do
+      if (not !found) && Simos.Vfs.exists (Simos.Kernel.vfs (Simos.Cluster.kernel cl node)) path
+      then found := true
+    done;
+    !found
+  in
+  List.for_all
+    (fun (_, images) ->
+      List.for_all
+        (fun path ->
+          on_some_node path
+          ||
+          match Runtime.store rt with
+          | Some store -> Store.contains store ~name:(Filename.basename path)
+          | None -> false)
+        images)
+    script.Restart_script.entries
 
 let restart rt (script : Restart_script.t) =
   if script.Restart_script.entries = [] then

@@ -56,6 +56,11 @@ val restart_script : Runtime.t -> Restart_script.t
     Checkpoint images survive on the nodes' filesystems. *)
 val kill_computation : Runtime.t -> unit
 
+(** Can every image of [script] still be produced somewhere — as a file
+    on some node, or from the store with every block on a surviving
+    replica?  Chaos recovery uses this to decide restart vs relaunch. *)
+val script_images_available : Runtime.t -> Restart_script.t -> bool
+
 (** [restart rt script] bumps the generation, clears the discovery
     service, copies images to their (possibly remapped) target hosts,
     starts a fresh coordinator if needed, and spawns one [dmtcp_restart]

@@ -235,6 +235,41 @@ let decode s =
   | R.Corrupt msg -> raise (Corrupt_image msg)
   | Invalid_argument msg | Failure msg -> raise (Corrupt_image msg)
 
+(* Chunk an encoded image at its DMZ2 frame boundaries for the
+   content-addressed store: [magic + metadata section + blob length
+   prefix] as one chunk, each frame of the mtcp blob as its own chunk,
+   and the blob CRC trailer last.  Concatenating the chunks reproduces
+   [bytes] exactly.  The metadata prefix carries the upid and so never
+   dedups across generations, but it is tiny; the blob frames cover
+   fixed 256 KiB windows of process memory, so generations that dirty
+   few pages share almost every frame with their predecessor.  Anything
+   unparseable (or a non-DMZ2 blob) chunks as a single unit. *)
+let chunk bytes =
+  let total = String.length bytes in
+  let whole = [ bytes ] in
+  try
+    let r = R.of_string bytes in
+    let pos () = total - R.remaining r in
+    let m = R.raw r (String.length magic) in
+    if m <> magic then whole
+    else begin
+      let (_ : string) = R.string r in (* metadata payload *)
+      let (_ : int) = R.u32 r in (* metadata CRC *)
+      let blob = R.string r in
+      let blob_end = pos () in
+      let blob_start = blob_end - String.length blob in
+      match Compress.Container.frame_bounds blob with
+      | None -> whole
+      | Some bounds ->
+        let prefix = String.sub bytes 0 blob_start in
+        let frames =
+          List.map (fun (off, len) -> String.sub bytes (blob_start + off) len) bounds
+        in
+        let suffix = String.sub bytes blob_end (total - blob_end) in
+        (prefix :: frames) @ [ suffix ]
+    end
+  with R.Corrupt _ -> whole
+
 (* The mtcp blob is itself a compressed container; bit-flips inside it
    surface as [Bad_container] (with the damaged block's index for DMZ2
    frames) — convert so restart's corrupt-image path handles both. *)

@@ -64,6 +64,12 @@ val decode : string -> t
 (** Decode the wrapped MTCP image (memory + threads). *)
 val mtcp : t -> Mtcp.Image.t
 
+(** Split encoded image bytes at the mtcp blob's DMZ2 frame boundaries
+    — the dedup units of the content-addressed store.  Concatenating
+    the chunks reproduces the input exactly; unparseable input yields a
+    single chunk. *)
+val chunk : string -> string list
+
 (** Real bytes of the encoded image plus the simulated page payload — the
     number the paper's figures report as "checkpoint size". *)
 val sim_file_size : t -> int

@@ -122,8 +122,14 @@ let describe_checkpoint rt (script : Restart_script.t) =
         (fun path ->
           let vfs = Simos.Kernel.vfs (Runtime.kernel_of rt ~node:host) in
           match Simos.Vfs.lookup vfs path with
-          | None -> bf buf "(missing image %s on node %d)\n" path host
-          | Some f -> Buffer.add_string buf (describe (Ckpt_image.decode (Simos.Vfs.read_all f))))
+          | Some f -> Buffer.add_string buf (describe (Ckpt_image.decode (Simos.Vfs.read_all f)))
+          | None -> (
+            (* no flat file: the image may live only in the block store *)
+            match Option.map (fun s -> Store.peek s ~name:(Filename.basename path))
+                    (Runtime.store rt)
+            with
+            | Some (Some bytes) -> Buffer.add_string buf (describe (Ckpt_image.decode bytes))
+            | Some None | None -> bf buf "(missing image %s on node %d)\n" path host))
         images)
     script.Restart_script.entries;
   Buffer.contents buf

@@ -20,6 +20,8 @@ type phase =
   | P_write
   | P_write_disk of { path : string; bytes : string; sim : int }
   | P_write_file of { path : string; bytes : string; sim : int }
+  | P_write_store of { path : string; bytes : string; sim : int; upid : Upid.t; program : string }
+  | P_store_commit of { lineage : string }
   | P_refill
   | P_refill_done
   | P_resume
@@ -237,6 +239,23 @@ module P = struct
     Simos.Vfs.append f bytes;
     Simos.Vfs.set_sim_size f sim_size
 
+  (* Store write path: chunk at DMZ2 frame boundaries, dedup against
+     every prior generation, replicate new blocks; the returned delay is
+     the write quorum's completion (no flat file, no sync — replication
+     is the durability mechanism). *)
+  let store_put store ~node ~path ~bytes ~upid ~program ~sim =
+    Store.put store ~node ~lineage:(Upid.lineage upid) ~generation:upid.Upid.generation
+      ~name:(Filename.basename path) ~program ~sim_bytes:sim ~chunks:(Ckpt_image.chunk bytes)
+
+  (* After a checkpoint write lands: age out generations beyond the
+     retention window — catalog manifests under the store, flat
+     image/conninfo files either way. *)
+  let finish_write lineage =
+    (match Runtime.store (rt ()) with
+    | Some store -> ignore (Store.gc_lineage store ~lineage)
+    | None -> ());
+    Runtime.prune_images (rt ()) ~lineage
+
   (* -------------------------------------------------------------- *)
   (* the state machine *)
 
@@ -396,7 +415,7 @@ module P = struct
           (Compress.Model.compress_seconds ~algo:opts.Options.algo
              ~bytes:sizes.Mtcp.Image.uncompressed ~zero_bytes:sizes.Mtcp.Image.zero_bytes)
       in
-      Runtime.record_image (rt ()) ~node:ctx.node_id ~path ~sizes;
+      Runtime.record_image (rt ()) ~node:ctx.node_id ~path ~upid:image.Ckpt_image.upid ~sizes;
       if opts.Options.forked then begin
         (* forked checkpointing: snapshot copy-on-write; compression and
            writing happen in the "child" while the parent resumes after
@@ -407,16 +426,39 @@ module P = struct
         let k = my_kernel ctx in
         let storage = Simos.Kernel.storage k in
         let eng = Simos.Kernel.engine k in
+        let upid = image.Ckpt_image.upid in
+        let program = image.Ckpt_image.program in
+        let lineage = Upid.lineage upid in
         ignore
           (Sim.Engine.schedule eng ~delay:compress_cost (fun () ->
-               let write_delay = Storage.Target.write storage ~bytes:sizes.Mtcp.Image.compressed in
-               ignore
-                 (Sim.Engine.schedule eng ~delay:write_delay (fun () ->
-                      write_image_file ctx path bytes sizes.Mtcp.Image.compressed))));
+               match Runtime.store (rt ()) with
+               | Some store ->
+                 let delay =
+                   store_put store ~node:ctx.node_id ~path ~bytes ~upid ~program
+                     ~sim:sizes.Mtcp.Image.compressed
+                 in
+                 ignore (Sim.Engine.schedule eng ~delay (fun () -> finish_write lineage))
+               | None ->
+                 let write_delay = Storage.Target.write storage ~bytes:sizes.Mtcp.Image.compressed in
+                 ignore
+                   (Sim.Engine.schedule eng ~delay:write_delay (fun () ->
+                        write_image_file ctx path bytes sizes.Mtcp.Image.compressed;
+                        finish_write lineage))));
         Simos.Program.Compute (to_barrier st 4 P_refill, Mtcp.Cost.snapshot_seconds ~pages)
       end
       else begin
-        st.phase <- P_write_disk { path; bytes; sim = sizes.Mtcp.Image.compressed };
+        (match Runtime.store (rt ()) with
+        | Some _ ->
+          st.phase <-
+            P_write_store
+              {
+                path;
+                bytes;
+                sim = sizes.Mtcp.Image.compressed;
+                upid = image.Ckpt_image.upid;
+                program = image.Ckpt_image.program;
+              }
+        | None -> st.phase <- P_write_disk { path; bytes; sim = sizes.Mtcp.Image.compressed });
         Simos.Program.Compute (st, compress_cost)
       end)
     | P_write_disk { path; bytes; sim } ->
@@ -429,6 +471,22 @@ module P = struct
         (st, Simos.Program.Sleep_until (ctx.now () +. write_delay +. sync_delay))
     | P_write_file { path; bytes; sim } ->
       write_image_file ctx path bytes sim;
+      finish_write (Upid.lineage (my_pstate ctx).Runtime.upid);
+      Simos.Program.Continue (to_barrier st 4 P_refill)
+    | P_write_store { path; bytes; sim; upid; program } -> (
+      match Runtime.store (rt ()) with
+      | None ->
+        (* store torn down mid-protocol: fall back to the flat file *)
+        st.phase <- P_write_disk { path; bytes; sim };
+        Simos.Program.Continue st
+      | Some store ->
+        let delay =
+          jitter ctx (store_put store ~node:ctx.node_id ~path ~bytes ~upid ~program ~sim)
+        in
+        st.phase <- P_store_commit { lineage = Upid.lineage upid };
+        Simos.Program.Block (st, Simos.Program.Sleep_until (ctx.now () +. delay)))
+    | P_store_commit { lineage } ->
+      finish_write lineage;
       Simos.Program.Continue (to_barrier st 4 P_refill)
     | P_refill ->
       (* stage 6: re-inject drained socket data and pty buffers, restore

@@ -7,6 +7,10 @@ type t = {
   incremental : bool;
   interval : float option;
   sync_after : bool;
+  store : bool;
+  store_replicas : int;
+  store_quorum : int;  (* 0 = majority of store_replicas *)
+  keep_generations : int;  (* retention for store GC and legacy files; 0 = unbounded *)
 }
 
 let default =
@@ -19,6 +23,10 @@ let default =
     incremental = false;
     interval = None;
     sync_after = false;
+    store = false;
+    store_replicas = 2;
+    store_quorum = 0;
+    keep_generations = 2;
   }
 
 let hijack_key = "DMTCP_HIJACK"
@@ -36,12 +44,17 @@ let to_env t =
     ("DMTCP_INCREMENTAL", if t.incremental then "1" else "0");
     ("DMTCP_INTERVAL", (match t.interval with Some i -> string_of_float i | None -> "0"));
     ("DMTCP_SYNC", if t.sync_after then "1" else "0");
+    ("DMTCP_STORE", if t.store then "1" else "0");
+    ("DMTCP_STORE_REPLICAS", string_of_int t.store_replicas);
+    ("DMTCP_STORE_QUORUM", string_of_int t.store_quorum);
+    ("DMTCP_KEEP_GENERATIONS", string_of_int t.keep_generations);
   ]
 
 let of_env env =
   let get key default = Option.value ~default (List.assoc_opt key env) in
-  let coord_host = int_of_string (get "DMTCP_COORD_HOST" (string_of_int default.coord_host)) in
-  let coord_port = int_of_string (get "DMTCP_COORD_PORT" (string_of_int default.coord_port)) in
+  let get_int key default = try int_of_string (get key (string_of_int default)) with _ -> default in
+  let coord_host = get_int "DMTCP_COORD_HOST" default.coord_host in
+  let coord_port = get_int "DMTCP_COORD_PORT" default.coord_port in
   let ckpt_dir = get "DMTCP_CHECKPOINT_DIR" default.ckpt_dir in
   let algo =
     Option.value ~default:default.algo (Compress.Algo.of_name (get "DMTCP_GZIP" "deflate"))
@@ -50,7 +63,24 @@ let of_env env =
   let incremental = get "DMTCP_INCREMENTAL" "0" = "1" in
   let interval = match float_of_string (get "DMTCP_INTERVAL" "0") with 0. -> None | i -> Some i in
   let sync_after = get "DMTCP_SYNC" "0" = "1" in
-  { coord_host; coord_port; ckpt_dir; algo; forked; incremental; interval; sync_after }
+  let store = get "DMTCP_STORE" "0" = "1" in
+  let store_replicas = get_int "DMTCP_STORE_REPLICAS" default.store_replicas in
+  let store_quorum = get_int "DMTCP_STORE_QUORUM" default.store_quorum in
+  let keep_generations = get_int "DMTCP_KEEP_GENERATIONS" default.keep_generations in
+  {
+    coord_host;
+    coord_port;
+    ckpt_dir;
+    algo;
+    forked;
+    incremental;
+    interval;
+    sync_after;
+    store;
+    store_replicas;
+    store_quorum;
+    keep_generations;
+  }
 
 let of_getenv getenv =
   let env =
@@ -58,7 +88,8 @@ let of_getenv getenv =
       (fun k -> Option.map (fun v -> (k, v)) (getenv k))
       [
         hijack_key; "DMTCP_COORD_HOST"; "DMTCP_COORD_PORT"; "DMTCP_CHECKPOINT_DIR"; "DMTCP_GZIP";
-        "DMTCP_FORKED"; "DMTCP_INCREMENTAL"; "DMTCP_INTERVAL"; "DMTCP_SYNC";
+        "DMTCP_FORKED"; "DMTCP_INCREMENTAL"; "DMTCP_INTERVAL"; "DMTCP_SYNC"; "DMTCP_STORE";
+        "DMTCP_STORE_REPLICAS"; "DMTCP_STORE_QUORUM"; "DMTCP_KEEP_GENERATIONS";
       ]
   in
   of_env env

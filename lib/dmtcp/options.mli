@@ -11,6 +11,16 @@ type t = {
       (** write only pages dirtied since the previous checkpoint *)
   interval : float option;     (** automatic checkpoint interval, seconds *)
   sync_after : bool;           (** issue sync(2) after writing images *)
+  store : bool;
+      (** write checkpoints to the replicated content-addressed store
+          instead of flat per-node files *)
+  store_replicas : int;        (** copies of each new block, distinct nodes *)
+  store_quorum : int;
+      (** replicas a write waits for; [0] = majority of [store_replicas] *)
+  keep_generations : int;
+      (** checkpoint generations retained per process lineage, by the
+          store GC and by the legacy flat-file reaper alike; [0] keeps
+          everything forever *)
 }
 
 val default : t

@@ -42,6 +42,8 @@ type state = {
   mutable connectors : connecting list;
   mutable restored : (Ckpt_image.t * Simos.Kernel.process) list;
   mutable phase_t0 : float;
+  mutable local_read_bytes : int;  (* modeled bytes of images read from local files *)
+  mutable store_read_delay : float;  (* booked catalog/replica read time (store mode) *)
 }
 
 module P = struct
@@ -63,6 +65,8 @@ module P = struct
       connectors = [];
       restored = [];
       phase_t0 = 0.;
+      local_read_bytes = 0;
+      store_read_delay = 0.;
     }
 
   let rt () = Runtime.active ()
@@ -428,20 +432,26 @@ module P = struct
     let k = my_kernel ctx in
     let storage = Simos.Kernel.storage k in
     let cores = Simos.Kernel.cores k in
-    let read_bytes = ref 0 in
     let decompress_total = ref 0. in
     List.iter
       (fun (img : Ckpt_image.t) ->
         let sizes = img.Ckpt_image.sizes in
-        read_bytes := !read_bytes + sizes.Mtcp.Image.compressed;
         decompress_total :=
           !decompress_total
           +. Compress.Model.decompress_seconds ~algo:img.Ckpt_image.algo
                ~bytes:sizes.Mtcp.Image.uncompressed ~zero_bytes:sizes.Mtcp.Image.zero_bytes)
       st.images;
     (* one booking for this host's whole image set: the restart process
-       reads them serially from its disk *)
-    let read_total = ref (Storage.Target.read storage ~bytes:!read_bytes) in
+       reads the local files serially from its disk.  Images pulled from
+       the store were already booked on their replicas' targets at fetch
+       time; their (overlapped) read time is [store_read_delay]. *)
+    let read_total =
+      ref
+        ((if st.local_read_bytes > 0 then
+            Storage.Target.read storage ~bytes:st.local_read_bytes
+          else 0.)
+        +. st.store_read_delay)
+    in
     let parallel = float_of_int (max 1 (min cores (List.length st.images))) in
     let dt = !read_total +. (!decompress_total /. parallel) in
     (* run-to-run I/O variation, as for checkpoint writes *)
@@ -479,28 +489,68 @@ module P = struct
       st.phase_t0 <- ctx.now ();
       let k = my_kernel ctx in
       let corrupt = ref None in
+      let missing = ref [] in
+      let decode_image ~source path bytes =
+        match Ckpt_image.decode bytes with
+        | img -> Some img
+        | exception Ckpt_image.Corrupt_image msg ->
+          (* a damaged image must not yield a half-restored
+             computation: report it and fail the whole restart *)
+          ctx.log (Printf.sprintf "corrupt checkpoint image %s (%s): %s" path source msg);
+          trace_rst ctx "corrupt-image" [ ("path", path); ("source", source); ("error", msg) ];
+          if !corrupt = None then corrupt := Some path;
+          None
+      in
       (match ctx.argv with
       | _ :: paths ->
         st.images <-
           List.filter_map
             (fun path ->
               match Simos.Vfs.lookup (Simos.Kernel.vfs k) path with
-              | Some f -> (
-                match Ckpt_image.decode (Simos.Vfs.read_all f) with
-                | img -> Some img
-                | exception Ckpt_image.Corrupt_image msg ->
-                  (* a damaged image must not yield a half-restored
-                     computation: report it and fail the whole restart *)
-                  ctx.log (Printf.sprintf "corrupt checkpoint image %s: %s" path msg);
-                  trace_rst ctx "corrupt-image" [ ("path", path); ("error", msg) ];
-                  if !corrupt = None then corrupt := Some path;
-                  None)
-              | None -> None)
+              | Some f ->
+                let img = decode_image ~source:"file" path (Simos.Vfs.read_all f) in
+                (match img with
+                | Some i ->
+                  st.local_read_bytes <-
+                    st.local_read_bytes + i.Ckpt_image.sizes.Mtcp.Image.compressed
+                | None -> ());
+                img
+              | None -> (
+                (* no local file: resolve through the store catalog and pull
+                   a surviving replica (the restart-from-replica path) *)
+                match Runtime.store (rt ()) with
+                | None -> None
+                | Some store -> (
+                  let name = Filename.basename path in
+                  match Store.fetch store ~node:ctx.node_id ~name with
+                  | Some (bytes, delay) ->
+                    (* replica reads already booked on their source targets;
+                       concurrent pulls overlap, so charge the slowest *)
+                    st.store_read_delay <- Float.max st.store_read_delay delay;
+                    trace_rst ctx "store-fetch"
+                      [ ("name", name); ("delay", Printf.sprintf "%.6f" delay) ];
+                    decode_image ~source:"store" path bytes
+                  | None -> None
+                  | exception Store.Missing_blocks blocks ->
+                    missing := (path, blocks) :: !missing;
+                    None)))
             paths
       | [] -> ());
-      match !corrupt with
-      | Some _ -> Simos.Program.Exit 72
-      | None ->
+      match (!corrupt, List.rev !missing) with
+      | Some _, _ -> Simos.Program.Exit 72
+      | None, (_ :: _ as missing) ->
+        (* every replica of at least one block is gone: fail the restart
+           cleanly and name the unrecoverable blocks *)
+        List.iter
+          (fun (path, blocks) ->
+            ctx.log
+              (Printf.sprintf "unrecoverable image %s: store blocks lost on all replicas: %s"
+                 path (String.concat ", " blocks));
+            trace_rst ctx "missing-blocks"
+              [ ("path", path); ("blocks", String.concat "," blocks) ])
+          missing;
+        Simos.Program.Exit 73
+      | None, [] ->
         if st.images = [] then Simos.Program.Exit 1
         else begin
           trace_rst ctx "boot" [ ("images", string_of_int (List.length st.images)) ];

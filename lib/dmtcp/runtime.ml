@@ -21,6 +21,15 @@ type op_info = {
 let fresh_op () =
   { started = 0.; finished = 0.; images = []; total_compressed = 0; total_uncompressed = 0; nprocs = 0 }
 
+(* One written image file per (lineage, generation): what the legacy
+   flat-file reaper unlinks once the generation ages out of retention. *)
+type image_record = {
+  ir_generation : int;
+  ir_node : int;
+  ir_path : string;
+  ir_upid : string;
+}
+
 type t = {
   cl : Simos.Cluster.t;
   opts : Options.t;
@@ -35,6 +44,8 @@ type t = {
   shm : (string, Mem.Page.content array) Hashtbl.t;
   mutable restart_expected : int;
   mutable refill_arrived : int;
+  store : Store.t option;
+  lineage_images : (string, image_record list) Hashtbl.t;
 }
 
 let nbarriers = 5
@@ -145,11 +156,55 @@ let forget_process t ~node ~pid =
     release_vpid t ~vpid:ps.vpid;
     Hashtbl.remove t.procs (node, pid)
 
-let record_image t ~node ~path ~sizes =
+let store t = t.store
+
+let record_image t ~node ~path ~upid ~sizes =
   t.ckpt.images <- (node, path) :: t.ckpt.images;
   t.ckpt.total_compressed <- t.ckpt.total_compressed + sizes.Mtcp.Image.compressed;
   t.ckpt.total_uncompressed <- t.ckpt.total_uncompressed + sizes.Mtcp.Image.uncompressed;
-  t.ckpt.nprocs <- t.ckpt.nprocs + 1
+  t.ckpt.nprocs <- t.ckpt.nprocs + 1;
+  (* lifecycle ledger: same-generation interval checkpoints overwrite
+     their file in place, so one record per (lineage, generation) *)
+  let lineage = Upid.lineage upid in
+  let gen = upid.Upid.generation in
+  let existing = Option.value ~default:[] (Hashtbl.find_opt t.lineage_images lineage) in
+  if not (List.exists (fun r -> r.ir_generation = gen && r.ir_path = path && r.ir_node = node) existing)
+  then
+    Hashtbl.replace t.lineage_images lineage
+      ({ ir_generation = gen; ir_node = node; ir_path = path; ir_upid = Upid.to_string upid }
+      :: existing)
+
+(* Legacy flat-file retention: unlink image and conninfo files of
+   generations older than the newest [keep_generations] of a lineage.
+   Without this, every restart leaves the previous generation's files on
+   its target forever and long interval-checkpointed runs grow target
+   usage without bound.  Under the store, images live in the catalog
+   (its GC applies) but the per-upid conninfo files still age out here. *)
+let prune_images t ~lineage =
+  let keep = t.opts.Options.keep_generations in
+  if keep > 0 then
+    match Hashtbl.find_opt t.lineage_images lineage with
+    | None -> ()
+    | Some records ->
+      let gens =
+        List.map (fun r -> r.ir_generation) records |> List.sort_uniq compare |> List.rev
+      in
+      (match List.nth_opt gens (keep - 1) with
+      | None -> ()
+      | Some oldest_kept ->
+        let doomed, kept =
+          List.partition (fun r -> r.ir_generation < oldest_kept) records
+        in
+        List.iter
+          (fun r ->
+            let vfs = Simos.Kernel.vfs (kernel_of t ~node:r.ir_node) in
+            ignore (Simos.Vfs.unlink vfs r.ir_path);
+            let conninfo =
+              Printf.sprintf "%s/conninfo_%s.tbl" t.opts.Options.ckpt_dir r.ir_upid
+            in
+            ignore (Simos.Vfs.unlink vfs conninfo))
+          doomed;
+        if doomed <> [] then Hashtbl.replace t.lineage_images lineage kept)
 
 let generation t = t.gen
 let bump_generation t = t.gen <- t.gen + 1
@@ -405,6 +460,17 @@ let make_hooks t : Simos.Kernel.hooks =
   }
 
 let install cl ?(options = Options.default) () =
+  let store =
+    if options.Options.store then
+      Some
+        (Store.create ~replicas:options.Options.store_replicas
+           ?quorum:
+             (if options.Options.store_quorum > 0 then Some options.Options.store_quorum else None)
+           ~keep:options.Options.keep_generations ~engine:(Simos.Cluster.engine cl)
+           ~targets:(Array.init (Simos.Cluster.nodes cl) (Simos.Cluster.target cl))
+           ())
+    else None
+  in
   let t =
     {
       cl;
@@ -420,6 +486,8 @@ let install cl ?(options = Options.default) () =
       shm = Hashtbl.create 8;
       restart_expected = 0;
       refill_arrived = 0;
+      store;
+      lineage_images = Hashtbl.create 16;
     }
   in
   Simos.Cluster.set_hooks cl (make_hooks t);

@@ -114,8 +114,19 @@ val refill_barrier_passed : t -> bool
     (vanished/migrated). *)
 val forget_process : t -> node:int -> pid:int -> unit
 
-(** Record a written image. *)
-val record_image : t -> node:int -> path:string -> sizes:Mtcp.Image.sizes -> unit
+(** Record a written image (also feeds the flat-file lifecycle ledger
+    that {!prune_images} reaps). *)
+val record_image :
+  t -> node:int -> path:string -> upid:Upid.t -> sizes:Mtcp.Image.sizes -> unit
+
+(** Unlink image/conninfo files of [lineage]'s generations older than
+    the newest [keep_generations] (no-op when that option is [0]).
+    Called by the manager once a checkpoint write completes. *)
+val prune_images : t -> lineage:string -> unit
+
+(** The replicated content-addressed checkpoint store, when
+    [options.store] enabled it at install time. *)
+val store : t -> Store.t option
 
 (** Number of barriers in the checkpoint protocol (paper: six global
     barriers; the release of the last one resumes user threads). *)

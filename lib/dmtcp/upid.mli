@@ -10,5 +10,9 @@ val make : hostid:int -> pid:int -> generation:int -> t
 val to_string : t -> string
 val next_generation : t -> t
 
+(** [(hostid, pid)] without the generation — stable across restarts; the
+    retention unit of generational checkpoint GC. *)
+val lineage : t -> string
+
 val encode : Util.Codec.Writer.t -> t -> unit
 val decode : Util.Codec.Reader.t -> t

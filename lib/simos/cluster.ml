@@ -23,13 +23,11 @@ let create ?(seed = 0xC1A5_7E2L) ?latency ?bandwidth ?(cores_per_node = 4)
     | San_and_nfs { direct_nodes } ->
       (* the SAN is shared — its trace events stay node-less *)
       let san = Storage.Target.san eng () in
-      Array.init nodes (fun i ->
-          if i < direct_nodes then san
-          else begin
-            let t = Storage.Target.nfs eng ~backend:san () in
-            Storage.Target.set_node t i;
-            t
-          end)
+      (* one NFS server fronts it: the clients share its NIC, so
+         concurrent writers queue on the aggregate server rate rather
+         than each seeing a private server_rate *)
+      let nfs = Storage.Target.nfs eng ~backend:san () in
+      Array.init nodes (fun i -> if i < direct_nodes then san else nfs)
   in
   let kernels =
     Array.init nodes (fun i ->

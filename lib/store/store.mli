@@ -1,0 +1,134 @@
+(** Replicated content-addressed checkpoint store.
+
+    Layered on {!Storage.Target}: checkpoint images, chunked by the
+    caller on DMZ2 frame boundaries, are addressed by (CRC-32, length)
+    digest and written once — successive generations of the same
+    process dedup against prior generations, so an incremental
+    checkpoint's unchanged pages cost zero target bytes.  New chunks
+    are replicated to [replicas] distinct nodes with a write [quorum];
+    a per-cluster catalog maps (lineage, generation, image name) to the
+    chunk list; a generational GC keeps the newest [keep] generations
+    per lineage.  Restart resolves images through the catalog and falls
+    back to a surviving replica when the preferred node's disk is gone.
+
+    Storage delays are booked in the simulation's modeled bytes: each
+    put scales real chunk lengths by [sim_bytes / real_len], so a
+    deduplicated generation pays I/O time proportional to the bytes it
+    actually ships. *)
+
+module Digest : sig
+  type t = { crc : int32; len : int }
+
+  val of_chunk : string -> t
+  val to_string : t -> string
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+end
+
+(** Raised by {!fetch} when catalog blocks have no surviving replica;
+    carries the missing digests by name. *)
+exception Missing_blocks of string list
+
+type manifest = {
+  m_lineage : string;          (** (hostid, pid), stable across restarts *)
+  m_generation : int;
+  m_name : string;             (** image filename, unique per upid *)
+  m_program : string;
+  m_blocks : Digest.t list;    (** in image order *)
+  m_real_len : int;            (** concatenated chunk bytes *)
+  m_sim_bytes : int;           (** modeled image size (delay currency) *)
+}
+
+type stats = {
+  blocks_written : int;
+  blocks_deduped : int;
+  blocks_replicated : int;     (** extra copies beyond the primary *)
+  blocks_gcd : int;
+  bytes_written : int;         (** modeled bytes, primary copy *)
+  bytes_deduped : int;         (** modeled bytes dedup avoided writing *)
+  bytes_reclaimed : int;       (** modeled bytes freed by GC/overwrite *)
+}
+
+type gc_report = { gc_manifests : int; gc_blocks : int; gc_bytes : int }
+
+type t
+
+(** [create ~engine ~targets ()] — [targets.(i)] is node [i]'s storage.
+    [replicas] (default 2) is clamped to the node count; [quorum]
+    defaults to a majority of [replicas]; [keep] (default 2) is the GC
+    retention in generations per lineage ([0] disables GC). *)
+val create :
+  ?replicas:int ->
+  ?quorum:int ->
+  ?keep:int ->
+  engine:Sim.Engine.t ->
+  targets:Storage.Target.t array ->
+  unit ->
+  t
+
+val replicas : t -> int
+val quorum : t -> int
+val keep : t -> int
+
+(** Cumulative dedup/replication/GC accounting (modeled bytes). *)
+val stats : t -> stats
+
+(** Catalog contents, newest first. *)
+val manifests : t -> manifest list
+
+val find : t -> name:string -> manifest option
+
+(** [put t ~node ...] chunks were produced on [node] (the primary
+    replica).  Dedups against every prior generation, replicates new
+    chunks, updates the catalog, and returns the delay until the write
+    quorum is durable — remaining replicas complete in the background.
+    Re-putting an existing [name] (interval checkpoints at the same
+    generation) replaces that manifest.  [sim_bytes] is the modeled
+    image size used for delay booking. *)
+val put :
+  t ->
+  node:int ->
+  lineage:string ->
+  generation:int ->
+  name:string ->
+  program:string ->
+  sim_bytes:int ->
+  chunks:string list ->
+  float
+
+(** [fetch t ~node ~name] reassembles the image, reading each block
+    from [node] when it holds a replica and from a surviving replica
+    otherwise.  Returns the bytes and the read delay, [None] when the
+    name is not in the catalog.  Raises {!Missing_blocks} when
+    referenced blocks have no surviving replica. *)
+val fetch : t -> node:int -> name:string -> (string * float) option
+
+(** Catalogued with every block on at least one surviving replica
+    (no storage time booked). *)
+val contains : t -> name:string -> bool
+
+(** Reassemble without booking storage time — inspection only. *)
+val peek : t -> name:string -> string option
+
+(** Drop generations of [lineage] older than the newest [keep]
+    (default: the store's [keep]); chunks nothing references any more
+    are reclaimed on every replica. *)
+val gc_lineage : ?keep:int -> t -> lineage:string -> gc_report
+
+(** {!gc_lineage} over every lineage in the catalog. *)
+val gc : ?keep:int -> t -> gc_report
+
+(** Fail-stop disk loss: every replica on [node] is gone and the node
+    receives no new placements.  (Distinct from a process crash — the
+    simulated VFS survives those.) *)
+val drop_node : t -> int -> unit
+
+(** Unique blocks currently stored. *)
+val block_count : t -> int
+
+val replica_count : t -> digest:Digest.t -> int
+
+(** Catalog self-check: every referenced block exists, matches its
+    digest, and has a surviving replica.  Returns human-readable
+    problems, empty when healthy. *)
+val verify : t -> string list

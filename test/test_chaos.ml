@@ -136,6 +136,20 @@ let check_bug_caught ~name flag =
         in
         Alcotest.(check bool) (name ^ ": reproducer replays") false (Chaos.Runner.pass r))
 
+(* store-specific scenarios: replica loss between checkpoint and
+   restart (kept out of [Scenario.sample] so the pinned corpus's RNG
+   draw order is untouched) *)
+let check_store_fault name run =
+  match run () with
+  | [] -> ()
+  | violations -> Alcotest.failf "%s: %s" name (String.concat "; " violations)
+
+let test_store_replica_loss () =
+  check_store_fault "replica loss" Chaos.Store_fault.replica_loss
+
+let test_store_total_loss () =
+  check_store_fault "total loss" Chaos.Store_fault.total_loss
+
 let test_catches_skip_drain () =
   check_bug_caught ~name:"skip-drain" Dmtcp.Faults.bug_skip_drain
 
@@ -172,5 +186,10 @@ let () =
         [
           Alcotest.test_case "catches skip-drain" `Quick test_catches_skip_drain;
           Alcotest.test_case "catches drop-refill" `Quick test_catches_drop_refill;
+        ] );
+      ( "store-fault",
+        [
+          Alcotest.test_case "restart from surviving replica" `Quick test_store_replica_loss;
+          Alcotest.test_case "total replica loss fails cleanly" `Quick test_store_total_loss;
         ] );
     ]

@@ -830,6 +830,10 @@ let test_options_env_roundtrip () =
       incremental = true;
       interval = Some 2.5;
       sync_after = true;
+      store = true;
+      store_replicas = 3;
+      store_quorum = 2;
+      keep_generations = 4;
     }
   in
   let opts' = Dmtcp.Options.of_env (Dmtcp.Options.to_env opts) in

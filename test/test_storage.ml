@@ -30,6 +30,23 @@ let test_cache_fills_up () =
     true
     (second > first *. 2.)
 
+let test_cache_spillover_boundary () =
+  (* one write straddling the remaining page cache: the cached prefix
+     goes at cached_rate and the spill-over remainder at raw_rate,
+     within a single booking *)
+  let eng = engine () in
+  let d =
+    Storage.Target.local_disk eng ~raw_rate:100e6 ~cached_rate:400e6 ~cache_bytes:100_000_000 ()
+  in
+  let t = Storage.Target.write d ~bytes:150_000_000 in
+  (* 100 MB @ 400 MB/s + 50 MB @ 100 MB/s *)
+  check (Alcotest.float 1e-6) "split at the cache boundary" 0.75 t;
+  check Alcotest.int "only the cached prefix is dirty" 100_000_000 (Storage.Target.dirty_bytes d);
+  (* cache now exhausted: a later write is all raw, with no queueing *)
+  Sim.Engine.advance eng ~delay:10.0;
+  let t2 = Storage.Target.write d ~bytes:100_000_000 in
+  check (Alcotest.float 1e-6) "subsequent writes all raw" 1.0 t2
+
 let test_dirty_and_sync () =
   let eng = engine () in
   let d = Storage.Target.local_disk eng ~raw_rate:100e6 ~cache_bytes:1_000_000_000 () in
@@ -83,6 +100,32 @@ let test_nfs_slower_than_san () =
     (Printf.sprintf "NFS path slower (%.3f vs %.3f)" via_nfs direct)
     true (via_nfs > direct *. 2.)
 
+let test_nfs_clients_share_server_nic () =
+  (* one NFS server, many clients: the server's NIC is a single
+     resource, so concurrent writes from different clients queue on the
+     aggregate server rate instead of each enjoying a private
+     server_rate (and then also share the SAN behind it) *)
+  let eng = engine () in
+  let san = Storage.Target.san eng ~rate:400e6 ~latency:0. () in
+  let nfs = Storage.Target.nfs eng ~server_rate:70e6 ~backend:san () in
+  let t1 = Storage.Target.write nfs ~bytes:70_000_000 in
+  let t2 = Storage.Target.write nfs ~bytes:70_000_000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "second client queues on the server NIC (%.3f vs %.3f)" t1 t2)
+    true
+    (t2 >= t1 +. 1.0 -. 1e-9)
+
+let test_cluster_shares_one_nfs_server () =
+  (* the cluster's San_and_nfs config hands every NFS client the same
+     server target — aggregate bandwidth is what bends Figure 5b *)
+  let cl =
+    Simos.Cluster.create ~nodes:4 ~storage:(Simos.Cluster.San_and_nfs { direct_nodes = 1 }) ()
+  in
+  Alcotest.(check bool) "clients mount the same server" true
+    (Simos.Cluster.target cl 1 == Simos.Cluster.target cl 2);
+  Alcotest.(check bool) "direct node talks to the SAN itself" true
+    (Storage.Target.describe (Simos.Cluster.target cl 0) = "SAN")
+
 let test_reset () =
   let eng = engine () in
   let d = Storage.Target.local_disk eng ~raw_rate:100e6 ~cached_rate:400e6 ~cache_bytes:100_000_000 () in
@@ -113,6 +156,7 @@ let () =
           Alcotest.test_case "raw rate" `Quick test_disk_rate;
           Alcotest.test_case "cache absorbs" `Quick test_cache_absorbs_writes;
           Alcotest.test_case "cache fills" `Quick test_cache_fills_up;
+          Alcotest.test_case "cache spill-over boundary" `Quick test_cache_spillover_boundary;
           Alcotest.test_case "dirty + sync" `Quick test_dirty_and_sync;
           Alcotest.test_case "queue serializes" `Quick test_queue_serializes;
           Alcotest.test_case "queue drains" `Quick test_queue_frees_over_time;
@@ -124,6 +168,8 @@ let () =
           Alcotest.test_case "latency and rate" `Quick test_san_latency_and_rate;
           Alcotest.test_case "shared cursor" `Quick test_san_shared_between_clients;
           Alcotest.test_case "nfs slower" `Quick test_nfs_slower_than_san;
+          Alcotest.test_case "nfs clients share server nic" `Quick test_nfs_clients_share_server_nic;
+          Alcotest.test_case "cluster shares one nfs server" `Quick test_cluster_shares_one_nfs_server;
           Alcotest.test_case "describe" `Quick test_describe;
         ] );
     ]
