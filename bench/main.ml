@@ -256,6 +256,23 @@ let store_records () =
     ("store.gen1-dedup-dirty-1of16", full, s1.Store.bytes_written - s0.Store.bytes_written);
   ]
 
+(* Scheduler shape: the canned three-job preempt/fail/drain scenario is
+   virtual-time deterministic, so its makespan and checkpoint-bounded
+   lost work are encoder-like properties — they join the ratio baseline
+   (values in simulated milliseconds).  The invariants bound what the
+   fault path is allowed to cost over the no-fault reference. *)
+let sched_records () =
+  let reference = Chaos.Sched_demo.run ~faults:false () in
+  let faulted = Chaos.Sched_demo.run ~faults:true () in
+  let ms s = int_of_float (Float.round (s *. 1000.)) in
+  let mk_ref = Sched.Scheduler.makespan reference.Chaos.Sched_demo.d_sched in
+  let mk_f = Sched.Scheduler.makespan faulted.Chaos.Sched_demo.d_sched in
+  let lost = Sched.Scheduler.total_lost_work faulted.Chaos.Sched_demo.d_sched in
+  [
+    ("sched.makespan-faulted-vs-nofault", ms mk_ref, ms mk_f);
+    ("sched.lost-work-vs-makespan", ms mk_f, ms lost);
+  ]
+
 let print_ratios ratios =
   hr "Compression shape (deterministic: sizes depend only on the encoder)";
   List.iter
@@ -314,6 +331,10 @@ let assert_invariants ratios =
     1.01;
   check "store.gen1-dedup-dirty-1of16"
     "a 1-of-16-dirty generation must dedup to an eighth of the image or less" 0.125;
+  check "sched.makespan-faulted-vs-nofault"
+    "a node loss plus a drain must at most double the canned scenario's makespan" 2.0;
+  check "sched.lost-work-vs-makespan"
+    "interval checkpoints must bound lost work to a quarter of the makespan" 0.25;
   flush stdout;
   if !failed then exit 1
 
@@ -321,7 +342,7 @@ let () =
   Printf.printf "DMTCP reproduction benchmark harness (scale: %s)\n"
     (match scale with `Full -> "full" | `Quick -> "quick");
   let timings = if sections <> `Repro then run_micro () else [] in
-  let ratios = ratio_records () @ store_records () in
+  let ratios = ratio_records () @ store_records () @ sched_records () in
   print_ratios ratios;
   (match Sys.getenv_opt "BENCH_JSON" with
   | Some path -> emit_json path timings ratios

@@ -38,7 +38,21 @@ if ! diff -u BENCH_micro.json _artifacts/bench_ratios.json; then
 fi
 echo "bench ratios match committed BENCH_micro.json"
 
-echo "== chaos smoke: 25-seed torture =="
+echo "== sched smoke: canned preempt/fail/drain scenario, deterministic trace digest =="
+# The canned three-job scenario exercises one preemption, one node loss
+# and one drain, and must (a) finish every job bit-identical to its
+# no-fault reference and (b) produce a byte-identical trace across two
+# invocations.
+dune exec bin/dmtcp_sim.exe -- sched run > _artifacts/sched_run_1.txt
+dune exec bin/dmtcp_sim.exe -- sched run > _artifacts/sched_run_2.txt
+if ! diff -u _artifacts/sched_run_1.txt _artifacts/sched_run_2.txt; then
+  echo "FAIL: sched scenario is non-deterministic across two runs." >&2
+  exit 1
+fi
+cat _artifacts/sched_run_1.txt
+
+echo "== chaos smoke: 25-seed torture + 25-seed scheduler corpus =="
 dune exec bin/dmtcp_sim.exe -- torture --seeds "${CHAOS_SEEDS:-25}"
+dune exec bin/dmtcp_sim.exe -- sched chaos
 
 echo "CI OK"

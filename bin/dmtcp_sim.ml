@@ -155,11 +155,22 @@ let torture seeds base bug replay keep =
   Dmtcp.Faults.reset ();
   exit code
 
+(* The traced scenario is two canned runs back to back: the fixed
+   checkpoint/restart protocol scenario, then the batch scheduler's
+   preempt/fail/drain demo — so every category, "sched" included, has
+   real events behind it.  The metrics snapshot is taken after both. *)
+let trace_scenario () =
+  let events, _ = Harness.Trace_scenario.run () in
+  let c = Trace.collector () in
+  ignore
+    (Trace.with_sink (Trace.collector_sink c) (fun () -> Chaos.Sched_demo.run ~faults:true ()));
+  (events @ Trace.events c, Trace.Metrics.snapshot_text ())
+
 let trace_run format node pid cat stage metrics check =
   if check then begin
     (* run the fixed scenario twice; the renderings must be byte-identical *)
-    let e1, m1 = Harness.Trace_scenario.run () in
-    let e2, m2 = Harness.Trace_scenario.run () in
+    let e1, m1 = trace_scenario () in
+    let e2, m2 = trace_scenario () in
     let j1 = Trace.jsonl e1 and j2 = Trace.jsonl e2 in
     if j1 = j2 && m1 = m2 then begin
       Printf.printf "deterministic: %d events, %d JSONL bytes, metrics snapshots equal\n"
@@ -174,7 +185,7 @@ let trace_run format node pid cat stage metrics check =
     end
   end
   else begin
-    let events, msnap = Harness.Trace_scenario.run () in
+    let events, msnap = trace_scenario () in
     let filter = { Trace.f_node = node; f_pid = pid; f_cat = cat; f_prefix = stage } in
     let events = List.filter (Trace.matches filter) events in
     (match format with
@@ -276,6 +287,62 @@ let store_run action =
     Printf.eprintf "unknown store action %S (expected ls, stat, gc or verify)\n" other;
     exit 2
 
+(* Batch scheduler over the canned three-job scenario: a stream pair and
+   a long counter job get preempted by a six-node arrival, a node
+   fail-stops under a running job, and a node is drained — every
+   displacement bottoms out in checkpoint/restart through the store. *)
+let sched_run action no_faults =
+  match action with
+  | "run" ->
+    (* collect the run's full trace and print a digest of its JSONL
+       rendering: two invocations must print identical lines, which is
+       what the CI sched smoke diffs *)
+    let coll = Trace.collector () in
+    let faulted =
+      Trace.with_sink (Trace.collector_sink coll) (fun () ->
+          Chaos.Sched_demo.run ~faults:(not no_faults) ())
+    in
+    List.iter print_endline (Chaos.Sched_demo.summary faulted);
+    let jsonl = Trace.jsonl (Trace.events coll) in
+    Printf.printf "trace digest: %08lx (%d events, %d sched)\n" (Util.Crc32.digest jsonl)
+      (List.length (Trace.events coll))
+      (List.length
+         (List.filter (fun (e : Trace.event) -> e.Trace.cat = "sched") (Trace.events coll)));
+    if no_faults then exit (if faulted.Chaos.Sched_demo.d_unfinished = 0 then 0 else 1)
+    else begin
+      (* judge the faulted run against its own no-fault reference *)
+      let reference = Chaos.Sched_demo.run ~faults:false () in
+      match Chaos.Sched_demo.check ~reference faulted with
+      | [] ->
+        print_endline "all jobs finished bit-identically to the no-fault reference";
+        exit 0
+      | violations ->
+        List.iter (Printf.printf "violation: %s\n") violations;
+        exit 1
+    end
+  | "status" ->
+    let r = Chaos.Sched_demo.run ~faults:(not no_faults) () in
+    List.iter print_endline (Sched.Scheduler.status_lines r.Chaos.Sched_demo.d_sched);
+    exit (if r.Chaos.Sched_demo.d_unfinished = 0 then 0 else 1)
+  | "chaos" ->
+    let failures = Chaos.Sched_fault.run_seeds ~log:print_endline ~base:0 ~count:25 () in
+    if failures = [] then begin
+      print_endline "25/25 scheduler chaos seeds pass";
+      exit 0
+    end
+    else begin
+      List.iter
+        (fun r ->
+          Printf.printf "seed %d FAILED (%s):\n" r.Chaos.Sched_fault.r_seed
+            (Chaos.Sched_fault.describe r.Chaos.Sched_fault.r_plan);
+          List.iter (Printf.printf "  %s\n") r.Chaos.Sched_fault.r_violations)
+        failures;
+      exit 1
+    end
+  | other ->
+    Printf.eprintf "unknown sched action %S (expected run, status or chaos)\n" other;
+    exit 2
+
 (* ------------------------------------------------------------------ *)
 
 let cmd name doc f =
@@ -315,6 +382,24 @@ let () =
             ~doc:"Inspect the replicated content-addressed checkpoint store over a canned \
                   two-generation dirty-page scenario")
          Term.(const store_run $ action_arg));
+      (let action_arg =
+         Arg.(
+           required
+           & pos 0 (some string) None
+           & info [] ~docv:"ACTION" ~doc:"One of run, status or chaos.")
+       in
+       let no_faults_arg =
+         Arg.(
+           value & flag
+           & info [ "no-faults" ]
+               ~doc:"Replay the same submissions without the node failure and the drain.")
+       in
+       Cmd.v
+         (Cmd.info "sched"
+            ~doc:"Checkpoint-driven batch scheduler: run the canned three-job \
+                  preempt/fail/drain scenario ('run' verifies it against a no-fault \
+                  reference, 'status' prints the job table, 'chaos' plays 25 random seeds)")
+         Term.(const sched_run $ action_arg $ no_faults_arg));
       (let seeds_arg =
          Arg.(value & opt int 50 & info [ "seeds" ] ~docv:"N" ~doc:"Number of seeds to torture.")
        in
@@ -366,7 +451,8 @@ let () =
          Arg.(
            value & opt (some string) None
            & info [ "cat" ] ~docv:"CAT"
-               ~doc:"Only events in category $(docv) (sim, kernel, net, storage, dmtcp).")
+               ~doc:"Only events in category $(docv) (sim, kernel, net, storage, dmtcp, store, \
+                     sched).")
        in
        let stage_arg =
          Arg.(

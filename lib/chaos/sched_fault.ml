@@ -1,0 +1,229 @@
+(* Seeded scheduler chaos: random job mixes under random preemption
+   pressure, node loss and drains.
+
+   Lives in its own module — not in [Scenario.sample] — so the pinned
+   torture corpus keeps its RNG draw order.  One seed determines the job
+   mix, the submit times, the checkpoint interval and the fault
+   schedule; [run ~seed] plays the plan twice — once without faults
+   (reference), once with — and demands that under faults every job
+   still finishes with the reference's exact verdict bytes, no two jobs
+   ever share a node slot, the store's replication invariant holds, and
+   the cluster is quiescent afterwards. *)
+
+module Common = Harness.Common
+
+let sprintf = Printf.sprintf
+let nodes = 8
+
+type jkind = Counter | Memhog | Stream
+
+type plan = {
+  p_seed : int;
+  p_ckpt_interval : float;
+  p_jobs : (jkind * int (* size param *) * int (* priority *) * float (* submit *)) list;
+  p_fail : (float * int) option;  (* node fail-stop: time, node *)
+  p_drain : (float * int) option;  (* operator drain: time, node *)
+}
+
+let sample ~seed =
+  let rng = Util.Rng.create (Int64.add 0x5C4ED_FA17L (Int64.of_int seed)) in
+  let njobs = 3 + Util.Rng.int rng 3 in
+  let jobs =
+    List.init njobs (fun _ ->
+        let kind =
+          match Util.Rng.int rng 3 with 0 -> Counter | 1 -> Memhog | _ -> Stream
+        in
+        let size =
+          match kind with
+          | Counter -> Util.Rng.int_in rng 1500 4000  (* compute steps *)
+          | Memhog -> Util.Rng.int_in rng 200 600  (* iterations *)
+          | Stream -> Util.Rng.int_in rng 2000 6000  (* records *)
+        in
+        let priority = Util.Rng.int rng 6 in
+        let submit = Util.Rng.float rng 3.0 in
+        (kind, size, priority, submit))
+  in
+  let fail =
+    if Util.Rng.int rng 10 < 8 then
+      Some (1.5 +. Util.Rng.float rng 3.5, Util.Rng.int rng nodes)
+    else None
+  in
+  let drain =
+    if Util.Rng.int rng 10 < 5 then
+      Some (1.5 +. Util.Rng.float rng 4.5, Util.Rng.int rng nodes)
+    else None
+  in
+  {
+    p_seed = seed;
+    p_ckpt_interval = 0.5 +. Util.Rng.float rng 1.0;
+    p_jobs = jobs;
+    p_fail = fail;
+    p_drain = drain;
+  }
+
+let describe p =
+  let job i (kind, size, priority, submit) =
+    sprintf "job%d %s(%d) prio %d @%.2f" i
+      (match kind with Counter -> "counter" | Memhog -> "memhog" | Stream -> "stream")
+      size priority submit
+  in
+  sprintf "seed %d: iv %.2f, %s%s%s" p.p_seed p.p_ckpt_interval
+    (String.concat ", " (List.mapi job p.p_jobs))
+    (match p.p_fail with
+    | Some (t, n) -> sprintf ", fail node %d @%.2f" n t
+    | None -> "")
+    (match p.p_drain with
+    | Some (t, n) -> sprintf ", drain node %d @%.2f" n t
+    | None -> "")
+
+let spec_of ~idx (kind, size, priority, _submit) =
+  let name = sprintf "j%d" idx in
+  let out = sprintf "/chaos/sched_%d" idx in
+  match kind with
+  | Counter ->
+    {
+      Sched.Job.sp_name = name;
+      sp_nodes = 2;
+      sp_priority = priority;
+      sp_est_runtime = float_of_int size *. 1e-3;
+      sp_procs = 2;
+      sp_launch =
+        (fun a ->
+          List.init 2 (fun i ->
+              (a.(i), "p:counter", [ string_of_int size; sprintf "%s_%d" out i ])));
+      sp_outputs = (fun a -> List.init 2 (fun i -> (a.(i), sprintf "%s_%d" out i)));
+    }
+  | Memhog ->
+    {
+      Sched.Job.sp_name = name;
+      sp_nodes = 1;
+      sp_priority = priority;
+      sp_est_runtime = float_of_int size *. 5e-3;
+      sp_procs = 1;
+      sp_launch =
+        (fun a -> [ (a.(0), "p:memhog", [ "4"; string_of_int size; out ]) ]);
+      sp_outputs = (fun a -> [ (a.(0), out) ]);
+    }
+  | Stream ->
+    let port = 6300 + (10 * idx) in
+    {
+      Sched.Job.sp_name = name;
+      sp_nodes = 2;
+      sp_priority = priority;
+      sp_est_runtime = float_of_int size *. 2e-4;
+      sp_procs = 2;
+      sp_launch =
+        (fun a ->
+          [
+            (a.(0), "p:stream-server", [ string_of_int port; string_of_int size; out ]);
+            ( a.(1),
+              "p:stream-client",
+              [ string_of_int a.(0); string_of_int port; string_of_int size ] );
+          ]);
+      sp_outputs = (fun a -> [ (a.(0), out) ]);
+    }
+
+let options () =
+  {
+    Dmtcp.Options.default with
+    Dmtcp.Options.store = true;
+    store_replicas = 2;
+    keep_generations = 2;
+  }
+
+(* Play the plan; [faults] selects whether the fail/drain events fire. *)
+let play ~faults p =
+  Progs.ensure_registered ();
+  let env = Common.setup ~nodes ~cores_per_node:2 ~options:(options ()) () in
+  let sched =
+    Sched.Scheduler.create ~ckpt_interval:p.p_ckpt_interval env.Common.cl env.Common.rt
+  in
+  let eng = Simos.Cluster.engine env.Common.cl in
+  List.iteri
+    (fun idx ((_, _, _, submit) as j) ->
+      let spec = spec_of ~idx j in
+      if submit <= 0. then ignore (Sched.Scheduler.submit sched spec)
+      else
+        ignore
+          (Sim.Engine.schedule_at eng ~time:submit (fun () ->
+               ignore (Sched.Scheduler.submit sched spec))))
+    p.p_jobs;
+  if faults then begin
+    (match p.p_fail with
+    | Some (t, node) ->
+      ignore
+        (Sim.Engine.schedule_at eng ~time:t (fun () ->
+             if Simos.Cluster.node_up env.Common.cl node then
+               Sched.Scheduler.fail_node sched node))
+    | None -> ());
+    match p.p_drain with
+    | Some (t, node) ->
+      ignore
+        (Sim.Engine.schedule_at eng ~time:t (fun () ->
+             if Simos.Cluster.node_up env.Common.cl node then
+               Sched.Scheduler.drain sched node))
+    | None -> ()
+  end;
+  let unfinished = Sched.Scheduler.run ~until:240. sched in
+  (env, sched, unfinished)
+
+type result = { r_seed : int; r_violations : string list; r_plan : plan }
+
+let pass r = r.r_violations = []
+
+let run ~seed () =
+  let p = sample ~seed in
+  let violations = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> violations := !violations @ [ m ]) fmt in
+  let ref_env, ref_sched, ref_unfinished = play ~faults:false p in
+  ignore ref_env;
+  if ref_unfinished > 0 then
+    fail "reference (no-fault) run left %d job(s) unfinished" ref_unfinished;
+  let reference =
+    List.map
+      (fun (j : Sched.Job.t) -> (j.Sched.Job.id, j.Sched.Job.outputs))
+      (Sched.Scheduler.jobs ref_sched)
+  in
+  let env, sched, unfinished = play ~faults:true p in
+  if unfinished > 0 then begin
+    fail "faulted run left %d job(s) unfinished" unfinished;
+    List.iter (fun l -> fail "  %s" l) (Sched.Scheduler.status_lines sched)
+  end;
+  List.iter
+    (fun (j : Sched.Job.t) ->
+      match j.Sched.Job.phase with
+      | Sched.Job.Done -> ()
+      | p -> fail "job %d ended %s" j.Sched.Job.id (Sched.Job.phase_name p))
+    (Sched.Scheduler.jobs sched);
+  List.iter (fun v -> fail "sched invariant: %s" v) (Sched.Scheduler.violations sched);
+  List.iter
+    (fun (j : Sched.Job.t) ->
+      match List.assoc_opt j.Sched.Job.id reference with
+      | Some outs when outs = j.Sched.Job.outputs -> ()
+      | Some outs ->
+        fail "job %d verdict diverged under faults: reference %s, got %s" j.Sched.Job.id
+          (String.concat ";" (List.map (fun (p, v) -> p ^ "=" ^ v) outs))
+          (String.concat ";" (List.map (fun (p, v) -> p ^ "=" ^ v) j.Sched.Job.outputs))
+      | None -> fail "job %d absent from reference run" j.Sched.Job.id)
+    (Sched.Scheduler.jobs sched);
+  let viol =
+    !violations
+    @ Invariant.store_replication env.Common.rt
+    @ Invariant.quiescent env
+  in
+  { r_seed = seed; r_violations = viol; r_plan = p }
+
+(* [run_seeds ~base ~count] plays a block of seeds; returns failures. *)
+let run_seeds ?(log = fun (_ : string) -> ()) ~base ~count () =
+  let results =
+    List.init count (fun i ->
+        let seed = base + i in
+        let r = run ~seed () in
+        log
+          (sprintf "sched seed %d: %s%s" seed
+             (if pass r then "ok" else "FAIL")
+             (if pass r then ""
+              else ": " ^ String.concat "; " r.r_violations));
+        r)
+  in
+  List.filter (fun r -> not (pass r)) results

@@ -14,14 +14,18 @@ let install cl ?options () =
   register_programs ();
   Runtime.install cl ?options ()
 
-let launch rt ~node ~prog ~argv =
+(* [?options] lets a caller run several independent DMTCP computations on
+   one cluster (the batch scheduler gives every job its own coordinator
+   host/port): the launcher, command and restart helpers all find their
+   coordinator through the process environment. *)
+let launch ?options rt ~node ~prog ~argv =
+  let opts = Option.value ~default:(Runtime.options rt) options in
   let k = Runtime.kernel_of rt ~node in
   Simos.Kernel.spawn k ~prog:Launcher.checkpoint_name ~argv:(prog :: argv)
-    ~env:(Options.to_env (Runtime.options rt))
-    ()
+    ~env:(Options.to_env opts) ()
 
-let checkpoint rt =
-  let opts = Runtime.options rt in
+let checkpoint ?options rt =
+  let opts = Option.value ~default:(Runtime.options rt) options in
   let k = Runtime.kernel_of rt ~node:opts.Options.coord_host in
   ignore
     (Simos.Kernel.spawn k ~prog:Launcher.command_name ~argv:[ "--checkpoint" ]
@@ -50,9 +54,9 @@ let await_checkpoint ?(timeout = 600.) ?(since = 0.) rt =
         && info.Runtime.nprocs > 0
       | None -> false)
 
-let checkpoint_now ?timeout rt =
+let checkpoint_now ?timeout ?options rt =
   let since = Simos.Cluster.now (Runtime.cluster rt) in
-  checkpoint rt;
+  checkpoint ?options rt;
   await_checkpoint ?timeout ~since rt
 
 let completed rt =
@@ -68,8 +72,8 @@ let last_checkpoint_bytes rt =
   let info = completed rt in
   (info.Runtime.total_compressed, info.Runtime.total_uncompressed)
 
-let restart_script rt =
-  let opts = Runtime.options rt in
+let restart_script ?options rt =
+  let opts = Option.value ~default:(Runtime.options rt) options in
   let info = completed rt in
   let by_host = Hashtbl.create 8 in
   List.iter
@@ -106,6 +110,23 @@ let kill_computation rt =
   List.iter
     (fun (k, (proc : Simos.Kernel.process)) ->
       if proc.Simos.Kernel.hijacked || is_coordinator proc then begin
+        Runtime.forget_process rt ~node:(Simos.Kernel.node_id k) ~pid:proc.Simos.Kernel.pid;
+        Simos.Kernel.vanish_process k proc
+      end)
+    (Simos.Cluster.all_processes cl)
+
+(* Node-scoped variant for multi-computation clusters: vanish every
+   process on [nodes].  A batch scheduler owns nodes exclusively per
+   job, so a job's node set bounds exactly its processes, its private
+   coordinator, and any DMTCP helpers (dmtcp_command, in-flight
+   dmtcp_restart) still attached to it — all of which must die with the
+   job, or an aborted restart's zombies would repopulate the nodes after
+   the scheduler has handed them to someone else. *)
+let kill_nodes rt ~nodes =
+  let cl = Runtime.cluster rt in
+  List.iter
+    (fun (k, (proc : Simos.Kernel.process)) ->
+      if List.mem (Simos.Kernel.node_id k) nodes then begin
         Runtime.forget_process rt ~node:(Simos.Kernel.node_id k) ~pid:proc.Simos.Kernel.pid;
         Simos.Kernel.vanish_process k proc
       end)
@@ -169,7 +190,15 @@ let restart rt (script : Restart_script.t) =
   Runtime.shm_reset rt;
   let cl = Runtime.cluster rt in
   Simnet.Discovery.clear (Simos.Cluster.discovery cl);
-  let opts = { (Runtime.options rt) with Options.coord_host = script.Restart_script.coord_host } in
+  (* both the host AND the port come from the script: per-job coordinators
+     listen on distinct ports, and a restarted job must rejoin its own *)
+  let opts =
+    {
+      (Runtime.options rt) with
+      Options.coord_host = script.Restart_script.coord_host;
+      coord_port = script.Restart_script.coord_port;
+    }
+  in
   let env = Options.to_env opts in
   (* a coordinator for the restarted computation (EADDRINUSE exits quietly
      if one is already running) *)

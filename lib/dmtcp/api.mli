@@ -24,12 +24,23 @@ val install : Simos.Cluster.t -> ?options:Options.t -> unit -> Runtime.t
 
 (** [launch rt ~node ~prog ~argv] spawns
     [dmtcp_checkpoint <prog> <argv...>] on [node] and returns the launcher
-    process (the target program execs in place, keeping its pid). *)
-val launch :
-  Runtime.t -> node:int -> prog:string -> argv:string list -> Simos.Kernel.process
+    process (the target program execs in place, keeping its pid).
 
-(** Spawn [dmtcp_command --checkpoint]. The caller advances the engine. *)
-val checkpoint : Runtime.t -> unit
+    [?options] overrides the runtime-wide options in the spawned process's
+    environment — several independent computations (each with its own
+    coordinator host/port) can then share one cluster, which is how the
+    batch scheduler attaches a DMTCP domain per job. *)
+val launch :
+  ?options:Options.t ->
+  Runtime.t ->
+  node:int ->
+  prog:string ->
+  argv:string list ->
+  Simos.Kernel.process
+
+(** Spawn [dmtcp_command --checkpoint] against [?options]'s coordinator
+    (default: the runtime-wide one). The caller advances the engine. *)
+val checkpoint : ?options:Options.t -> Runtime.t -> unit
 
 (** Run the engine until a checkpoint that *started at or after [since]*
     completes (all barriers released) — guarding against being satisfied
@@ -38,7 +49,7 @@ val checkpoint : Runtime.t -> unit
 val await_checkpoint : ?timeout:float -> ?since:float -> Runtime.t -> unit
 
 (** Convenience: request a checkpoint and wait for it. *)
-val checkpoint_now : ?timeout:float -> Runtime.t -> unit
+val checkpoint_now : ?timeout:float -> ?options:Options.t -> Runtime.t -> unit
 
 (** Duration of the last completed checkpoint, seconds. *)
 val last_checkpoint_seconds : Runtime.t -> float
@@ -48,13 +59,18 @@ val last_checkpoint_seconds : Runtime.t -> float
 val last_checkpoint_bytes : Runtime.t -> int * int
 
 (** Build the restart script record for the last checkpoint (also writes
-    [dmtcp_restart_script.sh] to the coordinator node's filesystem). *)
-val restart_script : Runtime.t -> Restart_script.t
+    [dmtcp_restart_script.sh] to the coordinator node's filesystem).
+    [?options] selects the coordinator address baked into the script. *)
+val restart_script : ?options:Options.t -> Runtime.t -> Restart_script.t
 
 (** Kill every checkpointed process (and the coordinator), as when a
     cluster is lost or the user stops the computation before migrating.
     Checkpoint images survive on the nodes' filesystems. *)
 val kill_computation : Runtime.t -> unit
+
+(** Same, restricted to processes on [nodes] — stops one job of a
+    multi-job cluster when the scheduler owns nodes exclusively per job. *)
+val kill_nodes : Runtime.t -> nodes:int list -> unit
 
 (** Can every image of [script] still be produced somewhere — as a file
     on some node, or from the store with every block on a surviving

@@ -21,6 +21,10 @@ type state = {
   mutable next_interval : float;
   mutable work : int;                  (* messages handled since last block *)
   mutable last_barrier_time : float;
+  mutable opts : Options.t;
+      (* parsed from the environment once at boot: the env cannot change
+         underneath a running process, and of_getenv on every tick was
+         measurable overhead for interval-polling coordinators *)
 }
 
 module P = struct
@@ -42,6 +46,7 @@ module P = struct
       next_interval = infinity;
       work = 0;
       last_barrier_time = 0.;
+      opts = Options.default;
     }
 
   let send_line (ctx : Simos.Program.ctx) fd line =
@@ -178,10 +183,11 @@ module P = struct
   let step (ctx : Simos.Program.ctx) st =
     match st.phase with
     | `Boot ->
+      st.opts <- Options.of_getenv ctx.getenv;
       let port =
         match ctx.argv with
         | [ _; p ] -> ( try int_of_string p with _ -> Options.default.Options.coord_port)
-        | _ -> (Options.of_getenv ctx.getenv).Options.coord_port
+        | _ -> st.opts.Options.coord_port
       in
       let fd = ctx.socket () in
       (match ctx.bind fd ~port with
@@ -190,7 +196,7 @@ module P = struct
         | Ok () ->
           st.listen_fd <- fd;
           st.phase <- `Run;
-          (match (Options.of_getenv ctx.getenv).Options.interval with
+          (match st.opts.Options.interval with
           | Some i -> st.next_interval <- ctx.now () +. i
           | None -> ());
           Simos.Program.Continue st
@@ -213,7 +219,7 @@ module P = struct
       accept_all ();
       let progressed = List.exists Fun.id (List.map (pump_client ctx st) st.clients) in
       (* interval checkpointing *)
-      (match (Options.of_getenv ctx.getenv).Options.interval with
+      (match st.opts.Options.interval with
       | Some i when ctx.now () >= st.next_interval ->
         st.next_interval <- ctx.now () +. i;
         start_checkpoint ctx st
@@ -223,7 +229,7 @@ module P = struct
       if st.work > 0 then Simos.Program.Compute (st, cost)
       else begin
         let fds = st.listen_fd :: List.map (fun c -> c.c_fd) st.clients in
-        match (Options.of_getenv ctx.getenv).Options.interval with
+        match st.opts.Options.interval with
         | Some _ ->
           (* poll so interval checkpoints fire even when sockets are idle *)
           Simos.Program.Block (st, Simos.Program.Sleep_until (ctx.now () +. 0.05))

@@ -46,6 +46,7 @@ type t = {
   mutable refill_arrived : int;
   store : Store.t option;
   lineage_images : (string, image_record list) Hashtbl.t;
+  pinned : (string, int) Hashtbl.t;  (* lineage -> generation retention must keep *)
 }
 
 let nbarriers = 5
@@ -192,8 +193,16 @@ let prune_images t ~lineage =
       (match List.nth_opt gens (keep - 1) with
       | None -> ()
       | Some oldest_kept ->
+        (* a pinned generation (scheduler holds it as a preempted job's
+           only restart image) is exempt even when pid reuse has piled a
+           newer job's generations onto this lineage *)
+        let protected_ r =
+          match Hashtbl.find_opt t.pinned lineage with
+          | Some g -> r.ir_generation >= g
+          | None -> false
+        in
         let doomed, kept =
-          List.partition (fun r -> r.ir_generation < oldest_kept) records
+          List.partition (fun r -> r.ir_generation < oldest_kept && not (protected_ r)) records
         in
         List.iter
           (fun r ->
@@ -205,6 +214,25 @@ let prune_images t ~lineage =
             ignore (Simos.Vfs.unlink vfs conninfo))
           doomed;
         if doomed <> [] then Hashtbl.replace t.lineage_images lineage kept)
+
+(* Retention pins, forwarded to the store when one is installed: the
+   scheduler pins a preempted/requeued job's newest checkpoint so neither
+   the per-checkpoint reaper above nor a store GC can collect the only
+   image the job can restart from. *)
+let pin_lineage t ~lineage ~generation =
+  Hashtbl.replace t.pinned lineage generation;
+  match t.store with
+  | Some s -> Store.pin s ~lineage ~generation
+  | None -> ()
+
+let unpin_lineage t ~lineage =
+  Hashtbl.remove t.pinned lineage;
+  match t.store with
+  | Some s -> Store.unpin s ~lineage
+  | None -> ()
+
+let pinned_lineages t =
+  Hashtbl.fold (fun l g acc -> (l, g) :: acc) t.pinned [] |> List.sort compare
 
 let generation t = t.gen
 let bump_generation t = t.gen <- t.gen + 1
@@ -488,6 +516,7 @@ let install cl ?(options = Options.default) () =
       refill_arrived = 0;
       store;
       lineage_images = Hashtbl.create 16;
+      pinned = Hashtbl.create 8;
     }
   in
   Simos.Cluster.set_hooks cl (make_hooks t);

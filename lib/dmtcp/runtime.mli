@@ -121,8 +121,23 @@ val record_image :
 
 (** Unlink image/conninfo files of [lineage]'s generations older than
     the newest [keep_generations] (no-op when that option is [0]).
-    Called by the manager once a checkpoint write completes. *)
+    Called by the manager once a checkpoint write completes.  Pinned
+    generations ({!pin_lineage}) are exempt. *)
 val prune_images : t -> lineage:string -> unit
+
+(** [pin_lineage t ~lineage ~generation] protects [lineage]'s images at
+    [generation] or newer from {!prune_images} and (when a store is
+    installed) from store GC.  The scheduler pins the newest checkpoint
+    of every preempted/requeued job: pid reuse can hand the same lineage
+    to a new job whose checkpoints would otherwise age the preempted
+    job's only restart image out of retention.  Re-pinning replaces the
+    previous pin. *)
+val pin_lineage : t -> lineage:string -> generation:int -> unit
+
+val unpin_lineage : t -> lineage:string -> unit
+
+(** Current pins as (lineage, generation), sorted. *)
+val pinned_lineages : t -> (string * int) list
 
 (** The replicated content-addressed checkpoint store, when
     [options.store] enabled it at install time. *)

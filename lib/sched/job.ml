@@ -1,0 +1,83 @@
+type spec = {
+  sp_name : string;
+  sp_nodes : int;
+  sp_priority : int;
+  sp_est_runtime : float;
+  sp_procs : int;
+  sp_launch : int array -> (int * string * string list) list;
+  sp_outputs : int array -> (int * string) list;
+}
+
+type phase =
+  | Queued
+  | Starting
+  | Running
+  | Checkpointing
+  | Stopping
+  | Requeued
+  | Restarting
+  | Done
+  | Failed of string
+
+type saved = {
+  sv_script : Dmtcp.Restart_script.t;
+  sv_alloc : int array;
+  sv_outputs : (int * string * string option) list;
+  sv_time : float;
+}
+
+type t = {
+  id : int;
+  spec : spec;
+  mutable phase : phase;
+  mutable alloc : int array option;
+  mutable submitted : float;
+  mutable placed_at : float;
+  mutable phase_since : float;
+  mutable run_started : float;
+  mutable saved : saved option;
+  mutable pins : (string * int) list;
+  mutable preemptions : int;
+  mutable restarts : int;
+  mutable relaunches : int;
+  mutable lost_work : float;
+  mutable done_at : float;
+  mutable outputs : (string * string) list;
+}
+
+let make ~id ~spec ~now =
+  {
+    id;
+    spec;
+    phase = Queued;
+    alloc = None;
+    submitted = now;
+    placed_at = -1.;
+    phase_since = now;
+    run_started = -1.;
+    saved = None;
+    pins = [];
+    preemptions = 0;
+    restarts = 0;
+    relaunches = 0;
+    lost_work = 0.;
+    done_at = -1.;
+    outputs = [];
+  }
+
+let phase_name = function
+  | Queued -> "queued"
+  | Starting -> "starting"
+  | Running -> "running"
+  | Checkpointing -> "checkpointing"
+  | Stopping -> "stopping"
+  | Requeued -> "requeued"
+  | Restarting -> "restarting"
+  | Done -> "done"
+  | Failed m -> "failed:" ^ m
+
+let occupies_nodes = function
+  | Starting | Running | Checkpointing | Stopping | Restarting -> true
+  | Queued | Requeued | Done | Failed _ -> false
+
+let finished = function Done | Failed _ -> true | _ -> false

@@ -1,0 +1,72 @@
+(** Batch jobs: the unit the scheduler places, checkpoints, preempts and
+    resurrects.
+
+    A job is a node-count, a priority, and two functions of its node
+    allocation: one producing the (node, program, argv) launch set and one
+    naming the verdict files the job writes when it finishes.  Both are
+    functions — not lists — because an allocation is not stable: a
+    preempted or self-healed job restarts on whatever nodes are free, and
+    a relaunch-from-scratch must recompute host-bearing argv for them. *)
+
+type spec = {
+  sp_name : string;
+  sp_nodes : int;  (** nodes required, owned exclusively while running *)
+  sp_priority : int;  (** higher preempts lower *)
+  sp_est_runtime : float;  (** advisory estimate, virtual seconds *)
+  sp_procs : int;  (** checkpointed processes once fully started *)
+  sp_launch : int array -> (int * string * string list) list;
+      (** allocation -> (node, prog, argv) launch set *)
+  sp_outputs : int array -> (int * string) list;
+      (** allocation -> (node, path) verdict files, stable order *)
+}
+
+type phase =
+  | Queued  (** never run yet, waiting for nodes *)
+  | Starting  (** launched, waiting for the full process set *)
+  | Running
+  | Checkpointing  (** periodic checkpoint in flight; still running *)
+  | Stopping  (** checkpoint-then-stop in flight (preemption or drain) *)
+  | Requeued  (** stopped; waiting for nodes to restart or relaunch on *)
+  | Restarting  (** restart wave in flight *)
+  | Done
+  | Failed of string
+
+(** Everything needed to resurrect a stopped job: the restart script, the
+    allocation its hosts refer to, the verdict files' contents at
+    checkpoint time (restored before restart so re-executed writes land on
+    the same bytes a reference run would), and the checkpoint's virtual
+    time (the lost-work bound). *)
+type saved = {
+  sv_script : Dmtcp.Restart_script.t;
+  sv_alloc : int array;
+  sv_outputs : (int * string * string option) list;  (** (slot, path, content) *)
+  sv_time : float;
+}
+
+type t = {
+  id : int;
+  spec : spec;
+  mutable phase : phase;
+  mutable alloc : int array option;
+  mutable submitted : float;
+  mutable placed_at : float;  (** first placement (queue-wait endpoint) *)
+  mutable phase_since : float;  (** when [phase] was entered *)
+  mutable run_started : float;  (** current launch/restart resume time *)
+  mutable saved : saved option;
+  mutable pins : (string * int) list;  (** pinned (lineage, generation) *)
+  mutable preemptions : int;
+  mutable restarts : int;
+  mutable relaunches : int;
+  mutable lost_work : float;  (** re-executed virtual seconds *)
+  mutable done_at : float;
+  mutable outputs : (string * string) list;  (** collected (path, verdict) *)
+}
+
+val make : id:int -> spec:spec -> now:float -> t
+val phase_name : phase -> string
+
+(** Is the job in a phase where it occupies nodes? *)
+val occupies_nodes : phase -> bool
+
+(** Terminal? *)
+val finished : phase -> bool

@@ -1,0 +1,37 @@
+let place ~free ~want =
+  if want <= 0 then Some [||]
+  else
+    let free = List.sort compare free in
+    if List.length free < want then None
+    else Some (Array.of_list (List.filteri (fun i _ -> i < want) free))
+
+type candidate = { cd_id : int; cd_priority : int; cd_nodes : int }
+
+let victims ~running ~need ~priority =
+  if need <= 0 then Some []
+  else
+    let eligible = List.filter (fun c -> c.cd_priority < priority) running in
+    (* cheapest progress lost first: lowest priority, then youngest *)
+    let ordered =
+      List.sort
+        (fun a b ->
+          match compare a.cd_priority b.cd_priority with
+          | 0 -> compare b.cd_id a.cd_id
+          | c -> c)
+        eligible
+    in
+    let rec take acc freed = function
+      | _ when freed >= need -> Some (List.rev acc)
+      | [] -> None
+      | c :: rest -> take (c.cd_id :: acc) (freed + c.cd_nodes) rest
+    in
+    take [] 0 ordered
+
+let queue_order jobs =
+  List.sort
+    (fun (ida, pa, ta) (idb, pb, tb) ->
+      match compare pb pa with
+      | 0 -> ( match compare ta tb with 0 -> compare ida idb | c -> c)
+      | c -> c)
+    jobs
+  |> List.map (fun (id, _, _) -> id)

@@ -1,0 +1,22 @@
+(** Pure placement and preemption decisions, kept free of simulation
+    state so they can be unit-tested exhaustively. *)
+
+(** [place ~free ~want] picks [want] nodes from [free] (ascending — the
+    lowest-numbered free nodes), or [None] if too few. *)
+val place : free:int list -> want:int -> int array option
+
+(** One running job as preemption-victim material. *)
+type candidate = { cd_id : int; cd_priority : int; cd_nodes : int }
+
+(** [victims ~running ~need ~priority] chooses which running jobs to
+    preempt so that at least [need] more nodes come free for an arrival
+    of [priority].  Only strictly lower-priority jobs qualify; among
+    those, the lowest priority goes first and, on ties, the
+    youngest (highest id) — the job that has had the least time to make
+    progress.  Returns the victim ids in preemption order, or [None]
+    when even preempting every eligible job frees too few nodes. *)
+val victims : running:candidate list -> need:int -> priority:int -> int list option
+
+(** [queue_order jobs] sorts (id, priority, submit_time) into scheduling
+    order: priority descending, then submit time ascending, then id. *)
+val queue_order : (int * int * float) list -> int list

@@ -1,0 +1,723 @@
+(* The policy engine.  Everything runs inside engine events: a periodic
+   tick advances the (serialized) checkpoint/restart operation queue,
+   detects completed or dead jobs, and places queued work.  No function
+   here re-enters [Sim.Engine.run]. *)
+
+let tick_period = 0.05
+
+type stop_reason = Preempt of int (* preemptor job id *) | Drain of int (* node *)
+
+type op =
+  | Op_ckpt of Job.t  (* periodic checkpoint; the job keeps running *)
+  | Op_stop of Job.t * stop_reason  (* checkpoint, then stop and requeue *)
+  | Op_restart of Job.t * float  (* restart from saved image; requeued-at time *)
+
+type inflight = { if_op : op; if_since : float; mutable if_aborted : bool }
+
+type t = {
+  cl : Simos.Cluster.t;
+  rt : Dmtcp.Runtime.t;
+  base_port : int;
+  ckpt_interval : float option;
+  op_timeout : float;
+  max_recoveries : int;
+  start_grace : float;
+  mutable jobs : Job.t list;  (* ascending id *)
+  mutable next_id : int;
+  mutable draining : int list;
+  mutable inflight : inflight option;
+  mutable pending : op list;  (* FIFO *)
+  mutable timers : (int * Sim.Engine.handle) list;
+  mutable ticking : bool;
+  mutable violations : string list;
+  mutable n_preemptions : int;
+  mutable n_node_failures : int;
+  mutable n_drains : int;
+  mutable n_restarts : int;
+  mutable n_relaunches : int;
+  mutable first_submit : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Metrics and tracing *)
+
+let m_preempt = Trace.Metrics.counter "sched.preemptions"
+let m_node_fail = Trace.Metrics.counter "sched.node_failures"
+let m_drain = Trace.Metrics.counter "sched.drains"
+let m_restart = Trace.Metrics.counter "sched.restarts"
+let m_relaunch = Trace.Metrics.counter "sched.relaunches"
+let m_completed = Trace.Metrics.counter "sched.completed"
+let m_failed = Trace.Metrics.counter "sched.failed"
+let m_lost_work = Trace.Metrics.counter "sched.lost_work_s"
+let m_queue_wait = Trace.Metrics.histogram "sched.queue_wait_s"
+let m_recovery = Trace.Metrics.histogram "sched.recovery_s"
+let m_makespan = Trace.Metrics.gauge "sched.makespan_s"
+
+let now t = Simos.Cluster.now t.cl
+let eng t = Simos.Cluster.engine t.cl
+
+let trace_i t name args =
+  if Trace.on () then Trace.instant ~cat:"sched" ~name ~args ~time:(now t) ()
+
+let trace_span t name ~dur args =
+  if Trace.on () then Trace.span ~cat:"sched" ~name ~args ~time:(now t -. dur) ~dur ()
+
+let trace_counter t name v =
+  if Trace.on () then Trace.counter ~cat:"sched" ~name ~time:(now t) v
+
+(* ------------------------------------------------------------------ *)
+(* Views *)
+
+let job t id = List.find (fun (j : Job.t) -> j.Job.id = id) t.jobs
+let jobs t = t.jobs
+let alloc_exn (j : Job.t) = match j.Job.alloc with Some a -> a | None -> failwith "job has no allocation"
+
+let allocated_nodes t =
+  List.concat_map
+    (fun (j : Job.t) ->
+      match j.Job.alloc with
+      | Some a when Job.occupies_nodes j.Job.phase -> Array.to_list a
+      | _ -> [])
+    t.jobs
+
+let free_nodes t =
+  let taken = allocated_nodes t in
+  Simos.Cluster.up_nodes t.cl
+  |> List.filter (fun n -> (not (List.mem n taken)) && not (List.mem n t.draining))
+
+let busy_count t = List.length (allocated_nodes t)
+
+let procs_on t (j : Job.t) =
+  match j.Job.alloc with
+  | None -> 0
+  | Some a ->
+    List.length
+      (List.filter
+         (fun (node, _, _) -> Array.exists (fun n -> n = node) a)
+         (Dmtcp.Runtime.hijacked_processes t.rt))
+
+let job_options t (j : Job.t) =
+  let a = alloc_exn j in
+  {
+    (Dmtcp.Runtime.options t.rt) with
+    Dmtcp.Options.coord_host = a.(0);
+    coord_port = t.base_port + j.Job.id;
+    interval = None;  (* the scheduler, not the coordinator, drives periodic ckpts *)
+  }
+
+let vfs_of t node = Simos.Kernel.vfs (Simos.Cluster.kernel t.cl node)
+
+let output_read t node path =
+  match Simos.Vfs.lookup (vfs_of t node) path with
+  | Some f ->
+    let s = Simos.Vfs.read_all f in
+    if s = "" then None else Some s
+  | None -> None
+
+let output_write t node path = function
+  | Some bytes ->
+    let f = Simos.Vfs.open_or_create (vfs_of t node) path in
+    Simos.Vfs.truncate f;
+    Simos.Vfs.append f bytes
+  | None -> ignore (Simos.Vfs.unlink (vfs_of t node) path)
+
+let outputs_ready t (j : Job.t) =
+  match j.Job.alloc with
+  | None -> false
+  | Some a ->
+    let outs = j.Job.spec.Job.sp_outputs a in
+    outs = [] || List.for_all (fun (node, path) -> output_read t node path <> None) outs
+
+let set_phase t (j : Job.t) phase =
+  j.Job.phase <- phase;
+  j.Job.phase_since <- now t
+
+let violation t fmt =
+  Printf.ksprintf
+    (fun m ->
+      if not (List.mem m t.violations) then t.violations <- t.violations @ [ m ])
+    fmt
+
+(* ------------------------------------------------------------------ *)
+(* Per-job periodic checkpoint timers *)
+
+let cancel_timer t id =
+  List.iter (fun (jid, h) -> if jid = id then Sim.Engine.cancel h) t.timers;
+  t.timers <- List.filter (fun (jid, _) -> jid <> id) t.timers
+
+let pending_for t (j : Job.t) =
+  List.exists
+    (fun op ->
+      match op with
+      | Op_ckpt j2 | Op_stop (j2, _) | Op_restart (j2, _) -> j2.Job.id = j.Job.id)
+    t.pending
+
+let inflight_for t (j : Job.t) =
+  match t.inflight with
+  | Some { if_op = Op_ckpt j2; _ }
+  | Some { if_op = Op_stop (j2, _); _ }
+  | Some { if_op = Op_restart (j2, _); _ } ->
+    j2.Job.id = j.Job.id
+  | None -> false
+
+let rec arm_timer t (j : Job.t) =
+  match t.ckpt_interval with
+  | None -> ()
+  | Some iv ->
+    cancel_timer t j.Job.id;
+    let h =
+      Sim.Engine.schedule (eng t) ~delay:iv (fun () ->
+          t.timers <- List.filter (fun (jid, _) -> jid <> j.Job.id) t.timers;
+          if j.Job.phase = Job.Running && not (pending_for t j || inflight_for t j) then
+            t.pending <- t.pending @ [ Op_ckpt j ];
+          if not (Job.finished j.Job.phase) then arm_timer t j)
+    in
+    t.timers <- (j.Job.id, h) :: t.timers
+
+(* ------------------------------------------------------------------ *)
+(* Launch / stop / finish *)
+
+let alloc_string a = String.concat "," (List.map string_of_int (Array.to_list a))
+
+let assign_alloc t (j : Job.t) (a : int array) =
+  let taken = allocated_nodes t in
+  Array.iter
+    (fun n ->
+      if List.mem n taken then violation t "job %d placed on busy node %d" j.Job.id n;
+      if not (Simos.Cluster.node_up t.cl n) then
+        violation t "job %d placed on down node %d" j.Job.id n)
+    a;
+  j.Job.alloc <- Some a;
+  if j.Job.placed_at < 0. then begin
+    j.Job.placed_at <- now t;
+    let wait = now t -. j.Job.submitted in
+    Trace.Metrics.observe m_queue_wait wait;
+    trace_span t "sched/queue-wait" ~dur:wait [ ("job", string_of_int j.Job.id) ]
+  end;
+  trace_i t "sched/place"
+    [ ("job", string_of_int j.Job.id); ("alloc", alloc_string a) ];
+  trace_counter t "sched/busy-nodes" (float_of_int (busy_count t))
+
+let launch_job t (j : Job.t) (a : int array) =
+  assign_alloc t j a;
+  (* stale verdicts from a previous life must not satisfy the completion
+     check: a relaunch recomputes everything *)
+  List.iter (fun (node, path) -> output_write t node path None) (j.Job.spec.Job.sp_outputs a);
+  let opts = job_options t j in
+  List.iter
+    (fun (node, prog, argv) -> ignore (Dmtcp.Api.launch ~options:opts t.rt ~node ~prog ~argv))
+    (j.Job.spec.Job.sp_launch a);
+  j.Job.run_started <- now t;
+  set_phase t j Job.Starting
+
+let release_nodes t (j : Job.t) =
+  j.Job.alloc <- None;
+  trace_counter t "sched/busy-nodes" (float_of_int (busy_count t))
+
+(* Stop a job's processes (and its coordinator) on its own nodes. *)
+let kill_job_procs t (j : Job.t) =
+  match j.Job.alloc with
+  | None -> ()
+  | Some a -> Dmtcp.Api.kill_nodes t.rt ~nodes:(Array.to_list a)
+
+let unpin_job t (j : Job.t) =
+  List.iter (fun (lineage, _) -> Dmtcp.Runtime.unpin_lineage t.rt ~lineage) j.Job.pins;
+  j.Job.pins <- []
+
+let account_lost_work t (j : Job.t) =
+  let since =
+    match j.Job.saved with
+    | Some s -> s.Job.sv_time
+    | None -> j.Job.run_started
+  in
+  let lost = Float.max 0. (now t -. since) in
+  j.Job.lost_work <- j.Job.lost_work +. lost;
+  Trace.Metrics.add m_lost_work lost;
+  let total = List.fold_left (fun acc (j : Job.t) -> acc +. j.Job.lost_work) 0. t.jobs in
+  trace_counter t "sched/lost-work" total
+
+let finish_job t (j : Job.t) =
+  let a = alloc_exn j in
+  j.Job.outputs <-
+    List.filter_map
+      (fun (node, path) ->
+        Option.map (fun v -> (path, v)) (output_read t node path))
+      (j.Job.spec.Job.sp_outputs a)
+    |> List.sort compare;
+  cancel_timer t j.Job.id;
+  unpin_job t j;
+  kill_job_procs t j;  (* reap the job's idle coordinator *)
+  release_nodes t j;
+  j.Job.done_at <- now t;
+  set_phase t j Job.Done;
+  Trace.Metrics.incr m_completed;
+  let makespan = now t -. j.Job.submitted in
+  trace_span t "sched/makespan" ~dur:makespan [ ("job", string_of_int j.Job.id) ];
+  trace_i t "sched/job-done"
+    [
+      ("job", string_of_int j.Job.id);
+      ("preemptions", string_of_int j.Job.preemptions);
+      ("restarts", string_of_int j.Job.restarts);
+    ]
+
+let fail_job t (j : Job.t) msg =
+  cancel_timer t j.Job.id;
+  unpin_job t j;
+  kill_job_procs t j;
+  release_nodes t j;
+  set_phase t j (Job.Failed msg);
+  Trace.Metrics.incr m_failed;
+  trace_i t "sched/job-failed" [ ("job", string_of_int j.Job.id); ("reason", msg) ]
+
+let recoveries (j : Job.t) = j.Job.restarts + j.Job.relaunches
+
+(* Stop now and go back to the queue; the next placement decides between
+   restart-from-image and relaunch. *)
+let requeue t (j : Job.t) =
+  cancel_timer t j.Job.id;
+  account_lost_work t j;
+  kill_job_procs t j;
+  release_nodes t j;
+  if recoveries j >= t.max_recoveries then fail_job t j "too many recoveries"
+  else set_phase t j Job.Requeued
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint capture: script + verdict-file snapshot + retention pins *)
+
+let capture_ckpt t (j : Job.t) =
+  let a = alloc_exn j in
+  let opts = job_options t j in
+  let script = Dmtcp.Api.restart_script ~options:opts t.rt in
+  (* every image must come from the job's own nodes; anything else means
+     the operation was garbled by cross-job interference *)
+  let foreign =
+    match Dmtcp.Runtime.last_completed_ckpt t.rt with
+    | Some info ->
+      List.exists
+        (fun (node, _) -> not (Array.exists (fun n -> n = node) a))
+        info.Dmtcp.Runtime.images
+    | None -> true
+  in
+  if foreign then violation t "job %d checkpoint recorded images off its allocation" j.Job.id;
+  let slot_of node =
+    let s = ref (-1) in
+    Array.iteri (fun i n -> if n = node && !s < 0 then s := i) a;
+    !s
+  in
+  let outputs =
+    List.filter_map
+      (fun (node, path) ->
+        let slot = slot_of node in
+        if slot < 0 then None else Some (slot, path, output_read t node path))
+      (j.Job.spec.Job.sp_outputs a)
+  in
+  (* pin the new images: while this job is preempted/requeued, no GC may
+     collect them, even if pid reuse hands its lineage to another job *)
+  let pins =
+    List.filter_map
+      (fun (node, _, (ps : Dmtcp.Runtime.pstate)) ->
+        if Array.exists (fun n -> n = node) a then
+          Some (Dmtcp.Upid.lineage ps.Dmtcp.Runtime.upid, ps.Dmtcp.Runtime.upid.Dmtcp.Upid.generation)
+        else None)
+      (Dmtcp.Runtime.hijacked_processes t.rt)
+    |> List.sort_uniq compare
+  in
+  List.iter (fun (lineage, generation) -> Dmtcp.Runtime.pin_lineage t.rt ~lineage ~generation) pins;
+  j.Job.pins <- pins;
+  j.Job.saved <- Some { Job.sv_script = script; sv_alloc = Array.copy a; sv_outputs = outputs; sv_time = now t };
+  trace_i t "sched/ckpt-saved"
+    [ ("job", string_of_int j.Job.id); ("images", string_of_int (List.length script.Dmtcp.Restart_script.entries)) ]
+
+(* ------------------------------------------------------------------ *)
+(* The serialized operation queue *)
+
+let ckpt_completed t since =
+  match Dmtcp.Runtime.last_completed_ckpt t.rt with
+  | Some info ->
+    info.Dmtcp.Runtime.started >= since
+    && info.Dmtcp.Runtime.finished > info.Dmtcp.Runtime.started
+    && info.Dmtcp.Runtime.nprocs > 0
+  | None -> false
+
+let exec_restart t (j : Job.t) =
+  let saved = match j.Job.saved with Some s -> s | None -> failwith "restart without image" in
+  let a = alloc_exn j in
+  let remap h =
+    let idx = ref (-1) in
+    Array.iteri (fun i n -> if n = h && !idx < 0 then idx := i) saved.Job.sv_alloc;
+    if !idx >= 0 && !idx < Array.length a then a.(!idx) else h
+  in
+  let script = Dmtcp.Restart_script.remap saved.Job.sv_script remap in
+  (* verdict files roll back to their checkpoint-time bytes on the new
+     nodes, so re-executed writes reproduce the reference run exactly *)
+  List.iter
+    (fun (slot, path, content) ->
+      if slot >= 0 && slot < Array.length a then output_write t a.(slot) path content)
+    saved.Job.sv_outputs;
+  j.Job.restarts <- j.Job.restarts + 1;
+  Trace.Metrics.incr m_restart;
+  t.n_restarts <- t.n_restarts + 1;
+  Dmtcp.Api.restart t.rt script
+
+let start_op t op =
+  match op with
+  | Op_ckpt j ->
+    if j.Job.phase = Job.Running then begin
+      Dmtcp.Api.checkpoint ~options:(job_options t j) t.rt;
+      set_phase t j Job.Checkpointing;
+      trace_i t "sched/ckpt-start" [ ("job", string_of_int j.Job.id) ];
+      t.inflight <- Some { if_op = op; if_since = now t; if_aborted = false }
+    end
+  | Op_stop (j, reason) ->
+    if j.Job.phase = Job.Running || j.Job.phase = Job.Checkpointing then begin
+      Dmtcp.Api.checkpoint ~options:(job_options t j) t.rt;
+      set_phase t j Job.Stopping;
+      (match reason with
+      | Preempt by ->
+        trace_i t "sched/preempt"
+          [ ("victim", string_of_int j.Job.id); ("by", string_of_int by) ]
+      | Drain node ->
+        trace_i t "sched/drain-job"
+          [ ("job", string_of_int j.Job.id); ("node", string_of_int node) ]);
+      t.inflight <- Some { if_op = op; if_since = now t; if_aborted = false }
+    end
+    else if j.Job.phase = Job.Starting then
+      (* nothing checkpointable yet: stop and relaunch later *)
+      requeue t j
+  | Op_restart (j, _) ->
+    if j.Job.phase = Job.Restarting then begin
+      exec_restart t j;
+      t.inflight <- Some { if_op = op; if_since = now t; if_aborted = false }
+    end
+
+let finish_stop t (j : Job.t) reason since =
+  (match reason with
+  | Preempt _ ->
+    j.Job.preemptions <- j.Job.preemptions + 1;
+    t.n_preemptions <- t.n_preemptions + 1;
+    Trace.Metrics.incr m_preempt;
+    trace_span t "sched/preempt-latency" ~dur:(now t -. since)
+      [ ("victim", string_of_int j.Job.id) ]
+  | Drain _ -> ());
+  requeue t j
+
+let advance_inflight t (fl : inflight) =
+  let age = now t -. fl.if_since in
+  let timeout = age > t.op_timeout in
+  match fl.if_op with
+  | Op_ckpt j ->
+    if fl.if_aborted || Job.finished j.Job.phase then t.inflight <- None
+    else if j.Job.phase = Job.Checkpointing && procs_on t j = 0 then begin
+      (* the job finished (or died) underneath the checkpoint *)
+      t.inflight <- None;
+      if outputs_ready t j then finish_job t j else requeue t j
+    end
+    else if ckpt_completed t fl.if_since then begin
+      capture_ckpt t j;
+      set_phase t j Job.Running;
+      t.inflight <- None
+    end
+    else if timeout then begin
+      trace_i t "sched/op-timeout" [ ("op", "ckpt"); ("job", string_of_int j.Job.id) ];
+      if j.Job.phase = Job.Checkpointing then set_phase t j Job.Running;
+      t.inflight <- None
+    end
+  | Op_stop (j, reason) ->
+    if fl.if_aborted || Job.finished j.Job.phase then t.inflight <- None
+    else if j.Job.phase = Job.Stopping && procs_on t j = 0 then begin
+      t.inflight <- None;
+      if outputs_ready t j then finish_job t j else requeue t j
+    end
+    else if ckpt_completed t fl.if_since then begin
+      capture_ckpt t j;
+      t.inflight <- None;
+      finish_stop t j reason fl.if_since
+    end
+    else if timeout then begin
+      (* stop anyway: an older image (or a relaunch) has to do *)
+      trace_i t "sched/op-timeout" [ ("op", "stop"); ("job", string_of_int j.Job.id) ];
+      t.inflight <- None;
+      finish_stop t j reason fl.if_since
+    end
+  | Op_restart (j, requeued_at) ->
+    if fl.if_aborted || Job.finished j.Job.phase then t.inflight <- None
+    else begin
+      let info = Dmtcp.Runtime.restart_info t.rt in
+      let expected = Dmtcp.Runtime.restart_expected t.rt in
+      if
+        info.Dmtcp.Runtime.started >= fl.if_since
+        && expected > 0
+        && info.Dmtcp.Runtime.nprocs >= expected
+      then begin
+        t.inflight <- None;
+        set_phase t j Job.Running;
+        j.Job.run_started <- now t;
+        arm_timer t j;
+        let dur = now t -. requeued_at in
+        Trace.Metrics.observe m_recovery dur;
+        trace_span t "sched/restart-recovery" ~dur [ ("job", string_of_int j.Job.id) ]
+      end
+      else if timeout then begin
+        trace_i t "sched/op-timeout" [ ("op", "restart"); ("job", string_of_int j.Job.id) ];
+        t.inflight <- None;
+        requeue t j
+      end
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Placement *)
+
+let stop_requested t (j : Job.t) =
+  (match t.inflight with
+  | Some { if_op = Op_stop (j2, _); _ } -> j2.Job.id = j.Job.id
+  | _ -> false)
+  || List.exists
+       (function Op_stop (j2, _) -> j2.Job.id = j.Job.id | _ -> false)
+       t.pending
+
+let place_pass t =
+  let queued =
+    List.filter_map
+      (fun (j : Job.t) ->
+        match j.Job.phase with
+        | Job.Queued | Job.Requeued -> Some (j.Job.id, j.Job.spec.Job.sp_priority, j.Job.submitted)
+        | _ -> None)
+      t.jobs
+  in
+  let order = Policy.queue_order queued in
+  let stop_scan = ref false in
+  List.iter
+    (fun id ->
+      if not !stop_scan then begin
+        let j = job t id in
+        let free = free_nodes t in
+        match Policy.place ~free ~want:j.Job.spec.Job.sp_nodes with
+        | Some a -> (
+          match j.Job.phase with
+          | Job.Queued -> launch_job t j a
+          | Job.Requeued -> (
+            match j.Job.saved with
+            | Some saved when Dmtcp.Api.script_images_available t.rt saved.Job.sv_script ->
+              (* reserve the nodes now; the serialized op queue does the
+                 actual restart *)
+              assign_alloc t j a;
+              let requeued_at = j.Job.phase_since in
+              set_phase t j Job.Restarting;
+              t.pending <- t.pending @ [ Op_restart (j, requeued_at) ]
+            | _ ->
+              (* no usable image: start over from scratch *)
+              j.Job.saved <- None;
+              j.Job.relaunches <- j.Job.relaunches + 1;
+              t.n_relaunches <- t.n_relaunches + 1;
+              Trace.Metrics.incr m_relaunch;
+              launch_job t j a)
+          | _ -> ())
+        | None ->
+          (* not enough free nodes: preempt strictly-lower-priority work *)
+          let running =
+            List.filter_map
+              (fun (j2 : Job.t) ->
+                if j2.Job.phase = Job.Running && not (stop_requested t j2) then
+                  Some
+                    {
+                      Policy.cd_id = j2.Job.id;
+                      cd_priority = j2.Job.spec.Job.sp_priority;
+                      cd_nodes = Array.length (alloc_exn j2);
+                    }
+                else None)
+              t.jobs
+          in
+          let need = j.Job.spec.Job.sp_nodes - List.length free in
+          (match
+             Policy.victims ~running ~need ~priority:j.Job.spec.Job.sp_priority
+           with
+          | Some ids when ids <> [] ->
+            List.iter
+              (fun vid -> t.pending <- t.pending @ [ Op_stop (job t vid, Preempt j.Job.id) ])
+              ids;
+            (* hold the remaining free nodes for this arrival: do not
+               backfill lower-priority work onto them this pass *)
+            stop_scan := true
+          | _ -> ())
+      end)
+    order
+
+(* ------------------------------------------------------------------ *)
+(* Job health scan *)
+
+let scan_jobs t =
+  List.iter
+    (fun (j : Job.t) ->
+      if not (inflight_for t j || pending_for t j) then
+        match j.Job.phase with
+        | Job.Starting ->
+          if procs_on t j >= j.Job.spec.Job.sp_procs then begin
+            set_phase t j Job.Running;
+            arm_timer t j
+          end
+          else if now t -. j.Job.phase_since > t.start_grace then requeue t j
+        | Job.Running ->
+          if procs_on t j = 0 then
+            if outputs_ready t j then finish_job t j else requeue t j
+        | _ -> ())
+    t.jobs
+
+(* ------------------------------------------------------------------ *)
+(* The tick *)
+
+let all_done t = t.jobs <> [] && List.for_all (fun (j : Job.t) -> Job.finished j.Job.phase) t.jobs
+
+let rec tick t =
+  (match t.inflight with Some fl -> advance_inflight t fl | None -> ());
+  (match (t.inflight, t.pending) with
+  | None, op :: rest ->
+    t.pending <- rest;
+    start_op t op
+  | _ -> ());
+  scan_jobs t;
+  place_pass t;
+  if all_done t && t.pending = [] && t.inflight = None then t.ticking <- false
+  else ignore (Sim.Engine.schedule (eng t) ~delay:tick_period (fun () -> tick t))
+
+let ensure_ticking t =
+  if not t.ticking then begin
+    t.ticking <- true;
+    ignore (Sim.Engine.schedule (eng t) ~delay:0. (fun () -> tick t))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Public API *)
+
+let create ?(base_port = 7800) ?ckpt_interval ?(op_timeout = 60.) ?(max_recoveries = 10)
+    ?(start_grace = 15.) cl rt =
+  {
+    cl;
+    rt;
+    base_port;
+    ckpt_interval;
+    op_timeout;
+    max_recoveries;
+    start_grace;
+    jobs = [];
+    next_id = 0;
+    draining = [];
+    inflight = None;
+    pending = [];
+    timers = [];
+    ticking = false;
+    violations = [];
+    n_preemptions = 0;
+    n_node_failures = 0;
+    n_drains = 0;
+    n_restarts = 0;
+    n_relaunches = 0;
+    first_submit = -1.;
+  }
+
+let submit t spec =
+  let j = Job.make ~id:t.next_id ~spec ~now:(now t) in
+  t.next_id <- t.next_id + 1;
+  t.jobs <- t.jobs @ [ j ];
+  if t.first_submit < 0. then t.first_submit <- now t;
+  trace_i t "sched/submit"
+    [
+      ("job", string_of_int j.Job.id);
+      ("name", spec.Job.sp_name);
+      ("nodes", string_of_int spec.Job.sp_nodes);
+      ("priority", string_of_int spec.Job.sp_priority);
+    ];
+  ensure_ticking t;
+  j
+
+let abort_ops_for t (j : Job.t) =
+  (match t.inflight with
+  | Some fl when inflight_for t j -> fl.if_aborted <- true
+  | _ -> ());
+  t.pending <-
+    List.filter
+      (function
+        | Op_ckpt j2 | Op_stop (j2, _) | Op_restart (j2, _) -> j2.Job.id <> j.Job.id)
+      t.pending
+
+let jobs_touching t node =
+  List.filter
+    (fun (j : Job.t) ->
+      Job.occupies_nodes j.Job.phase
+      && match j.Job.alloc with Some a -> Array.exists (fun n -> n = node) a | None -> false)
+    t.jobs
+
+let drain t node =
+  if not (List.mem node t.draining) then begin
+    t.draining <- node :: t.draining;
+    t.n_drains <- t.n_drains + 1;
+    Trace.Metrics.incr m_drain;
+    trace_i t "sched/drain" [ ("node", string_of_int node) ];
+    List.iter
+      (fun (j : Job.t) ->
+        if not (stop_requested t j) then
+          match j.Job.phase with
+          | Job.Starting -> requeue t j
+          | _ -> t.pending <- t.pending @ [ Op_stop (j, Drain node) ])
+      (jobs_touching t node);
+    ensure_ticking t
+  end
+
+let undrain t node =
+  t.draining <- List.filter (fun n -> n <> node) t.draining;
+  trace_i t "sched/undrain" [ ("node", string_of_int node) ];
+  ensure_ticking t
+
+let fail_node t node =
+  t.n_node_failures <- t.n_node_failures + 1;
+  Trace.Metrics.incr m_node_fail;
+  trace_i t "sched/node-fail" [ ("node", string_of_int node) ];
+  let victims = jobs_touching t node in
+  Simos.Cluster.fail_node t.cl node;
+  (match Dmtcp.Runtime.store t.rt with
+  | Some s -> Store.drop_node s node
+  | None -> ());
+  List.iter
+    (fun (j : Job.t) ->
+      abort_ops_for t j;
+      (* survivors on the job's other nodes are incoherent without their
+         peers: stop the whole job and resurrect it from the newest
+         surviving checkpoint *)
+      requeue t j)
+    victims;
+  ensure_ticking t
+
+let run ?(until = 3600.) t =
+  ensure_ticking t;
+  Sim.Engine.run ~until (Simos.Cluster.engine t.cl);
+  List.length (List.filter (fun (j : Job.t) -> not (Job.finished j.Job.phase)) t.jobs)
+
+let violations t = t.violations
+let preemptions t = t.n_preemptions
+let node_failures t = t.n_node_failures
+let drains t = t.n_drains
+let restarts t = t.n_restarts
+let relaunches t = t.n_relaunches
+
+let makespan t =
+  let last =
+    List.fold_left (fun acc (j : Job.t) -> Float.max acc j.Job.done_at) (-1.) t.jobs
+  in
+  if last < 0. || t.first_submit < 0. then 0.
+  else begin
+    let m = last -. t.first_submit in
+    Trace.Metrics.set m_makespan m;
+    m
+  end
+
+let total_lost_work t =
+  List.fold_left (fun acc (j : Job.t) -> acc +. j.Job.lost_work) 0. t.jobs
+
+let status_lines t =
+  List.map
+    (fun (j : Job.t) ->
+      Printf.sprintf "job %d %-12s prio %d nodes %d  %-12s alloc [%s]  pre %d rst %d rel %d lost %.2fs"
+        j.Job.id j.Job.spec.Job.sp_name j.Job.spec.Job.sp_priority j.Job.spec.Job.sp_nodes
+        (Job.phase_name j.Job.phase)
+        (match j.Job.alloc with Some a -> alloc_string a | None -> "-")
+        j.Job.preemptions j.Job.restarts j.Job.relaunches j.Job.lost_work)
+    t.jobs

@@ -1,0 +1,89 @@
+(** Checkpoint-driven batch scheduler.
+
+    One scheduler owns a cluster's nodes and a DMTCP runtime.  Jobs are
+    submitted with a node count and a priority; the scheduler places them
+    on free nodes (exclusive, whole-node allocation) and attaches a
+    private DMTCP domain per job — its own coordinator on the job's first
+    node, on a per-job port — so independent jobs checkpoint and restart
+    without touching each other.
+
+    Three policies bottom out in checkpoint/restart:
+
+    - {b preemption}: a higher-priority arrival that cannot be placed
+      checkpoints enough lower-priority running jobs to the store,
+      stops them, and takes their nodes; the victims requeue and later
+      restart from their images, possibly on different nodes
+      ({!Dmtcp.Restart_script.remap}).
+    - {b self-healing}: {!fail_node} kills a node and drops its store
+      replicas; every job touching it is restarted from its newest
+      surviving checkpoint, with the periodic-checkpoint policy
+      ([~ckpt_interval]) bounding the lost work.
+    - {b drain}: {!drain} migrates every job off a node by
+      checkpoint + remap + restart, and the node takes no new work.
+
+    The DMTCP protocol state ({!Dmtcp.Runtime} operation records, refill
+    barrier, discovery service) is cluster-global, so the scheduler
+    serializes checkpoint/restart operations: at most one is in flight at
+    any time, the rest queue.  All progress is driven by engine events (a
+    periodic scheduler tick); nothing here re-enters the engine. *)
+
+type t
+
+(** [create cl rt ()] — [ckpt_interval] arms a periodic checkpoint per
+    running job (default none); [base_port] is the first per-job
+    coordinator port (job [i] listens on [base_port + i], default 7800);
+    [op_timeout] bounds one checkpoint/restart operation (default 60
+    virtual s); [max_recoveries] bounds restarts+relaunches per job
+    (default 10); [start_grace] bounds how long a launch may take to
+    produce its full process set (default 15 virtual s). *)
+val create :
+  ?base_port:int ->
+  ?ckpt_interval:float ->
+  ?op_timeout:float ->
+  ?max_recoveries:int ->
+  ?start_grace:float ->
+  Simos.Cluster.t ->
+  Dmtcp.Runtime.t ->
+  t
+
+(** Submit a job; placement happens on the next scheduler tick. *)
+val submit : t -> Job.spec -> Job.t
+
+(** Operator drain: migrate every job off [node] (checkpoint + restart
+    elsewhere) and stop placing work on it. *)
+val drain : t -> int -> unit
+
+(** Return a drained (but not failed) node to service. *)
+val undrain : t -> int -> unit
+
+(** Fail-stop node loss: processes die, the node goes down, and its
+    store replicas are dropped; jobs touching it self-heal from their
+    newest surviving checkpoint. *)
+val fail_node : t -> int -> unit
+
+(** Drive the simulation until every job is terminal or [until] (default
+    3600 virtual s).  Returns the number of unfinished jobs. *)
+val run : ?until:float -> t -> int
+
+val jobs : t -> Job.t list
+val job : t -> int -> Job.t
+val all_done : t -> bool
+
+(** Scheduler-level invariant breaches observed while running (two jobs
+    sharing a node slot, placement on a down node).  Empty when healthy. *)
+val violations : t -> string list
+
+(** Completion time of the last job, relative to the first submission. *)
+val makespan : t -> float
+
+(** Total re-executed virtual seconds across all jobs. *)
+val total_lost_work : t -> float
+
+val preemptions : t -> int
+val node_failures : t -> int
+val drains : t -> int
+val restarts : t -> int
+val relaunches : t -> int
+
+(** Human status table, one line per job. *)
+val status_lines : t -> string list

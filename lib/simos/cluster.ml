@@ -6,10 +6,19 @@ type t = {
   disc : Simnet.Discovery.t;
   kernels : Kernel.t array;
   targets : Storage.Target.t array;
+  up : bool array;  (* administrative node view: false after fail_node *)
 }
 
 let create ?(seed = 0xC1A5_7E2L) ?latency ?bandwidth ?(cores_per_node = 4)
     ?(storage = Local_disks) ~nodes () =
+  (* Global id pools restart with the cluster: desc/pipe/pty ids are
+     only meaningful within one cluster, but they leak into checkpoint
+     image encodings, so without a reset a second cluster in the same
+     process produces byte-different (if behaviourally identical) images.
+     Clusters are used sequentially throughout the repo. *)
+  Fdesc.reset ();
+  Pipe.reset ();
+  Pty.reset ();
   let eng = Sim.Engine.create ~seed () in
   let fab = Simnet.Fabric.create eng ?latency ?bandwidth ~nhosts:nodes () in
   let disc = Simnet.Discovery.create () in
@@ -37,7 +46,7 @@ let create ?(seed = 0xC1A5_7E2L) ?latency ?bandwidth ?(cores_per_node = 4)
           ())
   in
   Array.iter (fun k -> Kernel.set_peers k kernels) kernels;
-  { eng; fab; disc; kernels; targets }
+  { eng; fab; disc; kernels; targets; up = Array.make nodes true }
 
 let engine t = t.eng
 let fabric t = t.fab
@@ -55,6 +64,20 @@ let target t i = t.targets.(i)
    lost power.  Exit hooks still run (the DMTCP runtime unregisters the
    victims); peers observe connection resets/EOF. *)
 let crash_node t i = List.iter (fun p -> Kernel.kill_process t.kernels.(i) p) (Kernel.processes t.kernels.(i))
+
+(* Administrative node view.  [crash_node] models a reboot (processes die,
+   node returns); [fail_node] additionally marks the node down so
+   schedulers stop placing work there until [set_node_up]. *)
+let node_up t i = t.up.(i)
+let set_node_up t i v = t.up.(i) <- v
+
+let up_nodes t =
+  Array.to_list (Array.mapi (fun i u -> (i, u)) t.up)
+  |> List.filter_map (fun (i, u) -> if u then Some i else None)
+
+let fail_node t i =
+  t.up.(i) <- false;
+  crash_node t i
 
 let all_processes t =
   Array.to_list t.kernels

@@ -54,3 +54,17 @@ val target : t -> int -> Storage.Target.t
 (** Fail-stop crash of node [i]: kill every process on it at the current
     virtual time.  Exit hooks run; remote peers observe EOF. *)
 val crash_node : t -> int -> unit
+
+(** Administrative up/down view of node [i] (all nodes start up).
+    {!crash_node} does not change it — a crash models a reboot;
+    {!fail_node} does. *)
+val node_up : t -> int -> bool
+
+val set_node_up : t -> int -> bool -> unit
+
+(** Nodes currently marked up, ascending. *)
+val up_nodes : t -> int list
+
+(** {!crash_node} plus marking the node down: the machine is lost, not
+    rebooting, so schedulers must migrate its work elsewhere. *)
+val fail_node : t -> int -> unit

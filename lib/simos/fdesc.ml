@@ -9,6 +9,7 @@ type kind =
 type t = { desc_id : int; kind : kind; mutable refcount : int; mutable owner : int }
 
 let next_id = ref 0
+let reset () = next_id := 0
 
 let make kind =
   incr next_id;

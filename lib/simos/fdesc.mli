@@ -25,6 +25,12 @@ type t = {
     adjusted by the caller). *)
 val make : kind -> t
 
+(** Restart the [desc_id] sequence.  Called by [Cluster.create]: ids are
+    only compared within one cluster's lifetime, and resetting keeps the
+    ids — which are encoded into checkpoint images — identical across
+    sequential clusters in one process. *)
+val reset : unit -> unit
+
 val incr_ref : t -> unit
 
 (** Decrement; when the count reaches zero the underlying object is

@@ -8,6 +8,7 @@ type t = {
 
 let capacity = 65536
 let next_id = ref 0
+let reset () = next_id := 0
 
 let create () =
   incr next_id;

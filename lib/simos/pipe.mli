@@ -12,6 +12,9 @@ val capacity : int
 val create : unit -> t
 val id : t -> int
 
+(** Restart the id sequence (see {!Fdesc.reset}). *)
+val reset : unit -> unit
+
 (** Reader/writer reference counts, adjusted by the kernel as fds are
     duplicated and closed. *)
 val add_reader : t -> unit

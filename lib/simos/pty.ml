@@ -17,6 +17,7 @@ type t = {
 }
 
 let next_id = ref 0
+let reset () = next_id := 0
 
 let create () =
   incr next_id;

@@ -19,6 +19,9 @@ val default_termios : unit -> termios
 val create : unit -> t
 val id : t -> int
 
+(** Restart the id sequence (see {!Fdesc.reset}). *)
+val reset : unit -> unit
+
 (** ["/dev/pts/N"]. *)
 val ptsname : t -> string
 

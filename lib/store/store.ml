@@ -22,12 +22,29 @@
    proportional to the bytes it actually ships. *)
 
 module Digest = struct
-  type t = { crc : int32; len : int }
+  type t = { crc : int32; fnv : int64; len : int }
 
-  let of_chunk c = { crc = Util.Crc32.digest c; len = String.length c }
+  (* (crc, len) alone is NOT collision-resistant for checkpoint chunks:
+     image prefixes end in a CRC-32 of the metadata they carry, and
+     CRC(m ++ CRC(m)) is a constant residue — every same-length prefix
+     chunk hashes alike, so dedup would splice one process's identity
+     onto another's image.  An independent FNV-1a 64 component breaks
+     the algebra. *)
+  let fnv1a64 s =
+    let h = ref 0xcbf29ce484222325L in
+    String.iter
+      (fun c ->
+        h := Int64.logxor !h (Int64.of_int (Char.code c));
+        h := Int64.mul !h 0x100000001b3L)
+      s;
+    !h
+
+  let of_chunk c =
+    { crc = Util.Crc32.digest c; fnv = fnv1a64 c; len = String.length c }
+
   let to_string d = Printf.sprintf "%08lx:%d" d.crc d.len
-  let equal (a : t) b = a.crc = b.crc && a.len = b.len
-  let compare (a : t) b = compare (a.crc, a.len) (b.crc, b.len)
+  let equal (a : t) b = a.crc = b.crc && a.fnv = b.fnv && a.len = b.len
+  let compare (a : t) b = compare (a.crc, a.fnv, a.len) (b.crc, b.fnv, b.len)
 end
 
 exception Missing_blocks of string list
@@ -70,6 +87,7 @@ type t = {
   blocks : (Digest.t, block) Hashtbl.t;
   mutable manifests : manifest list;  (* newest first *)
   dead : (int, unit) Hashtbl.t;       (* nodes whose disks are lost *)
+  pins : (string, int) Hashtbl.t;     (* lineage -> generation GC must keep *)
   mutable st : stats;
 }
 
@@ -113,6 +131,7 @@ let create ?(replicas = 2) ?quorum ?(keep = 2) ~engine ~targets () =
     blocks = Hashtbl.create 256;
     manifests = [];
     dead = Hashtbl.create 4;
+    pins = Hashtbl.create 8;
     st = zero_stats;
   }
 
@@ -314,6 +333,27 @@ let fetch t ~node ~name =
       ];
     Some (Buffer.contents buf, delay)
 
+(* Pins: a scheduler holding a preempted job's image as its only copy
+   marks the (lineage, generation) so no GC — generational retention or
+   an operator `store gc` — can collect it, even when pid reuse piles
+   another job's generations onto the same lineage. *)
+let pin t ~lineage ~generation =
+  Hashtbl.replace t.pins lineage generation;
+  trace_store t "pin" [ ("lineage", lineage); ("generation", string_of_int generation) ]
+
+let unpin t ~lineage =
+  if Hashtbl.mem t.pins lineage then begin
+    Hashtbl.remove t.pins lineage;
+    trace_store t "unpin" [ ("lineage", lineage) ]
+  end
+
+let pinned t ~lineage = Hashtbl.find_opt t.pins lineage
+
+let pin_protects t m =
+  match Hashtbl.find_opt t.pins m.m_lineage with
+  | Some g -> m.m_generation >= g
+  | None -> false
+
 (* Generational retention: keep the newest [keep] generations of one
    lineage (a re-put same-generation manifest is already deduped by
    name), release everything older. *)
@@ -329,7 +369,9 @@ let gc_lineage ?keep t ~lineage =
     match List.nth_opt gens (keep - 1) with
     | None -> { gc_manifests = 0; gc_blocks = 0; gc_bytes = 0 }
     | Some oldest_kept ->
-      let doomed = List.filter (fun m -> m.m_generation < oldest_kept) mine in
+      let doomed =
+        List.filter (fun m -> m.m_generation < oldest_kept && not (pin_protects t m)) mine
+      in
       if doomed = [] then { gc_manifests = 0; gc_blocks = 0; gc_bytes = 0 }
       else begin
         let blocks = ref 0 and bytes = ref 0 in
@@ -341,7 +383,10 @@ let gc_lineage ?keep t ~lineage =
           doomed;
         t.manifests <-
           List.filter
-            (fun m -> not (m.m_lineage = lineage && m.m_generation < oldest_kept))
+            (fun m ->
+              not
+                (m.m_lineage = lineage && m.m_generation < oldest_kept
+                && not (pin_protects t m)))
             t.manifests;
         let r = { gc_manifests = List.length doomed; gc_blocks = !blocks; gc_bytes = !bytes } in
         trace_store t "gc"

@@ -17,7 +17,7 @@
     actually ships. *)
 
 module Digest : sig
-  type t = { crc : int32; len : int }
+  type t = { crc : int32; fnv : int64; len : int }
 
   val of_chunk : string -> t
   val to_string : t -> string
@@ -110,9 +110,24 @@ val contains : t -> name:string -> bool
 (** Reassemble without booking storage time — inspection only. *)
 val peek : t -> name:string -> string option
 
+(** [pin t ~lineage ~generation] protects every manifest of [lineage] at
+    [generation] or newer from GC (both {!gc_lineage} retention and an
+    operator {!gc}).  A scheduler holding a preempted job's checkpoint as
+    its only copy pins it so pid reuse — a new job on the same node
+    acquiring the same lineage and aging the catalog — cannot collect it.
+    Re-pinning replaces the previous pin for the lineage. *)
+val pin : t -> lineage:string -> generation:int -> unit
+
+(** Remove the pin for [lineage] (no-op if none). *)
+val unpin : t -> lineage:string -> unit
+
+(** The pinned generation of [lineage], if any. *)
+val pinned : t -> lineage:string -> int option
+
 (** Drop generations of [lineage] older than the newest [keep]
     (default: the store's [keep]); chunks nothing references any more
-    are reclaimed on every replica. *)
+    are reclaimed on every replica.  Pinned manifests are never
+    collected. *)
 val gc_lineage : ?keep:int -> t -> lineage:string -> gc_report
 
 (** {!gc_lineage} over every lineage in the catalog. *)

@@ -20,7 +20,8 @@ type event = {
   time : float;  (** simulated seconds (span: start time) *)
   node : int;  (** emitting node, [-1] if global *)
   pid : int;  (** emitting pid, [-1] if not process-scoped *)
-  cat : string;  (** layer: ["sim" | "kernel" | "net" | "storage" | "dmtcp"] *)
+  cat : string;
+      (** layer: ["sim" | "kernel" | "net" | "storage" | "dmtcp" | "store" | "sched"] *)
   name : string;  (** e.g. ["ckpt/drain"], ["seg/send"] *)
   kind : kind;
   args : (string * string) list;  (** small, printable key/values *)

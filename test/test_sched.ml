@@ -1,0 +1,137 @@
+(* Tests for the checkpoint-driven batch scheduler: pure policy
+   decisions, the canned three-job preempt/fail/drain scenario judged
+   against its no-fault reference, end-to-end determinism, and a seeded
+   chaos corpus (SCHED_SEEDS scales the seed count). *)
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* pure policy *)
+
+let test_place () =
+  check
+    (Alcotest.option (Alcotest.array Alcotest.int))
+    "lowest-numbered free nodes"
+    (Some [| 1; 3 |])
+    (Sched.Policy.place ~free:[ 7; 3; 5; 1 ] ~want:2);
+  check
+    (Alcotest.option (Alcotest.array Alcotest.int))
+    "too few free nodes" None
+    (Sched.Policy.place ~free:[ 4 ] ~want:2);
+  check
+    (Alcotest.option (Alcotest.array Alcotest.int))
+    "zero nodes is trivially placeable" (Some [||])
+    (Sched.Policy.place ~free:[] ~want:0)
+
+let cd id priority nodes = { Sched.Policy.cd_id = id; cd_priority = priority; cd_nodes = nodes }
+
+let test_victims () =
+  let running = [ cd 0 1 2; cd 1 1 2; cd 2 5 4 ] in
+  (* equal-priority jobs are not eligible: only the prio-1 pair can fall
+     to a prio-5 arrival, lowest priority first, youngest on ties *)
+  check
+    (Alcotest.option (Alcotest.list Alcotest.int))
+    "youngest of the lowest priority goes first" (Some [ 1 ])
+    (Sched.Policy.victims ~running ~need:2 ~priority:5);
+  check
+    (Alcotest.option (Alcotest.list Alcotest.int))
+    "several victims accumulate" (Some [ 1; 0 ])
+    (Sched.Policy.victims ~running ~need:4 ~priority:5);
+  check
+    (Alcotest.option (Alcotest.list Alcotest.int))
+    "equal priority never preempted" None
+    (Sched.Policy.victims ~running ~need:2 ~priority:1);
+  check
+    (Alcotest.option (Alcotest.list Alcotest.int))
+    "not enough eligible nodes" None
+    (Sched.Policy.victims ~running ~need:6 ~priority:5);
+  check
+    (Alcotest.option (Alcotest.list Alcotest.int))
+    "lower priority falls before higher" (Some [ 1; 0; 2 ])
+    (Sched.Policy.victims
+       ~running:[ cd 0 1 2; cd 1 1 2; cd 2 3 2 ]
+       ~need:6 ~priority:9)
+
+let test_queue_order () =
+  check
+    (Alcotest.list Alcotest.int)
+    "priority desc, submit asc, id asc"
+    [ 2; 0; 3; 1 ]
+    (Sched.Policy.queue_order [ (0, 1, 0.0); (1, 0, 0.0); (2, 5, 3.0); (3, 1, 0.0) ])
+
+(* ------------------------------------------------------------------ *)
+(* the canned scenario: all three policies, judged against a no-fault
+   reference run *)
+
+let test_demo_faulted_matches_reference () =
+  let reference = Chaos.Sched_demo.run ~faults:false () in
+  let faulted = Chaos.Sched_demo.run ~faults:true () in
+  (match Chaos.Sched_demo.check ~reference faulted with
+  | [] -> ()
+  | violations -> Alcotest.fail (String.concat "; " violations));
+  (* the reference run still sees the preemption (the big arrival is not
+     a fault) but no node failure, no drain *)
+  let rs = reference.Chaos.Sched_demo.d_sched in
+  check Alcotest.int "reference preempts too" 1 (Sched.Scheduler.preemptions rs);
+  check Alcotest.int "reference has no node failure" 0 (Sched.Scheduler.node_failures rs);
+  check Alcotest.int "reference has no drain" 0 (Sched.Scheduler.drains rs);
+  Alcotest.(check bool)
+    "faults cost lost work" true
+    (Sched.Scheduler.total_lost_work faulted.Chaos.Sched_demo.d_sched > 0.);
+  Alcotest.(check bool)
+    "makespan is positive" true
+    (Sched.Scheduler.makespan faulted.Chaos.Sched_demo.d_sched > 0.)
+
+let test_demo_deterministic () =
+  let a = Chaos.Sched_demo.run ~faults:true () in
+  let b = Chaos.Sched_demo.run ~faults:true () in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))))
+    "verdicts identical across runs" a.Chaos.Sched_demo.d_outputs b.Chaos.Sched_demo.d_outputs;
+  check (Alcotest.float 0.) "makespan identical"
+    (Sched.Scheduler.makespan a.Chaos.Sched_demo.d_sched)
+    (Sched.Scheduler.makespan b.Chaos.Sched_demo.d_sched);
+  check (Alcotest.float 0.) "lost work identical"
+    (Sched.Scheduler.total_lost_work a.Chaos.Sched_demo.d_sched)
+    (Sched.Scheduler.total_lost_work b.Chaos.Sched_demo.d_sched);
+  check Alcotest.int "restart count identical"
+    (Sched.Scheduler.restarts a.Chaos.Sched_demo.d_sched)
+    (Sched.Scheduler.restarts b.Chaos.Sched_demo.d_sched)
+
+(* ------------------------------------------------------------------ *)
+(* seeded chaos corpus *)
+
+let corpus_count () =
+  match Sys.getenv_opt "SCHED_SEEDS" with
+  | Some s -> (try max 1 (int_of_string s) with Failure _ -> 25)
+  | None -> 25
+
+let test_chaos_corpus () =
+  let count = corpus_count () in
+  let failures = Chaos.Sched_fault.run_seeds ~base:0 ~count () in
+  match failures with
+  | [] -> ()
+  | r :: _ ->
+    Alcotest.fail
+      (Printf.sprintf "%d/%d seed(s) failed; first: %s — %s" (List.length failures) count
+         (Chaos.Sched_fault.describe r.Chaos.Sched_fault.r_plan)
+         (String.concat "; " r.Chaos.Sched_fault.r_violations))
+
+let () =
+  Alcotest.run "sched"
+    [
+      ( "policy",
+        [
+          Alcotest.test_case "place" `Quick test_place;
+          Alcotest.test_case "victims" `Quick test_victims;
+          Alcotest.test_case "queue order" `Quick test_queue_order;
+        ] );
+      ( "demo",
+        [
+          Alcotest.test_case "faulted run matches no-fault reference" `Quick
+            test_demo_faulted_matches_reference;
+          Alcotest.test_case "deterministic" `Quick test_demo_deterministic;
+        ] );
+      ( "chaos",
+        [ Alcotest.test_case "seed corpus" `Slow test_chaos_corpus ] );
+    ]

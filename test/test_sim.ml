@@ -92,6 +92,97 @@ let test_step () =
   check Alcotest.bool "step fires another" true (Sim.Engine.step e);
   check Alcotest.bool "queue empty" false (Sim.Engine.step e)
 
+(* Cancellation under stress: the scheduler leans hard on cancel (it
+   re-arms per-job checkpoint timers on every preempt/drain/restart), so
+   cancel must compose with firing order, same-instant FIFO, and
+   handlers that cancel their contemporaries. *)
+
+let test_cancel_then_fire_ordering () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  let at delay tag = Sim.Engine.schedule e ~delay (fun () -> log := tag :: !log) in
+  let _a = at 1.0 "a" in
+  let b = at 1.0 "b" in
+  let _c = at 1.0 "c" in
+  let d = at 2.0 "d" in
+  let _e' = at 3.0 "e" in
+  Sim.Engine.cancel b;
+  Sim.Engine.cancel d;
+  Sim.Engine.run e;
+  check
+    Alcotest.(list string)
+    "survivors fire in original order" [ "a"; "c"; "e" ] (List.rev !log);
+  check (Alcotest.float 1e-12) "clock at last surviving event" 3.0 (Sim.Engine.now e)
+
+let test_cancel_from_handler () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  let fired = ref [] in
+  (* later same-instant sibling and a future event, both cancelled by the
+     first event's handler while already in the heap *)
+  let sibling = Sim.Engine.schedule e ~delay:1.0 (fun () -> fired := "sibling" :: !fired) in
+  let future = Sim.Engine.schedule e ~delay:2.0 (fun () -> fired := "future" :: !fired) in
+  ignore
+    (Sim.Engine.schedule e ~delay:1.0 (fun () ->
+         log := "killer" :: !log;
+         Sim.Engine.cancel sibling;
+         Sim.Engine.cancel future));
+  (* NB the killer was scheduled after the sibling, so FIFO puts the
+     sibling first at t=1 — a same-instant cancel only suppresses events
+     that have not yet dispatched *)
+  ignore (Sim.Engine.schedule e ~delay:1.0 (fun () -> fired := "tail" :: !fired));
+  Sim.Engine.run e;
+  check
+    Alcotest.(list string)
+    "pre-dispatch sibling fires, later ones do not" [ "sibling"; "tail" ] (List.rev !fired)
+
+let test_double_cancel_interleaved () =
+  let e = Sim.Engine.create () in
+  let n = ref 0 in
+  let hs = Array.init 8 (fun _ -> Sim.Engine.schedule e ~delay:1.0 (fun () -> incr n)) in
+  Array.iter Sim.Engine.cancel hs;
+  Array.iter Sim.Engine.cancel hs;
+  (* cancelling an already-fired handle must also be a no-op *)
+  let h = Sim.Engine.schedule e ~delay:2.0 (fun () -> incr n) in
+  Sim.Engine.run e;
+  Sim.Engine.cancel h;
+  Sim.Engine.cancel h;
+  check Alcotest.int "only the live event fired, once" 1 !n;
+  check Alcotest.bool "queue drained" false (Sim.Engine.step e)
+
+(* Property: an arbitrary interleaving of schedules and cancels fires
+   exactly the surviving events, in nondecreasing time order with FIFO
+   ties, and leaves the queue drained (heap invariants hold throughout). *)
+let prop_interleaved_cancels =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"engine survives interleaved cancels"
+       QCheck.(list (pair (float_bound_exclusive 100.) bool))
+       (fun plan ->
+         let e = Sim.Engine.create () in
+         let fired = ref [] in
+         let handles =
+           List.mapi
+             (fun i (delay, _) ->
+               Sim.Engine.schedule e ~delay (fun () -> fired := (delay, i) :: !fired))
+             plan
+         in
+         (* cancel the marked half, interleaved with fresh scheduling *)
+         List.iteri
+           (fun i ((_, kill), h) ->
+             if kill then Sim.Engine.cancel h;
+             if i mod 3 = 0 then
+               ignore (Sim.Engine.schedule e ~delay:200. ignore))
+           (List.combine plan handles);
+         Sim.Engine.run e;
+         let got = List.rev !fired in
+         let survivors =
+           List.mapi (fun i (d, kill) -> ((d, i), kill)) plan
+           |> List.filter_map (fun (x, kill) -> if kill then None else Some x)
+         in
+         (* exactly the survivors, dispatched in (time, schedule-order)
+            order: one equality asserts set, multiplicity AND ordering *)
+         got = List.sort compare survivors))
+
 (* Heap property test: popping returns priorities in nondecreasing order. *)
 let prop_heap_sorted =
   QCheck_alcotest.to_alcotest
@@ -140,6 +231,10 @@ let () =
           Alcotest.test_case "negative delay rejected" `Quick test_negative_delay_rejected;
           Alcotest.test_case "schedule in past rejected" `Quick test_schedule_in_past_rejected;
           Alcotest.test_case "step" `Quick test_step;
+          Alcotest.test_case "cancel-then-fire ordering" `Quick test_cancel_then_fire_ordering;
+          Alcotest.test_case "cancel from handler" `Quick test_cancel_from_handler;
+          Alcotest.test_case "double cancel interleaved" `Quick test_double_cancel_interleaved;
+          prop_interleaved_cancels;
         ] );
       ("heap", [ prop_heap_sorted; prop_heap_fifo_ties ]);
     ]

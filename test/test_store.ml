@@ -108,6 +108,64 @@ let test_replication_counts () =
         (Store.replica_count store ~digest:(Store.Digest.of_chunk chunk)))
     [ "x"; "y" ]
 
+(* Regression: checkpoint image sections end in a CRC-32 trailer over
+   their own payload, and CRC(m ++ CRC(m)) is a constant residue — so
+   every same-length section chunk collides on the CRC component alone.
+   Before the digest grew an independent FNV-1a component, dedup would
+   splice one process's identity prefix onto another process's image;
+   the batch scheduler surfaced this as two restarted jobs claiming the
+   same upid. *)
+let with_crc_trailer s =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 (Util.Crc32.digest s);
+  s ^ Bytes.to_string b
+
+let test_digest_survives_crc_residue () =
+  let p1 = with_crc_trailer "process one metadata" in
+  let p2 = with_crc_trailer "process two metadata" in
+  check Alcotest.int32 "CRC collides by construction (residue property)"
+    (Util.Crc32.digest p1) (Util.Crc32.digest p2);
+  check Alcotest.int "lengths equal too" (String.length p1) (String.length p2);
+  Alcotest.(check bool) "digests still distinct" false
+    (Store.Digest.equal (Store.Digest.of_chunk p1) (Store.Digest.of_chunk p2));
+  (* the store must keep the two processes' images apart *)
+  let _, store = mk () in
+  ignore (put ~lineage:"1-100" ~name:"img-a" store [ p1; "tail-a" ]);
+  ignore (put ~lineage:"2-200" ~name:"img-b" store [ p2; "tail-b" ]);
+  check (Alcotest.option Alcotest.string) "image a intact" (Some (p1 ^ "tail-a"))
+    (Store.peek store ~name:"img-a");
+  check (Alcotest.option Alcotest.string) "image b intact" (Some (p2 ^ "tail-b"))
+    (Store.peek store ~name:"img-b")
+
+(* Regression for preempted jobs: a pin must hold a requeued job's
+   newest checkpoint against both generational retention and pid-reuse
+   GC until the job restarts. *)
+let test_pin_protects_generation () =
+  let _, store = mk ~keep:2 () in
+  for g = 0 to 4 do
+    ignore
+      (put ~generation:g
+         ~name:(Printf.sprintf "img-g%d" g)
+         store
+         [ Printf.sprintf "unique-%d" g ])
+  done;
+  Store.pin store ~lineage:"1-100" ~generation:1;
+  check (Alcotest.option Alcotest.int) "pin recorded" (Some 1)
+    (Store.pinned store ~lineage:"1-100");
+  ignore (Store.gc_lineage store ~lineage:"1-100");
+  Alcotest.(check bool) "pinned generation survives keep=2" true
+    (Store.contains store ~name:"img-g1");
+  Alcotest.(check bool) "generations newer than the pin survive" true
+    (Store.contains store ~name:"img-g3");
+  Alcotest.(check bool) "generation below the pin is collected" false
+    (Store.contains store ~name:"img-g0");
+  Store.unpin store ~lineage:"1-100";
+  check (Alcotest.option Alcotest.int) "pin gone" None (Store.pinned store ~lineage:"1-100");
+  ignore (Store.gc_lineage store ~lineage:"1-100");
+  Alcotest.(check bool) "after unpin normal retention applies" false
+    (Store.contains store ~name:"img-g1");
+  Alcotest.(check bool) "newest two still kept" true (Store.contains store ~name:"img-g4")
+
 let test_gc_retention () =
   let _, store = mk ~keep:2 () in
   let shared = String.make 400 's' in
@@ -356,10 +414,14 @@ let () =
           Alcotest.test_case "re-put replaces" `Quick test_reput_replaces_manifest;
           Alcotest.test_case "quorum delay ordering" `Quick test_quorum_delay_ordering;
           Alcotest.test_case "replication counts" `Quick test_replication_counts;
+          Alcotest.test_case "CRC-residue chunks stay distinct" `Quick
+            test_digest_survives_crc_residue;
         ] );
       ( "gc",
         [
           Alcotest.test_case "generational retention" `Quick test_gc_retention;
+          Alcotest.test_case "pin protects requeued job's checkpoint" `Quick
+            test_pin_protects_generation;
         ] );
       ( "replica-loss",
         [

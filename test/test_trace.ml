@@ -21,6 +21,23 @@ let sample_events =
     ev ~time:2.0 ~node:2 ~pid:301 ~cat:"storage" ~name:"write"
       ~args:[ ("dev", "disk"); ("bytes", "65536") ]
       Trace.Instant;
+    (* one scheduler preemption cycle: a high-priority arrival displaces
+       a running job, which checkpoints, requeues and later restarts *)
+    ev ~time:2.5 ~cat:"sched" ~name:"sched/submit"
+      ~args:[ ("job", "2"); ("name", "big"); ("nodes", "6"); ("prio", "5") ]
+      Trace.Instant;
+    ev ~time:2.5 ~cat:"sched" ~name:"sched/preempt"
+      ~args:[ ("victim", "1"); ("by", "2") ]
+      Trace.Instant;
+    ev ~time:2.73 ~cat:"sched" ~name:"sched/ckpt-saved"
+      ~args:[ ("job", "1"); ("images", "2") ]
+      Trace.Instant;
+    ev ~time:2.74 ~cat:"sched" ~name:"sched/place"
+      ~args:[ ("job", "2"); ("alloc", "2,3,4,5,6,7") ]
+      Trace.Instant;
+    ev ~time:5.81 ~cat:"sched" ~name:"sched/restart-recovery"
+      ~args:[ ("job", "1") ]
+      (Trace.Span 0.31);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -166,6 +183,48 @@ let test_chaos_trace_deterministic () =
   Alcotest.(check bool) "trace non-empty" true (String.length j1 > 0);
   Alcotest.(check bool) "byte-identical JSONL" true (String.equal j1 j2)
 
+(* live scheduler events: the canned demo's faulted run emits a complete
+   preemption cycle under the "sched" category, in causal order *)
+let test_sched_preemption_cycle_traced () =
+  Chaos.Progs.ensure_registered ();
+  let c = Trace.collector () in
+  ignore
+    (Trace.with_sink (Trace.collector_sink c) (fun () -> Chaos.Sched_demo.run ~faults:true ()));
+  let evs =
+    List.filter
+      (Trace.matches { Trace.no_filter with Trace.f_cat = Some "sched" })
+      (Trace.events c)
+  in
+  Alcotest.(check bool) "sched events collected" true (evs <> []);
+  let first ?arg name =
+    let hit (e : Trace.event) =
+      e.Trace.name = name
+      && match arg with None -> true | Some kv -> List.mem kv e.Trace.args
+    in
+    let rec go i = function
+      | [] -> Alcotest.fail (Printf.sprintf "no %s event in the demo trace" name)
+      | e :: _ when hit e -> i
+      | _ :: tl -> go (i + 1) tl
+    in
+    go 0 evs
+  in
+  (* the victim of the first preemption, so the cycle is one job's story *)
+  let victim =
+    match
+      List.find_opt (fun (e : Trace.event) -> e.Trace.name = "sched/preempt") evs
+    with
+    | Some e -> List.assoc "victim" e.Trace.args
+    | None -> Alcotest.fail "no sched/preempt event in the demo trace"
+  in
+  let j = ("job", victim) in
+  Alcotest.(check bool) "submit before preempt" true (first "sched/submit" < first "sched/preempt");
+  Alcotest.(check bool) "victim checkpointed before the preempt completes" true
+    (first ~arg:j "sched/ckpt-saved" < first "sched/preempt");
+  Alcotest.(check bool) "preempt before the victim's restart recovery" true
+    (first "sched/preempt" < first ~arg:j "sched/restart-recovery");
+  Alcotest.(check bool) "recovery before the victim completes" true
+    (first ~arg:j "sched/restart-recovery" < first ~arg:j "sched/job-done")
+
 let () =
   Alcotest.run "trace"
     [
@@ -189,4 +248,9 @@ let () =
       ("metrics", [ Alcotest.test_case "registry" `Quick test_metrics_registry ]);
       ( "determinism",
         [ Alcotest.test_case "chaos seed trace stable" `Quick test_chaos_trace_deterministic ] );
+      ( "sched",
+        [
+          Alcotest.test_case "preemption cycle traced" `Quick
+            test_sched_preemption_cycle_traced;
+        ] );
     ]
