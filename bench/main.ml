@@ -237,6 +237,7 @@ let store_records () =
         algo = Compress.Algo.Null;
         sizes = { Mtcp.Image.uncompressed = n; compressed = n; zero_bytes = 0 };
         mtcp_blob = Compress.Container.pack ~algo:Compress.Algo.Null (Bytes.to_string b);
+        delta_base = None;
       }
   in
   let put_gen g =
@@ -254,6 +255,52 @@ let store_records () =
   [
     ("store.gen0-full-write", full, s0.Store.bytes_written);
     ("store.gen1-dedup-dirty-1of16", full, s1.Store.bytes_written - s0.Store.bytes_written);
+  ]
+
+(* Incremental-checkpoint shape: a 64-page image with one 256 KiB window
+   (4 pages of 16 groups) dirtied since the last checkpoint.  The delta
+   encoding ships only the dirty frames, so its size against the full
+   encode is a property of the codec — it joins the ratio baseline.  The
+   forked-vs-inline blackout is virtual-time deterministic for the same
+   reason (simulated milliseconds, like the scheduler records). *)
+let delta_records () =
+  let sp = Mem.Address_space.create () in
+  let r =
+    Mem.Address_space.map sp ~kind:Mem.Region.Heap ~perms:Mem.Region.rw
+      ~bytes:(64 * Mem.Page.size) ()
+  in
+  (* materialize every page with incompressible data so the full encode
+     ships real bytes (synthetic pages encode as compact seeds) *)
+  let rng = Util.Rng.create 99L in
+  for p = 0 to 63 do
+    Mem.Address_space.write sp
+      ~addr:(r.Mem.Region.start_addr + (p * Mem.Page.size))
+      (Bytes.unsafe_to_string (Util.Rng.bytes rng Mem.Page.size))
+  done;
+  let img =
+    {
+      Mtcp.Image.cmdline = [ "bench" ];
+      env = [];
+      threads = [];
+      space = sp;
+      sigtable = [];
+      pending_signals = [];
+    }
+  in
+  let algo = Compress.Algo.Null in
+  let full = Mtcp.Image.encode ~algo img in
+  Mem.Address_space.clear_dirty sp;
+  for p = 20 to 23 do
+    Mem.Address_space.write sp
+      ~addr:(r.Mem.Region.start_addr + (p * Mem.Page.size))
+      "dirty"
+  done;
+  let delta = Mtcp.Image.encode_delta ~algo img in
+  let fk = Harness.Extras.forked_ablation () in
+  let ms s = int_of_float (Float.round (s *. 1000.)) in
+  [
+    ("ckpt.delta-bytes-dirty-1of16", String.length full, String.length delta);
+    ("ckpt.forked-vs-inline-blackout", ms fk.Harness.Extras.plain_s, ms fk.Harness.Extras.forked_s);
   ]
 
 (* Scheduler shape: the canned three-job preempt/fail/drain scenario is
@@ -331,6 +378,10 @@ let assert_invariants ratios =
     1.01;
   check "store.gen1-dedup-dirty-1of16"
     "a 1-of-16-dirty generation must dedup to an eighth of the image or less" 0.125;
+  check "ckpt.delta-bytes-dirty-1of16"
+    "a 1-of-16-dirty interval checkpoint must write an eighth of the full image or less" 0.125;
+  check "ckpt.forked-vs-inline-blackout"
+    "forked checkpointing must cut the blackout to a quarter or less" 0.25;
   check "sched.makespan-faulted-vs-nofault"
     "a node loss plus a drain must at most double the canned scenario's makespan" 2.0;
   check "sched.lost-work-vs-makespan"
@@ -342,7 +393,7 @@ let () =
   Printf.printf "DMTCP reproduction benchmark harness (scale: %s)\n"
     (match scale with `Full -> "full" | `Quick -> "quick");
   let timings = if sections <> `Repro then run_micro () else [] in
-  let ratios = ratio_records () @ store_records () @ sched_records () in
+  let ratios = ratio_records () @ store_records () @ delta_records () @ sched_records () in
   print_ratios ratios;
   (match Sys.getenv_opt "BENCH_JSON" with
   | Some path -> emit_json path timings ratios

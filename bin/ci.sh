@@ -16,6 +16,13 @@ dune runtest
 echo "== trace determinism: fixed scenario, two runs, byte-identical =="
 dune exec bin/dmtcp_sim.exe -- trace --check-determinism
 
+echo "== incremental determinism: delta-chain scenario (forked + incremental), two runs =="
+# Same scenario with the incremental/forked fast path on: three
+# checkpoints chain two deltas onto a full image before the kill, so
+# the restart resolves a depth-2 chain -- and must still be
+# byte-identical across runs.
+dune exec bin/dmtcp_sim.exe -- trace --incremental --check-determinism
+
 echo "== store smoke: catalog verify over the canned two-generation scenario =="
 dune exec bin/dmtcp_sim.exe -- store verify
 

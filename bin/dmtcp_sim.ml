@@ -159,18 +159,18 @@ let torture seeds base bug replay keep =
    checkpoint/restart protocol scenario, then the batch scheduler's
    preempt/fail/drain demo — so every category, "sched" included, has
    real events behind it.  The metrics snapshot is taken after both. *)
-let trace_scenario () =
-  let events, _ = Harness.Trace_scenario.run () in
+let trace_scenario incremental =
+  let events, _ = Harness.Trace_scenario.run ~incremental () in
   let c = Trace.collector () in
   ignore
     (Trace.with_sink (Trace.collector_sink c) (fun () -> Chaos.Sched_demo.run ~faults:true ()));
   (events @ Trace.events c, Trace.Metrics.snapshot_text ())
 
-let trace_run format node pid cat stage metrics check =
+let trace_run format node pid cat stage metrics check incremental =
   if check then begin
     (* run the fixed scenario twice; the renderings must be byte-identical *)
-    let e1, m1 = trace_scenario () in
-    let e2, m2 = trace_scenario () in
+    let e1, m1 = trace_scenario incremental in
+    let e2, m2 = trace_scenario incremental in
     let j1 = Trace.jsonl e1 and j2 = Trace.jsonl e2 in
     if j1 = j2 && m1 = m2 then begin
       Printf.printf "deterministic: %d events, %d JSONL bytes, metrics snapshots equal\n"
@@ -185,7 +185,7 @@ let trace_run format node pid cat stage metrics check =
     end
   end
   else begin
-    let events, msnap = trace_scenario () in
+    let events, msnap = trace_scenario incremental in
     let filter = { Trace.f_node = node; f_pid = pid; f_cat = cat; f_prefix = stage } in
     let events = List.filter (Trace.matches filter) events in
     (match format with
@@ -202,12 +202,17 @@ let trace_run format node pid cat stage metrics check =
 
 let inspect () =
   (* use case 5: the checkpoint image as the ultimate bug report — dump
-     everything a frozen VNC session's images contain *)
+     everything a frozen VNC session's images contain.  Incremental mode
+     makes the second checkpoint a delta, so the dump also exercises
+     peeking through a delta manifest to its base. *)
   Apps.Registry.register_all ();
   let cl = Simos.Cluster.create ~nodes:2 () in
-  let rt = Dmtcp.Api.install cl () in
+  let options = { Dmtcp.Options.default with Dmtcp.Options.incremental = true } in
+  let rt = Dmtcp.Api.install cl ~options () in
   ignore (Dmtcp.Api.launch rt ~node:1 ~prog:"apps:desktop" ~argv:[ "tightvnc+twm" ]);
   Sim.Engine.run ~until:2.0 (Simos.Cluster.engine cl);
+  Dmtcp.Api.checkpoint_now rt;
+  Sim.Engine.run ~until:(Simos.Cluster.now cl +. 1.0) (Simos.Cluster.engine cl);
   Dmtcp.Api.checkpoint_now rt;
   let script = Dmtcp.Api.restart_script rt in
   print_string (Dmtcp.Inspect.describe_checkpoint rt script)
@@ -468,13 +473,20 @@ let () =
            & info [ "check-determinism" ]
                ~doc:"Run the scenario twice and fail unless traces are byte-identical.")
        in
+       let incremental_arg =
+         Arg.(
+           value & flag
+           & info [ "incremental" ]
+               ~doc:"Use incremental + forked checkpointing: chain two delta checkpoints onto \
+                     the full base before the restart.")
+       in
        Cmd.v
          (Cmd.info "trace"
             ~doc:"Trace a fixed checkpoint/restart scenario (text or JSONL), with filtering and a \
                   determinism self-check")
          Term.(
            const trace_run $ format_arg $ node_arg $ pid_arg $ cat_arg $ stage_arg $ metrics_arg
-           $ check_arg));
+           $ check_arg $ incremental_arg));
     ]
   in
   exit (Cmd.eval (Cmd.group info cmds))

@@ -159,27 +159,45 @@ let ensure_image_on rt ~host path =
 
 (* Can every image of [script] still be produced somewhere — as a file on
    some node, or from the store with all blocks on surviving replicas?
+   A delta image is only available when its whole base chain is too.
    Chaos recovery uses this to decide between restart and relaunch. *)
 let script_images_available rt (script : Restart_script.t) =
   let cl = Runtime.cluster rt in
-  let on_some_node path =
-    let found = ref false in
+  let file_on_some_node path =
+    let found = ref None in
     for node = 0 to Simos.Cluster.nodes cl - 1 do
-      if (not !found) && Simos.Vfs.exists (Simos.Kernel.vfs (Simos.Cluster.kernel cl node)) path
-      then found := true
+      if !found = None then
+        match Simos.Vfs.lookup (Simos.Kernel.vfs (Simos.Cluster.kernel cl node)) path with
+        | Some f -> found := Some f
+        | None -> ()
     done;
     !found
   in
+  let rec available ~depth path =
+    depth <= 64
+    &&
+    let name = Filename.basename path in
+    let base_available = function
+      | None -> true
+      | Some base -> available ~depth:(depth + 1) (Filename.concat (Filename.dirname path) base)
+    in
+    match file_on_some_node path with
+    | Some f -> (
+      match Ckpt_image.decode (Simos.Vfs.read_all f) with
+      | img -> base_available img.Ckpt_image.delta_base
+      | exception Ckpt_image.Corrupt_image _ -> false)
+    | None -> (
+      match Runtime.store rt with
+      | None -> false
+      | Some store -> (
+        Store.contains store ~name
+        &&
+        match Store.find store ~name with
+        | Some m -> base_available m.Store.m_base
+        | None -> false))
+  in
   List.for_all
-    (fun (_, images) ->
-      List.for_all
-        (fun path ->
-          on_some_node path
-          ||
-          match Runtime.store rt with
-          | Some store -> Store.contains store ~name:(Filename.basename path)
-          | None -> false)
-        images)
+    (fun (_, images) -> List.for_all (fun path -> available ~depth:0 path) images)
     script.Restart_script.entries
 
 let restart rt (script : Restart_script.t) =

@@ -35,12 +35,15 @@ type t = {
   ptys : pty_record list;
   algo : Compress.Algo.t;
   sizes : Mtcp.Image.sizes;
+  delta_base : string option;
   mtcp_blob : string;
 }
 
-let filename t =
+let filename ?seq t =
   let base = Filename.basename t.program in
-  Printf.sprintf "ckpt_%s_%s.dmtcp" base (Upid.to_string t.upid)
+  match seq with
+  | None -> Printf.sprintf "ckpt_%s_%s.dmtcp" base (Upid.to_string t.upid)
+  | Some k -> Printf.sprintf "ckpt_%s_%s.d%d.dmtcp" base (Upid.to_string t.upid) k
 
 module W = Util.Codec.Writer
 module R = Util.Codec.Reader
@@ -185,6 +188,7 @@ let encode t =
   W.uvarint meta t.sizes.Mtcp.Image.uncompressed;
   W.uvarint meta t.sizes.Mtcp.Image.compressed;
   W.uvarint meta t.sizes.Mtcp.Image.zero_bytes;
+  W.option W.string meta t.delta_base;
   let w = W.create ~capacity:(String.length t.mtcp_blob + 1024) () in
   W.raw w magic;
   write_section w (W.contents meta);
@@ -218,6 +222,7 @@ let decode s =
     let uncompressed = R.uvarint r in
     let compressed = R.uvarint r in
     let zero_bytes = R.uvarint r in
+    let delta_base = R.option R.string r in
     R.expect_end r;
     {
       upid;
@@ -228,6 +233,7 @@ let decode s =
       ptys;
       algo;
       sizes = { Mtcp.Image.uncompressed; compressed; zero_bytes };
+      delta_base;
       mtcp_blob;
     }
   with
@@ -277,5 +283,12 @@ let mtcp t =
   try Mtcp.Image.decode t.mtcp_blob with
   | Compress.Container.Bad_container msg -> raise (Corrupt_image ("mtcp body: " ^ msg))
   | Util.Codec.Reader.Corrupt msg -> raise (Corrupt_image ("mtcp body: " ^ msg))
+
+(* Resolve a delta image against its (already reconstructed) base MTCP
+   image; same damage conversion as [mtcp]. *)
+let delta_mtcp t ~base =
+  try Mtcp.Image.apply_delta ~base t.mtcp_blob with
+  | Compress.Container.Bad_container msg -> raise (Corrupt_image ("mtcp delta: " ^ msg))
+  | Util.Codec.Reader.Corrupt msg -> raise (Corrupt_image ("mtcp delta: " ^ msg))
 
 let sim_file_size t = t.sizes.Mtcp.Image.compressed

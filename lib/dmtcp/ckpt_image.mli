@@ -45,10 +45,17 @@ type t = {
   ptys : pty_record list;
   algo : Compress.Algo.t;
   sizes : Mtcp.Image.sizes;
-  mtcp_blob : string;           (** framed MTCP image *)
+  delta_base : string option;
+      (** [Some name]: [mtcp_blob] is an MTCPD1 delta against the image
+          file [name] (same lineage); resolve with {!delta_mtcp}.
+          [None]: a self-contained full image. *)
+  mtcp_blob : string;           (** framed MTCP image (full or delta) *)
 }
 
-val filename : t -> string
+(** Image filename for this upid; [?seq] appends a per-checkpoint [.dN]
+    discriminator — incremental mode gives every checkpoint a distinct
+    name so a delta's base is never overwritten in place. *)
+val filename : ?seq:int -> t -> string
 
 (** A truncated or bit-flipped image: decoding failed the per-section
     CRC-32 trailer or the codec's bounds checks. *)
@@ -61,8 +68,14 @@ val encode : t -> string
 (** Raises {!Corrupt_image} on damage. *)
 val decode : string -> t
 
-(** Decode the wrapped MTCP image (memory + threads). *)
+(** Decode the wrapped MTCP image (memory + threads).  Only valid when
+    [delta_base = None]; a delta blob fails with {!Corrupt_image}. *)
 val mtcp : t -> Mtcp.Image.t
+
+(** [delta_mtcp t ~base] reconstructs a delta image's full MTCP image
+    from the resolved base.  Raises {!Corrupt_image} on damage or a
+    dangling base reference. *)
+val delta_mtcp : t -> base:Mtcp.Image.t -> Mtcp.Image.t
 
 (** Split encoded image bytes at the mtcp blob's DMZ2 frame boundaries
     — the dedup units of the content-addressed store.  Concatenating

@@ -50,7 +50,7 @@ let page_census space =
     (Mem.Address_space.regions space);
   (!zero, !mat, Hashtbl.fold (fun c n acc -> (c, n) :: acc) by_class [] |> List.sort compare)
 
-let describe (img : Ckpt_image.t) =
+let describe ?lookup (img : Ckpt_image.t) =
   let buf = Buffer.create 1024 in
   bf buf "=== checkpoint image: %s ===\n" (Ckpt_image.filename img);
   bf buf "program: %s   upid: %s   vpid: %d%s\n" img.Ckpt_image.program
@@ -64,6 +64,9 @@ let describe (img : Ckpt_image.t) =
     (Util.Units.pp_mb sizes.Mtcp.Image.uncompressed)
     (Util.Units.pp_mb sizes.Mtcp.Image.zero_bytes)
     (Compress.Algo.name img.Ckpt_image.algo);
+  (match img.Ckpt_image.delta_base with
+  | Some base -> bf buf "incremental delta against: %s\n" base
+  | None -> ());
   bf buf "file descriptors (%d):\n" (List.length img.Ckpt_image.fds);
   List.iter (describe_fd buf) img.Ckpt_image.fds;
   List.iter
@@ -74,7 +77,27 @@ let describe (img : Ckpt_image.t) =
         (String.length p.Ckpt_image.drained_to_slave)
         (String.length p.Ckpt_image.drained_to_master))
     img.Ckpt_image.ptys;
-  let mtcp = Ckpt_image.mtcp img in
+  (* a delta image's body only decodes against its base chain; peek
+     through [lookup] when the caller can supply bases by name *)
+  let mtcp =
+    let rec resolve (i : Ckpt_image.t) =
+      match i.Ckpt_image.delta_base with
+      | None -> Ckpt_image.mtcp i
+      | Some base -> (
+        match lookup with
+        | None -> raise Not_found
+        | Some find -> (
+          match find base with
+          | None -> raise Not_found
+          | Some b -> Ckpt_image.delta_mtcp i ~base:(resolve b)))
+    in
+    match resolve img with m -> Some m | exception Not_found -> None
+  in
+  match mtcp with
+  | None ->
+    bf buf "(delta body: base image unavailable; threads/memory omitted)\n";
+    Buffer.contents buf
+  | Some mtcp ->
   bf buf "threads (%d):\n" (List.length mtcp.Mtcp.Image.threads);
   List.iter
     (fun (ti : Mtcp.Image.thread_image) ->
@@ -116,20 +139,39 @@ let describe_checkpoint rt (script : Restart_script.t) =
   bf buf "checkpoint set: %d host(s), coordinator on node %d\n"
     (List.length script.Restart_script.entries)
     script.Restart_script.coord_host;
+  (* image bytes by path: any node's flat file, then the block store
+     (no storage time booked — inspection only) *)
+  let load path =
+    let cl = Runtime.cluster rt in
+    let found = ref None in
+    for node = 0 to Simos.Cluster.nodes cl - 1 do
+      if !found = None then
+        match Simos.Vfs.lookup (Simos.Kernel.vfs (Runtime.kernel_of rt ~node)) path with
+        | Some f -> found := Some (Simos.Vfs.read_all f)
+        | None -> ()
+    done;
+    match !found with
+    | Some _ as r -> r
+    | None ->
+      Option.join
+        (Option.map (fun s -> Store.peek s ~name:(Filename.basename path)) (Runtime.store rt))
+  in
   List.iter
     (fun (host, images) ->
       List.iter
         (fun path ->
-          let vfs = Simos.Kernel.vfs (Runtime.kernel_of rt ~node:host) in
-          match Simos.Vfs.lookup vfs path with
-          | Some f -> Buffer.add_string buf (describe (Ckpt_image.decode (Simos.Vfs.read_all f)))
-          | None -> (
-            (* no flat file: the image may live only in the block store *)
-            match Option.map (fun s -> Store.peek s ~name:(Filename.basename path))
-                    (Runtime.store rt)
-            with
-            | Some (Some bytes) -> Buffer.add_string buf (describe (Ckpt_image.decode bytes))
-            | Some None | None -> bf buf "(missing image %s on node %d)\n" path host))
+          (* delta bases live next to the image under their own names *)
+          let lookup name =
+            match load (Filename.concat (Filename.dirname path) name) with
+            | Some bytes -> (
+              match Ckpt_image.decode bytes with
+              | img -> Some img
+              | exception Ckpt_image.Corrupt_image _ -> None)
+            | None -> None
+          in
+          match load path with
+          | Some bytes -> Buffer.add_string buf (describe ~lookup (Ckpt_image.decode bytes))
+          | None -> bf buf "(missing image %s on node %d)\n" path host)
         images)
     script.Restart_script.entries;
   Buffer.contents buf

@@ -7,9 +7,15 @@
     file descriptor with its restore plan (path+offset, connection id and
     drained bytes, pty and its modes), the memory layout with per-class
     page counts and projected compressed size, thread program states and
-    their wait conditions, and the signal table. *)
-val describe : Ckpt_image.t -> string
+    their wait conditions, and the signal table.
+
+    An incremental delta image's body only decodes against its base
+    chain; [lookup] supplies base images by catalog name so the
+    description can peek through the delta.  Without it (or when a base
+    is gone) the thread/memory sections are replaced by a note. *)
+val describe : ?lookup:(string -> Ckpt_image.t option) -> Ckpt_image.t -> string
 
 (** Describe a whole checkpoint (a restart script's worth of images),
-    reading image files from the cluster's filesystems. *)
+    reading image files from the cluster's filesystems and falling back
+    to the block store; delta chains are resolved the same way. *)
 val describe_checkpoint : Runtime.t -> Restart_script.t -> string

@@ -20,7 +20,14 @@ type phase =
   | P_write
   | P_write_disk of { path : string; bytes : string; sim : int }
   | P_write_file of { path : string; bytes : string; sim : int }
-  | P_write_store of { path : string; bytes : string; sim : int; upid : Upid.t; program : string }
+  | P_write_store of {
+      path : string;
+      bytes : string;
+      sim : int;
+      upid : Upid.t;
+      program : string;
+      base : string option;
+    }
   | P_store_commit of { lineage : string }
   | P_refill
   | P_refill_done
@@ -128,17 +135,37 @@ module P = struct
     let ps = my_pstate ctx in
     let opts = Options.of_getenv ctx.getenv in
     let mtcp_image = Mtcp.Image.capture proc in
+    (* chain this checkpoint onto the previous image when incremental
+       deltas are enabled and the chain is still short enough; a reset
+       (None) writes a self-contained full image *)
+    let delta_base =
+      if opts.Options.incremental then
+        match ps.Runtime.delta_prev with
+        | Some (base, depth) when depth < opts.Options.delta_chain -> Some base
+        | _ -> None
+      else None
+    in
     let sizes =
       if opts.Options.incremental then begin
         let s =
-          Mtcp.Image.delta_sizes opts.Options.algo ~prev:ps.Runtime.prev_space mtcp_image
+          if delta_base = None then Mtcp.Image.sizes opts.Options.algo mtcp_image
+          else Mtcp.Image.delta_sizes opts.Options.algo ~prev:ps.Runtime.prev_space mtcp_image
         in
         ps.Runtime.prev_space <- Some mtcp_image.Mtcp.Image.space;
         s
       end
       else Mtcp.Image.sizes opts.Options.algo mtcp_image
     in
-    let mtcp_blob = Mtcp.Image.encode ~algo:opts.Options.algo mtcp_image in
+    let mtcp_blob =
+      match delta_base with
+      | Some _ -> Mtcp.Image.encode_delta ~algo:opts.Options.algo mtcp_image
+      | None -> Mtcp.Image.encode ~algo:opts.Options.algo mtcp_image
+    in
+    if opts.Options.incremental then
+      (* the capture snapshot above kept the pre-clear bits (that is what
+         the delta encoder read); from here on the live space accumulates
+         dirt relative to THIS checkpoint *)
+      Mem.Address_space.clear_dirty proc.Simos.Kernel.space;
     let pty_records = Hashtbl.create 4 in
     let fds =
       ctx.fds ()
@@ -215,17 +242,40 @@ module P = struct
       | Some parent_ps -> parent_ps.Runtime.vpid
       | None -> 0
     in
-    {
-      Ckpt_image.upid = ps.Runtime.upid;
-      vpid = ps.Runtime.vpid;
-      parent_vpid;
-      program = (match proc.Simos.Kernel.cmdline with p :: _ -> p | [] -> "a.out");
-      fds;
-      ptys = Hashtbl.fold (fun _ p acc -> p :: acc) pty_records [];
-      algo = opts.Options.algo;
-      sizes;
-      mtcp_blob;
-    }
+    let image =
+      {
+        Ckpt_image.upid = ps.Runtime.upid;
+        vpid = ps.Runtime.vpid;
+        parent_vpid;
+        program = (match proc.Simos.Kernel.cmdline with p :: _ -> p | [] -> "a.out");
+        fds;
+        ptys = Hashtbl.fold (fun _ p acc -> p :: acc) pty_records [];
+        algo = opts.Options.algo;
+        sizes;
+        delta_base;
+        mtcp_blob;
+      }
+    in
+    (* Incremental checkpoints get a unique per-checkpoint filename: an
+       interval checkpoint overwriting its predecessor in place would
+       destroy the base a live delta chain still resolves through. *)
+    let fname =
+      if opts.Options.incremental then begin
+        let seq = ps.Runtime.ckpt_seq in
+        ps.Runtime.ckpt_seq <- seq + 1;
+        Ckpt_image.filename ~seq image
+      end
+      else Ckpt_image.filename image
+    in
+    if opts.Options.incremental then begin
+      let depth =
+        match (delta_base, ps.Runtime.delta_prev) with
+        | Some _, Some (_, d) -> d + 1
+        | _ -> 0
+      in
+      ps.Runtime.delta_prev <- Some (fname, depth)
+    end;
+    (image, fname)
 
   (* run-to-run variation of compression and I/O (the paper's error
      bars): +/- a few percent, deterministic in the simulation seed *)
@@ -243,8 +293,8 @@ module P = struct
      every prior generation, replicate new blocks; the returned delay is
      the write quorum's completion (no flat file, no sync — replication
      is the durability mechanism). *)
-  let store_put store ~node ~path ~bytes ~upid ~program ~sim =
-    Store.put store ~node ~lineage:(Upid.lineage upid) ~generation:upid.Upid.generation
+  let store_put store ~node ~path ~bytes ~upid ~program ~sim ~base =
+    Store.put store ?base ~node ~lineage:(Upid.lineage upid) ~generation:upid.Upid.generation
       ~name:(Filename.basename path) ~program ~sim_bytes:sim ~chunks:(Ckpt_image.chunk bytes)
 
   (* After a checkpoint write lands: age out generations beyond the
@@ -401,21 +451,51 @@ module P = struct
         end
       end
       else drain_work ctx st
+    | P_write when (my_pstate ctx).Runtime.forked_pending ->
+      (* at most one outstanding forked child: the previous background
+         write must land before this checkpoint captures (a delta's base
+         must be durable before anything references it) *)
+      Simos.Program.Block (st, Simos.Program.Sleep_until (ctx.now () +. 1e-3))
     | P_write -> (
       (* stage 5: write the checkpoint image *)
       Faults.notify ~node:ctx.node_id ~pid:ctx.pid Faults.Write;
       trace_phase ctx "write" [];
       let opts = Options.of_getenv ctx.getenv in
-      let image = build_image ctx in
+      let image, fname = build_image ctx in
       let bytes = Ckpt_image.encode image in
       let sizes = image.Ckpt_image.sizes in
-      let path = Printf.sprintf "%s/%s" opts.Options.ckpt_dir (Ckpt_image.filename image) in
+      let path = Printf.sprintf "%s/%s" opts.Options.ckpt_dir fname in
       let compress_cost =
         jitter ctx
           (Compress.Model.compress_seconds ~algo:opts.Options.algo
              ~bytes:sizes.Mtcp.Image.uncompressed ~zero_bytes:sizes.Mtcp.Image.zero_bytes)
       in
       Runtime.record_image (rt ()) ~node:ctx.node_id ~path ~upid:image.Ckpt_image.upid ~sizes;
+      (match image.Ckpt_image.delta_base with
+      | Some base ->
+        (* delta checkpoint: a stage span for the breakdown tables plus
+           frame/byte counters so traces show what the fast path shipped *)
+        Runtime.record_stage (rt ()) "ckpt/delta" compress_cost;
+        let frames =
+          match Compress.Container.frame_bounds image.Ckpt_image.mtcp_blob with
+          | Some bounds -> List.length bounds
+          | None -> 1
+        in
+        if Trace.on () then begin
+          Trace.instant ~node:ctx.node_id ~pid:ctx.pid ~cat:"dmtcp" ~name:"ckpt/delta-base"
+            ~args:[ ("base", base) ] ~time:(ctx.now ()) ();
+          Trace.counter ~node:ctx.node_id ~pid:ctx.pid ~cat:"dmtcp" ~name:"ckpt/delta-frames"
+            ~time:(ctx.now ())
+            (float_of_int frames);
+          Trace.counter ~node:ctx.node_id ~pid:ctx.pid ~cat:"dmtcp" ~name:"ckpt/delta-bytes"
+            ~time:(ctx.now ())
+            (float_of_int (String.length bytes))
+        end;
+        Trace.Metrics.incr (Trace.Metrics.counter "dmtcp.delta_ckpts");
+        Trace.Metrics.add
+          (Trace.Metrics.counter "dmtcp.delta_bytes")
+          (float_of_int (String.length bytes))
+      | None -> ());
       if opts.Options.forked then begin
         (* forked checkpointing: snapshot copy-on-write; compression and
            writing happen in the "child" while the parent resumes after
@@ -428,22 +508,29 @@ module P = struct
         let eng = Simos.Kernel.engine k in
         let upid = image.Ckpt_image.upid in
         let program = image.Ckpt_image.program in
+        let base = image.Ckpt_image.delta_base in
         let lineage = Upid.lineage upid in
+        let ps = my_pstate ctx in
+        ps.Runtime.forked_pending <- true;
+        let landed () =
+          ps.Runtime.forked_pending <- false;
+          finish_write lineage
+        in
         ignore
           (Sim.Engine.schedule eng ~delay:compress_cost (fun () ->
                match Runtime.store (rt ()) with
                | Some store ->
                  let delay =
                    store_put store ~node:ctx.node_id ~path ~bytes ~upid ~program
-                     ~sim:sizes.Mtcp.Image.compressed
+                     ~sim:sizes.Mtcp.Image.compressed ~base
                  in
-                 ignore (Sim.Engine.schedule eng ~delay (fun () -> finish_write lineage))
+                 ignore (Sim.Engine.schedule eng ~delay (fun () -> landed ()))
                | None ->
                  let write_delay = Storage.Target.write storage ~bytes:sizes.Mtcp.Image.compressed in
                  ignore
                    (Sim.Engine.schedule eng ~delay:write_delay (fun () ->
                         write_image_file ctx path bytes sizes.Mtcp.Image.compressed;
-                        finish_write lineage))));
+                        landed ()))));
         Simos.Program.Compute (to_barrier st 4 P_refill, Mtcp.Cost.snapshot_seconds ~pages)
       end
       else begin
@@ -457,6 +544,7 @@ module P = struct
                 sim = sizes.Mtcp.Image.compressed;
                 upid = image.Ckpt_image.upid;
                 program = image.Ckpt_image.program;
+                base = image.Ckpt_image.delta_base;
               }
         | None -> st.phase <- P_write_disk { path; bytes; sim = sizes.Mtcp.Image.compressed });
         Simos.Program.Compute (st, compress_cost)
@@ -473,7 +561,7 @@ module P = struct
       write_image_file ctx path bytes sim;
       finish_write (Upid.lineage (my_pstate ctx).Runtime.upid);
       Simos.Program.Continue (to_barrier st 4 P_refill)
-    | P_write_store { path; bytes; sim; upid; program } -> (
+    | P_write_store { path; bytes; sim; upid; program; base } -> (
       match Runtime.store (rt ()) with
       | None ->
         (* store torn down mid-protocol: fall back to the flat file *)
@@ -481,7 +569,7 @@ module P = struct
         Simos.Program.Continue st
       | Some store ->
         let delay =
-          jitter ctx (store_put store ~node:ctx.node_id ~path ~bytes ~upid ~program ~sim)
+          jitter ctx (store_put store ~node:ctx.node_id ~path ~bytes ~upid ~program ~sim ~base)
         in
         st.phase <- P_store_commit { lineage = Upid.lineage upid };
         Simos.Program.Block (st, Simos.Program.Sleep_until (ctx.now () +. delay)))

@@ -11,6 +11,9 @@ type t = {
   store_replicas : int;
   store_quorum : int;  (* 0 = majority of store_replicas *)
   keep_generations : int;  (* retention for store GC and legacy files; 0 = unbounded *)
+  delta_chain : int;
+      (* incremental mode: max delta-chain depth before the next
+         checkpoint is written full again; 0 = always full images *)
 }
 
 let default =
@@ -27,6 +30,7 @@ let default =
     store_replicas = 2;
     store_quorum = 0;
     keep_generations = 2;
+    delta_chain = 8;
   }
 
 let hijack_key = "DMTCP_HIJACK"
@@ -48,6 +52,7 @@ let to_env t =
     ("DMTCP_STORE_REPLICAS", string_of_int t.store_replicas);
     ("DMTCP_STORE_QUORUM", string_of_int t.store_quorum);
     ("DMTCP_KEEP_GENERATIONS", string_of_int t.keep_generations);
+    ("DMTCP_DELTA_CHAIN", string_of_int t.delta_chain);
   ]
 
 let of_env env =
@@ -67,6 +72,7 @@ let of_env env =
   let store_replicas = get_int "DMTCP_STORE_REPLICAS" default.store_replicas in
   let store_quorum = get_int "DMTCP_STORE_QUORUM" default.store_quorum in
   let keep_generations = get_int "DMTCP_KEEP_GENERATIONS" default.keep_generations in
+  let delta_chain = get_int "DMTCP_DELTA_CHAIN" default.delta_chain in
   {
     coord_host;
     coord_port;
@@ -80,6 +86,7 @@ let of_env env =
     store_replicas;
     store_quorum;
     keep_generations;
+    delta_chain;
   }
 
 let of_getenv getenv =
@@ -90,6 +97,7 @@ let of_getenv getenv =
         hijack_key; "DMTCP_COORD_HOST"; "DMTCP_COORD_PORT"; "DMTCP_CHECKPOINT_DIR"; "DMTCP_GZIP";
         "DMTCP_FORKED"; "DMTCP_INCREMENTAL"; "DMTCP_INTERVAL"; "DMTCP_SYNC"; "DMTCP_STORE";
         "DMTCP_STORE_REPLICAS"; "DMTCP_STORE_QUORUM"; "DMTCP_KEEP_GENERATIONS";
+        "DMTCP_DELTA_CHAIN";
       ]
   in
   of_env env

@@ -21,6 +21,11 @@ type t = {
       (** checkpoint generations retained per process lineage, by the
           store GC and by the legacy flat-file reaper alike; [0] keeps
           everything forever *)
+  delta_chain : int;
+      (** incremental mode: maximum delta-chain depth before the next
+          checkpoint is written as a full image again (bounds restart's
+          chain-resolution work); [0] disables deltas — incremental
+          size accounting with full image payloads *)
 }
 
 val default : t

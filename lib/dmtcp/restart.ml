@@ -32,7 +32,14 @@ type phase =
 
 type state = {
   mutable phase : phase;
-  mutable images : Ckpt_image.t list;
+  (* images to restore; a delta image carries its chain-resolved mtcp
+     body (reconstructed against its bases at boot), a full image is
+     decoded lazily at materialize so per-block CRC damage is still
+     caught by the fork stage *)
+  mutable images : (Ckpt_image.t * Mtcp.Image.t option) list;
+  mutable chain_bases : Ckpt_image.t list;
+      (* base images read while resolving delta chains, for restore-cost
+         accounting *)
   mutable specs : conn_spec list;
   (* desc_key -> restored description (description ids are cluster-unique) *)
   desc_map : (int, Simos.Fdesc.t) Hashtbl.t;
@@ -57,6 +64,7 @@ module P = struct
     {
       phase = R_boot;
       images = [];
+      chain_bases = [];
       specs = [];
       desc_map = Hashtbl.create 16;
       pty_map = Hashtbl.create 4;
@@ -93,7 +101,7 @@ module P = struct
   let restore_files_and_ptys (ctx : Simos.Program.ctx) st =
     let k = my_kernel ctx in
     List.iter
-      (fun (img : Ckpt_image.t) ->
+      (fun ((img : Ckpt_image.t), _) ->
         (* ptys first so slave/master fds can reference them *)
         List.iter
           (fun (p : Ckpt_image.pty_record) ->
@@ -169,7 +177,7 @@ module P = struct
   let build_conn_specs st =
     let by_desc : (int, conn_spec) Hashtbl.t = Hashtbl.create 16 in
     List.iter
-      (fun (img : Ckpt_image.t) ->
+      (fun ((img : Ckpt_image.t), _) ->
         List.iter
           (fun (_, desc_key, info) ->
             match info with
@@ -320,9 +328,11 @@ module P = struct
     Runtime.shm_reset run;
     st.restored <-
       List.map
-        (fun (img : Ckpt_image.t) ->
+        (fun ((img : Ckpt_image.t), resolved) ->
           let pid = Simos.Kernel.fresh_pid k in
-          let mtcp_img = Ckpt_image.mtcp img in
+          let mtcp_img =
+            match resolved with Some m -> m | None -> Ckpt_image.mtcp img
+          in
           let proc =
             Simos.Kernel.create_raw_process k ~pid ~ppid:0 ~env:mtcp_img.Mtcp.Image.env
               ~hijacked:true
@@ -382,6 +392,9 @@ module P = struct
               critical = 0;
               pty_drains = Hashtbl.create 4;
               prev_space = None;
+              delta_prev = None;
+              ckpt_seq = 0;
+              forked_pending = false;
             }
           in
           List.iter
@@ -440,7 +453,7 @@ module P = struct
           !decompress_total
           +. Compress.Model.decompress_seconds ~algo:img.Ckpt_image.algo
                ~bytes:sizes.Mtcp.Image.uncompressed ~zero_bytes:sizes.Mtcp.Image.zero_bytes)
-      st.images;
+      (List.map fst st.images @ st.chain_bases);
     (* one booking for this host's whole image set: the restart process
        reads the local files serially from its disk.  Images pulled from
        the store were already booked on their replicas' targets at fetch
@@ -488,6 +501,7 @@ module P = struct
     | R_boot -> (
       st.phase_t0 <- ctx.now ();
       let k = my_kernel ctx in
+      let run = rt () in
       let corrupt = ref None in
       let missing = ref [] in
       let decode_image ~source path bytes =
@@ -501,39 +515,185 @@ module P = struct
           if !corrupt = None then corrupt := Some path;
           None
       in
+      (* Delta-base lookup: the local file, a file on any other node
+         (migration copies the named image, not its whole chain), then
+         the store catalog.  Read costs are booked as bytes arrive. *)
+      let load_base path =
+        match Simos.Vfs.lookup (Simos.Kernel.vfs k) path with
+        | Some f -> Some (Simos.Vfs.read_all f, "file")
+        | None -> (
+          let cl = Runtime.cluster run in
+          let found = ref None in
+          for node = 0 to Simos.Cluster.nodes cl - 1 do
+            if !found = None then
+              match Simos.Vfs.lookup (Simos.Kernel.vfs (Simos.Cluster.kernel cl node)) path with
+              | Some f -> found := Some (Simos.Vfs.read_all f, "remote-file")
+              | None -> ()
+          done;
+          match !found with
+          | Some _ as r -> r
+          | None -> (
+            match Runtime.store run with
+            | None -> None
+            | Some store -> (
+              let name = Filename.basename path in
+              match Store.fetch store ~node:ctx.node_id ~name with
+              | Some (bytes, delay) ->
+                st.store_read_delay <- Float.max st.store_read_delay delay;
+                trace_rst ctx "store-fetch"
+                  [ ("name", name); ("delay", Printf.sprintf "%.6f" delay) ];
+                Some (bytes, "store")
+              | None -> None
+              | exception Store.Missing_blocks _ -> None)))
+      in
+      let exception Chain_missing of string in
+      (* Reconstruct a delta image's full mtcp body by walking the
+         [delta_base] links back to a full image and replaying each
+         delta on the way up. *)
+      let rec resolve_mtcp ~depth path (img : Ckpt_image.t) =
+        match img.Ckpt_image.delta_base with
+        | None -> Ckpt_image.mtcp img
+        | Some base ->
+          if depth > 64 then raise (Ckpt_image.Corrupt_image "delta chain too deep");
+          let base_path = Filename.concat (Filename.dirname path) base in
+          (match load_base base_path with
+          | None -> raise (Chain_missing base)
+          | Some (bytes, source) ->
+            let base_img = Ckpt_image.decode bytes in
+            if source <> "store" then
+              st.local_read_bytes <-
+                st.local_read_bytes + base_img.Ckpt_image.sizes.Mtcp.Image.compressed;
+            st.chain_bases <- base_img :: st.chain_bases;
+            let base_mtcp = resolve_mtcp ~depth:(depth + 1) base_path base_img in
+            trace_rst ctx "delta-resolve"
+              [ ("image", Filename.basename path); ("base", base); ("source", source) ];
+            Ckpt_image.delta_mtcp img ~base:base_mtcp)
+      in
+      (* The lineage encoded in an image filename
+         (ckpt_<prog>_<hostid>-<pid>-g<gen>[.d<k>].dmtcp) — needed when
+         the image itself is gone and there is no decoded upid to ask. *)
+      let lineage_of_name name =
+        match String.rindex_opt name '_' with
+        | None -> None
+        | Some i -> (
+          let upid_part = String.sub name (i + 1) (String.length name - i - 1) in
+          match String.split_on_char '-' upid_part with
+          | hostid :: pid :: _ -> Some (hostid ^ "-" ^ pid)
+          | _ -> None)
+      in
+      (* An image that cannot be produced — its delta base is gone
+         everywhere, or the image itself never landed (a node killed
+         mid-forked-checkpoint dies with the background write still in
+         flight): fall back to the newest catalogued generation of the
+         same lineage that still resolves, so the failure degrades to
+         an older checkpoint instead of losing the computation. *)
+      let fallback ~lineage path =
+        match Runtime.store run with
+        | None -> None
+        | Some store ->
+          let failed = Filename.basename path in
+          let dir = Filename.dirname path in
+          let rec try_candidates = function
+            | [] -> None
+            | (m : Store.manifest) :: rest -> (
+              match Store.fetch store ~node:ctx.node_id ~name:m.Store.m_name with
+              | None -> try_candidates rest
+              | exception Store.Missing_blocks _ -> try_candidates rest
+              | Some (bytes, delay) -> (
+                st.store_read_delay <- Float.max st.store_read_delay delay;
+                let cpath = Filename.concat dir m.Store.m_name in
+                match Ckpt_image.decode bytes with
+                | exception Ckpt_image.Corrupt_image _ -> try_candidates rest
+                | cimg -> (
+                  match resolve_mtcp ~depth:0 cpath cimg with
+                  | exception Chain_missing _ -> try_candidates rest
+                  | exception Ckpt_image.Corrupt_image _ -> try_candidates rest
+                  | mtcp ->
+                    ctx.log
+                      (Printf.sprintf "image %s unresolvable: falling back to %s (generation %d)"
+                         failed m.Store.m_name m.Store.m_generation);
+                    trace_rst ctx "delta-fallback"
+                      [
+                        ("failed", failed);
+                        ("image", m.Store.m_name);
+                        ("generation", string_of_int m.Store.m_generation);
+                      ];
+                    Some (cimg, Some mtcp))))
+          in
+          try_candidates
+            (List.filter
+               (fun (m : Store.manifest) ->
+                 m.Store.m_lineage = lineage && m.Store.m_name <> failed)
+               (Store.manifests store))
+      in
+      let resolve path (img : Ckpt_image.t) =
+        match img.Ckpt_image.delta_base with
+        | None -> Some (img, None)
+        | Some _ -> (
+          match resolve_mtcp ~depth:0 path img with
+          | mtcp -> Some (img, Some mtcp)
+          | exception Ckpt_image.Corrupt_image msg ->
+            ctx.log (Printf.sprintf "corrupt checkpoint image %s (delta chain): %s" path msg);
+            trace_rst ctx "corrupt-image" [ ("path", path); ("error", msg) ];
+            if !corrupt = None then corrupt := Some path;
+            None
+          | exception Chain_missing base -> (
+            match fallback ~lineage:(Upid.lineage img.Ckpt_image.upid) path with
+            | Some pair -> Some pair
+            | None ->
+              missing := (path, [ base ]) :: !missing;
+              None))
+      in
+      (* Top-level image unproducible from the store: try the fallback
+         before declaring the blocks unrecoverable. *)
+      let fallback_top path ~blocks =
+        let attempt =
+          match lineage_of_name (Filename.basename path) with
+          | Some lineage -> fallback ~lineage path
+          | None -> None
+        in
+        match attempt with
+        | Some pair -> Some pair
+        | None ->
+          missing := (path, blocks) :: !missing;
+          None
+      in
       (match ctx.argv with
       | _ :: paths ->
         st.images <-
           List.filter_map
             (fun path ->
               match Simos.Vfs.lookup (Simos.Kernel.vfs k) path with
-              | Some f ->
-                let img = decode_image ~source:"file" path (Simos.Vfs.read_all f) in
-                (match img with
-                | Some i ->
+              | Some f -> (
+                match decode_image ~source:"file" path (Simos.Vfs.read_all f) with
+                | Some img ->
                   st.local_read_bytes <-
-                    st.local_read_bytes + i.Ckpt_image.sizes.Mtcp.Image.compressed
-                | None -> ());
-                img
+                    st.local_read_bytes + img.Ckpt_image.sizes.Mtcp.Image.compressed;
+                  resolve path img
+                | None -> None)
               | None -> (
                 (* no local file: resolve through the store catalog and pull
                    a surviving replica (the restart-from-replica path) *)
-                match Runtime.store (rt ()) with
+                match Runtime.store run with
                 | None -> None
                 | Some store -> (
                   let name = Filename.basename path in
                   match Store.fetch store ~node:ctx.node_id ~name with
-                  | Some (bytes, delay) ->
+                  | Some (bytes, delay) -> (
                     (* replica reads already booked on their source targets;
                        concurrent pulls overlap, so charge the slowest *)
                     st.store_read_delay <- Float.max st.store_read_delay delay;
                     trace_rst ctx "store-fetch"
                       [ ("name", name); ("delay", Printf.sprintf "%.6f" delay) ];
-                    decode_image ~source:"store" path bytes
-                  | None -> None
-                  | exception Store.Missing_blocks blocks ->
-                    missing := (path, blocks) :: !missing;
-                    None)))
+                    match decode_image ~source:"store" path bytes with
+                    | Some img -> resolve path img
+                    | None -> None)
+                  | None ->
+                    (* recorded in the restart script but never catalogued:
+                       the write was lost in flight (killed mid-forked
+                       checkpoint) — degrade to an older checkpoint *)
+                    fallback_top path ~blocks:[ name ]
+                  | exception Store.Missing_blocks blocks -> fallback_top path ~blocks)))
             paths
       | [] -> ());
       match (!corrupt, List.rev !missing) with
@@ -560,7 +720,11 @@ module P = struct
     | R_files ->
       trace_rst ctx "files" [];
       restore_files_and_ptys ctx st;
-      let nfds = List.fold_left (fun acc (img : Ckpt_image.t) -> acc + List.length img.Ckpt_image.fds) 0 st.images in
+      let nfds =
+        List.fold_left
+          (fun acc ((img : Ckpt_image.t), _) -> acc + List.length img.Ckpt_image.fds)
+          0 st.images
+      in
       st.phase <- R_sockets;
       Simos.Program.Compute (st, Mtcp.Cost.reopen_seconds ~nfds)
     | R_sockets ->

@@ -7,6 +7,15 @@ type pstate = {
   pty_drains : (int, string * string) Hashtbl.t;
   mutable prev_space : Mem.Address_space.t option;
       (** snapshot at the previous checkpoint (incremental mode) *)
+  mutable delta_prev : (string * int) option;
+      (** previous checkpoint's image name and chain depth (0 = full):
+          the base the next incremental checkpoint deltas against *)
+  mutable ckpt_seq : int;
+      (** per-process checkpoint counter; incremental mode suffixes the
+          image filename with it so a delta's base is never overwritten *)
+  mutable forked_pending : bool;
+      (** a forked background write is still in flight; the next
+          checkpoint's fork waits for it (one outstanding child) *)
 }
 
 type op_info = {
@@ -268,6 +277,9 @@ let make_pstate t ~node ~pid =
     critical = 0;
     pty_drains = Hashtbl.create 4;
     prev_space = None;
+    delta_prev = None;
+    ckpt_seq = 0;
+    forked_pending = false;
   }
 
 let manager_prog = "dmtcp:mgr"

@@ -19,6 +19,17 @@ type pstate = {
   mutable prev_space : Mem.Address_space.t option;
       (** address-space snapshot at the previous checkpoint, for
           incremental checkpointing *)
+  mutable delta_prev : (string * int) option;
+      (** previous checkpoint's image name and chain depth (0 = full):
+          the base the next incremental checkpoint deltas against *)
+  mutable ckpt_seq : int;
+      (** per-process checkpoint counter; incremental mode suffixes the
+          image filename with it so a delta's base is never overwritten *)
+  mutable forked_pending : bool;
+      (** a forked checkpoint's background write is still in flight: the
+          next checkpoint's fork waits for it (at most one outstanding
+          child, as in real forked checkpointing), so a delta chain's
+          base is always durable before anything references it *)
 }
 
 (** Cluster-wide record of one checkpoint or restart operation. *)

@@ -14,14 +14,32 @@ let workload =
     w_warmup = 0.5;
   }
 
-let run () =
+let run ?(incremental = false) () =
   Trace.Metrics.reset ();
   let coll = Trace.collector () in
   Trace.with_sink (Trace.collector_sink coll) (fun () ->
-      let env = Common.setup ~nodes:4 () in
+      let options =
+        if incremental then
+          Some
+            {
+              Dmtcp.Options.default with
+              Dmtcp.Options.incremental = true;
+              forked = true;
+            }
+        else None
+      in
+      let env = Common.setup ~nodes:4 ?options () in
       Common.start_workload env workload;
       Common.run_for env 0.3;
       Dmtcp.Api.checkpoint_now env.Common.rt;
+      if incremental then begin
+        (* chain two deltas onto the full base, so the traced restart
+           resolves a depth-2 chain *)
+        Common.run_for env 0.2;
+        Dmtcp.Api.checkpoint_now env.Common.rt;
+        Common.run_for env 0.2;
+        Dmtcp.Api.checkpoint_now env.Common.rt
+      end;
       let script = Dmtcp.Api.restart_script env.Common.rt in
       Dmtcp.Api.kill_computation env.Common.rt;
       Simos.Cluster.reset_storage env.Common.cl;

@@ -4,5 +4,8 @@
 
 (** Reset the metrics registry, run the scenario with a collector
     attached, and return the full event stream plus the final metrics
-    snapshot.  Deterministic: repeated calls return identical data. *)
-val run : unit -> Trace.event list * string
+    snapshot.  Deterministic: repeated calls return identical data.
+    [incremental] switches on incremental + forked checkpointing and
+    chains two delta checkpoints onto the full base before the kill, so
+    the traced restart resolves a depth-2 delta chain. *)
+val run : ?incremental:bool -> unit -> Trace.event list * string

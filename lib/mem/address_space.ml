@@ -11,6 +11,16 @@ let guard_gap = 16 * Page.size
 
 let create () = { regions = []; next_addr = base_addr; next_region_id = 0 }
 let regions t = t.regions
+let next_addr t = t.next_addr
+let next_region_id t = t.next_region_id
+
+let of_regions ~next_addr ~next_region_id regions =
+  {
+    regions =
+      List.sort (fun (a : Region.t) b -> compare a.start_addr b.start_addr) regions;
+    next_addr;
+    next_region_id;
+  }
 
 let pages_for bytes = max 1 ((bytes + Page.size - 1) / Page.size)
 
@@ -110,6 +120,18 @@ let fork t =
 let snapshot = fork
 
 let total_bytes t = List.fold_left (fun acc r -> acc + Region.byte_size r) 0 t.regions
+
+(* Shared mappings count as always dirty: another process's view writes
+   through an attached copy of the region record, so this view's bitmap
+   cannot be trusted to have seen every store. *)
+let region_dirty_pages (r : Region.t) =
+  match r.Region.kind with
+  | Region.Mmap_shared _ -> Region.npages r
+  | Region.Text | Region.Data | Region.Heap | Region.Stack | Region.Mmap_anon ->
+    Region.dirty_count r
+
+let dirty_pages t = List.fold_left (fun acc r -> acc + region_dirty_pages r) 0 t.regions
+let clear_dirty t = List.iter Region.clear_dirty t.regions
 
 let zero_bytes t =
   List.fold_left

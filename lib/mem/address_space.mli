@@ -9,6 +9,16 @@ val create : unit -> t
 (** Regions in ascending address order. *)
 val regions : t -> Region.t list
 
+(** Allocation cursor and next region id — serialized by delta images so a
+    reconstructed space is structurally identical to the original. *)
+val next_addr : t -> int
+
+val next_region_id : t -> int
+
+(** Rebuild a space from parts (regions are re-sorted by address).  Used
+    when applying a delta image to its base. *)
+val of_regions : next_addr:int -> next_region_id:int -> Region.t list -> t
+
 (** [map t ~kind ~perms ~bytes content] maps a fresh region of at least
     [bytes] (rounded up to whole pages) at the next free address and
     returns it.  [content] defaults to all-[Zero] pages. *)
@@ -50,6 +60,20 @@ val snapshot : t -> t
 
 (** Total mapped bytes. *)
 val total_bytes : t -> int
+
+(** Pages an incremental checkpoint must ship: a private region's dirty
+    count, a shared ([Mmap_shared]) region's full page count (other
+    processes write through their own view of the shared record, so the
+    bitmap is not authoritative there). *)
+val dirty_pages : t -> int
+
+(** Dirty pages of one region under the same shared-mapping convention. *)
+val region_dirty_pages : Region.t -> int
+
+(** Clear every region's dirty bits — the checkpointer calls this on the
+    live space right after {!snapshot}, so the snapshot keeps the
+    pre-checkpoint bits and later writes re-mark the live space. *)
+val clear_dirty : t -> unit
 
 (** Bytes in untouched ([Zero]) pages. *)
 val zero_bytes : t -> int

@@ -18,6 +18,7 @@ type t = {
   kind : kind;
   perms : perms;
   pages : Page.content array;
+  dirty : Bytes.t;
 }
 
 let npages t = Array.length t.pages
@@ -26,11 +27,30 @@ let end_addr t = t.start_addr + byte_size t
 
 let create ~id ~start_addr ~kind ~perms ~npages content =
   if start_addr mod Page.size <> 0 then invalid_arg "Region.create: unaligned start";
-  { id; start_addr; kind; perms; pages = Array.init npages content }
+  {
+    id;
+    start_addr;
+    kind;
+    perms;
+    pages = Array.init npages content;
+    dirty = Bytes.make npages '\001';
+  }
 
-let clone_private t = { t with pages = Array.copy t.pages }
+let clone_private t = { t with pages = Array.copy t.pages; dirty = Bytes.copy t.dirty }
 let alias t = t
-let set_page t i content = t.pages.(i) <- content
+
+let set_page t i content =
+  t.pages.(i) <- content;
+  Bytes.unsafe_set t.dirty i '\001'
+
+let is_dirty t i = Bytes.unsafe_get t.dirty i <> '\000'
+
+let dirty_count t =
+  let n = ref 0 in
+  Bytes.iter (fun c -> if c <> '\000' then incr n) t.dirty;
+  !n
+
+let clear_dirty t = Bytes.fill t.dirty 0 (Bytes.length t.dirty) '\000'
 
 let kind_name = function
   | Text -> "text"
@@ -79,7 +99,14 @@ let decode r =
   let write = Util.Codec.Reader.bool r in
   let exec = Util.Codec.Reader.bool r in
   let pages = Util.Codec.Reader.array Page.decode r in
-  { id; start_addr; kind; perms = { read; write; exec }; pages }
+  {
+    id;
+    start_addr;
+    kind;
+    perms = { read; write; exec };
+    pages;
+    dirty = Bytes.make (Array.length pages) '\001';
+  }
 
 let equal a b =
   a.id = b.id && a.start_addr = b.start_addr && a.kind = b.kind && a.perms = b.perms

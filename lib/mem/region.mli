@@ -21,6 +21,10 @@ type t = {
   kind : kind;
   perms : perms;
   pages : Page.content array;  (** slots are mutable; contents immutable *)
+  dirty : Bytes.t;
+      (** byte-per-page dirty bits since the last checkpoint; set by
+          {!set_page}, cleared by {!clear_dirty}, all-dirty on
+          {!create}/{!decode}.  Excluded from {!encode} and {!equal}. *)
 }
 
 val npages : t -> int
@@ -41,13 +45,30 @@ val clone_private : t -> t
     semantics: writes by either side are seen by both). *)
 val alias : t -> t
 
-(** [set_page t i content] replaces page [i]. *)
+(** [set_page t i content] replaces page [i] and marks it dirty. *)
 val set_page : t -> int -> Page.content -> unit
+
+(** Page [i] was written since the last {!clear_dirty} (conservative:
+    freshly created or decoded regions report every page dirty). *)
+val is_dirty : t -> int -> bool
+
+(** Number of dirty pages. *)
+val dirty_count : t -> int
+
+(** Mark every page clean — called by the checkpointer once a snapshot
+    of the region has been taken. *)
+val clear_dirty : t -> unit
 
 val kind_name : kind -> string
 
 val encode : Util.Codec.Writer.t -> t -> unit
 val decode : Util.Codec.Reader.t -> t
+
+(** The kind codec alone — delta images serialize a region skeleton
+    (identity and shape, no page payloads) and need it separately. *)
+val encode_kind : Util.Codec.Writer.t -> kind -> unit
+
+val decode_kind : Util.Codec.Reader.t -> kind
 
 (** Structural equality of metadata and page contents (synthetic pages
     compare by descriptor). *)

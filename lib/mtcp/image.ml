@@ -176,6 +176,161 @@ let decode_body s =
 let encode ~algo t = Compress.Container.pack ~algo (encode_body t)
 let decode s = decode_body (Compress.Container.unpack s)
 
+(* ---------------- incremental delta images ---------------- *)
+
+let delta_magic = "MTCPD1"
+
+(* Pages a delta must carry inline: every dirty page, plus every page of
+   a shared mapping (other processes write through their own view of a
+   shared region record, so this view's bitmap is not authoritative). *)
+let page_inline (r : Mem.Region.t) idx =
+  match r.Mem.Region.kind with
+  | Mem.Region.Mmap_shared _ -> true
+  | Mem.Region.Text | Mem.Region.Data | Mem.Region.Heap | Mem.Region.Stack
+  | Mem.Region.Mmap_anon ->
+    Mem.Region.is_dirty r idx
+
+let delta_pages t =
+  List.fold_left
+    (fun acc r -> acc + Mem.Address_space.region_dirty_pages r)
+    0
+    (Mem.Address_space.regions t.space)
+
+(* A delta body mirrors [encode_body] except for the address space: the
+   skeleton (allocation cursor plus each region's identity and shape) is
+   stored in full, and each page is either inline (tag 1, dirty since the
+   base snapshot) or a reference to the base image's page at the same
+   region id and index (tag 0).  Regions created after the base snapshot
+   are born all-dirty, so tag 0 never points outside the base. *)
+let encode_delta_body t =
+  let w = Util.Codec.Writer.create ~capacity:4096 () in
+  Util.Codec.Writer.raw w delta_magic;
+  Util.Codec.Writer.list Util.Codec.Writer.string w t.cmdline;
+  Util.Codec.Writer.list
+    (Util.Codec.Writer.pair Util.Codec.Writer.string Util.Codec.Writer.string)
+    w t.env;
+  Util.Codec.Writer.list
+    (fun w ti ->
+      Simos.Program.encode_instance w ti.ti_inst;
+      Util.Codec.Writer.option Simos.Program.encode_wait w ti.ti_wait)
+    w t.threads;
+  Util.Codec.Writer.uvarint w (Mem.Address_space.next_addr t.space);
+  Util.Codec.Writer.uvarint w (Mem.Address_space.next_region_id t.space);
+  Util.Codec.Writer.list
+    (fun w (r : Mem.Region.t) ->
+      Util.Codec.Writer.uvarint w r.Mem.Region.id;
+      Util.Codec.Writer.uvarint w r.Mem.Region.start_addr;
+      Mem.Region.encode_kind w r.Mem.Region.kind;
+      Util.Codec.Writer.bool w r.Mem.Region.perms.Mem.Region.read;
+      Util.Codec.Writer.bool w r.Mem.Region.perms.Mem.Region.write;
+      Util.Codec.Writer.bool w r.Mem.Region.perms.Mem.Region.exec;
+      Util.Codec.Writer.uvarint w (Mem.Region.npages r);
+      Array.iteri
+        (fun idx page ->
+          if page_inline r idx then begin
+            Util.Codec.Writer.u8 w 1;
+            Mem.Page.encode w page
+          end
+          else Util.Codec.Writer.u8 w 0)
+        r.Mem.Region.pages)
+    w
+    (Mem.Address_space.regions t.space);
+  Util.Codec.Writer.list (Util.Codec.Writer.pair Util.Codec.Writer.uvarint encode_sigaction) w
+    t.sigtable;
+  Util.Codec.Writer.list Util.Codec.Writer.uvarint w t.pending_signals;
+  Util.Codec.Writer.contents w
+
+let encode_delta ~algo t = Compress.Container.pack ~algo (encode_delta_body t)
+
+let is_delta s =
+  match Compress.Container.unpack s with
+  | body ->
+    String.length body >= String.length delta_magic
+    && String.sub body 0 (String.length delta_magic) = delta_magic
+  | exception _ -> false
+
+let apply_delta ~base s =
+  let body = Compress.Container.unpack s in
+  let r = Util.Codec.Reader.of_string body in
+  let magic = Util.Codec.Reader.raw r (String.length delta_magic) in
+  if magic <> delta_magic then
+    raise (Util.Codec.Reader.Corrupt "not an MTCPD1 delta image");
+  let base_regions =
+    List.fold_left
+      (fun acc (br : Mem.Region.t) -> (br.Mem.Region.id, br) :: acc)
+      []
+      (Mem.Address_space.regions base.space)
+  in
+  let cmdline = Util.Codec.Reader.list Util.Codec.Reader.string r in
+  let env =
+    Util.Codec.Reader.list
+      (Util.Codec.Reader.pair Util.Codec.Reader.string Util.Codec.Reader.string)
+      r
+  in
+  let threads =
+    Util.Codec.Reader.list
+      (fun r ->
+        let ti_inst = Simos.Program.decode_instance r in
+        let ti_wait = Util.Codec.Reader.option Simos.Program.decode_wait r in
+        { ti_inst; ti_wait })
+      r
+  in
+  let next_addr = Util.Codec.Reader.uvarint r in
+  let next_region_id = Util.Codec.Reader.uvarint r in
+  let regions =
+    Util.Codec.Reader.list
+      (fun r ->
+        let id = Util.Codec.Reader.uvarint r in
+        let start_addr = Util.Codec.Reader.uvarint r in
+        let kind = Mem.Region.decode_kind r in
+        let read = Util.Codec.Reader.bool r in
+        let write = Util.Codec.Reader.bool r in
+        let exec = Util.Codec.Reader.bool r in
+        let npages = Util.Codec.Reader.uvarint r in
+        let base_pages =
+          match List.assoc_opt id base_regions with
+          | Some br -> br.Mem.Region.pages
+          | None -> [||]
+        in
+        let pages =
+          Array.init npages (fun idx ->
+              match Util.Codec.Reader.u8 r with
+              | 1 -> Mem.Page.decode r
+              | 0 ->
+                if idx < Array.length base_pages then base_pages.(idx)
+                else
+                  raise
+                    (Util.Codec.Reader.Corrupt
+                       (Printf.sprintf "delta references missing base page %d/%d" id idx))
+              | n ->
+                raise (Util.Codec.Reader.Corrupt (Printf.sprintf "bad delta page tag %d" n)))
+        in
+        {
+          Mem.Region.id;
+          start_addr;
+          kind;
+          perms = { Mem.Region.read; write; exec };
+          pages;
+          dirty = Bytes.make npages '\001';
+        })
+      r
+  in
+  let sigtable =
+    Util.Codec.Reader.list
+      (Util.Codec.Reader.pair Util.Codec.Reader.uvarint decode_sigaction)
+      r
+  in
+  let pending_signals = Util.Codec.Reader.list Util.Codec.Reader.uvarint r in
+  Util.Codec.Reader.expect_end r;
+  {
+    cmdline;
+    env;
+    threads;
+    space = Mem.Address_space.of_regions ~next_addr ~next_region_id regions;
+    sigtable;
+    pending_signals;
+  }
+
 let restore_threads kernel (proc : Simos.Kernel.process) t =
   proc.Simos.Kernel.space <- t.space;
   proc.Simos.Kernel.cmdline <- t.cmdline;

@@ -59,6 +59,41 @@ val encode : algo:Compress.Algo.t -> t -> string
     missing from the registry. *)
 val decode : string -> t
 
+(** {2 Incremental delta images}
+
+    A delta image re-encodes everything except clean private pages: the
+    address-space skeleton and all small metadata are stored in full, and
+    each page is either inline (dirty since the base snapshot, or part of
+    a shared mapping) or a tagged reference to the base image's page at
+    the same region id and index.  The payload is framed by
+    {!Compress.Container} exactly like a full image, so
+    {!Compress.Container.frame_bounds} applies and delta frames dedup in
+    the checkpoint store like any other frames. *)
+
+(** Pages {!encode_delta} will carry inline, given the space's current
+    dirty bits (shared mappings always count in full). *)
+val delta_pages : t -> int
+
+(** [encode_delta ~algo t] encodes [t] against the base snapshot implied
+    by [t.space]'s dirty bits: pages clean since the last
+    {!Mem.Address_space.clear_dirty} are stored as references.  The caller
+    must pair the result with the identity of the image those bits are
+    relative to — {!apply_delta} needs that exact image. *)
+val encode_delta : algo:Compress.Algo.t -> t -> string
+
+(** [apply_delta ~base s] reconstructs the full image: referenced pages
+    are taken from [base] (the image whose checkpoint cleared the dirty
+    bits [s] was encoded under).  Raises [Util.Codec.Reader.Corrupt] on a
+    non-delta payload or a dangling base reference, and the usual
+    container exceptions on damage.  The reconstruction is structurally
+    equal to the original capture, so [encode ~algo (apply_delta ~base s)]
+    is byte-identical to encoding the original full image. *)
+val apply_delta : base:t -> string -> t
+
+(** [true] iff [s] unpacks to a delta-image body (its container is intact
+    and the body leads with the delta magic). *)
+val is_delta : string -> bool
+
 (** [restore_threads kernel proc image] re-creates the image's user
     threads inside [proc] (an empty shell from
     {!Simos.Kernel.create_raw_process}) and installs the restored address

@@ -103,6 +103,12 @@ let job_options t (j : Job.t) =
     Dmtcp.Options.coord_host = a.(0);
     coord_port = t.base_port + j.Job.id;
     interval = None;  (* the scheduler, not the coordinator, drives periodic ckpts *)
+    (* incremental + forked fast path: interval checkpoints ship only the
+       frames dirtied since the previous round, and the blackout shrinks
+       to the snapshot cost — so driving checkpoints often enough to keep
+       sched/lost-work low no longer costs full-image writes *)
+    incremental = true;
+    forked = true;
   }
 
 let vfs_of t node = Simos.Kernel.vfs (Simos.Cluster.kernel t.cl node)

@@ -64,6 +64,7 @@ type manifest = {
   m_blocks : Digest.t list;    (* in image order *)
   m_real_len : int;
   m_sim_bytes : int;
+  m_base : string option;      (* delta images: name of the base image *)
 }
 
 type stats = {
@@ -187,7 +188,7 @@ let release_manifest t m =
     };
   (!freed_blocks, !freed_bytes)
 
-let put t ~node ~lineage ~generation ~name ~program ~sim_bytes ~chunks =
+let put ?base t ~node ~lineage ~generation ~name ~program ~sim_bytes ~chunks =
   if not (node_alive t node) then invalid_arg "Store.put: writing node's disk is gone";
   let real_len = List.fold_left (fun acc c -> acc + String.length c) 0 chunks in
   let scale = if real_len = 0 then 0. else float_of_int sim_bytes /. float_of_int real_len in
@@ -240,6 +241,7 @@ let put t ~node ~lineage ~generation ~name ~program ~sim_bytes ~chunks =
       m_blocks = digests;
       m_real_len = real_len;
       m_sim_bytes = sim_bytes;
+      m_base = base;
     }
     :: t.manifests;
   Trace.Metrics.add m_blocks_written (float_of_int !new_blocks);
@@ -369,9 +371,28 @@ let gc_lineage ?keep t ~lineage =
     match List.nth_opt gens (keep - 1) with
     | None -> { gc_manifests = 0; gc_blocks = 0; gc_bytes = 0 }
     | Some oldest_kept ->
-      let doomed =
-        List.filter (fun m -> m.m_generation < oldest_kept && not (pin_protects t m)) mine
+      (* The keep-set is every manifest inside the retention window or
+         under a pin, closed under delta-base references: a kept delta
+         keeps the whole chain it resolves through, even when a base
+         sits in a generation older than the cut. *)
+      let by_name = Hashtbl.create 16 in
+      List.iter
+        (fun m -> if not (Hashtbl.mem by_name m.m_name) then Hashtbl.add by_name m.m_name m)
+        mine;
+      let keep_names = Hashtbl.create 16 in
+      let rec keep_chain m =
+        if not (Hashtbl.mem keep_names m.m_name) then begin
+          Hashtbl.add keep_names m.m_name ();
+          match m.m_base with
+          | Some b -> (
+            match Hashtbl.find_opt by_name b with Some bm -> keep_chain bm | None -> ())
+          | None -> ()
+        end
       in
+      List.iter
+        (fun m -> if m.m_generation >= oldest_kept || pin_protects t m then keep_chain m)
+        mine;
+      let doomed = List.filter (fun m -> not (Hashtbl.mem keep_names m.m_name)) mine in
       if doomed = [] then { gc_manifests = 0; gc_blocks = 0; gc_bytes = 0 }
       else begin
         let blocks = ref 0 and bytes = ref 0 in
@@ -383,10 +404,7 @@ let gc_lineage ?keep t ~lineage =
           doomed;
         t.manifests <-
           List.filter
-            (fun m ->
-              not
-                (m.m_lineage = lineage && m.m_generation < oldest_kept
-                && not (pin_protects t m)))
+            (fun m -> not (m.m_lineage = lineage && not (Hashtbl.mem keep_names m.m_name)))
             t.manifests;
         let r = { gc_manifests = List.length doomed; gc_blocks = !blocks; gc_bytes = !bytes } in
         trace_store t "gc"
@@ -429,6 +447,11 @@ let replica_count t ~digest =
 let verify t =
   List.concat_map
     (fun m ->
+      (match m.m_base with
+      | Some b when not (List.exists (fun m2 -> m2.m_name = b) t.manifests) ->
+        [ Printf.sprintf "%s: delta base %s missing from catalog" m.m_name b ]
+      | _ -> [])
+      @
       List.filter_map
         (fun d ->
           match Hashtbl.find_opt t.blocks d with

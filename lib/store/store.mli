@@ -37,6 +37,10 @@ type manifest = {
   m_blocks : Digest.t list;    (** in image order *)
   m_real_len : int;            (** concatenated chunk bytes *)
   m_sim_bytes : int;           (** modeled image size (delay currency) *)
+  m_base : string option;
+      (** delta images: catalog name of the base image this manifest's
+          payload resolves against.  {!gc_lineage} keeps base chains of
+          retained (or pinned) manifests alive transitively. *)
 }
 
 type stats = {
@@ -84,8 +88,10 @@ val find : t -> name:string -> manifest option
     quorum is durable — remaining replicas complete in the background.
     Re-putting an existing [name] (interval checkpoints at the same
     generation) replaces that manifest.  [sim_bytes] is the modeled
-    image size used for delay booking. *)
+    image size used for delay booking.  [base] records the delta chain:
+    the catalog name of the image this one's payload resolves against. *)
 val put :
+  ?base:string ->
   t ->
   node:int ->
   lineage:string ->
@@ -127,7 +133,9 @@ val pinned : t -> lineage:string -> int option
 (** Drop generations of [lineage] older than the newest [keep]
     (default: the store's [keep]); chunks nothing references any more
     are reclaimed on every replica.  Pinned manifests are never
-    collected. *)
+    collected, and neither is any manifest a retained (or pinned) delta
+    transitively resolves against through [m_base] — GC cannot orphan a
+    delta chain. *)
 val gc_lineage : ?keep:int -> t -> lineage:string -> gc_report
 
 (** {!gc_lineage} over every lineage in the catalog. *)

@@ -150,6 +150,17 @@ let test_store_replica_loss () =
 let test_store_total_loss () =
   check_store_fault "total loss" Chaos.Store_fault.total_loss
 
+(* delta-chain scenarios: faults aimed at the incremental/forked fast
+   path (same convention — outside [Scenario.sample]) *)
+let test_delta_deep_chain () =
+  check_store_fault "deep chain" Chaos.Delta_fault.deep_chain
+
+let test_delta_forked_crash () =
+  check_store_fault "forked crash" Chaos.Delta_fault.forked_crash
+
+let test_delta_base_loss () =
+  check_store_fault "base loss" Chaos.Delta_fault.base_loss
+
 let test_catches_skip_drain () =
   check_bug_caught ~name:"skip-drain" Dmtcp.Faults.bug_skip_drain
 
@@ -191,5 +202,13 @@ let () =
         [
           Alcotest.test_case "restart from surviving replica" `Quick test_store_replica_loss;
           Alcotest.test_case "total replica loss fails cleanly" `Quick test_store_total_loss;
+        ] );
+      ( "delta-fault",
+        [
+          Alcotest.test_case "depth-3 chain restart is bit-identical" `Quick
+            test_delta_deep_chain;
+          Alcotest.test_case "node crash mid-forked checkpoint" `Quick test_delta_forked_crash;
+          Alcotest.test_case "delta base replica loss fails cleanly" `Quick
+            test_delta_base_loss;
         ] );
     ]

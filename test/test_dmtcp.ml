@@ -834,6 +834,7 @@ let test_options_env_roundtrip () =
       store_replicas = 3;
       store_quorum = 2;
       keep_generations = 4;
+      delta_chain = 5;
     }
   in
   let opts' = Dmtcp.Options.of_env (Dmtcp.Options.to_env opts) in

@@ -206,6 +206,62 @@ let prop_fork_preserves_equality =
          let child = Mem.Address_space.fork sp in
          Mem.Address_space.equal sp child))
 
+(* ------------------------------------------------------------------ *)
+(* per-page dirty tracking (incremental checkpointing) *)
+
+let test_dirty_fresh_and_clear () =
+  let sp, heap = make_space () in
+  (* freshly mapped pages are all dirty: the first checkpoint after a
+     map must write them even if nothing ever stored to them *)
+  check Alcotest.int "fresh region fully dirty"
+    (Array.length heap.Mem.Region.pages)
+    (Mem.Region.dirty_count heap);
+  check Alcotest.int "space sums regions" (8 + 16) (Mem.Address_space.dirty_pages sp);
+  Mem.Address_space.clear_dirty sp;
+  check Alcotest.int "clear empties every region" 0 (Mem.Address_space.dirty_pages sp)
+
+let test_dirty_write_marks_page () =
+  let sp, heap = make_space () in
+  Mem.Address_space.clear_dirty sp;
+  let addr = heap.Mem.Region.start_addr + (3 * Mem.Page.size) + 17 in
+  Mem.Address_space.write sp ~addr "x";
+  check Alcotest.int "exactly one page dirty" 1 (Mem.Address_space.dirty_pages sp);
+  Alcotest.(check bool) "the written page" true (Mem.Region.is_dirty heap 3);
+  Alcotest.(check bool) "not its neighbour" false (Mem.Region.is_dirty heap 2);
+  (* a write spanning a page boundary dirties both sides *)
+  Mem.Address_space.write sp
+    ~addr:(heap.Mem.Region.start_addr + (5 * Mem.Page.size) - 2)
+    "abcd";
+  Alcotest.(check bool) "boundary write dirties both" true
+    (Mem.Region.is_dirty heap 4 && Mem.Region.is_dirty heap 5)
+
+let test_dirty_snapshot_independent () =
+  (* fork (= checkpoint snapshot) copies the bitmap: clearing the live
+     space must not erase the snapshot's record of what was dirty *)
+  let sp, heap = make_space () in
+  Mem.Address_space.clear_dirty sp;
+  Mem.Address_space.write sp ~addr:heap.Mem.Region.start_addr "dirty";
+  let snap = Mem.Address_space.fork sp in
+  Mem.Address_space.clear_dirty sp;
+  check Alcotest.int "live cleared" 0 (Mem.Address_space.dirty_pages sp);
+  check Alcotest.int "snapshot keeps its bits" 1 (Mem.Address_space.dirty_pages snap);
+  (* and the other way: dirtying the live space leaves the snapshot *)
+  Mem.Address_space.write sp ~addr:heap.Mem.Region.start_addr "more"
+  |> fun () -> check Alcotest.int "snapshot still one" 1 (Mem.Address_space.dirty_pages snap)
+
+let test_dirty_shared_always_full () =
+  (* attached views share the region record, so another process's clear
+     could hide writes: shared segments always count fully dirty *)
+  let sp, _ = make_space () in
+  let seg =
+    Mem.Address_space.map sp
+      ~kind:(Mem.Region.Mmap_shared { backing_path = "/dev/shm/dirty0" })
+      ~perms:Mem.Region.rw ~bytes:(2 * Mem.Page.size) ()
+  in
+  Mem.Address_space.clear_dirty sp;
+  check Alcotest.int "shared still counts every page" 2
+    (Mem.Address_space.region_dirty_pages seg)
+
 let () =
   Alcotest.run "mem"
     [
@@ -239,5 +295,12 @@ let () =
           Alcotest.test_case "unmap" `Quick test_space_unmap;
           prop_write_read;
           prop_fork_preserves_equality;
+        ] );
+      ( "dirty-tracking",
+        [
+          Alcotest.test_case "fresh pages dirty, clear resets" `Quick test_dirty_fresh_and_clear;
+          Alcotest.test_case "writes mark pages" `Quick test_dirty_write_marks_page;
+          Alcotest.test_case "snapshot bitmap independent" `Quick test_dirty_snapshot_independent;
+          Alcotest.test_case "shared segments stay dirty" `Quick test_dirty_shared_always_full;
         ] );
     ]

@@ -154,6 +154,50 @@ let test_delta_sizes () =
   let same = Mtcp.Image.delta_sizes Compress.Algo.Deflate ~prev:None img2 in
   check Alcotest.int "no prev equals full" full.Mtcp.Image.compressed same.Mtcp.Image.compressed
 
+(* Delta-reconstruction battery: whatever pages get dirtied, and however
+   deep the chain, a delta applied to its base must reconstruct an image
+   byte-identical to the from-scratch full checkpoint taken at the same
+   instant.  Each chain step applies onto the PREVIOUS reconstruction,
+   so errors would compound — byte equality at every depth proves the
+   delta codec is exact, not approximately right. *)
+let prop_delta_reconstruction =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:30 ~name:"delta chain reconstructs byte-identically"
+       QCheck.(pair (int_bound 10_000) (int_range 1 4))
+       (fun (seed, depth) ->
+         let _, k, proc = make_proc ~mb:2 () in
+         let sp = proc.Simos.Kernel.space in
+         Simos.Kernel.suspend_user_threads k proc;
+         let algo = Compress.Algo.Rle in
+         let base = Mtcp.Image.capture proc in
+         Mem.Address_space.clear_dirty sp;
+         let rng = Util.Rng.create (Int64.of_int (seed + 7)) in
+         let regions = Array.of_list (Mem.Address_space.regions sp) in
+         let prev = ref base in
+         let ok = ref true in
+         for _step = 1 to depth do
+           (* a random dirty pattern: 0..8 writes at random page offsets,
+              possibly none (an empty delta must also round-trip) *)
+           let writes = Util.Rng.int rng 9 in
+           for _ = 1 to writes do
+             let r = Util.Rng.choose rng regions in
+             let page = Util.Rng.int rng (Array.length r.Mem.Region.pages) in
+             let off = Util.Rng.int rng (Mem.Page.size - 64) in
+             let data = Bytes.to_string (Util.Rng.bytes rng (1 + Util.Rng.int rng 63)) in
+             Mem.Address_space.write sp
+               ~addr:(r.Mem.Region.start_addr + (page * Mem.Page.size) + off)
+               data
+           done;
+           let fresh = Mtcp.Image.capture proc in
+           let delta = Mtcp.Image.encode_delta ~algo fresh in
+           Mem.Address_space.clear_dirty sp;
+           let rebuilt = Mtcp.Image.apply_delta ~base:!prev delta in
+           if Mtcp.Image.encode ~algo rebuilt <> Mtcp.Image.encode ~algo fresh then ok := false;
+           (* chain: the next delta applies onto this reconstruction *)
+           prev := rebuilt
+         done;
+         !ok))
+
 let test_cost_models_monotone () =
   Alcotest.(check bool) "suspend grows with threads" true
     (Mtcp.Cost.suspend_seconds ~nthreads:16 > Mtcp.Cost.suspend_seconds ~nthreads:1);
@@ -179,6 +223,7 @@ let () =
           Alcotest.test_case "corruption rejected" `Quick test_decode_rejects_corruption;
           Alcotest.test_case "manager threads excluded" `Quick test_manager_threads_excluded;
           Alcotest.test_case "incremental delta sizes" `Quick test_delta_sizes;
+          prop_delta_reconstruction;
         ] );
       ("cost", [ Alcotest.test_case "models monotone" `Quick test_cost_models_monotone ]);
     ]

@@ -14,14 +14,14 @@ let mk ?(nodes = 4) ?replicas ?quorum ?keep () =
   in
   (eng, Store.create ?replicas ?quorum ?keep ~engine:eng ~targets ())
 
-let put ?(node = 0) ?(lineage = "1-100") ?(generation = 0) ?(name = "img-g0")
+let put ?base ?(node = 0) ?(lineage = "1-100") ?(generation = 0) ?(name = "img-g0")
     ?(program = "p:test") ?sim_bytes store chunks =
   let sim_bytes =
     match sim_bytes with
     | Some b -> b
     | None -> List.fold_left (fun a c -> a + String.length c) 0 chunks
   in
-  Store.put store ~node ~lineage ~generation ~name ~program ~sim_bytes ~chunks
+  Store.put ?base store ~node ~lineage ~generation ~name ~program ~sim_bytes ~chunks
 
 (* ------------------------------------------------------------------ *)
 
@@ -166,6 +166,56 @@ let test_pin_protects_generation () =
     (Store.contains store ~name:"img-g1");
   Alcotest.(check bool) "newest two still kept" true (Store.contains store ~name:"img-g4")
 
+(* GC closes the keep-set over [m_base]: a pinned (or retained) delta
+   must hold its whole base chain alive, even across the retention
+   horizon — collecting the base would orphan every restart from the
+   chain. *)
+let test_gc_keeps_pinned_delta_chain () =
+  let _, store = mk ~keep:1 () in
+  ignore (put ~generation:0 ~name:"img-g0" store [ String.make 400 'a' ]);
+  ignore (put ~base:"img-g0" ~generation:1 ~name:"img-g1" store [ String.make 90 'd' ]);
+  ignore (put ~generation:2 ~name:"img-g2" store [ String.make 500 'e' ]);
+  Store.pin store ~lineage:"1-100" ~generation:1;
+  ignore (Store.gc_lineage ~keep:1 store ~lineage:"1-100");
+  Alcotest.(check bool) "pinned delta survives keep=1" true
+    (Store.contains store ~name:"img-g1");
+  Alcotest.(check bool) "its base generation survives too" true
+    (Store.contains store ~name:"img-g0");
+  check Alcotest.(list Alcotest.string) "catalog healthy after gc" [] (Store.verify store);
+  (* unpinning releases the whole chain *)
+  Store.unpin store ~lineage:"1-100";
+  ignore (Store.gc_lineage ~keep:1 store ~lineage:"1-100");
+  Alcotest.(check bool) "delta collected after unpin" false
+    (Store.contains store ~name:"img-g1");
+  Alcotest.(check bool) "base collected after unpin" false
+    (Store.contains store ~name:"img-g0");
+  Alcotest.(check bool) "newest generation kept" true (Store.contains store ~name:"img-g2")
+
+let test_gc_keeps_retained_delta_chain () =
+  (* no pin: the retention window alone must also close over bases *)
+  let _, store = mk ~keep:1 () in
+  ignore (put ~generation:0 ~name:"img-g0" store [ String.make 400 'a' ]);
+  ignore (put ~base:"img-g0" ~generation:1 ~name:"img-g1" store [ String.make 90 'd' ]);
+  ignore (Store.gc_lineage ~keep:1 store ~lineage:"1-100");
+  Alcotest.(check bool) "retained delta's base survives keep=1" true
+    (Store.contains store ~name:"img-g0");
+  check Alcotest.(list Alcotest.string) "healthy" [] (Store.verify store)
+
+let test_verify_flags_dangling_base () =
+  let _, store = mk () in
+  ignore (put ~base:"img-gone" ~generation:1 ~name:"img-g1" store [ "delta-bytes" ]);
+  Alcotest.(check bool) "verify names the dangling base" true
+    (List.exists
+       (fun p ->
+         (* the problem line names both the delta and its missing base *)
+         let has needle s =
+           let nl = String.length needle and sl = String.length s in
+           let rec go i = i + nl <= sl && (String.sub s i nl = needle || go (i + 1)) in
+           go 0
+         in
+         has "img-gone" p && has "img-g1" p)
+       (Store.verify store))
+
 let test_gc_retention () =
   let _, store = mk ~keep:2 () in
   let shared = String.make 400 's' in
@@ -241,6 +291,7 @@ let image_with_blob blob =
     algo = Compress.Algo.Null;
     sizes = { Mtcp.Image.uncompressed = 1 lsl 20; compressed = 1 lsl 19; zero_bytes = 0 };
     mtcp_blob = blob;
+    delta_base = None;
   }
 
 (* pseudo-random, deterministic, and non-periodic over the sizes used
@@ -420,6 +471,11 @@ let () =
       ( "gc",
         [
           Alcotest.test_case "generational retention" `Quick test_gc_retention;
+          Alcotest.test_case "pinned delta chain survives gc" `Quick
+            test_gc_keeps_pinned_delta_chain;
+          Alcotest.test_case "retained delta chain survives gc" `Quick
+            test_gc_keeps_retained_delta_chain;
+          Alcotest.test_case "verify flags dangling base" `Quick test_verify_flags_dangling_base;
           Alcotest.test_case "pin protects requeued job's checkpoint" `Quick
             test_pin_protects_generation;
         ] );
