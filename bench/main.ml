@@ -320,6 +320,26 @@ let sched_records () =
     ("sched.lost-work-vs-makespan", ms mk_f, ms lost);
   ]
 
+(* Scale shape: the 1000-small-job scenario run twice on the same
+   submissions — once with the per-job op queues, once with
+   [~max_inflight:1], which reproduces the old fully-serialized
+   scheduler.  Both makespans are virtual-time deterministic, so their
+   ratio is a property of the op-queue design and joins the ratio
+   baseline; the in-flight peak must show the queues actually overlap
+   work. *)
+let sched1k_records () =
+  let concurrent = Chaos.Sched_demo1k.run ~faults:false () in
+  let serialized = Chaos.Sched_demo1k.run ~faults:false ~max_inflight:1 () in
+  let ms s = int_of_float (Float.round (s *. 1000.)) in
+  let peak = Sched.Scheduler.peak_ops_inflight concurrent.Chaos.Sched_demo1k.k_sched in
+  let mk_c = Sched.Scheduler.makespan concurrent.Chaos.Sched_demo1k.k_sched in
+  let mk_s = Sched.Scheduler.makespan serialized.Chaos.Sched_demo1k.k_sched in
+  [
+    (* ratio 8/peak <= 1 iff at least eight ops ran concurrently *)
+    ("sched.ops-inflight", peak, 8);
+    ("sched.makespan-1000job", ms mk_s, ms mk_c);
+  ]
+
 let print_ratios ratios =
   hr "Compression shape (deterministic: sizes depend only on the encoder)";
   List.iter
@@ -386,6 +406,10 @@ let assert_invariants ratios =
     "a node loss plus a drain must at most double the canned scenario's makespan" 2.0;
   check "sched.lost-work-vs-makespan"
     "interval checkpoints must bound lost work to a quarter of the makespan" 0.25;
+  check "sched.ops-inflight"
+    "the op queues must run at least eight operations concurrently" 1.0;
+  check "sched.makespan-1000job"
+    "concurrent ops must at least halve the serialized 1000-job makespan" 0.5;
   flush stdout;
   if !failed then exit 1
 
@@ -393,7 +417,10 @@ let () =
   Printf.printf "DMTCP reproduction benchmark harness (scale: %s)\n"
     (match scale with `Full -> "full" | `Quick -> "quick");
   let timings = if sections <> `Repro then run_micro () else [] in
-  let ratios = ratio_records () @ store_records () @ delta_records () @ sched_records () in
+  let ratios =
+    ratio_records () @ store_records () @ delta_records () @ sched_records ()
+    @ sched1k_records ()
+  in
   print_ratios ratios;
   (match Sys.getenv_opt "BENCH_JSON" with
   | Some path -> emit_json path timings ratios

@@ -58,6 +58,19 @@ if ! diff -u _artifacts/sched_run_1.txt _artifacts/sched_run_2.txt; then
 fi
 cat _artifacts/sched_run_1.txt
 
+echo "== sched scale smoke: 1000-job demo under chaos, deterministic =="
+# 1000 single-node jobs through preemption + node loss + drain on the
+# per-job op queues: every job must finish bit-identical to the
+# no-fault reference, at least 8 ops must overlap in flight, and two
+# invocations must print byte-identical summaries.
+dune exec bin/dmtcp_sim.exe -- sched demo1k > _artifacts/sched_demo1k_1.txt
+dune exec bin/dmtcp_sim.exe -- sched demo1k > _artifacts/sched_demo1k_2.txt
+if ! diff -u _artifacts/sched_demo1k_1.txt _artifacts/sched_demo1k_2.txt; then
+  echo "FAIL: 1000-job demo is non-deterministic across two runs." >&2
+  exit 1
+fi
+cat _artifacts/sched_demo1k_1.txt
+
 echo "== chaos smoke: 25-seed torture + 25-seed scheduler corpus =="
 dune exec bin/dmtcp_sim.exe -- torture --seeds "${CHAOS_SEEDS:-25}"
 dune exec bin/dmtcp_sim.exe -- sched chaos

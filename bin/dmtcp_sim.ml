@@ -329,6 +329,31 @@ let sched_run action no_faults =
     let r = Chaos.Sched_demo.run ~faults:(not no_faults) () in
     List.iter print_endline (Sched.Scheduler.status_lines r.Chaos.Sched_demo.d_sched);
     exit (if r.Chaos.Sched_demo.d_unfinished = 0 then 0 else 1)
+  | "demo1k" ->
+    (* the 1000-small-job scale scenario: preemption + self-healing +
+       drain, judged bit-identical against its own no-fault reference;
+       the op queues must actually overlap work (peak >= 8) *)
+    let faulted = Chaos.Sched_demo1k.run ~faults:(not no_faults) () in
+    List.iter print_endline (Chaos.Sched_demo1k.summary faulted);
+    if no_faults then exit (if faulted.Chaos.Sched_demo1k.k_unfinished = 0 then 0 else 1)
+    else begin
+      let reference = Chaos.Sched_demo1k.run ~faults:false () in
+      let peak = Sched.Scheduler.peak_ops_inflight faulted.Chaos.Sched_demo1k.k_sched in
+      let violations =
+        Chaos.Sched_demo1k.check ~reference faulted
+        @
+        if peak < 8 then
+          [ Printf.sprintf "only %d op(s) ever ran concurrently (want >= 8)" peak ]
+        else []
+      in
+      match violations with
+      | [] ->
+        print_endline "all 1000 jobs finished bit-identically to the no-fault reference";
+        exit 0
+      | violations ->
+        List.iter (Printf.printf "violation: %s\n") violations;
+        exit 1
+    end
   | "chaos" ->
     let failures = Chaos.Sched_fault.run_seeds ~log:print_endline ~base:0 ~count:25 () in
     if failures = [] then begin
@@ -345,7 +370,7 @@ let sched_run action no_faults =
       exit 1
     end
   | other ->
-    Printf.eprintf "unknown sched action %S (expected run, status or chaos)\n" other;
+    Printf.eprintf "unknown sched action %S (expected run, status, demo1k or chaos)\n" other;
     exit 2
 
 (* ------------------------------------------------------------------ *)

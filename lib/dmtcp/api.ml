@@ -45,9 +45,14 @@ let run_slices rt ~timeout ~done_ =
   in
   go ()
 
-let await_checkpoint ?(timeout = 600.) ?(since = 0.) rt =
+(* the coordinator domain a given options record addresses *)
+let port_of ?options rt =
+  (Option.value ~default:(Runtime.options rt) options).Options.coord_port
+
+let await_checkpoint ?(timeout = 600.) ?(since = 0.) ?options rt =
+  let port = port_of ?options rt in
   run_slices rt ~timeout ~done_:(fun () ->
-      match Runtime.last_completed_ckpt rt with
+      match Runtime.last_completed_ckpt ~port rt with
       | Some info ->
         info.Runtime.started >= since
         && info.Runtime.finished > info.Runtime.started
@@ -57,10 +62,10 @@ let await_checkpoint ?(timeout = 600.) ?(since = 0.) rt =
 let checkpoint_now ?timeout ?options rt =
   let since = Simos.Cluster.now (Runtime.cluster rt) in
   checkpoint ?options rt;
-  await_checkpoint ?timeout ~since rt
+  await_checkpoint ?timeout ~since ?options rt
 
-let completed rt =
-  match Runtime.last_completed_ckpt rt with
+let completed ?options rt =
+  match Runtime.last_completed_ckpt ~port:(port_of ?options rt) rt with
   | Some info -> info
   | None -> failwith "Dmtcp.Api: no completed checkpoint yet"
 
@@ -74,7 +79,7 @@ let last_checkpoint_bytes rt =
 
 let restart_script ?options rt =
   let opts = Option.value ~default:(Runtime.options rt) options in
-  let info = completed rt in
+  let info = completed ?options rt in
   let by_host = Hashtbl.create 8 in
   List.iter
     (fun (node, path) ->
@@ -203,11 +208,16 @@ let script_images_available rt (script : Restart_script.t) =
 let restart rt (script : Restart_script.t) =
   if script.Restart_script.entries = [] then
     failwith "Dmtcp.Api.restart: script has no images";
-  Runtime.note_restart_start rt;
+  let port = script.Restart_script.coord_port in
+  Runtime.note_restart_start ~port rt;
   Runtime.bump_generation rt;
-  Runtime.shm_reset rt;
+  Runtime.shm_reset ~port rt;
   let cl = Runtime.cluster rt in
-  Simnet.Discovery.clear (Simos.Cluster.discovery cl);
+  (* clear only this domain's stale advertisements: restart waves
+     namespace their discovery keys by coordinator port, so another
+     job's concurrent restart keeps its adverts *)
+  Simnet.Discovery.remove_prefix (Simos.Cluster.discovery cl)
+    ~prefix:(Printf.sprintf "%d/" port);
   (* both the host AND the port come from the script: per-job coordinators
      listen on distinct ports, and a restarted job must rejoin its own *)
   let opts =
@@ -222,7 +232,7 @@ let restart rt (script : Restart_script.t) =
      if one is already running) *)
   let ck = Runtime.kernel_of rt ~node:script.Restart_script.coord_host in
   ignore (Simos.Kernel.spawn ck ~prog:Coordinator.name ~argv:[] ~env ());
-  Runtime.set_restart_expected rt (List.length script.Restart_script.entries);
+  Runtime.set_restart_expected ~port rt (List.length script.Restart_script.entries);
   List.iter
     (fun (host, images) ->
       List.iter (fun path -> ensure_image_on rt ~host path) images;
@@ -230,11 +240,13 @@ let restart rt (script : Restart_script.t) =
       ignore (Simos.Kernel.spawn k ~prog:Restart.name ~argv:images ~env ()))
     script.Restart_script.entries
 
-let await_restart ?(timeout = 600.) rt =
+let await_restart ?(timeout = 600.) ?options rt =
+  let port = port_of ?options rt in
   run_slices rt ~timeout ~done_:(fun () ->
-      let info = Runtime.restart_info rt in
-      info.Runtime.nprocs >= Runtime.restart_expected rt && Runtime.restart_expected rt > 0)
+      let info = Runtime.restart_info ~port rt in
+      info.Runtime.nprocs >= Runtime.restart_expected ~port rt
+      && Runtime.restart_expected ~port rt > 0)
 
-let last_restart_seconds rt =
-  let info = Runtime.restart_info rt in
+let last_restart_seconds ?options rt =
+  let info = Runtime.restart_info ~port:(port_of ?options rt) rt in
   info.Runtime.finished -. info.Runtime.started

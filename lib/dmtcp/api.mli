@@ -45,8 +45,9 @@ val checkpoint : ?options:Options.t -> Runtime.t -> unit
 (** Run the engine until a checkpoint that *started at or after [since]*
     completes (all barriers released) — guarding against being satisfied
     by a previously completed checkpoint. Raises [Failure] on timeout
-    (default 600 simulated s). *)
-val await_checkpoint : ?timeout:float -> ?since:float -> Runtime.t -> unit
+    (default 600 simulated s). [?options] selects which coordinator
+    domain's records to watch (by its [coord_port]). *)
+val await_checkpoint : ?timeout:float -> ?since:float -> ?options:Options.t -> Runtime.t -> unit
 
 (** Convenience: request a checkpoint and wait for it. *)
 val checkpoint_now : ?timeout:float -> ?options:Options.t -> Runtime.t -> unit
@@ -83,8 +84,9 @@ val script_images_available : Runtime.t -> Restart_script.t -> bool
     per host. The caller advances the engine; use {!await_restart}. *)
 val restart : Runtime.t -> Restart_script.t -> unit
 
-(** Run the engine until every restart process has resumed its processes. *)
-val await_restart : ?timeout:float -> Runtime.t -> unit
+(** Run the engine until every restart process of [?options]'s domain
+    has resumed its processes. *)
+val await_restart : ?timeout:float -> ?options:Options.t -> Runtime.t -> unit
 
 (** Seconds from restart initiation to the last process resuming. *)
-val last_restart_seconds : Runtime.t -> float
+val last_restart_seconds : ?options:Options.t -> Runtime.t -> float

@@ -21,6 +21,11 @@ type state = {
   mutable next_interval : float;
   mutable work : int;                  (* messages handled since last block *)
   mutable last_barrier_time : float;
+  mutable port : int;                  (* bound port = this coordinator's domain *)
+  mutable barrier_dirty : bool;
+      (* barrier arrivals buffered since the last release scan: one
+         engine wakeup drains every ready barrier instead of re-running
+         the release scan per message *)
   mutable opts : Options.t;
       (* parsed from the environment once at boot: the env cannot change
          underneath a running process, and of_getenv on every tick was
@@ -46,6 +51,8 @@ module P = struct
       next_interval = infinity;
       work = 0;
       last_barrier_time = 0.;
+      port = Options.default.Options.coord_port;
+      barrier_dirty = false;
       opts = Options.default;
     }
 
@@ -67,7 +74,7 @@ module P = struct
   let start_checkpoint (ctx : Simos.Program.ctx) st =
     if not st.in_ckpt then begin
       let rt = Runtime.active () in
-      Runtime.note_ckpt_start rt;
+      Runtime.note_ckpt_start ~port:st.port rt;
       st.in_ckpt <- true;
       Array.fill st.counts 0 (Array.length st.counts) 0;
       Array.fill st.released 0 (Array.length st.released) false;
@@ -75,7 +82,7 @@ module P = struct
       if st.expected = 0 then begin
         (* nothing to checkpoint *)
         st.in_ckpt <- false;
-        Runtime.note_ckpt_end rt
+        Runtime.note_ckpt_end ~port:st.port rt
       end
       else begin
         trace_coord ctx "coord/ckpt-start" [ ("participants", string_of_int st.expected) ];
@@ -117,13 +124,20 @@ module P = struct
         if b = Runtime.nbarriers then begin
           st.in_ckpt <- false;
           trace_coord ctx "coord/ckpt-end" [];
-          Runtime.note_ckpt_end rt;
+          Runtime.note_ckpt_end ~port:st.port rt;
           continue := false
         end
         else incr k
       end
       else continue := false
-    done
+    done;
+    st.barrier_dirty <- false
+
+  (* Flush buffered barrier arrivals before acting on anything that
+     reads checkpoint-round state: a DO_CKPT command arriving in the
+     same wakeup as the round's final barrier-5 must see that round
+     released (in_ckpt = false), or the new round is silently lost. *)
+  let flush_barriers ctx st = if st.barrier_dirty then try_release_barriers ctx st
 
   (* A manager died mid-checkpoint: shrink the participant set so the
      survivors are not wedged on barriers the victim will never reach.
@@ -162,18 +176,22 @@ module P = struct
         | Proto.Hello upid ->
           client.c_manager <- true;
           client.c_upid <- upid
-        | Proto.Cmd_checkpoint -> start_checkpoint ctx st
+        | Proto.Cmd_checkpoint ->
+          flush_barriers ctx st;
+          start_checkpoint ctx st
         | Proto.Cmd_status -> send_line ctx client.c_fd (Proto.status_reply (List.length (managers st)))
         | Proto.Cmd_quit -> raise Exit
         | Proto.Barrier k when k >= 1 && k <= Runtime.nbarriers ->
+          (* batched: only count the arrival here; the release scan runs
+             once per wakeup (flush_barriers), not once per message *)
           st.counts.(k) <- st.counts.(k) + 1;
+          st.barrier_dirty <- true;
           trace_coord ctx "coord/barrier-arrive"
             [
               ("k", string_of_int k);
               ("upid", client.c_upid);
               ("count", Printf.sprintf "%d/%d" st.counts.(k) st.expected);
-            ];
-          try_release_barriers ctx st
+            ]
         | Proto.Barrier _ | Proto.Do_checkpoint | Proto.Release _ | Proto.Status_reply _
         | Proto.Unknown _ ->
           ())
@@ -195,6 +213,7 @@ module P = struct
         match ctx.listen fd ~backlog:512 with
         | Ok () ->
           st.listen_fd <- fd;
+          st.port <- port;
           st.phase <- `Run;
           (match st.opts.Options.interval with
           | Some i -> st.next_interval <- ctx.now () +. i
@@ -218,6 +237,8 @@ module P = struct
       in
       accept_all ();
       let progressed = List.exists Fun.id (List.map (pump_client ctx st) st.clients) in
+      (* one release scan drains every barrier made ready this wakeup *)
+      flush_barriers ctx st;
       (* interval checkpointing *)
       (match st.opts.Options.interval with
       | Some i when ctx.now () >= st.next_interval ->

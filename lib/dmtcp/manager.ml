@@ -470,7 +470,8 @@ module P = struct
           (Compress.Model.compress_seconds ~algo:opts.Options.algo
              ~bytes:sizes.Mtcp.Image.uncompressed ~zero_bytes:sizes.Mtcp.Image.zero_bytes)
       in
-      Runtime.record_image (rt ()) ~node:ctx.node_id ~path ~upid:image.Ckpt_image.upid ~sizes;
+      Runtime.record_image ~port:opts.Options.coord_port (rt ()) ~node:ctx.node_id ~path
+        ~upid:image.Ckpt_image.upid ~sizes;
       (match image.Ckpt_image.delta_base with
       | Some base ->
         (* delta checkpoint: a stage span for the breakdown tables plus

@@ -80,6 +80,11 @@ module P = struct
   let rt () = Runtime.active ()
   let my_kernel (ctx : Simos.Program.ctx) = Runtime.kernel_of (rt ()) ~node:ctx.node_id
 
+  (* The restart wave's coordinator domain: every per-wave record (op
+     info, refill barrier, shm registry, discovery keys) is scoped to
+     this port so concurrent waves of different jobs never interfere. *)
+  let my_port (ctx : Simos.Program.ctx) = (Options.of_getenv ctx.getenv).Options.coord_port
+
 
   let stage (ctx : Simos.Program.ctx) st label =
     Runtime.record_stage (rt ()) label (ctx.now () -. st.phase_t0);
@@ -174,7 +179,7 @@ module P = struct
      (fork/dup) are reassembled around a single restored endpoint, so the
      dedup key is the cluster-unique desc_key.  The drained stash lives in
      the drain leader's image; keep the longest. *)
-  let build_conn_specs st =
+  let build_conn_specs ~prefix st =
     let by_desc : (int, conn_spec) Hashtbl.t = Hashtbl.create 16 in
     List.iter
       (fun ((img : Ckpt_image.t), _) ->
@@ -199,7 +204,7 @@ module P = struct
               | None ->
                 Hashtbl.replace by_desc desc_key
                   {
-                    cs_key = Conn_id.to_key conn_id;
+                    cs_key = prefix ^ Conn_id.to_key conn_id;
                     cs_desc_key = desc_key;
                     cs_acceptor = acceptor;
                     cs_desc = None;
@@ -213,7 +218,9 @@ module P = struct
     |> List.sort (fun a b -> compare a.cs_desc_key b.cs_desc_key)
 
   let start_socket_restore (ctx : Simos.Program.ctx) st =
-    st.specs <- build_conn_specs st;
+    (* namespace discovery keys by coordinator port: each job's restart
+       wave advertises and looks up only within its own domain *)
+    st.specs <- build_conn_specs ~prefix:(Printf.sprintf "%d/" (my_port ctx)) st;
     (* a drained-to-EOF connection has no peer to rediscover: give it its
        dead-but-readable endpoint now instead of waiting out the
        discovery deadline *)
@@ -325,7 +332,8 @@ module P = struct
   let materialize (ctx : Simos.Program.ctx) st =
     let k = my_kernel ctx in
     let run = rt () in
-    Runtime.shm_reset run;
+    let port = my_port ctx in
+    Runtime.shm_reset ~port run;
     st.restored <-
       List.map
         (fun ((img : Ckpt_image.t), resolved) ->
@@ -369,7 +377,7 @@ module P = struct
             (fun (r : Mem.Region.t) ->
               match r.Mem.Region.kind with
               | Mem.Region.Mmap_shared { backing_path } -> (
-                match Runtime.shm_lookup run backing_path with
+                match Runtime.shm_lookup ~port run backing_path with
                 | Some pages ->
                   Mem.Address_space.substitute_pages proc.Simos.Kernel.space
                     ~region_id:r.Mem.Region.id pages
@@ -378,7 +386,7 @@ module P = struct
                      is missing and the directory is writable *)
                   let file = Simos.Vfs.open_or_create (Simos.Kernel.vfs k) backing_path in
                   ignore file;
-                  Runtime.shm_register run backing_path r.Mem.Region.pages)
+                  Runtime.shm_register ~port run backing_path r.Mem.Region.pages)
               | _ -> ())
             (Mem.Address_space.regions proc.Simos.Kernel.space);
           (* DMTCP per-process state: virtual pid preserved, generation
@@ -492,7 +500,7 @@ module P = struct
         | prog :: _ -> Dmtcpaware.run_post_ckpt ~prog
         | [] -> ())
       st.restored;
-    Runtime.note_restart_end (rt ())
+    Runtime.note_restart_end ~port:(my_port ctx) (rt ())
 
   (* ---------------------------------------------------------------- *)
 
@@ -783,12 +791,12 @@ module P = struct
       stage ctx st "restart/mem";
       trace_rst ctx "refill" [];
       refill ctx st;
-      Runtime.arrive_refill_barrier (rt ());
+      Runtime.arrive_refill_barrier ~port:(my_port ctx) (rt ());
       st.phase <- R_refill_barrier;
       (* drained data re-traverses the network once *)
       Simos.Program.Block (st, Simos.Program.Sleep_until (ctx.now () +. 3e-4))
     | R_refill_barrier ->
-      if Runtime.refill_barrier_passed (rt ()) then begin
+      if Runtime.refill_barrier_passed ~port:(my_port ctx) (rt ()) then begin
         st.phase <- R_resume;
         Simos.Program.Continue st
       end

@@ -39,6 +39,21 @@ type image_record = {
   ir_upid : string;
 }
 
+(* Per-coordinator-domain operation records.  Each job-scoped
+   coordinator (one per scheduler job, at its own port) tracks its own
+   checkpoint/restart rounds so concurrent ops on disjoint jobs never
+   clobber each other's since-guards.  Keyed by coordinator *port*
+   alone: a restart may migrate the coordinator to a new host, but the
+   port is stable per computation. *)
+type domain = {
+  mutable d_ckpt : op_info;
+  mutable d_last : op_info option;
+  mutable d_restart : op_info;
+  mutable d_expected : int;
+  mutable d_refill : int;
+  mutable d_rounds : int;  (* checkpoint rounds started, ever *)
+}
+
 type t = {
   cl : Simos.Cluster.t;
   opts : Options.t;
@@ -46,13 +61,10 @@ type t = {
   sock_owner : (int, (int * int) * int) Hashtbl.t;
   vpids : (int, int * int) Hashtbl.t;
   stages : (string, Util.Stats.t) Hashtbl.t;
-  mutable ckpt : op_info;
-  mutable last_complete : op_info option;
-  mutable restart : op_info;
+  domains : (int, domain) Hashtbl.t;  (* coordinator port -> records *)
   mutable gen : int;
-  shm : (string, Mem.Page.content array) Hashtbl.t;
-  mutable restart_expected : int;
-  mutable refill_arrived : int;
+  shm : (int * string, Mem.Page.content array) Hashtbl.t;
+      (* (coordinator port, backing path) -> restored pages *)
   store : Store.t option;
   lineage_images : (string, image_record list) Hashtbl.t;
   pinned : (string, int) Hashtbl.t;  (* lineage -> generation retention must keep *)
@@ -125,39 +137,74 @@ let record_stage t name v =
 let stage_stats t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.stages [] |> List.sort compare
 let reset_stage_stats t = Hashtbl.reset t.stages
 
-let ckpt_info t = t.ckpt
-let restart_info t = t.restart
+let fresh_domain () =
+  {
+    d_ckpt = fresh_op ();
+    d_last = None;
+    d_restart = fresh_op ();
+    d_expected = 0;
+    d_refill = 0;
+    d_rounds = 0;
+  }
 
-let note_ckpt_start t =
-  t.ckpt <- fresh_op ();
-  t.ckpt.started <- Simos.Cluster.now t.cl
+let port_of ?port t =
+  match port with
+  | Some p -> p
+  | None -> t.opts.Options.coord_port
 
-let note_ckpt_end t =
-  t.ckpt.finished <- Simos.Cluster.now t.cl;
-  if t.ckpt.nprocs > 0 then t.last_complete <- Some t.ckpt
+let dom ?port t =
+  let p = port_of ?port t in
+  match Hashtbl.find_opt t.domains p with
+  | Some d -> d
+  | None ->
+    let d = fresh_domain () in
+    Hashtbl.add t.domains p d;
+    d
 
-let last_completed_ckpt t = t.last_complete
+let ckpt_info ?port t = (dom ?port t).d_ckpt
+let restart_info ?port t = (dom ?port t).d_restart
 
-let note_restart_start t =
-  t.restart <- fresh_op ();
-  t.refill_arrived <- 0;
-  t.restart.started <- Simos.Cluster.now t.cl
+let note_ckpt_start ?port t =
+  let d = dom ?port t in
+  d.d_ckpt <- fresh_op ();
+  d.d_ckpt.started <- Simos.Cluster.now t.cl;
+  d.d_rounds <- d.d_rounds + 1
 
-let note_restart_end t =
-  t.restart.finished <- max t.restart.finished (Simos.Cluster.now t.cl);
-  t.restart.nprocs <- t.restart.nprocs + 1
+let note_ckpt_end ?port t =
+  let d = dom ?port t in
+  d.d_ckpt.finished <- Simos.Cluster.now t.cl;
+  if d.d_ckpt.nprocs > 0 then d.d_last <- Some d.d_ckpt
 
-let set_restart_expected t n = t.restart_expected <- n
-let restart_expected t = t.restart_expected
+let last_completed_ckpt ?port t = (dom ?port t).d_last
+let ckpt_rounds ?port t = (dom ?port t).d_rounds
+
+let note_restart_start ?port t =
+  let d = dom ?port t in
+  d.d_restart <- fresh_op ();
+  d.d_refill <- 0;
+  d.d_restart.started <- Simos.Cluster.now t.cl
+
+let note_restart_end ?port t =
+  let d = dom ?port t in
+  d.d_restart.finished <- max d.d_restart.finished (Simos.Cluster.now t.cl);
+  d.d_restart.nprocs <- d.d_restart.nprocs + 1
+
+let set_restart_expected ?port t n = (dom ?port t).d_expected <- n
+let restart_expected ?port t = (dom ?port t).d_expected
 
 (* Restart reuses the checkpoint algorithm's global barrier between
    refill and resume (paper §4.4 step 5 resumes "at Barrier 5"): no
    restart process may resume user threads until every restart process
    has refilled its kernel buffers, or fresh traffic could overtake the
-   refilled bytes. *)
-let arrive_refill_barrier t = t.refill_arrived <- t.refill_arrived + 1
+   refilled bytes.  Scoped per coordinator domain so concurrent restart
+   waves of different jobs never count each other's arrivals. *)
+let arrive_refill_barrier ?port t =
+  let d = dom ?port t in
+  d.d_refill <- d.d_refill + 1
 
-let refill_barrier_passed t = t.restart_expected > 0 && t.refill_arrived >= t.restart_expected
+let refill_barrier_passed ?port t =
+  let d = dom ?port t in
+  d.d_expected > 0 && d.d_refill >= d.d_expected
 
 let forget_process t ~node ~pid =
   match Hashtbl.find_opt t.procs (node, pid) with
@@ -168,11 +215,12 @@ let forget_process t ~node ~pid =
 
 let store t = t.store
 
-let record_image t ~node ~path ~upid ~sizes =
-  t.ckpt.images <- (node, path) :: t.ckpt.images;
-  t.ckpt.total_compressed <- t.ckpt.total_compressed + sizes.Mtcp.Image.compressed;
-  t.ckpt.total_uncompressed <- t.ckpt.total_uncompressed + sizes.Mtcp.Image.uncompressed;
-  t.ckpt.nprocs <- t.ckpt.nprocs + 1;
+let record_image ?port t ~node ~path ~upid ~sizes =
+  let d = dom ?port t in
+  d.d_ckpt.images <- (node, path) :: d.d_ckpt.images;
+  d.d_ckpt.total_compressed <- d.d_ckpt.total_compressed + sizes.Mtcp.Image.compressed;
+  d.d_ckpt.total_uncompressed <- d.d_ckpt.total_uncompressed + sizes.Mtcp.Image.uncompressed;
+  d.d_ckpt.nprocs <- d.d_ckpt.nprocs + 1;
   (* lifecycle ledger: same-generation interval checkpoints overwrite
      their file in place, so one record per (lineage, generation) *)
   let lineage = Upid.lineage upid in
@@ -245,9 +293,12 @@ let pinned_lineages t =
 
 let generation t = t.gen
 let bump_generation t = t.gen <- t.gen + 1
-let shm_lookup t path = Hashtbl.find_opt t.shm path
-let shm_register t path pages = Hashtbl.replace t.shm path pages
-let shm_reset t = Hashtbl.reset t.shm
+let shm_lookup ?port t path = Hashtbl.find_opt t.shm (port_of ?port t, path)
+let shm_register ?port t path pages = Hashtbl.replace t.shm (port_of ?port t, path) pages
+
+let shm_reset ?port t =
+  let p = port_of ?port t in
+  Hashtbl.filter_map_inplace (fun (q, _) v -> if q = p then None else Some v) t.shm
 
 let with_pstate t ~node ~pid f =
   match pstate_of t ~node ~pid with
@@ -519,13 +570,9 @@ let install cl ?(options = Options.default) () =
       sock_owner = Hashtbl.create 128;
       vpids = Hashtbl.create 64;
       stages = Hashtbl.create 16;
-      ckpt = fresh_op ();
-      last_complete = None;
-      restart = fresh_op ();
+      domains = Hashtbl.create 8;
       gen = 0;
       shm = Hashtbl.create 8;
-      restart_expected = 0;
-      refill_arrived = 0;
       store;
       lineage_images = Hashtbl.create 16;
       pinned = Hashtbl.create 8;

@@ -91,35 +91,50 @@ val record_stage : t -> string -> float -> unit
 val stage_stats : t -> (string * Util.Stats.t) list
 val reset_stage_stats : t -> unit
 
-val ckpt_info : t -> op_info
+(** Every operation record below is scoped to a coordinator {e domain},
+    keyed by coordinator port ([?port]; defaults to the installed
+    options' [coord_port]).  The scheduler runs one coordinator per job
+    at its own port, so concurrent checkpoint/restart ops on disjoint
+    jobs keep independent since-guards, refill barriers and round
+    counters.  Domains are keyed by port alone because a restart may
+    migrate a job's coordinator to a new host while the port stays
+    fixed. *)
+
+val ckpt_info : ?port:int -> t -> op_info
 
 (** The most recent checkpoint that finished with at least one image —
     what a restart script should be built from (an interval checkpoint
     may be mid-flight at any given moment). *)
-val last_completed_ckpt : t -> op_info option
+val last_completed_ckpt : ?port:int -> t -> op_info option
 
-val restart_info : t -> op_info
+val restart_info : ?port:int -> t -> op_info
 
 (** Called by the coordinator when it broadcasts a checkpoint request /
     releases the final barrier. *)
-val note_ckpt_start : t -> unit
+val note_ckpt_start : ?port:int -> t -> unit
 
-val note_ckpt_end : t -> unit
-val note_restart_start : t -> unit
+val note_ckpt_end : ?port:int -> t -> unit
+
+(** Checkpoint rounds ever started in this domain (monotone; a round
+    counts from [note_ckpt_start]).  Regression hook: coalescing a stop
+    into an in-flight checkpoint must not start a second round. *)
+val ckpt_rounds : ?port:int -> t -> int
+
+val note_restart_start : ?port:int -> t -> unit
 
 (** Called once per restart process as it resumes its host's processes. *)
-val note_restart_end : t -> unit
+val note_restart_end : ?port:int -> t -> unit
 
 (** Number of restart processes expected / completed in the current wave. *)
-val set_restart_expected : t -> int -> unit
+val set_restart_expected : ?port:int -> t -> int -> unit
 
-val restart_expected : t -> int
+val restart_expected : ?port:int -> t -> int
 
-(** Global refill barrier between restart processes (restart re-enters
-    the checkpoint algorithm at Barrier 5, paper §4.4). *)
-val arrive_refill_barrier : t -> unit
+(** Refill barrier between a domain's restart processes (restart
+    re-enters the checkpoint algorithm at Barrier 5, paper §4.4). *)
+val arrive_refill_barrier : ?port:int -> t -> unit
 
-val refill_barrier_passed : t -> bool
+val refill_barrier_passed : ?port:int -> t -> bool
 
 (** Drop DMTCP state for a process removed outside the exit path
     (vanished/migrated). *)
@@ -128,7 +143,7 @@ val forget_process : t -> node:int -> pid:int -> unit
 (** Record a written image (also feeds the flat-file lifecycle ledger
     that {!prune_images} reaps). *)
 val record_image :
-  t -> node:int -> path:string -> upid:Upid.t -> sizes:Mtcp.Image.sizes -> unit
+  ?port:int -> t -> node:int -> path:string -> upid:Upid.t -> sizes:Mtcp.Image.sizes -> unit
 
 (** Unlink image/conninfo files of [lineage]'s generations older than
     the newest [keep_generations] (no-op when that option is [0]).
@@ -163,12 +178,15 @@ val nbarriers : int
 val generation : t -> int
 val bump_generation : t -> unit
 
-(** Shared-memory segment registry for the current restart wave:
-    backing path -> restored page array. *)
-val shm_lookup : t -> string -> Mem.Page.content array option
+(** Shared-memory segment registry for the current restart wave, scoped
+    per coordinator domain: backing path -> restored page array. *)
+val shm_lookup : ?port:int -> t -> string -> Mem.Page.content array option
 
-val shm_register : t -> string -> Mem.Page.content array -> unit
-val shm_reset : t -> unit
+val shm_register : ?port:int -> t -> string -> Mem.Page.content array -> unit
+
+(** Drop the domain's segment registrations (other domains' concurrent
+    restart waves are untouched). *)
+val shm_reset : ?port:int -> t -> unit
 
 (** Register a restored process's DMTCP state (restart path). *)
 val register_pstate : t -> node:int -> pid:int -> pstate -> unit

@@ -1,0 +1,19 @@
+(* Deadline semantics for the op queue, pinned in one place.
+
+   PR 2 fixed an off-by-one in the restart reconnect deadline: a check
+   written [now > deadline] never fires when the poll lands exactly on
+   the deadline tick, which with a coarse fixed-period poller is the
+   common case, not the rare one.  The scheduler's op machinery polls on
+   the same fixed tick, so its comparisons get the same inclusive
+   semantics:
+
+   - an operation whose age *reaches* the timeout has timed out
+     ([>=], not [>]): the tick that lands exactly on [since + timeout]
+     must give up rather than wait a whole extra period;
+   - a record that *started exactly at* the guard time satisfies the
+     since-guard ([>=]): the guard exists to reject records from before
+     the request, and a record stamped at the request instant is the
+     requested one. *)
+
+let op_timed_out ~now ~since ~timeout = now -. since >= timeout
+let since_satisfied ~started ~since = started >= since

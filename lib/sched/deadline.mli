@@ -1,0 +1,12 @@
+(** Deadline comparisons for the scheduler's op queue, pinned to the
+    inclusive semantics PR 2 established for the restart reconnect
+    deadline: both checks fire on the tick that lands {e exactly} on
+    the boundary. *)
+
+(** [op_timed_out ~now ~since ~timeout] — true once [now - since]
+    reaches [timeout] (inclusive). *)
+val op_timed_out : now:float -> since:float -> timeout:float -> bool
+
+(** [since_satisfied ~started ~since] — true when a record that started
+    exactly at the guard time counts as satisfying it (inclusive). *)
+val since_satisfied : started:float -> since:float -> bool

@@ -1,7 +1,14 @@
 (* The policy engine.  Everything runs inside engine events: a periodic
-   tick advances the (serialized) checkpoint/restart operation queue,
-   detects completed or dead jobs, and places queued work.  No function
-   here re-enters [Sim.Engine.run]. *)
+   tick advances the per-job operation queues, detects completed or dead
+   jobs, and places queued work.  No function here re-enters
+   [Sim.Engine.run].
+
+   Checkpoint/stop/restart operations used to serialize through a single
+   in-flight slot; they now run through {!Opq}: ops on disjoint jobs and
+   node sets proceed concurrently (each against its own per-job
+   coordinator on [base_port + job id]), while conflicting ops — two ops
+   on the same job, ops whose allocations share a node, a restart racing
+   a drain of the same job — serialize in deterministic FIFO order. *)
 
 let tick_period = 0.05
 
@@ -12,7 +19,20 @@ type op =
   | Op_stop of Job.t * stop_reason  (* checkpoint, then stop and requeue *)
   | Op_restart of Job.t * float  (* restart from saved image; requeued-at time *)
 
-type inflight = { if_op : op; if_since : float; mutable if_aborted : bool }
+let op_job = function Op_ckpt j | Op_stop (j, _) | Op_restart (j, _) -> j
+
+let allocs_overlap a1 a2 = Array.exists (fun n -> Array.exists (fun m -> m = n) a2) a1
+
+(* Two ops conflict when they cannot be in flight together: same job, or
+   node-set overlap of the jobs' current allocations (evaluated at
+   admission time, so a reallocation between enqueue and admit is seen). *)
+let op_conflict o1 o2 =
+  let j1 = op_job o1 and j2 = op_job o2 in
+  j1.Job.id = j2.Job.id
+  ||
+  match (j1.Job.alloc, j2.Job.alloc) with
+  | Some a1, Some a2 -> allocs_overlap a1 a2
+  | _ -> false
 
 type t = {
   cl : Simos.Cluster.t;
@@ -23,12 +43,15 @@ type t = {
   max_recoveries : int;
   start_grace : float;
   mutable jobs : Job.t list;  (* ascending id *)
+  by_id : (int, Job.t) Hashtbl.t;
   mutable next_id : int;
   mutable draining : int list;
-  mutable inflight : inflight option;
-  mutable pending : op list;  (* FIFO *)
-  mutable timers : (int * Sim.Engine.handle) list;
+  ops : op Opq.t;
+  occ : int array;  (* node -> occupying job id, -1 when free *)
+  procs_by_node : int array;  (* refreshed each tick from the runtime *)
+  timers : (int, Sim.Engine.handle) Hashtbl.t;
   mutable ticking : bool;
+  mutable traced_inflight : int;
   mutable violations : string list;
   mutable n_preemptions : int;
   mutable n_node_failures : int;
@@ -65,43 +88,49 @@ let trace_span t name ~dur args =
 let trace_counter t name v =
   if Trace.on () then Trace.counter ~cat:"sched" ~name ~time:(now t) v
 
+let trace_ops_inflight t =
+  let n = Opq.inflight_count t.ops in
+  if n <> t.traced_inflight then begin
+    t.traced_inflight <- n;
+    trace_counter t "sched/ops-inflight" (float_of_int n)
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Views *)
 
-let job t id = List.find (fun (j : Job.t) -> j.Job.id = id) t.jobs
+let job t id = Hashtbl.find t.by_id id
 let jobs t = t.jobs
 let alloc_exn (j : Job.t) = match j.Job.alloc with Some a -> a | None -> failwith "job has no allocation"
 
-let allocated_nodes t =
-  List.concat_map
-    (fun (j : Job.t) ->
-      match j.Job.alloc with
-      | Some a when Job.occupies_nodes j.Job.phase -> Array.to_list a
-      | _ -> [])
-    t.jobs
+let busy_count t = Array.fold_left (fun acc o -> if o >= 0 then acc + 1 else acc) 0 t.occ
 
 let free_nodes t =
-  let taken = allocated_nodes t in
   Simos.Cluster.up_nodes t.cl
-  |> List.filter (fun n -> (not (List.mem n taken)) && not (List.mem n t.draining))
+  |> List.filter (fun n -> t.occ.(n) < 0 && not (List.mem n t.draining))
 
-let busy_count t = List.length (allocated_nodes t)
+let refresh_procs t =
+  Array.fill t.procs_by_node 0 (Array.length t.procs_by_node) 0;
+  List.iter
+    (fun (node, _, _) ->
+      if node >= 0 && node < Array.length t.procs_by_node then
+        t.procs_by_node.(node) <- t.procs_by_node.(node) + 1)
+    (Dmtcp.Runtime.hijacked_processes t.rt)
 
+(* process count over the job's nodes, from the per-tick refresh (no two
+   jobs share a node, so per-node counts are per-job counts) *)
 let procs_on t (j : Job.t) =
   match j.Job.alloc with
   | None -> 0
-  | Some a ->
-    List.length
-      (List.filter
-         (fun (node, _, _) -> Array.exists (fun n -> n = node) a)
-         (Dmtcp.Runtime.hijacked_processes t.rt))
+  | Some a -> Array.fold_left (fun acc n -> acc + t.procs_by_node.(n)) 0 a
+
+let job_port t (j : Job.t) = t.base_port + j.Job.id
 
 let job_options t (j : Job.t) =
   let a = alloc_exn j in
   {
     (Dmtcp.Runtime.options t.rt) with
     Dmtcp.Options.coord_host = a.(0);
-    coord_port = t.base_port + j.Job.id;
+    coord_port = job_port t j;
     interval = None;  (* the scheduler, not the coordinator, drives periodic ckpts *)
     (* incremental + forked fast path: interval checkpoints ship only the
        frames dirtied since the previous round, and the blackout shrinks
@@ -148,23 +177,11 @@ let violation t fmt =
 (* Per-job periodic checkpoint timers *)
 
 let cancel_timer t id =
-  List.iter (fun (jid, h) -> if jid = id then Sim.Engine.cancel h) t.timers;
-  t.timers <- List.filter (fun (jid, _) -> jid <> id) t.timers
-
-let pending_for t (j : Job.t) =
-  List.exists
-    (fun op ->
-      match op with
-      | Op_ckpt j2 | Op_stop (j2, _) | Op_restart (j2, _) -> j2.Job.id = j.Job.id)
-    t.pending
-
-let inflight_for t (j : Job.t) =
-  match t.inflight with
-  | Some { if_op = Op_ckpt j2; _ }
-  | Some { if_op = Op_stop (j2, _); _ }
-  | Some { if_op = Op_restart (j2, _); _ } ->
-    j2.Job.id = j.Job.id
-  | None -> false
+  match Hashtbl.find_opt t.timers id with
+  | Some h ->
+    Sim.Engine.cancel h;
+    Hashtbl.remove t.timers id
+  | None -> ()
 
 let rec arm_timer t (j : Job.t) =
   match t.ckpt_interval with
@@ -173,12 +190,12 @@ let rec arm_timer t (j : Job.t) =
     cancel_timer t j.Job.id;
     let h =
       Sim.Engine.schedule (eng t) ~delay:iv (fun () ->
-          t.timers <- List.filter (fun (jid, _) -> jid <> j.Job.id) t.timers;
-          if j.Job.phase = Job.Running && not (pending_for t j || inflight_for t j) then
-            t.pending <- t.pending @ [ Op_ckpt j ];
+          Hashtbl.remove t.timers j.Job.id;
+          if j.Job.phase = Job.Running && not (Opq.engaged t.ops j.Job.id) then
+            Opq.enqueue t.ops (Op_ckpt j);
           if not (Job.finished j.Job.phase) then arm_timer t j)
     in
-    t.timers <- (j.Job.id, h) :: t.timers
+    Hashtbl.replace t.timers j.Job.id h
 
 (* ------------------------------------------------------------------ *)
 (* Launch / stop / finish *)
@@ -186,12 +203,12 @@ let rec arm_timer t (j : Job.t) =
 let alloc_string a = String.concat "," (List.map string_of_int (Array.to_list a))
 
 let assign_alloc t (j : Job.t) (a : int array) =
-  let taken = allocated_nodes t in
   Array.iter
     (fun n ->
-      if List.mem n taken then violation t "job %d placed on busy node %d" j.Job.id n;
+      if t.occ.(n) >= 0 then violation t "job %d placed on busy node %d" j.Job.id n;
       if not (Simos.Cluster.node_up t.cl n) then
-        violation t "job %d placed on down node %d" j.Job.id n)
+        violation t "job %d placed on down node %d" j.Job.id n;
+      t.occ.(n) <- j.Job.id)
     a;
   j.Job.alloc <- Some a;
   if j.Job.placed_at < 0. then begin
@@ -217,6 +234,9 @@ let launch_job t (j : Job.t) (a : int array) =
   set_phase t j Job.Starting
 
 let release_nodes t (j : Job.t) =
+  (match j.Job.alloc with
+  | Some a -> Array.iter (fun n -> if t.occ.(n) = j.Job.id then t.occ.(n) <- -1) a
+  | None -> ());
   j.Job.alloc <- None;
   trace_counter t "sched/busy-nodes" (float_of_int (busy_count t))
 
@@ -297,7 +317,7 @@ let capture_ckpt t (j : Job.t) =
   (* every image must come from the job's own nodes; anything else means
      the operation was garbled by cross-job interference *)
   let foreign =
-    match Dmtcp.Runtime.last_completed_ckpt t.rt with
+    match Dmtcp.Runtime.last_completed_ckpt ~port:(job_port t j) t.rt with
     | Some info ->
       List.exists
         (fun (node, _) -> not (Array.exists (fun n -> n = node) a))
@@ -335,12 +355,13 @@ let capture_ckpt t (j : Job.t) =
     [ ("job", string_of_int j.Job.id); ("images", string_of_int (List.length script.Dmtcp.Restart_script.entries)) ]
 
 (* ------------------------------------------------------------------ *)
-(* The serialized operation queue *)
+(* The per-job operation queues *)
 
-let ckpt_completed t since =
-  match Dmtcp.Runtime.last_completed_ckpt t.rt with
+(* the job's own coordinator domain finished a round at/after [since] *)
+let ckpt_completed t (j : Job.t) since =
+  match Dmtcp.Runtime.last_completed_ckpt ~port:(job_port t j) t.rt with
   | Some info ->
-    info.Dmtcp.Runtime.started >= since
+    Deadline.since_satisfied ~started:info.Dmtcp.Runtime.started ~since
     && info.Dmtcp.Runtime.finished > info.Dmtcp.Runtime.started
     && info.Dmtcp.Runtime.nprocs > 0
   | None -> false
@@ -348,12 +369,13 @@ let ckpt_completed t since =
 let exec_restart t (j : Job.t) =
   let saved = match j.Job.saved with Some s -> s | None -> failwith "restart without image" in
   let a = alloc_exn j in
-  let remap h =
-    let idx = ref (-1) in
-    Array.iteri (fun i n -> if n = h && !idx < 0 then idx := i) saved.Job.sv_alloc;
-    if !idx >= 0 && !idx < Array.length a then a.(!idx) else h
+  (* positional remap: a host occupying several slots of the saved
+     allocation spreads over the hosts at the same slots of the new one,
+     instead of collapsing onto the new allocation's first match *)
+  let script =
+    Dmtcp.Restart_script.remap_positional saved.Job.sv_script ~old_alloc:saved.Job.sv_alloc
+      ~new_alloc:a
   in
-  let script = Dmtcp.Restart_script.remap saved.Job.sv_script remap in
   (* verdict files roll back to their checkpoint-time bytes on the new
      nodes, so re-executed writes reproduce the reference run exactly *)
   List.iter
@@ -365,6 +387,14 @@ let exec_restart t (j : Job.t) =
   t.n_restarts <- t.n_restarts + 1;
   Dmtcp.Api.restart t.rt script
 
+let trace_stop t (j : Job.t) = function
+  | Preempt by ->
+    trace_i t "sched/preempt" [ ("victim", string_of_int j.Job.id); ("by", string_of_int by) ]
+  | Drain node ->
+    trace_i t "sched/drain-job" [ ("job", string_of_int j.Job.id); ("node", string_of_int node) ]
+
+(* Admission action: perform the op's side effects; false consumes the op
+   as a no-op (the job's phase no longer wants it). *)
 let start_op t op =
   match op with
   | Op_ckpt j ->
@@ -372,29 +402,51 @@ let start_op t op =
       Dmtcp.Api.checkpoint ~options:(job_options t j) t.rt;
       set_phase t j Job.Checkpointing;
       trace_i t "sched/ckpt-start" [ ("job", string_of_int j.Job.id) ];
-      t.inflight <- Some { if_op = op; if_since = now t; if_aborted = false }
+      true
     end
+    else false
   | Op_stop (j, reason) ->
     if j.Job.phase = Job.Running || j.Job.phase = Job.Checkpointing then begin
       Dmtcp.Api.checkpoint ~options:(job_options t j) t.rt;
       set_phase t j Job.Stopping;
-      (match reason with
-      | Preempt by ->
-        trace_i t "sched/preempt"
-          [ ("victim", string_of_int j.Job.id); ("by", string_of_int by) ]
-      | Drain node ->
-        trace_i t "sched/drain-job"
-          [ ("job", string_of_int j.Job.id); ("node", string_of_int node) ]);
-      t.inflight <- Some { if_op = op; if_since = now t; if_aborted = false }
+      trace_stop t j reason;
+      true
     end
-    else if j.Job.phase = Job.Starting then
+    else if j.Job.phase = Job.Starting then begin
       (* nothing checkpointable yet: stop and relaunch later *)
-      requeue t j
+      requeue t j;
+      false
+    end
+    else false
+
   | Op_restart (j, _) ->
     if j.Job.phase = Job.Restarting then begin
       exec_restart t j;
-      t.inflight <- Some { if_op = op; if_since = now t; if_aborted = false }
+      true
     end
+    else false
+
+(* A stop arriving while the job's interval checkpoint is still in flight
+   coalesces with it: the round already running IS the stop's checkpoint,
+   so retarget the in-flight entry instead of issuing a second
+   [Api.checkpoint] (which used to double-checkpoint the victim). *)
+let coalesce_stop t op =
+  match op with
+  | Op_stop (j, reason) ->
+    let merged = ref false in
+    List.iter
+      (fun (e : op Opq.entry) ->
+        if (not !merged) && not e.Opq.e_aborted then
+          match e.Opq.e_op with
+          | Op_ckpt j2 when j2.Job.id = j.Job.id ->
+            e.Opq.e_op <- op;  (* keep e_since: the round started then *)
+            set_phase t j Job.Stopping;
+            trace_stop t j reason;
+            merged := true
+          | _ -> ())
+      (Opq.inflight t.ops);
+    !merged
+  | _ -> false
 
 let finish_stop t (j : Job.t) reason since =
   (match reason with
@@ -407,55 +459,57 @@ let finish_stop t (j : Job.t) reason since =
   | Drain _ -> ());
   requeue t j
 
-let advance_inflight t (fl : inflight) =
-  let age = now t -. fl.if_since in
-  let timeout = age > t.op_timeout in
-  match fl.if_op with
+let advance_entry t (e : op Opq.entry) =
+  let since = e.Opq.e_since in
+  let timeout = Deadline.op_timed_out ~now:(now t) ~since ~timeout:t.op_timeout in
+  let finish () = Opq.remove t.ops e in
+  match e.Opq.e_op with
   | Op_ckpt j ->
-    if fl.if_aborted || Job.finished j.Job.phase then t.inflight <- None
+    if e.Opq.e_aborted || Job.finished j.Job.phase then finish ()
     else if j.Job.phase = Job.Checkpointing && procs_on t j = 0 then begin
       (* the job finished (or died) underneath the checkpoint *)
-      t.inflight <- None;
+      finish ();
       if outputs_ready t j then finish_job t j else requeue t j
     end
-    else if ckpt_completed t fl.if_since then begin
+    else if ckpt_completed t j since then begin
       capture_ckpt t j;
       set_phase t j Job.Running;
-      t.inflight <- None
+      finish ()
     end
     else if timeout then begin
       trace_i t "sched/op-timeout" [ ("op", "ckpt"); ("job", string_of_int j.Job.id) ];
       if j.Job.phase = Job.Checkpointing then set_phase t j Job.Running;
-      t.inflight <- None
+      finish ()
     end
   | Op_stop (j, reason) ->
-    if fl.if_aborted || Job.finished j.Job.phase then t.inflight <- None
+    if e.Opq.e_aborted || Job.finished j.Job.phase then finish ()
     else if j.Job.phase = Job.Stopping && procs_on t j = 0 then begin
-      t.inflight <- None;
+      finish ();
       if outputs_ready t j then finish_job t j else requeue t j
     end
-    else if ckpt_completed t fl.if_since then begin
+    else if ckpt_completed t j since then begin
       capture_ckpt t j;
-      t.inflight <- None;
-      finish_stop t j reason fl.if_since
+      finish ();
+      finish_stop t j reason since
     end
     else if timeout then begin
       (* stop anyway: an older image (or a relaunch) has to do *)
       trace_i t "sched/op-timeout" [ ("op", "stop"); ("job", string_of_int j.Job.id) ];
-      t.inflight <- None;
-      finish_stop t j reason fl.if_since
+      finish ();
+      finish_stop t j reason since
     end
   | Op_restart (j, requeued_at) ->
-    if fl.if_aborted || Job.finished j.Job.phase then t.inflight <- None
+    if e.Opq.e_aborted || Job.finished j.Job.phase then finish ()
     else begin
-      let info = Dmtcp.Runtime.restart_info t.rt in
-      let expected = Dmtcp.Runtime.restart_expected t.rt in
+      let port = job_port t j in
+      let info = Dmtcp.Runtime.restart_info ~port t.rt in
+      let expected = Dmtcp.Runtime.restart_expected ~port t.rt in
       if
-        info.Dmtcp.Runtime.started >= fl.if_since
+        Deadline.since_satisfied ~started:info.Dmtcp.Runtime.started ~since
         && expected > 0
         && info.Dmtcp.Runtime.nprocs >= expected
       then begin
-        t.inflight <- None;
+        finish ();
         set_phase t j Job.Running;
         j.Job.run_started <- now t;
         arm_timer t j;
@@ -465,7 +519,7 @@ let advance_inflight t (fl : inflight) =
       end
       else if timeout then begin
         trace_i t "sched/op-timeout" [ ("op", "restart"); ("job", string_of_int j.Job.id) ];
-        t.inflight <- None;
+        finish ();
         requeue t j
       end
     end
@@ -474,12 +528,7 @@ let advance_inflight t (fl : inflight) =
 (* Placement *)
 
 let stop_requested t (j : Job.t) =
-  (match t.inflight with
-  | Some { if_op = Op_stop (j2, _); _ } -> j2.Job.id = j.Job.id
-  | _ -> false)
-  || List.exists
-       (function Op_stop (j2, _) -> j2.Job.id = j.Job.id | _ -> false)
-       t.pending
+  Opq.exists t.ops (function Op_stop (j2, _) -> j2.Job.id = j.Job.id | _ -> false)
 
 let place_pass t =
   let queued =
@@ -490,63 +539,75 @@ let place_pass t =
         | _ -> None)
       t.jobs
   in
-  let order = Policy.queue_order queued in
-  let stop_scan = ref false in
-  List.iter
-    (fun id ->
-      if not !stop_scan then begin
-        let j = job t id in
-        let free = free_nodes t in
-        match Policy.place ~free ~want:j.Job.spec.Job.sp_nodes with
-        | Some a -> (
-          match j.Job.phase with
-          | Job.Queued -> launch_job t j a
-          | Job.Requeued -> (
-            match j.Job.saved with
-            | Some saved when Dmtcp.Api.script_images_available t.rt saved.Job.sv_script ->
-              (* reserve the nodes now; the serialized op queue does the
-                 actual restart *)
-              assign_alloc t j a;
-              let requeued_at = j.Job.phase_since in
-              set_phase t j Job.Restarting;
-              t.pending <- t.pending @ [ Op_restart (j, requeued_at) ]
-            | _ ->
-              (* no usable image: start over from scratch *)
-              j.Job.saved <- None;
-              j.Job.relaunches <- j.Job.relaunches + 1;
-              t.n_relaunches <- t.n_relaunches + 1;
-              Trace.Metrics.incr m_relaunch;
-              launch_job t j a)
-          | _ -> ())
-        | None ->
-          (* not enough free nodes: preempt strictly-lower-priority work *)
-          let running =
-            List.filter_map
-              (fun (j2 : Job.t) ->
-                if j2.Job.phase = Job.Running && not (stop_requested t j2) then
-                  Some
-                    {
-                      Policy.cd_id = j2.Job.id;
-                      cd_priority = j2.Job.spec.Job.sp_priority;
-                      cd_nodes = Array.length (alloc_exn j2);
-                    }
-                else None)
-              t.jobs
-          in
-          let need = j.Job.spec.Job.sp_nodes - List.length free in
-          (match
-             Policy.victims ~running ~need ~priority:j.Job.spec.Job.sp_priority
-           with
-          | Some ids when ids <> [] ->
-            List.iter
-              (fun vid -> t.pending <- t.pending @ [ Op_stop (job t vid, Preempt j.Job.id) ])
-              ids;
-            (* hold the remaining free nodes for this arrival: do not
-               backfill lower-priority work onto them this pass *)
-            stop_scan := true
-          | _ -> ())
-      end)
-    order
+  if queued <> [] then begin
+    let order = Policy.queue_order queued in
+    let free = ref (free_nodes t) in
+    let nfree = ref (List.length !free) in
+    (* victim candidates, once per pass: placements during the pass only
+       add Starting jobs, which are never candidates, so the list stays
+       valid for the whole scan.  A job whose interval checkpoint is in
+       flight is preemptible too — its stop coalesces with the running
+       round instead of waiting for it and checkpointing again *)
+    let candidates =
+      List.filter_map
+        (fun (j2 : Job.t) ->
+          if
+            (j2.Job.phase = Job.Running || j2.Job.phase = Job.Checkpointing)
+            && not (stop_requested t j2)
+          then
+            Some
+              {
+                Policy.cd_id = j2.Job.id;
+                cd_priority = j2.Job.spec.Job.sp_priority;
+                cd_nodes = Array.length (alloc_exn j2);
+              }
+          else None)
+        t.jobs
+    in
+    let stop_scan = ref false in
+    List.iter
+      (fun id ->
+        if (not !stop_scan) && (!nfree > 0 || candidates <> []) then begin
+          let j = job t id in
+          let want = j.Job.spec.Job.sp_nodes in
+          match (if want <= !nfree then Policy.place ~free:!free ~want else None) with
+          | Some a ->
+            free := List.filter (fun n -> not (Array.exists (fun m -> m = n) a)) !free;
+            nfree := !nfree - Array.length a;
+            (match j.Job.phase with
+            | Job.Queued -> launch_job t j a
+            | Job.Requeued -> (
+              match j.Job.saved with
+              | Some saved when Dmtcp.Api.script_images_available t.rt saved.Job.sv_script ->
+                (* reserve the nodes now; the op queue does the actual
+                   restart once nothing conflicting is in flight *)
+                assign_alloc t j a;
+                let requeued_at = j.Job.phase_since in
+                set_phase t j Job.Restarting;
+                Opq.enqueue t.ops (Op_restart (j, requeued_at))
+              | _ ->
+                (* no usable image: start over from scratch *)
+                j.Job.saved <- None;
+                j.Job.relaunches <- j.Job.relaunches + 1;
+                t.n_relaunches <- t.n_relaunches + 1;
+                Trace.Metrics.incr m_relaunch;
+                launch_job t j a)
+            | _ -> ())
+          | None ->
+            (* not enough free nodes: preempt strictly-lower-priority work *)
+            let need = want - !nfree in
+            (match Policy.victims ~running:candidates ~need ~priority:j.Job.spec.Job.sp_priority with
+            | Some ids when ids <> [] ->
+              List.iter
+                (fun vid -> Opq.enqueue t.ops (Op_stop (job t vid, Preempt j.Job.id)))
+                ids;
+              (* hold the remaining free nodes for this arrival: do not
+                 backfill lower-priority work onto them this pass *)
+              stop_scan := true
+            | _ -> ())
+        end)
+      order
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Job health scan *)
@@ -554,14 +615,16 @@ let place_pass t =
 let scan_jobs t =
   List.iter
     (fun (j : Job.t) ->
-      if not (inflight_for t j || pending_for t j) then
+      if not (Opq.engaged t.ops j.Job.id) then
         match j.Job.phase with
         | Job.Starting ->
           if procs_on t j >= j.Job.spec.Job.sp_procs then begin
             set_phase t j Job.Running;
             arm_timer t j
           end
-          else if now t -. j.Job.phase_since > t.start_grace then requeue t j
+          else if
+            Deadline.op_timed_out ~now:(now t) ~since:j.Job.phase_since ~timeout:t.start_grace
+          then requeue t j
         | Job.Running ->
           if procs_on t j = 0 then
             if outputs_ready t j then finish_job t j else requeue t j
@@ -574,15 +637,17 @@ let scan_jobs t =
 let all_done t = t.jobs <> [] && List.for_all (fun (j : Job.t) -> Job.finished j.Job.phase) t.jobs
 
 let rec tick t =
-  (match t.inflight with Some fl -> advance_inflight t fl | None -> ());
-  (match (t.inflight, t.pending) with
-  | None, op :: rest ->
-    t.pending <- rest;
-    start_op t op
-  | _ -> ());
+  refresh_procs t;
+  (* advance over a snapshot: an entry may remove itself (and its side
+     effects may abort others), so re-check membership before advancing *)
+  List.iter
+    (fun e -> if List.memq e (Opq.inflight t.ops) then advance_entry t e)
+    (Opq.inflight t.ops);
+  Opq.admit t.ops ~now:(now t) ~coalesce:(coalesce_stop t) ~start:(start_op t) ();
+  trace_ops_inflight t;
   scan_jobs t;
   place_pass t;
-  if all_done t && t.pending = [] && t.inflight = None then t.ticking <- false
+  if all_done t && Opq.is_idle t.ops then t.ticking <- false
   else ignore (Sim.Engine.schedule (eng t) ~delay:tick_period (fun () -> tick t))
 
 let ensure_ticking t =
@@ -595,7 +660,7 @@ let ensure_ticking t =
 (* Public API *)
 
 let create ?(base_port = 7800) ?ckpt_interval ?(op_timeout = 60.) ?(max_recoveries = 10)
-    ?(start_grace = 15.) cl rt =
+    ?(start_grace = 15.) ?(max_inflight = 0) cl rt =
   {
     cl;
     rt;
@@ -605,12 +670,15 @@ let create ?(base_port = 7800) ?ckpt_interval ?(op_timeout = 60.) ?(max_recoveri
     max_recoveries;
     start_grace;
     jobs = [];
+    by_id = Hashtbl.create 64;
     next_id = 0;
     draining = [];
-    inflight = None;
-    pending = [];
-    timers = [];
+    ops = Opq.create ~max_inflight ~conflict:op_conflict ~key:(fun op -> (op_job op).Job.id) ();
+    occ = Array.make (Simos.Cluster.nodes cl) (-1);
+    procs_by_node = Array.make (Simos.Cluster.nodes cl) 0;
+    timers = Hashtbl.create 64;
     ticking = false;
+    traced_inflight = 0;
     violations = [];
     n_preemptions = 0;
     n_node_failures = 0;
@@ -624,6 +692,7 @@ let submit t spec =
   let j = Job.make ~id:t.next_id ~spec ~now:(now t) in
   t.next_id <- t.next_id + 1;
   t.jobs <- t.jobs @ [ j ];
+  Hashtbl.replace t.by_id j.Job.id j;
   if t.first_submit < 0. then t.first_submit <- now t;
   trace_i t "sched/submit"
     [
@@ -636,14 +705,8 @@ let submit t spec =
   j
 
 let abort_ops_for t (j : Job.t) =
-  (match t.inflight with
-  | Some fl when inflight_for t j -> fl.if_aborted <- true
-  | _ -> ());
-  t.pending <-
-    List.filter
-      (function
-        | Op_ckpt j2 | Op_stop (j2, _) | Op_restart (j2, _) -> j2.Job.id <> j.Job.id)
-      t.pending
+  Opq.abort_inflight t.ops (fun op -> (op_job op).Job.id = j.Job.id);
+  Opq.drop_pending t.ops (fun op -> (op_job op).Job.id = j.Job.id)
 
 let jobs_touching t node =
   List.filter
@@ -663,7 +726,7 @@ let drain t node =
         if not (stop_requested t j) then
           match j.Job.phase with
           | Job.Starting -> requeue t j
-          | _ -> t.pending <- t.pending @ [ Op_stop (j, Drain node) ])
+          | _ -> Opq.enqueue t.ops (Op_stop (j, Drain node)))
       (jobs_touching t node);
     ensure_ticking t
   end
@@ -703,6 +766,7 @@ let node_failures t = t.n_node_failures
 let drains t = t.n_drains
 let restarts t = t.n_restarts
 let relaunches t = t.n_relaunches
+let peak_ops_inflight t = Opq.peak t.ops
 
 let makespan t =
   let last =

@@ -21,11 +21,14 @@
     - {b drain}: {!drain} migrates every job off a node by
       checkpoint + remap + restart, and the node takes no new work.
 
-    The DMTCP protocol state ({!Dmtcp.Runtime} operation records, refill
-    barrier, discovery service) is cluster-global, so the scheduler
-    serializes checkpoint/restart operations: at most one is in flight at
-    any time, the rest queue.  All progress is driven by engine events (a
-    periodic scheduler tick); nothing here re-enters the engine. *)
+    Each job's DMTCP protocol state (operation records, refill barrier,
+    discovery keys) lives in its own per-port coordinator domain, so
+    checkpoint/restart operations on disjoint jobs and node sets run
+    {e concurrently} through per-job op queues ({!Opq}); ops that
+    conflict — same job, overlapping node sets, a restart racing a drain
+    of the same job — serialize in deterministic FIFO order.  All
+    progress is driven by engine events (a periodic scheduler tick);
+    nothing here re-enters the engine. *)
 
 type t
 
@@ -35,13 +38,17 @@ type t
     [op_timeout] bounds one checkpoint/restart operation (default 60
     virtual s); [max_recoveries] bounds restarts+relaunches per job
     (default 10); [start_grace] bounds how long a launch may take to
-    produce its full process set (default 15 virtual s). *)
+    produce its full process set (default 15 virtual s); [max_inflight]
+    caps concurrently in-flight ops (0 = unbounded, the default; 1
+    reproduces the old fully-serialized queue, which is the bench
+    baseline). *)
 val create :
   ?base_port:int ->
   ?ckpt_interval:float ->
   ?op_timeout:float ->
   ?max_recoveries:int ->
   ?start_grace:float ->
+  ?max_inflight:int ->
   Simos.Cluster.t ->
   Dmtcp.Runtime.t ->
   t
@@ -84,6 +91,10 @@ val node_failures : t -> int
 val drains : t -> int
 val restarts : t -> int
 val relaunches : t -> int
+
+(** High-water mark of concurrently in-flight checkpoint/stop/restart
+    operations over the scheduler's lifetime. *)
+val peak_ops_inflight : t -> int
 
 (** Human status table, one line per job. *)
 val status_lines : t -> string list

@@ -1,0 +1,181 @@
+(* Timer wheel for the event engine: short-interval timers (coordinator
+   polls, scheduler ticks, protocol retries) dominate cluster runs, so
+   the queue is sharded into fixed-width time buckets.  Each bucket
+   holds a mini-heap ordered by (time, global sequence) — identical
+   ordering to the flat binary heap, so pop order (and therefore every
+   deterministic trace) is unchanged; only the cost of finding the next
+   event drops from O(log n) over everything to O(log k) over one
+   bucket.
+
+   Invariants:
+   - [bucket time] is monotone in [time], so the first nonempty bucket
+     at or after [cur] contains the global minimum of the in-wheel
+     entries, and equal-time entries always share a bucket (their
+     relative order is the per-entry global [seq]).
+   - every in-wheel entry's bucket lies in [cur, cur + nslots); pushes
+     beyond that horizon go to the overflow heap [far].
+   - [cur] advances only during [pop], to the popped entry's bucket;
+     the engine sets its clock to that entry's time, so later pushes
+     (whose time is >= clock) always land at or after [cur].
+   - [hint] is a lower bound on the first nonempty bucket, refreshed on
+     push and advanced by scans, making consecutive scans amortized
+     O(1). *)
+
+type 'a entry = { e_time : float; e_seq : int; e_value : 'a }
+
+(* mini-heap ordered by (time, seq); seq is stamped globally by the
+   wheel so migrating entries between heaps preserves order *)
+type 'a heap = { mutable data : 'a entry array; mutable size : int }
+
+let h_create () = { data = [||]; size = 0 }
+let h_less a b = a.e_time < b.e_time || (a.e_time = b.e_time && a.e_seq < b.e_seq)
+
+let h_swap h i j =
+  let tmp = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- tmp
+
+let rec h_sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h_less h.data.(i) h.data.(parent) then begin
+      h_swap h i parent;
+      h_sift_up h parent
+    end
+  end
+
+let rec h_sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && h_less h.data.(l) h.data.(!smallest) then smallest := l;
+  if r < h.size && h_less h.data.(r) h.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    h_swap h i !smallest;
+    h_sift_down h !smallest
+  end
+
+let h_push h entry =
+  if h.size = Array.length h.data then begin
+    let cap = max 8 (2 * h.size) in
+    let data = Array.make cap entry in
+    Array.blit h.data 0 data 0 h.size;
+    h.data <- data
+  end;
+  h.data.(h.size) <- entry;
+  h.size <- h.size + 1;
+  h_sift_up h (h.size - 1)
+
+let h_peek h = if h.size = 0 then None else Some h.data.(0)
+
+let h_pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      h_sift_down h 0
+    end;
+    Some top
+  end
+
+type 'a t = {
+  width : float;
+  nslots : int;
+  slots : 'a heap array;  (* bucket b lives in slots.(b mod nslots) *)
+  far : 'a heap;  (* entries beyond the wheel horizon *)
+  mutable cur : int;  (* absolute bucket of the last popped entry *)
+  mutable hint : int;  (* lower bound on the first nonempty bucket *)
+  mutable slot_count : int;  (* entries across all slots (excludes far) *)
+  mutable next_seq : int;
+  mutable total : int;
+}
+
+let create ?(width = 0.005) ?(nslots = 2048) () =
+  {
+    width;
+    nslots;
+    slots = Array.init nslots (fun _ -> h_create ());
+    far = h_create ();
+    cur = 0;
+    hint = 0;
+    slot_count = 0;
+    next_seq = 0;
+    total = 0;
+  }
+
+let length t = t.total
+let is_empty t = t.total = 0
+
+(* clamp far-future times so the bucket index cannot overflow *)
+let bucket t time = if time >= 1e15 then max_int / 2 else int_of_float (Float.floor (time /. t.width))
+
+let slot_insert t b entry =
+  h_push t.slots.(b mod t.nslots) entry;
+  t.slot_count <- t.slot_count + 1;
+  if b < t.hint then t.hint <- b
+
+let push t ~time value =
+  let entry = { e_time = time; e_seq = t.next_seq; e_value = value } in
+  t.next_seq <- t.next_seq + 1;
+  t.total <- t.total + 1;
+  let b = bucket t time in
+  if b < t.cur + t.nslots then slot_insert t b entry else h_push t.far entry
+
+(* move every overflow entry now inside the horizon onto the wheel *)
+let migrate t =
+  let continue = ref true in
+  while !continue do
+    match h_peek t.far with
+    | Some e when bucket t e.e_time < t.cur + t.nslots ->
+      ignore (h_pop t.far);
+      slot_insert t (bucket t e.e_time) e
+    | _ -> continue := false
+  done
+
+(* first nonempty bucket at or after [hint]; caller guarantees
+   slot_count > 0 so the scan terminates within the horizon *)
+let scan t =
+  if t.hint < t.cur then t.hint <- t.cur;
+  while t.slots.(t.hint mod t.nslots).size = 0 do
+    t.hint <- t.hint + 1
+  done;
+  t.hint
+
+let peek t =
+  if t.total = 0 then None
+  else begin
+    let slot_min = if t.slot_count = 0 then None else h_peek t.slots.(scan t mod t.nslots) in
+    let best =
+      match (slot_min, h_peek t.far) with
+      | None, f -> f
+      | s, None -> s
+      | Some s, Some f -> if h_less f s then Some f else Some s
+    in
+    match best with
+    | Some e -> Some (e.e_time, e.e_value)
+    | None -> None
+  end
+
+let pop t =
+  if t.total = 0 then None
+  else begin
+    if t.slot_count = 0 then begin
+      (* only overflow entries remain: jump the cursor to them *)
+      (match h_peek t.far with
+      | Some e ->
+        let b = bucket t e.e_time in
+        t.cur <- max t.cur b;
+        t.hint <- t.cur
+      | None -> assert false)
+    end;
+    migrate t;
+    let b = scan t in
+    t.cur <- b;
+    match h_pop t.slots.(b mod t.nslots) with
+    | Some e ->
+      t.slot_count <- t.slot_count - 1;
+      t.total <- t.total - 1;
+      Some (e.e_time, e.e_value)
+    | None -> assert false
+  end

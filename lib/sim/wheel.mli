@@ -1,0 +1,29 @@
+(** Timer wheel keyed by [(time, insertion sequence)].
+
+    Drop-in replacement ordering for {!Heap} in the event engine: pops
+    come out in exactly (time, insertion order), so determinism and
+    golden traces are unchanged.  The queue is sharded into fixed-width
+    time buckets (each a mini-heap), which makes the dominant
+    short-interval timer workload — coordinator polls, scheduler ticks —
+    cheap at 10k-node/1k-job scale; entries beyond the wheel horizon
+    wait in an overflow heap and migrate onto the wheel as the cursor
+    reaches them. *)
+
+type 'a t
+
+(** [create ?width ?nslots ()] — bucket [width] seconds (default 5 ms)
+    and [nslots] buckets (default 2048, i.e. a ~10 s horizon). *)
+val create : ?width:float -> ?nslots:int -> unit -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** [push w ~time v] inserts [v].  [time] must be at or after the time
+    of the last popped entry (the engine's clock), as in any timer
+    wheel. *)
+val push : 'a t -> time:float -> 'a -> unit
+
+(** Earliest entry, as [(time, value)]; does not advance the cursor. *)
+val peek : 'a t -> (float * 'a) option
+
+val pop : 'a t -> (float * 'a) option

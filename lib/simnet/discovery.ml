@@ -27,3 +27,14 @@ let size t = Hashtbl.length t.entries
 let clear t =
   Hashtbl.reset t.entries;
   Hashtbl.reset t.waiting
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let remove_prefix t ~prefix =
+  Hashtbl.filter_map_inplace
+    (fun key v -> if has_prefix ~prefix key then None else Some v)
+    t.entries;
+  Hashtbl.filter_map_inplace
+    (fun key v -> if has_prefix ~prefix key then None else Some v)
+    t.waiting

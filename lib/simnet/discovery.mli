@@ -24,3 +24,9 @@ val size : t -> int
 
 (** Drop all advertisements and subscriptions (between restart rounds). *)
 val clear : t -> unit
+
+(** Drop advertisements and subscriptions whose key starts with
+    [prefix].  Restart waves namespace their keys by coordinator port
+    ("<port>/<conn id>"), so one job's new wave clears its own stale
+    adverts without disturbing another job's concurrent restart. *)
+val remove_prefix : t -> prefix:string -> unit

@@ -60,6 +60,256 @@ let test_queue_order () =
     (Sched.Policy.queue_order [ (0, 1, 0.0); (1, 0, 0.0); (2, 5, 3.0); (3, 1, 0.0) ])
 
 (* ------------------------------------------------------------------ *)
+(* deadline semantics: both comparisons are inclusive (a poll landing
+   exactly on the boundary decides, instead of waiting a whole extra
+   tick) *)
+
+let test_deadline_boundaries () =
+  Alcotest.(check bool)
+    "age exactly at the timeout has timed out" true
+    (Sched.Deadline.op_timed_out ~now:61.0 ~since:1.0 ~timeout:60.0);
+  Alcotest.(check bool)
+    "age just under the timeout has not" false
+    (Sched.Deadline.op_timed_out ~now:60.999 ~since:1.0 ~timeout:60.0);
+  Alcotest.(check bool)
+    "age past the timeout has timed out" true
+    (Sched.Deadline.op_timed_out ~now:100.0 ~since:1.0 ~timeout:60.0);
+  Alcotest.(check bool)
+    "a record stamped at the request instant satisfies the guard" true
+    (Sched.Deadline.since_satisfied ~started:5.0 ~since:5.0);
+  Alcotest.(check bool)
+    "a record from just before the request does not" false
+    (Sched.Deadline.since_satisfied ~started:4.999 ~since:5.0);
+  Alcotest.(check bool)
+    "a later record satisfies the guard" true
+    (Sched.Deadline.since_satisfied ~started:6.0 ~since:5.0)
+
+(* ------------------------------------------------------------------ *)
+(* restart-script remap: a host occupying several slots of the old
+   allocation must spread its images over the same positions of the new
+   allocation, not collapse them onto one host *)
+
+let script_testable =
+  let pp fmt (s : Dmtcp.Restart_script.t) =
+    Format.fprintf fmt "coord %d:%d entries %s" s.Dmtcp.Restart_script.coord_host
+      s.Dmtcp.Restart_script.coord_port
+      (String.concat "; "
+         (List.map
+            (fun (h, imgs) -> Printf.sprintf "%d->[%s]" h (String.concat "," imgs))
+            s.Dmtcp.Restart_script.entries))
+  in
+  Alcotest.testable pp ( = )
+
+let test_remap_positional_duplicates () =
+  let script =
+    {
+      Dmtcp.Restart_script.coord_host = 4;
+      coord_port = 7811;
+      entries = [ (4, [ "/ckpt/a.img"; "/ckpt/b.img" ]); (7, [ "/ckpt/c.img" ]) ];
+    }
+  in
+  let old_alloc = [| 4; 7; 4 |] in
+  let new_alloc = [| 1; 2; 3 |] in
+  (* node 4 held slots 0 and 2; its two images must land on new slots 0
+     and 2 (nodes 1 and 3), one each; node 7 held slot 1 -> node 2 *)
+  check script_testable "duplicate-node slots stay distinct"
+    {
+      Dmtcp.Restart_script.coord_host = 1;
+      coord_port = 7811;
+      entries = [ (1, [ "/ckpt/a.img" ]); (2, [ "/ckpt/c.img" ]); (3, [ "/ckpt/b.img" ]) ];
+    }
+    (Dmtcp.Restart_script.remap_positional script ~old_alloc ~new_alloc);
+  (* the host-level remap cannot represent this: both of node 4's images
+     follow the same host mapping, collapsing two slots onto one node *)
+  let collapsed = Dmtcp.Restart_script.remap script (fun h -> if h = 4 then 1 else 2) in
+  check script_testable "host-level remap collapses the duplicate slots"
+    {
+      Dmtcp.Restart_script.coord_host = 1;
+      coord_port = 7811;
+      entries = [ (1, [ "/ckpt/a.img"; "/ckpt/b.img" ]); (2, [ "/ckpt/c.img" ]) ];
+    }
+    collapsed;
+  (* identity remap round-trips *)
+  check script_testable "identity"
+    script
+    (Dmtcp.Restart_script.remap_positional script ~old_alloc ~new_alloc:old_alloc);
+  (* positions beyond the new allocation keep their old host *)
+  check script_testable "short new allocation keeps tail in place"
+    {
+      Dmtcp.Restart_script.coord_host = 9;
+      coord_port = 7811;
+      entries = [ (2, [ "/ckpt/c.img" ]); (4, [ "/ckpt/b.img" ]); (9, [ "/ckpt/a.img" ]) ];
+    }
+    (Dmtcp.Restart_script.remap_positional script ~old_alloc ~new_alloc:[| 9; 2 |])
+
+(* ------------------------------------------------------------------ *)
+(* conflict-admission property: for random interleavings of enqueues and
+   completions, no two conflicting ops are ever in flight together,
+   every op starts exactly once, and conflicting ops start in enqueue
+   order (with max_inflight=1 the start order is exactly the enqueue
+   order — the serialized baseline) *)
+
+let opq_drive ~max_inflight specs schedule =
+  (* synthetic op: (id, job, node); conflict = same job or same node *)
+  let conflict (_, j1, n1) (_, j2, n2) = j1 = j2 || n1 = n2 in
+  let ops = List.mapi (fun i (j, n) -> (i, j, n)) specs in
+  let q = Sched.Opq.create ~max_inflight ~conflict ~key:(fun (_, j, _) -> j) () in
+  let started = ref [] in
+  let start op =
+    started := op :: !started;
+    true
+  in
+  let ok = ref true in
+  let assert_inflight () =
+    let live =
+      List.filter (fun (e : _ Sched.Opq.entry) -> not e.Sched.Opq.e_aborted)
+        (Sched.Opq.inflight q)
+    in
+    if max_inflight > 0 && List.length (Sched.Opq.inflight q) > max_inflight then ok := false;
+    List.iteri
+      (fun i a ->
+        List.iteri
+          (fun k b ->
+            if i < k && conflict a.Sched.Opq.e_op b.Sched.Opq.e_op then ok := false)
+          live)
+      live
+  in
+  let picks = ref schedule in
+  let complete_one () =
+    match Sched.Opq.inflight q with
+    | [] -> ()
+    | entries ->
+      let pick = match !picks with p :: rest -> picks := rest; p | [] -> 0 in
+      Sched.Opq.remove q (List.nth entries (pick mod List.length entries))
+  in
+  List.iteri
+    (fun i op ->
+      Sched.Opq.enqueue q op;
+      Sched.Opq.admit q ~now:(float_of_int i) ~start ();
+      assert_inflight ();
+      (* complete an in-flight entry every other enqueue, per the plan *)
+      if i mod 2 = 1 then begin
+        complete_one ();
+        Sched.Opq.admit q ~now:(float_of_int i) ~start ();
+        assert_inflight ()
+      end)
+    ops;
+  (* drain: admission must always make progress while anything is queued *)
+  let guard = ref 0 in
+  while (not (Sched.Opq.is_idle q)) && !guard < 10_000 do
+    incr guard;
+    Sched.Opq.admit q ~now:1e6 ~start ();
+    assert_inflight ();
+    complete_one ()
+  done;
+  if not (Sched.Opq.is_idle q) then ok := false;
+  (ops, List.rev !started, !ok)
+
+let opq_plan = QCheck.(pair (list_of_size Gen.(int_bound 40) (pair (int_bound 4) (int_bound 5))) (small_list small_nat))
+
+let prop_opq_conflicts =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:300 ~name:"opq: conflicting ops serialize in enqueue order"
+       opq_plan
+       (fun (specs, schedule) ->
+         let ops, started, ok = opq_drive ~max_inflight:0 specs schedule in
+         let posn = Hashtbl.create 64 in
+         List.iteri (fun i op -> Hashtbl.replace posn op i) started;
+         let pos op = Option.value ~default:(-1) (Hashtbl.find_opt posn op) in
+         ok
+         (* every op started exactly once *)
+         && List.sort compare started = List.sort compare ops
+         (* conflicting pairs start in enqueue (id) order *)
+         && List.for_all
+              (fun ((i1, j1, n1) as a) ->
+                List.for_all
+                  (fun ((i2, j2, n2) as b) ->
+                    i1 >= i2 || (j1 <> j2 && n1 <> n2) || pos a < pos b)
+                  ops)
+              ops))
+
+let prop_opq_serialized_baseline =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"opq: max_inflight=1 starts in strict enqueue order"
+       opq_plan
+       (fun (specs, schedule) ->
+         let ops, started, ok = opq_drive ~max_inflight:1 specs schedule in
+         ok && started = ops))
+
+(* ------------------------------------------------------------------ *)
+(* coalescing regression: a preemption arriving while the victim's
+   interval checkpoint is still in flight must reuse that round, not
+   issue a second checkpoint (the double-checkpoint bug) *)
+
+let counter_spec ~name ~nodes ~priority ~target =
+  let out i = Printf.sprintf "/data/%s_%d" name i in
+  {
+    Sched.Job.sp_name = name;
+    sp_nodes = nodes;
+    sp_priority = priority;
+    sp_est_runtime = float_of_int target *. 1e-3;
+    sp_procs = nodes;
+    sp_launch =
+      (fun a ->
+        List.init nodes (fun i -> (a.(i), "p:counter", [ string_of_int target; out i ])));
+    sp_outputs = (fun a -> List.init nodes (fun i -> (a.(i), out i)));
+  }
+
+let test_preempt_coalesces_with_inflight_ckpt () =
+  Chaos.Progs.ensure_registered ();
+  let options =
+    { Dmtcp.Options.default with Dmtcp.Options.store = true; store_replicas = 2 }
+  in
+  let env = Harness.Common.setup ~nodes:4 ~cores_per_node:2 ~options () in
+  let cl = env.Harness.Common.cl in
+  (* slow every storage target so a checkpoint round spans many scheduler
+     ticks — wide window for the preemptor to land mid-checkpoint *)
+  for n = 0 to 3 do
+    Storage.Target.set_slowdown (Simos.Cluster.target cl n) 1_000_000.
+  done;
+  let sched = Sched.Scheduler.create ~ckpt_interval:1.0 cl env.Harness.Common.rt in
+  let victim = Sched.Scheduler.submit sched (counter_spec ~name:"victim" ~nodes:2 ~priority:1 ~target:5000) in
+  let eng = Simos.Cluster.engine cl in
+  let submitted = ref false in
+  let rounds_at_submit = ref (-1) in
+  let rounds_at_requeue = ref (-1) in
+  (* victim's coordinator domain: base_port + job id *)
+  let port = 7800 + victim.Sched.Job.id in
+  let rec probe () =
+    let rounds = Dmtcp.Runtime.ckpt_rounds ~port env.Harness.Common.rt in
+    (match (Sched.Scheduler.job sched victim.Sched.Job.id).Sched.Job.phase with
+    | Sched.Job.Checkpointing when (not !submitted) && rounds >= 2 ->
+      (* the second interval round is in flight (its start has been
+         counted) and, with the degraded targets, stays in flight for
+         many scheduler ticks: the preemptor's stop must land inside it *)
+      submitted := true;
+      rounds_at_submit := rounds;
+      (* 3 of 4 nodes wanted, only 2 free -> the victim must fall *)
+      ignore
+        (Sched.Scheduler.submit sched (counter_spec ~name:"pre" ~nodes:3 ~priority:5 ~target:500))
+    | Sched.Job.Requeued when !submitted && !rounds_at_requeue < 0 ->
+      rounds_at_requeue := rounds
+    | _ -> ());
+    if !rounds_at_requeue < 0 then ignore (Sim.Engine.schedule eng ~delay:0.01 probe)
+  in
+  ignore (Sim.Engine.schedule eng ~delay:0.01 probe);
+  let unfinished = Sched.Scheduler.run ~until:600. sched in
+  check Alcotest.int "all jobs finished" 0 unfinished;
+  check (Alcotest.list Alcotest.string) "no invariant violations" []
+    (Sched.Scheduler.violations sched);
+  Alcotest.(check bool) "preemptor landed mid-checkpoint" true !submitted;
+  check Alcotest.int "one preemption" 1 (Sched.Scheduler.preemptions sched);
+  Alcotest.(check bool) "victim was requeued" true (!rounds_at_requeue >= 0);
+  (* the in-flight interval round IS the stop's checkpoint: between the
+     preemption request and the requeue no further round may start in
+     the victim's domain.  The double-checkpoint bug issued a second
+     [Api.checkpoint] here, giving [rounds_at_submit + 1]. *)
+  check Alcotest.int "stop coalesced with the in-flight checkpoint round"
+    !rounds_at_submit !rounds_at_requeue;
+  check Alcotest.int "victim restarted from the coalesced image" 1
+    (Sched.Scheduler.restarts sched)
+
+(* ------------------------------------------------------------------ *)
 (* the canned scenario: all three policies, judged against a no-fault
    reference run *)
 
@@ -98,6 +348,19 @@ let test_demo_deterministic () =
     (Sched.Scheduler.restarts a.Chaos.Sched_demo.d_sched)
     (Sched.Scheduler.restarts b.Chaos.Sched_demo.d_sched)
 
+(* scaled-down slice of the 1000-job demo: same shape (deep queue of
+   staggered single-node jobs, prio-5 batch, node loss, drain) on a
+   smaller cluster, judged against its no-fault reference *)
+let test_demo1k_smoke () =
+  let reference = Chaos.Sched_demo1k.run ~jobs:150 ~nodes:16 ~faults:false () in
+  let faulted = Chaos.Sched_demo1k.run ~jobs:150 ~nodes:16 ~faults:true () in
+  (match Chaos.Sched_demo1k.check ~reference faulted with
+  | [] -> ()
+  | violations -> Alcotest.fail (String.concat "; " violations));
+  Alcotest.(check bool)
+    "ops overlap in flight (>= 8)" true
+    (Sched.Scheduler.peak_ops_inflight faulted.Chaos.Sched_demo1k.k_sched >= 8)
+
 (* ------------------------------------------------------------------ *)
 (* seeded chaos corpus *)
 
@@ -125,12 +388,26 @@ let () =
           Alcotest.test_case "place" `Quick test_place;
           Alcotest.test_case "victims" `Quick test_victims;
           Alcotest.test_case "queue order" `Quick test_queue_order;
+          Alcotest.test_case "deadline boundaries" `Quick test_deadline_boundaries;
+        ] );
+      ( "remap",
+        [
+          Alcotest.test_case "positional remap keeps duplicate-node slots distinct" `Quick
+            test_remap_positional_duplicates;
+        ] );
+      ( "opq",
+        [
+          prop_opq_conflicts;
+          prop_opq_serialized_baseline;
+          Alcotest.test_case "preempt coalesces with in-flight checkpoint" `Quick
+            test_preempt_coalesces_with_inflight_ckpt;
         ] );
       ( "demo",
         [
           Alcotest.test_case "faulted run matches no-fault reference" `Quick
             test_demo_faulted_matches_reference;
           Alcotest.test_case "deterministic" `Quick test_demo_deterministic;
+          Alcotest.test_case "1000-job demo, scaled-down slice" `Slow test_demo1k_smoke;
         ] );
       ( "chaos",
         [ Alcotest.test_case "seed corpus" `Slow test_chaos_corpus ] );

@@ -215,6 +215,57 @@ let prop_heap_fifo_ties =
          in
          drain [] = List.init (n + 1) Fun.id))
 
+(* Wheel-vs-heap equivalence: the timer wheel is a drop-in ordering
+   replacement for the heap in the engine, so for the same pushes both
+   must pop the identical (time, value) sequence — including FIFO among
+   ties and entries beyond the wheel's ~10 s horizon (the overflow far
+   heap and its migration onto the wheel). *)
+let prop_wheel_matches_heap =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:300 ~name:"wheel pops exactly like the heap"
+       (* quantized to 10 ms so ties are common; up to 30 s so a third of
+          the entries start life in the overflow heap *)
+       QCheck.(list (int_bound 3000))
+       (fun ticks ->
+         let times = List.map (fun k -> float_of_int k *. 0.01) ticks in
+         let h = Sim.Heap.create () in
+         let w = Sim.Wheel.create () in
+         List.iteri
+           (fun i t ->
+             Sim.Heap.push h ~priority:t i;
+             Sim.Wheel.push w ~time:t i)
+           times;
+         let rec drain pop acc =
+           match pop () with None -> List.rev acc | Some tv -> drain pop (tv :: acc)
+         in
+         drain (fun () -> Sim.Heap.pop h) [] = drain (fun () -> Sim.Wheel.pop w) []))
+
+let test_wheel_interleaved_with_heap () =
+  (* pop part-way, then keep pushing at or after the cursor (the wheel's
+     contract): the two structures must stay in lock-step *)
+  let h = Sim.Heap.create () in
+  let w = Sim.Wheel.create () in
+  let push t v =
+    Sim.Heap.push h ~priority:t v;
+    Sim.Wheel.push w ~time:t v
+  in
+  let pop_both tag =
+    let a = Sim.Heap.pop h and b = Sim.Wheel.pop w in
+    check
+      Alcotest.(option (pair (float 1e-12) int))
+      tag a b;
+    a
+  in
+  List.iter (fun (t, v) -> push t v) [ (0.2, 0); (0.1, 1); (15.0, 2); (0.1, 3); (25.0, 4) ];
+  ignore (pop_both "first tie, FIFO");
+  ignore (pop_both "second tie");
+  (* cursor now at 0.1: new pushes land ahead of it, some past the
+     horizon relative to the cursor *)
+  List.iter (fun (t, v) -> push t v) [ (0.3, 5); (15.0, 6); (40.0, 7) ];
+  let rec drain n = if n > 0 then begin ignore (pop_both "drain"); drain (n - 1) end in
+  drain 6;
+  check Alcotest.(option (pair (float 1e-12) int)) "both empty" None (pop_both "empty")
+
 let () =
   Alcotest.run "sim"
     [
@@ -237,4 +288,10 @@ let () =
           prop_interleaved_cancels;
         ] );
       ("heap", [ prop_heap_sorted; prop_heap_fifo_ties ]);
+      ( "wheel",
+        [
+          prop_wheel_matches_heap;
+          Alcotest.test_case "interleaved pop/push matches heap" `Quick
+            test_wheel_interleaved_with_heap;
+        ] );
     ]
