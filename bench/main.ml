@@ -340,6 +340,110 @@ let sched1k_records () =
     ("sched.makespan-1000job", ms mk_s, ms mk_c);
   ]
 
+(* Restart fast-path shape: both records are virtual-time deterministic
+   (simulated milliseconds), so they join the ratio baseline.
+
+   - lazy-vs-eager blackout: the 1-of-16-dirty workload (4096 pages
+     materialized, 256 rewritten per iteration) checkpointed and
+     restarted twice, once eager and once with DMTCP_LAZY_RESTART.
+     Lazy restore resumes threads after the hot set only — the cold
+     heap faults in on touch and drains through the prefetcher — so the
+     restart blackout must collapse.
+
+   - striped fetch: the same 4 MiB frame-chunked image fetched back
+     from the store with one replica (every block queued on a single
+     disk) vs two (blocks stripe across the least-loaded surviving
+     replica), measuring the modeled fetch delay. *)
+let restart_blackout ?(pages = 4096) ?(dirty = 256) ~lazy_restart () =
+  Chaos.Progs.ensure_registered ();
+  let options = { Dmtcp.Options.default with Dmtcp.Options.lazy_restart } in
+  let env = Harness.Common.setup ~nodes:1 ~options () in
+  let rt = env.Harness.Common.rt in
+  ignore
+    (Dmtcp.Api.launch rt ~node:0 ~prog:"p:dirty"
+       ~argv:[ string_of_int pages; string_of_int dirty; "20000"; "/tmp/lz" ]);
+  Harness.Common.run_for env 1.0;
+  Dmtcp.Api.checkpoint_now rt;
+  let script = Dmtcp.Api.restart_script rt in
+  Dmtcp.Api.kill_computation rt;
+  Dmtcp.Api.restart rt script;
+  Dmtcp.Api.await_restart rt;
+  let t = Dmtcp.Api.last_restart_seconds rt in
+  Harness.Common.teardown env;
+  t
+
+let striped_fetch_delay ~replicas =
+  let eng = Sim.Engine.create () in
+  let targets =
+    Array.init 4 (fun i ->
+        let t = Storage.Target.local_disk eng () in
+        Storage.Target.set_node t i;
+        t)
+  in
+  let store = Store.create ~replicas ~engine:eng ~targets () in
+  let n = 16 * 256 * 1024 in
+  let body =
+    String.init n (fun i -> Char.chr ((i * 131 + ((i lsr 8) * 17) + ((i lsr 16) * 211)) land 0xff))
+  in
+  let bytes =
+    Dmtcp.Ckpt_image.encode
+      {
+        Dmtcp.Ckpt_image.upid = Dmtcp.Upid.make ~hostid:3 ~pid:51 ~generation:0;
+        vpid = 51;
+        parent_vpid = 0;
+        program = "p:bench";
+        fds = [];
+        ptys = [];
+        algo = Compress.Algo.Null;
+        sizes = { Mtcp.Image.uncompressed = n; compressed = n; zero_bytes = 0 };
+        mtcp_blob = Compress.Container.pack ~algo:Compress.Algo.Null body;
+        delta_base = None;
+      }
+  in
+  ignore
+    (Store.put store ~node:0 ~lineage:"3-51" ~generation:0 ~name:"img-stripe" ~program:"p:bench"
+       ~sim_bytes:(String.length bytes) ~chunks:(Dmtcp.Ckpt_image.chunk bytes));
+  (* let the write bookings drain so the fetch measures read striping,
+     not queuing behind its own put *)
+  Sim.Engine.run ~until:10.0 eng;
+  match Store.fetch store ~node:0 ~name:"img-stripe" with
+  | Some (_, delay) -> delay
+  | None -> failwith "bench: striped image vanished from the store"
+
+let restore_records () =
+  let ms s = int_of_float (Float.round (s *. 1000.)) in
+  let eager = restart_blackout ~lazy_restart:false () in
+  let lzy = restart_blackout ~lazy_restart:true () in
+  let single = striped_fetch_delay ~replicas:1 in
+  let striped = striped_fetch_delay ~replicas:2 in
+  [
+    ("rst.lazy-vs-eager-blackout", ms eager, ms lzy);
+    ("store.striped-fetch-speedup", ms single, ms striped);
+  ]
+
+(* BENCH_RESTORE_SWEEP=1: print the eager/lazy blackout sweep over
+   working-set sizes, and the striped fetch delay over replica counts
+   (the tables in EXPERIMENTS.md). Virtual-time deterministic, but kept
+   out of the baseline records: it exists to be re-run by hand. *)
+let restore_sweep () =
+  let ms s = int_of_float (Float.round (s *. 1000.)) in
+  hr "Restart fast-path sweep (modeled ms, deterministic)";
+  Printf.printf "%10s %8s %12s %11s %8s\n" "pages" "MiB" "eager (ms)" "lazy (ms)" "ratio";
+  List.iter
+    (fun pages ->
+      let eager = restart_blackout ~pages ~dirty:(pages / 16) ~lazy_restart:false () in
+      let lzy = restart_blackout ~pages ~dirty:(pages / 16) ~lazy_restart:true () in
+      Printf.printf "%10d %8d %12d %11d %8.4f\n" pages
+        (pages * Mem.Page.size / 1024 / 1024)
+        (ms eager) (ms lzy) (lzy /. eager))
+    [ 256; 1024; 4096; 8192 ];
+  Printf.printf "\n%10s %12s\n" "replicas" "fetch (ms)";
+  List.iter
+    (fun replicas ->
+      Printf.printf "%10d %12d\n" replicas (ms (striped_fetch_delay ~replicas)))
+    [ 1; 2; 3; 4 ];
+  flush stdout
+
 let print_ratios ratios =
   hr "Compression shape (deterministic: sizes depend only on the encoder)";
   List.iter
@@ -410,6 +514,10 @@ let assert_invariants ratios =
     "the op queues must run at least eight operations concurrently" 1.0;
   check "sched.makespan-1000job"
     "concurrent ops must at least halve the serialized 1000-job makespan" 0.5;
+  check "rst.lazy-vs-eager-blackout"
+    "lazy restore must cut the restart blackout to a quarter or less" 0.25;
+  check "store.striped-fetch-speedup"
+    "striped fetch over two replicas must run at least 1.5x faster than one" (1. /. 1.5);
   flush stdout;
   if !failed then exit 1
 
@@ -419,13 +527,14 @@ let () =
   let timings = if sections <> `Repro then run_micro () else [] in
   let ratios =
     ratio_records () @ store_records () @ delta_records () @ sched_records ()
-    @ sched1k_records ()
+    @ sched1k_records () @ restore_records ()
   in
   print_ratios ratios;
   (match Sys.getenv_opt "BENCH_JSON" with
   | Some path -> emit_json path timings ratios
   | None -> ());
   if Sys.getenv_opt "BENCH_ASSERT" = Some "1" then assert_invariants ratios;
+  if Sys.getenv_opt "BENCH_RESTORE_SWEEP" = Some "1" then restore_sweep ();
   if sections <> `Micro then run_reproduction ();
   hr "Done";
   print_endline "Interpretation notes live in EXPERIMENTS.md."

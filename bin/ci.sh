@@ -23,6 +23,12 @@ echo "== incremental determinism: delta-chain scenario (forked + incremental), t
 # byte-identical across runs.
 dune exec bin/dmtcp_sim.exe -- trace --incremental --check-determinism
 
+echo "== lazy-restart determinism: demand-paged restore scenario, two runs =="
+# Lazy restore moves modeled time only (residency never changes page
+# contents), so a restart that resumes after the hot set and drains
+# cold pages through the prefetcher must trace byte-identical too.
+dune exec bin/dmtcp_sim.exe -- trace --lazy --check-determinism
+
 echo "== store smoke: catalog verify over the canned two-generation scenario =="
 dune exec bin/dmtcp_sim.exe -- store verify
 

@@ -159,18 +159,18 @@ let torture seeds base bug replay keep =
    checkpoint/restart protocol scenario, then the batch scheduler's
    preempt/fail/drain demo — so every category, "sched" included, has
    real events behind it.  The metrics snapshot is taken after both. *)
-let trace_scenario incremental =
-  let events, _ = Harness.Trace_scenario.run ~incremental () in
+let trace_scenario incremental lazy_restore =
+  let events, _ = Harness.Trace_scenario.run ~incremental ~lazy_restore () in
   let c = Trace.collector () in
   ignore
     (Trace.with_sink (Trace.collector_sink c) (fun () -> Chaos.Sched_demo.run ~faults:true ()));
   (events @ Trace.events c, Trace.Metrics.snapshot_text ())
 
-let trace_run format node pid cat stage metrics check incremental =
+let trace_run format node pid cat stage metrics check incremental lazy_restore =
   if check then begin
     (* run the fixed scenario twice; the renderings must be byte-identical *)
-    let e1, m1 = trace_scenario incremental in
-    let e2, m2 = trace_scenario incremental in
+    let e1, m1 = trace_scenario incremental lazy_restore in
+    let e2, m2 = trace_scenario incremental lazy_restore in
     let j1 = Trace.jsonl e1 and j2 = Trace.jsonl e2 in
     if j1 = j2 && m1 = m2 then begin
       Printf.printf "deterministic: %d events, %d JSONL bytes, metrics snapshots equal\n"
@@ -185,7 +185,7 @@ let trace_run format node pid cat stage metrics check incremental =
     end
   end
   else begin
-    let events, msnap = trace_scenario incremental in
+    let events, msnap = trace_scenario incremental lazy_restore in
     let filter = { Trace.f_node = node; f_pid = pid; f_cat = cat; f_prefix = stage } in
     let events = List.filter (Trace.matches filter) events in
     (match format with
@@ -230,6 +230,7 @@ let store_scenario () =
       Dmtcp.Options.store = true;
       store_replicas = 2;
       keep_generations = 2;
+      incremental = true;
     }
   in
   let rt = Dmtcp.Api.install cl ~options () in
@@ -251,13 +252,20 @@ let store_run action =
   let store = store_scenario () in
   match action with
   | "ls" ->
-    Printf.printf "%-28s %-8s %3s %8s %8s %6s  %s\n" "NAME" "LINEAGE" "GEN" "REAL" "SIM"
-      "BLOCKS" "PROGRAM";
+    Printf.printf "%-28s %-8s %3s %8s %8s %6s %5s %-9s %s\n" "NAME" "LINEAGE" "GEN" "REAL" "SIM"
+      "BLOCKS" "DEPTH" "KIND" "PROGRAM";
     List.iter
       (fun (m : Store.manifest) ->
-        Printf.printf "%-28s %-8s %3d %8d %8d %6d  %s\n" m.Store.m_name m.Store.m_lineage
+        let kind =
+          if m.Store.m_compacted then "compacted"
+          else if m.Store.m_base <> None then "delta"
+          else "full"
+        in
+        Printf.printf "%-28s %-8s %3d %8d %8d %6d %5d %-9s %s\n" m.Store.m_name m.Store.m_lineage
           m.Store.m_generation m.Store.m_real_len m.Store.m_sim_bytes
-          (List.length m.Store.m_blocks) m.Store.m_program)
+          (List.length m.Store.m_blocks)
+          (Store.chain_depth store ~name:m.Store.m_name)
+          kind m.Store.m_program)
       (Store.manifests store)
   | "stat" ->
     let s = Store.stats store in
@@ -505,13 +513,20 @@ let () =
                ~doc:"Use incremental + forked checkpointing: chain two delta checkpoints onto \
                      the full base before the restart.")
        in
+       let lazy_arg =
+         Arg.(
+           value & flag
+           & info [ "lazy" ]
+               ~doc:"Use demand-paged lazy restore: the traced restart resumes after the hot \
+                     set and drains cold pages through the background prefetcher.")
+       in
        Cmd.v
          (Cmd.info "trace"
             ~doc:"Trace a fixed checkpoint/restart scenario (text or JSONL), with filtering and a \
                   determinism self-check")
          Term.(
            const trace_run $ format_arg $ node_arg $ pid_arg $ cat_arg $ stage_arg $ metrics_arg
-           $ check_arg $ incremental_arg));
+           $ check_arg $ incremental_arg $ lazy_arg));
     ]
   in
   exit (Cmd.eval (Cmd.group info cmds))

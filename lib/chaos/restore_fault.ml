@@ -1,0 +1,117 @@
+(* Restart fast-path chaos: faults aimed at demand-paged lazy restore
+   and the striped parallel replica fetch.
+
+   Same convention as [Store_fault]: these live outside
+   [Scenario.sample] so the pinned chaos corpus's RNG draw order is
+   untouched, and both are fully deterministic.
+
+   - [lazy_kill]: restart with DMTCP_LAZY_RESTART, then crash the node
+     while the background prefetcher is mid-drain (pages half-resident).
+     Residency is a time-accounting device only — page contents are
+     always materially restored — so a second restart from the same
+     images must finish with the exact output of an unfaulted run, and
+     the orphaned prefetcher must stop cleanly instead of touching the
+     dead processes.
+
+   - [stripe_drop]: issue a lazy restart whose image blocks stripe
+     across three replicas, then drop two replica nodes mid-restart.
+     Three distinct replica nodes out of four guarantee every block
+     keeps a copy on node 0 or the home node, so the restart must
+     complete and the computation must produce the unfaulted output. *)
+
+module Common = Harness.Common
+
+let sprintf = Printf.sprintf
+
+(* same deterministic workload as [Store_fault]: one process, 8 MB
+   resident, output written only at completion *)
+let prog = "p:memhog"
+let out_path = "/data/rf_out"
+let iters = 400
+let expected = sprintf "hog:%d" iters
+let home = 1
+
+let options () =
+  {
+    Dmtcp.Options.default with
+    Dmtcp.Options.store = true;
+    store_replicas = 3;
+    keep_generations = 2;
+    lazy_restart = true;
+  }
+
+let checkpointed () =
+  Progs.ensure_registered ();
+  let env = Common.setup ~nodes:4 ~cores_per_node:2 ~options:(options ()) () in
+  ignore
+    (Dmtcp.Api.launch env.Common.rt ~node:home ~prog
+       ~argv:[ "8"; string_of_int iters; out_path ]);
+  Common.run_for env 0.5;
+  Dmtcp.Api.checkpoint_now env.Common.rt;
+  let script = Dmtcp.Api.restart_script env.Common.rt in
+  Dmtcp.Api.kill_computation env.Common.rt;
+  let store =
+    match Dmtcp.Runtime.store env.Common.rt with
+    | Some s -> s
+    | None -> failwith "restore_fault: runtime installed without the store"
+  in
+  (env, store, script)
+
+let output env =
+  match
+    Simos.Vfs.lookup (Simos.Kernel.vfs (Simos.Cluster.kernel env.Common.cl home)) out_path
+  with
+  | Some f -> Some (Simos.Vfs.read_all f)
+  | None -> None
+
+let run_until env ~deadline pred =
+  while (not (pred ())) && Simos.Cluster.now env.Common.cl < deadline do
+    Common.run_for env 0.1
+  done
+
+let lazy_kill () =
+  let env, _store, script = checkpointed () in
+  let violations = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> violations := m :: !violations) fmt in
+  Dmtcp.Api.restart env.Common.rt script;
+  Dmtcp.Api.await_restart env.Common.rt;
+  (* threads are running but the prefetcher has only drained a few
+     batches: most cold pages are still marked absent *)
+  Common.run_for env 0.02;
+  Simos.Cluster.crash_node env.Common.cl home;
+  if Dmtcp.Runtime.hijacked_processes env.Common.rt <> [] then
+    fail "hijacked processes survived a node crash";
+  (* let time pass with the orphaned prefetcher still scheduled: it must
+     notice the dead processes and stop without faulting *)
+  Common.run_for env 1.0;
+  Dmtcp.Api.restart env.Common.rt script;
+  Dmtcp.Api.await_restart env.Common.rt;
+  let deadline = Simos.Cluster.now env.Common.cl +. 30. in
+  run_until env ~deadline (fun () -> output env <> None);
+  (match output env with
+  | Some got when got = expected -> ()
+  | Some got -> fail "restart after mid-prefetch crash diverged: expected %S, got %S" expected got
+  | None -> fail "restart after mid-prefetch crash never finished (no output)");
+  !violations @ Invariant.store_replication env.Common.rt
+
+let stripe_drop () =
+  let env, store, script = checkpointed () in
+  let violations = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> violations := m :: !violations) fmt in
+  Dmtcp.Api.restart env.Common.rt script;
+  (* the restarter is between its boot and memory-restore phases: drop
+     two of the four nodes out from under the striped fetch.  Replicas
+     land on three distinct nodes, so every block keeps a copy on node
+     0 or on [home]. *)
+  Common.run_for env 0.01;
+  Store.drop_node store 2;
+  Store.drop_node store 3;
+  List.iter (fun e -> fail "store verify after striped-replica loss: %s" e) (Store.verify store);
+  Dmtcp.Api.await_restart env.Common.rt;
+  let deadline = Simos.Cluster.now env.Common.cl +. 30. in
+  run_until env ~deadline (fun () -> output env <> None);
+  (match output env with
+  | Some got when got = expected -> ()
+  | Some got -> fail "restart across replica drop diverged: expected %S, got %S" expected got
+  | None -> fail "restart across replica drop never finished (no output)");
+  !violations

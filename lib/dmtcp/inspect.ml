@@ -65,7 +65,18 @@ let describe ?lookup (img : Ckpt_image.t) =
     (Util.Units.pp_mb sizes.Mtcp.Image.zero_bytes)
     (Compress.Algo.name img.Ckpt_image.algo);
   (match img.Ckpt_image.delta_base with
-  | Some base -> bf buf "incremental delta against: %s\n" base
+  | Some base ->
+    (* chain depth = hops to the nearest full image, resolved through
+       [lookup]; a broken chain reports how far it got *)
+    let rec depth n (i : Ckpt_image.t) =
+      match i.Ckpt_image.delta_base with
+      | None -> n
+      | Some b -> (
+        match Option.join (Option.map (fun find -> find b) lookup) with
+        | Some bimg when n < 64 -> depth (n + 1) bimg
+        | _ -> n + 1)
+    in
+    bf buf "incremental delta against: %s (chain depth %d)\n" base (depth 0 img)
   | None -> ());
   bf buf "file descriptors (%d):\n" (List.length img.Ckpt_image.fds);
   List.iter (describe_fd buf) img.Ckpt_image.fds;
@@ -174,4 +185,26 @@ let describe_checkpoint rt (script : Restart_script.t) =
           | None -> bf buf "(missing image %s on node %d)\n" path host)
         images)
     script.Restart_script.entries;
+  (* per-lineage delta-chain health, when checkpoints live in the store:
+     the newest manifest's chain depth is what the next restart pays *)
+  (match Runtime.store rt with
+  | None -> ()
+  | Some store ->
+    let newest = Hashtbl.create 8 in
+    List.iter
+      (fun (m : Store.manifest) ->
+        if not (Hashtbl.mem newest m.Store.m_lineage) then
+          Hashtbl.add newest m.Store.m_lineage m)
+      (Store.manifests store);
+    let lineages = Hashtbl.fold (fun l m acc -> (l, m) :: acc) newest [] |> List.sort compare in
+    if lineages <> [] then begin
+      bf buf "store lineages (%d):\n" (List.length lineages);
+      List.iter
+        (fun (lineage, (m : Store.manifest)) ->
+          bf buf "  %s: newest %s gen %d, chain depth %d%s\n" lineage m.Store.m_name
+            m.Store.m_generation
+            (Store.chain_depth store ~name:m.Store.m_name)
+            (if m.Store.m_compacted then " (compacted)" else ""))
+        lineages
+    end);
   Buffer.contents buf

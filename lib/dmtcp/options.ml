@@ -14,6 +14,11 @@ type t = {
   delta_chain : int;
       (* incremental mode: max delta-chain depth before the next
          checkpoint is written full again; 0 = always full images *)
+  lazy_restart : bool;
+  restart_parallel : int;  (* decompress parallelism cap; 0 = all cores *)
+  compact_depth : int;
+      (* background compaction: squash delta chains deeper than this
+         into consolidated full images; 0 = compactor off *)
 }
 
 let default =
@@ -31,6 +36,9 @@ let default =
     store_quorum = 0;
     keep_generations = 2;
     delta_chain = 8;
+    lazy_restart = false;
+    restart_parallel = 0;
+    compact_depth = 0;
   }
 
 let hijack_key = "DMTCP_HIJACK"
@@ -53,6 +61,9 @@ let to_env t =
     ("DMTCP_STORE_QUORUM", string_of_int t.store_quorum);
     ("DMTCP_KEEP_GENERATIONS", string_of_int t.keep_generations);
     ("DMTCP_DELTA_CHAIN", string_of_int t.delta_chain);
+    ("DMTCP_LAZY_RESTART", if t.lazy_restart then "1" else "0");
+    ("DMTCP_RESTART_PARALLEL", string_of_int t.restart_parallel);
+    ("DMTCP_COMPACT_DEPTH", string_of_int t.compact_depth);
   ]
 
 let of_env env =
@@ -73,6 +84,9 @@ let of_env env =
   let store_quorum = get_int "DMTCP_STORE_QUORUM" default.store_quorum in
   let keep_generations = get_int "DMTCP_KEEP_GENERATIONS" default.keep_generations in
   let delta_chain = get_int "DMTCP_DELTA_CHAIN" default.delta_chain in
+  let lazy_restart = get "DMTCP_LAZY_RESTART" "0" = "1" in
+  let restart_parallel = get_int "DMTCP_RESTART_PARALLEL" default.restart_parallel in
+  let compact_depth = get_int "DMTCP_COMPACT_DEPTH" default.compact_depth in
   {
     coord_host;
     coord_port;
@@ -87,6 +101,9 @@ let of_env env =
     store_quorum;
     keep_generations;
     delta_chain;
+    lazy_restart;
+    restart_parallel;
+    compact_depth;
   }
 
 let of_getenv getenv =
@@ -97,7 +114,8 @@ let of_getenv getenv =
         hijack_key; "DMTCP_COORD_HOST"; "DMTCP_COORD_PORT"; "DMTCP_CHECKPOINT_DIR"; "DMTCP_GZIP";
         "DMTCP_FORKED"; "DMTCP_INCREMENTAL"; "DMTCP_INTERVAL"; "DMTCP_SYNC"; "DMTCP_STORE";
         "DMTCP_STORE_REPLICAS"; "DMTCP_STORE_QUORUM"; "DMTCP_KEEP_GENERATIONS";
-        "DMTCP_DELTA_CHAIN";
+        "DMTCP_DELTA_CHAIN"; "DMTCP_LAZY_RESTART"; "DMTCP_RESTART_PARALLEL";
+        "DMTCP_COMPACT_DEPTH";
       ]
   in
   of_env env

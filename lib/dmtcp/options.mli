@@ -26,6 +26,20 @@ type t = {
           checkpoint is written as a full image again (bounds restart's
           chain-resolution work); [0] disables deltas — incremental
           size accounting with full image payloads *)
+  lazy_restart : bool;
+      (** demand-paged lazy restore ([DMTCP_LAZY_RESTART]): restart
+          restores only the hot set (stacks, text, shared segments)
+          before resuming threads; cold pages fault in on first touch
+          and a background prefetcher drains the remainder, so restart
+          blackout is O(hot set) instead of O(image) *)
+  restart_parallel : int;
+      (** cap on restart's decompress parallelism
+          ([DMTCP_RESTART_PARALLEL]); [0] uses all of the node's cores *)
+  compact_depth : int;
+      (** background delta-chain compaction ([DMTCP_COMPACT_DEPTH]):
+          chains deeper than this are squashed into consolidated full
+          images at the same catalog name, bounding restart chain depth
+          independently of [delta_chain]; [0] disables the compactor *)
 }
 
 val default : t

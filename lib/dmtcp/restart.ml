@@ -1,5 +1,9 @@
 let name = "dmtcp:restart"
 
+let m_parallel = Trace.Metrics.gauge "rst.parallel"
+let m_lazy_absent = Trace.Metrics.counter "rst.lazy_absent_pages"
+let m_prefetched = Trace.Metrics.counter "rst.prefetch_pages"
+
 (* A connection endpoint to restore, deduplicated by (image, desc_key). *)
 type conn_spec = {
   cs_key : string;            (* discovery key: the connection's unique id *)
@@ -51,6 +55,9 @@ type state = {
   mutable phase_t0 : float;
   mutable local_read_bytes : int;  (* modeled bytes of images read from local files *)
   mutable store_read_delay : float;  (* booked catalog/replica read time (store mode) *)
+  mutable lazy_page_cost : float;
+      (* lazy restore: modeled seconds to fault in one absent page;
+         0. = eager restore (no pager, no prefetcher) *)
 }
 
 module P = struct
@@ -75,6 +82,7 @@ module P = struct
       phase_t0 = 0.;
       local_read_bytes = 0;
       store_read_delay = 0.;
+      lazy_page_cost = 0.;
     }
 
   let rt () = Runtime.active ()
@@ -473,10 +481,108 @@ module P = struct
           else 0.)
         +. st.store_read_delay)
     in
-    let parallel = float_of_int (max 1 (min cores (List.length st.images))) in
+    (* decompress parallelism: the node's cores, optionally capped by
+       DMTCP_RESTART_PARALLEL (0 = no cap) *)
+    let cap =
+      let p = (Options.of_getenv ctx.getenv).Options.restart_parallel in
+      if p > 0 then min p cores else cores
+    in
+    let parallel = float_of_int (max 1 (min cap (List.length st.images))) in
+    Trace.Metrics.set m_parallel parallel;
     let dt = !read_total +. (!decompress_total /. parallel) in
     (* run-to-run I/O variation, as for checkpoint writes *)
     Float.max (0.75 *. dt) (dt *. (1.0 +. (0.05 *. Util.Rng.gaussian ctx.rng ~mean:0. ~stddev:1.)))
+
+  (* Demand-paged lazy restore (option [lazy_restart]).  Only the hot
+     set — text, stacks and shared segments, the pages a thread needs to
+     take its first steps — is charged to the restart blackout; private
+     data/heap/anon pages are marked absent and their share of the
+     restore cost is deferred: the kernel pager charges it per page on
+     first touch, and a background prefetcher drains the remainder.
+     Page *contents* are fully materialized either way (restores stay
+     bit-identical); residency only moves modeled time off the critical
+     path, so blackout is O(hot set) instead of O(image). *)
+  let lazy_restore_setup (ctx : Simos.Program.ctx) st ~dt =
+    let total = ref 0 and absent = ref 0 in
+    let cold (r : Mem.Region.t) =
+      match r.Mem.Region.kind with
+      | Mem.Region.Heap | Mem.Region.Data | Mem.Region.Mmap_anon -> true
+      | Mem.Region.Text | Mem.Region.Stack | Mem.Region.Mmap_shared _ -> false
+    in
+    List.iter
+      (fun ((_ : Ckpt_image.t), (proc : Simos.Kernel.process)) ->
+        List.iter
+          (fun (r : Mem.Region.t) ->
+            total := !total + Mem.Region.npages r;
+            if cold r then begin
+              Mem.Region.mark_all_absent r;
+              absent := !absent + Mem.Region.npages r
+            end)
+          (Mem.Address_space.regions proc.Simos.Kernel.space))
+      st.restored;
+    if !absent = 0 then dt
+    else begin
+      let hot_frac = float_of_int (!total - !absent) /. float_of_int (max 1 !total) in
+      let blackout = dt *. hot_frac in
+      st.lazy_page_cost <- dt *. (1. -. hot_frac) /. float_of_int !absent;
+      Trace.Metrics.add m_lazy_absent (float_of_int !absent);
+      List.iter
+        (fun ((_ : Ckpt_image.t), (proc : Simos.Kernel.process)) ->
+          let cost = st.lazy_page_cost in
+          proc.Simos.Kernel.pager <- Some (fun _ _ -> cost))
+        st.restored;
+      trace_rst ctx "lazy"
+        [
+          ("pages", string_of_int !total);
+          ("absent", string_of_int !absent);
+          ("blackout", Printf.sprintf "%.6f" blackout);
+        ];
+      blackout
+    end
+
+  (* Background prefetcher: from resume onward, page in a batch of
+     still-absent pages per step, booking each batch's share of the
+     deferred restore time; stops when every page is resident (pagers
+     uninstalled) or the restored processes died under it. *)
+  let prefetch_batch = 64
+
+  let start_prefetcher (ctx : Simos.Program.ctx) st =
+    let eng = Simos.Kernel.engine (my_kernel ctx) in
+    let page_cost = st.lazy_page_cost in
+    let procs = List.map snd st.restored in
+    let rec tick () =
+      let live =
+        List.filter
+          (fun (p : Simos.Kernel.process) -> p.Simos.Kernel.pstate = Simos.Kernel.Running)
+          procs
+      in
+      if live <> [] then begin
+        let marked = ref 0 in
+        List.iter
+          (fun (p : Simos.Kernel.process) ->
+            List.iter
+              (fun (r : Mem.Region.t) ->
+                let n = Mem.Region.npages r in
+                for i = 0 to n - 1 do
+                  if !marked < prefetch_batch && not (Mem.Region.is_resident r i) then begin
+                    Mem.Region.set_resident r i;
+                    incr marked;
+                    Trace.Metrics.incr m_prefetched
+                  end
+                done)
+              (Mem.Address_space.regions p.Simos.Kernel.space))
+          live;
+        if !marked = 0 then begin
+          List.iter (fun (p : Simos.Kernel.process) -> p.Simos.Kernel.pager <- None) procs;
+          trace_rst ctx "prefetch-done" []
+        end
+        else
+          ignore
+            (Sim.Engine.schedule eng ~delay:(float_of_int !marked *. page_cost) (fun () ->
+                 tick ()))
+      end
+    in
+    ignore (Sim.Engine.schedule eng ~delay:(Float.max page_cost 1e-4) (fun () -> tick ()))
 
   let refill (ctx : Simos.Program.ctx) st =
     ignore ctx;
@@ -500,6 +606,7 @@ module P = struct
         | prog :: _ -> Dmtcpaware.run_post_ckpt ~prog
         | [] -> ())
       st.restored;
+    if st.lazy_page_cost > 0. then start_prefetcher ctx st;
     Runtime.note_restart_end ~port:(my_port ctx) (rt ())
 
   (* ---------------------------------------------------------------- *)
@@ -785,6 +892,11 @@ module P = struct
         Simos.Program.Exit 72)
     | R_mem ->
       let delay = memory_restore_delay ctx st in
+      let delay =
+        if (Options.of_getenv ctx.getenv).Options.lazy_restart then
+          lazy_restore_setup ctx st ~dt:delay
+        else delay
+      in
       st.phase <- R_refill;
       Simos.Program.Block (st, Simos.Program.Sleep_until (ctx.now () +. delay))
     | R_refill ->

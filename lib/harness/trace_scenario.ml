@@ -14,17 +14,18 @@ let workload =
     w_warmup = 0.5;
   }
 
-let run ?(incremental = false) () =
+let run ?(incremental = false) ?(lazy_restore = false) () =
   Trace.Metrics.reset ();
   let coll = Trace.collector () in
   Trace.with_sink (Trace.collector_sink coll) (fun () ->
       let options =
-        if incremental then
+        if incremental || lazy_restore then
           Some
             {
               Dmtcp.Options.default with
-              Dmtcp.Options.incremental = true;
-              forked = true;
+              Dmtcp.Options.incremental;
+              forked = incremental;
+              lazy_restart = lazy_restore;
             }
         else None
       in

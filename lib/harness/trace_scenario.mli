@@ -7,5 +7,7 @@
     snapshot.  Deterministic: repeated calls return identical data.
     [incremental] switches on incremental + forked checkpointing and
     chains two delta checkpoints onto the full base before the kill, so
-    the traced restart resolves a depth-2 delta chain. *)
-val run : ?incremental:bool -> unit -> Trace.event list * string
+    the traced restart resolves a depth-2 delta chain.  [lazy_restore]
+    switches on demand-paged lazy restore, so the traced restart resumes
+    after the hot set and drains cold pages through the prefetcher. *)
+val run : ?incremental:bool -> ?lazy_restore:bool -> unit -> Trace.event list * string

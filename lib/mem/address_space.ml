@@ -132,6 +132,8 @@ let region_dirty_pages (r : Region.t) =
 
 let dirty_pages t = List.fold_left (fun acc r -> acc + region_dirty_pages r) 0 t.regions
 let clear_dirty t = List.iter Region.clear_dirty t.regions
+let total_pages t = List.fold_left (fun acc r -> acc + Region.npages r) 0 t.regions
+let resident_pages t = List.fold_left (fun acc r -> acc + Region.resident_count r) 0 t.regions
 
 let zero_bytes t =
   List.fold_left

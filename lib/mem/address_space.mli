@@ -78,6 +78,13 @@ val clear_dirty : t -> unit
 (** Bytes in untouched ([Zero]) pages. *)
 val zero_bytes : t -> int
 
+(** Total mapped pages across all regions. *)
+val total_pages : t -> int
+
+(** Pages currently resident (lazy restore marks cold regions absent;
+    everything else reports fully resident). *)
+val resident_pages : t -> int
+
 (** Structural equality of all regions (order-sensitive). *)
 val equal : t -> t -> bool
 

@@ -19,6 +19,7 @@ type t = {
   perms : perms;
   pages : Page.content array;
   dirty : Bytes.t;
+  resident : Bytes.t;
 }
 
 let npages t = Array.length t.pages
@@ -34,14 +35,22 @@ let create ~id ~start_addr ~kind ~perms ~npages content =
     perms;
     pages = Array.init npages content;
     dirty = Bytes.make npages '\001';
+    resident = Bytes.make npages '\001';
   }
 
-let clone_private t = { t with pages = Array.copy t.pages; dirty = Bytes.copy t.dirty }
+let clone_private t =
+  {
+    t with
+    pages = Array.copy t.pages;
+    dirty = Bytes.copy t.dirty;
+    resident = Bytes.copy t.resident;
+  }
 let alias t = t
 
 let set_page t i content =
   t.pages.(i) <- content;
-  Bytes.unsafe_set t.dirty i '\001'
+  Bytes.unsafe_set t.dirty i '\001';
+  Bytes.unsafe_set t.resident i '\001'
 
 let is_dirty t i = Bytes.unsafe_get t.dirty i <> '\000'
 
@@ -51,6 +60,14 @@ let dirty_count t =
   !n
 
 let clear_dirty t = Bytes.fill t.dirty 0 (Bytes.length t.dirty) '\000'
+let is_resident t i = Bytes.unsafe_get t.resident i <> '\000'
+let set_resident t i = Bytes.unsafe_set t.resident i '\001'
+let mark_all_absent t = Bytes.fill t.resident 0 (Bytes.length t.resident) '\000'
+
+let resident_count t =
+  let n = ref 0 in
+  Bytes.iter (fun c -> if c <> '\000' then incr n) t.resident;
+  !n
 
 let kind_name = function
   | Text -> "text"
@@ -106,6 +123,7 @@ let decode r =
     perms = { read; write; exec };
     pages;
     dirty = Bytes.make (Array.length pages) '\001';
+    resident = Bytes.make (Array.length pages) '\001';
   }
 
 let equal a b =

@@ -25,6 +25,15 @@ type t = {
       (** byte-per-page dirty bits since the last checkpoint; set by
           {!set_page}, cleared by {!clear_dirty}, all-dirty on
           {!create}/{!decode}.  Excluded from {!encode} and {!equal}. *)
+  resident : Bytes.t;
+      (** byte-per-page residency bits for demand-paged lazy restore: a
+          lazily restored region starts mostly absent
+          ({!mark_all_absent}) and pages become resident on first touch
+          ({!set_resident}, also by {!set_page}) or via the background
+          prefetcher.  All-resident on {!create}/{!decode}; copied by
+          {!clone_private}; excluded from {!encode} and {!equal}.
+          Residency is purely a time-accounting device — page contents
+          are always materially present. *)
 }
 
 val npages : t -> int
@@ -58,6 +67,20 @@ val dirty_count : t -> int
 (** Mark every page clean — called by the checkpointer once a snapshot
     of the region has been taken. *)
 val clear_dirty : t -> unit
+
+(** Page [i] has been paged in since the region was lazily restored
+    (always true for eagerly restored or freshly created regions). *)
+val is_resident : t -> int -> bool
+
+(** Mark page [i] resident (first touch, or prefetcher pass). *)
+val set_resident : t -> int -> unit
+
+(** Mark every page absent — the lazy restart path calls this on cold
+    regions right after decode so first touches fault in. *)
+val mark_all_absent : t -> unit
+
+(** Number of resident pages. *)
+val resident_count : t -> int
 
 val kind_name : kind -> string
 

@@ -312,6 +312,7 @@ let apply_delta ~base s =
           perms = { Mem.Region.read; write; exec };
           pages;
           dirty = Bytes.make npages '\001';
+          resident = Bytes.make npages '\001';
         })
       r
   in

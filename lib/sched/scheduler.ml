@@ -42,6 +42,7 @@ type t = {
   op_timeout : float;
   max_recoveries : int;
   start_grace : float;
+  compact_depth : int;  (* squash delta chains deeper than this; 0 = off *)
   mutable jobs : Job.t list;  (* ascending id *)
   by_id : (int, Job.t) Hashtbl.t;
   mutable next_id : int;
@@ -58,6 +59,7 @@ type t = {
   mutable n_drains : int;
   mutable n_restarts : int;
   mutable n_relaunches : int;
+  mutable n_compactions : int;
   mutable first_submit : float;
 }
 
@@ -632,6 +634,56 @@ let scan_jobs t =
     t.jobs
 
 (* ------------------------------------------------------------------ *)
+(* Background delta-chain compaction *)
+
+(* A lineage is off-limits while any job with a live checkpoint/stop/
+   restart operation could be reading or rewriting it: compaction must
+   never interleave with an in-flight op on the same images.  A job
+   claims a lineage through its pins (preempted/requeued work) or
+   through a live hijacked process of that lineage on its allocation. *)
+let lineage_busy t lineage =
+  let procs = Dmtcp.Runtime.hijacked_processes t.rt in
+  List.exists
+    (fun (j : Job.t) ->
+      Opq.engaged t.ops j.Job.id
+      && (List.exists (fun (l, _) -> l = lineage) j.Job.pins
+         ||
+         match j.Job.alloc with
+         | None -> false
+         | Some a ->
+           List.exists
+             (fun (node, _, (ps : Dmtcp.Runtime.pstate)) ->
+               Array.exists (fun n -> n = node) a
+               && Dmtcp.Upid.lineage ps.Dmtcp.Runtime.upid = lineage)
+             procs))
+    t.jobs
+
+(* At most one compaction per tick: background work must trickle, not
+   monopolize disk bandwidth that restarts are waiting on. *)
+let maybe_compact t =
+  if t.compact_depth > 0 then
+    match Dmtcp.Runtime.store t.rt with
+    | None -> ()
+    | Some store -> (
+      match Simos.Cluster.up_nodes t.cl with
+      | [] -> ()
+      | node :: _ -> (
+        match
+          List.find_opt
+            (fun (m : Store.manifest) -> not (lineage_busy t m.Store.m_lineage))
+            (Dmtcp.Compactor.candidates store ~depth:t.compact_depth)
+        with
+        | None -> ()
+        | Some m -> (
+          match Dmtcp.Compactor.compact_one store ~node m with
+          | None -> ()
+          | Some delay ->
+            ignore (Store.gc_lineage store ~lineage:m.Store.m_lineage);
+            t.n_compactions <- t.n_compactions + 1;
+            trace_span t "sched/compact" ~dur:delay
+              [ ("name", m.Store.m_name); ("lineage", m.Store.m_lineage) ])))
+
+(* ------------------------------------------------------------------ *)
 (* The tick *)
 
 let all_done t = t.jobs <> [] && List.for_all (fun (j : Job.t) -> Job.finished j.Job.phase) t.jobs
@@ -647,6 +699,7 @@ let rec tick t =
   trace_ops_inflight t;
   scan_jobs t;
   place_pass t;
+  maybe_compact t;
   if all_done t && Opq.is_idle t.ops then t.ticking <- false
   else ignore (Sim.Engine.schedule (eng t) ~delay:tick_period (fun () -> tick t))
 
@@ -660,7 +713,7 @@ let ensure_ticking t =
 (* Public API *)
 
 let create ?(base_port = 7800) ?ckpt_interval ?(op_timeout = 60.) ?(max_recoveries = 10)
-    ?(start_grace = 15.) ?(max_inflight = 0) cl rt =
+    ?(start_grace = 15.) ?(max_inflight = 0) ?(compact_depth = 0) cl rt =
   {
     cl;
     rt;
@@ -669,6 +722,7 @@ let create ?(base_port = 7800) ?ckpt_interval ?(op_timeout = 60.) ?(max_recoveri
     op_timeout;
     max_recoveries;
     start_grace;
+    compact_depth;
     jobs = [];
     by_id = Hashtbl.create 64;
     next_id = 0;
@@ -685,6 +739,7 @@ let create ?(base_port = 7800) ?ckpt_interval ?(op_timeout = 60.) ?(max_recoveri
     n_drains = 0;
     n_restarts = 0;
     n_relaunches = 0;
+    n_compactions = 0;
     first_submit = -1.;
   }
 
@@ -766,6 +821,7 @@ let node_failures t = t.n_node_failures
 let drains t = t.n_drains
 let restarts t = t.n_restarts
 let relaunches t = t.n_relaunches
+let compactions t = t.n_compactions
 let peak_ops_inflight t = Opq.peak t.ops
 
 let makespan t =

@@ -41,7 +41,11 @@ type t
     produce its full process set (default 15 virtual s); [max_inflight]
     caps concurrently in-flight ops (0 = unbounded, the default; 1
     reproduces the old fully-serialized queue, which is the bench
-    baseline). *)
+    baseline); [compact_depth] enables background delta-chain
+    compaction when the runtime has a store — each tick squashes at
+    most one chain deeper than the threshold into a consolidated full
+    image, skipping lineages touched by in-flight operations (default 0
+    = off). *)
 val create :
   ?base_port:int ->
   ?ckpt_interval:float ->
@@ -49,6 +53,7 @@ val create :
   ?max_recoveries:int ->
   ?start_grace:float ->
   ?max_inflight:int ->
+  ?compact_depth:int ->
   Simos.Cluster.t ->
   Dmtcp.Runtime.t ->
   t
@@ -91,6 +96,11 @@ val node_failures : t -> int
 val drains : t -> int
 val restarts : t -> int
 val relaunches : t -> int
+
+(** Delta chains squashed by the background compactor (see
+    [?compact_depth]; one squash at most per scheduler tick, skipping
+    lineages with in-flight operations). *)
+val compactions : t -> int
 
 (** High-water mark of concurrently in-flight checkpoint/stop/restart
     operations over the scheduler's lifetime. *)

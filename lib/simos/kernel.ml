@@ -31,6 +31,8 @@ and process = {
   mutable cmdline : string list;
   sigtable : (int, sigaction) Hashtbl.t;
   mutable pending_signals : int list;
+  mutable pager : (Mem.Region.t -> int -> float) option;
+  mutable fault_debt : float;
 }
 
 type t = {
@@ -113,6 +115,7 @@ let m_fd_opens = Trace.Metrics.counter "kernel.fd_opens"
 let m_fd_closes = Trace.Metrics.counter "kernel.fd_closes"
 let m_read_bytes = Trace.Metrics.counter "kernel.read_bytes"
 let m_write_bytes = Trace.Metrics.counter "kernel.write_bytes"
+let m_page_faults = Trace.Metrics.counter "kernel.page_faults"
 
 let trace_proc t ~pid name args =
   if Trace.on () then
@@ -179,6 +182,41 @@ let set_sigaction proc signal action = Hashtbl.replace proc.sigtable signal acti
 (* ------------------------------------------------------------------ *)
 (* Scheduling *)
 
+(* Demand paging for lazy restore: while a pager is installed, any
+   memory access that lands on a non-resident page marks it resident and
+   charges the pager's per-page cost to the process's fault debt, which
+   the scheduler drains into the thread's next delay.  Page contents are
+   always materially present — the pager models time, not data. *)
+let page_touch proc ~addr ~len =
+  match proc.pager with
+  | None -> ()
+  | Some pager ->
+    if len > 0 then begin
+      match Mem.Address_space.find_region proc.space ~addr with
+      | None -> ()
+      | Some r ->
+        let first = (addr - r.Mem.Region.start_addr) / Mem.Page.size in
+        let last =
+          min
+            ((addr + len - 1 - r.Mem.Region.start_addr) / Mem.Page.size)
+            (Mem.Region.npages r - 1)
+        in
+        for i = first to last do
+          if not (Mem.Region.is_resident r i) then begin
+            Mem.Region.set_resident r i;
+            proc.fault_debt <- proc.fault_debt +. pager r i;
+            Trace.Metrics.incr m_page_faults
+          end
+        done
+    end
+
+(* Accumulated page-fault time, drained into the next scheduling delay
+   of whichever thread of the process runs next. *)
+let take_fault_debt proc =
+  let d = proc.fault_debt in
+  proc.fault_debt <- 0.;
+  d
+
 let rec schedule_step t th ~delay =
   if not th.step_pending then begin
     th.step_pending <- true;
@@ -195,16 +233,21 @@ and run_step t th =
   if th.tstate = Ready && (not th.suspended) && th.tproc.pstate = Running then begin
     let ctx = make_ctx t th in
     match Program.step_instance ctx th.inst with
-    | Program.B_continue -> schedule_step t th ~delay:quantum
-    | Program.B_compute dt -> schedule_step t th ~delay:(Float.max quantum (dt *. load_factor t))
+    | Program.B_continue -> schedule_step t th ~delay:(quantum +. take_fault_debt th.tproc)
+    | Program.B_compute dt ->
+      schedule_step t th
+        ~delay:(Float.max quantum (dt *. load_factor t) +. take_fault_debt th.tproc)
     | Program.B_block w ->
-      if wait_satisfied t th.tproc w then schedule_step t th ~delay:quantum
+      if wait_satisfied t th.tproc w then
+        schedule_step t th ~delay:(quantum +. take_fault_debt th.tproc)
       else begin
         th.tstate <- Blocked w;
         match w with
         | Program.Sleep_until deadline ->
           let gen = th.generation in
-          let delay = Float.max 0. (deadline -. Sim.Engine.now t.eng) in
+          let delay =
+            Float.max 0. (deadline -. Sim.Engine.now t.eng) +. take_fault_debt th.tproc
+          in
           th.wake_handle <-
             Some
               (Sim.Engine.schedule t.eng ~delay (fun () ->
@@ -469,8 +512,14 @@ and make_ctx t th : Program.ctx =
     sock_local_addr =
       (fun fd -> match with_sock fd Simnet.Fabric.local_addr with Some a -> a | None -> None);
     mmap = (fun ~bytes ~kind -> Mem.Address_space.map proc.space ~kind ~perms:Mem.Region.rw ~bytes ());
-    mem_write = (fun ~addr data -> Mem.Address_space.write proc.space ~addr data);
-    mem_read = (fun ~addr ~len -> Mem.Address_space.read proc.space ~addr ~len);
+    mem_write =
+      (fun ~addr data ->
+        page_touch proc ~addr ~len:(String.length data);
+        Mem.Address_space.write proc.space ~addr data);
+    mem_read =
+      (fun ~addr ~len ->
+        page_touch proc ~addr ~len;
+        Mem.Address_space.read proc.space ~addr ~len);
     sigaction_set =
       (fun signal action ->
         set_sigaction proc signal
@@ -628,6 +677,8 @@ and spawn_internal t ~prog ~argv ~env ~ppid ~hijacked =
       cmdline = prog :: argv;
       sigtable = Hashtbl.create 4;
       pending_signals = [];
+      pager = None;
+      fault_debt = 0.;
     }
   in
   Hashtbl.replace t.procs pid proc;
@@ -685,6 +736,8 @@ and do_fork t parent child_inst =
       cmdline = parent.cmdline;
       sigtable = Hashtbl.copy parent.sigtable;
       pending_signals = [];
+      pager = parent.pager;
+      fault_debt = 0.;
     }
   in
   (* shared open file descriptions: bump refcounts *)
@@ -796,6 +849,8 @@ let create_raw_process t ~pid ~ppid ~env ~hijacked =
       cmdline = [];
       sigtable = Hashtbl.create 4;
       pending_signals = [];
+      pager = None;
+      fault_debt = 0.;
     }
   in
   Hashtbl.replace t.procs pid proc;

@@ -46,6 +46,15 @@ and process = {
   mutable cmdline : string list;
   sigtable : (int, sigaction) Hashtbl.t;  (** signal number -> disposition *)
   mutable pending_signals : int list;     (** delivered, not yet consumed *)
+  mutable pager : (Mem.Region.t -> int -> float) option;
+      (** demand-pager for lazy restore: when set, any memory access to a
+          non-resident page marks it resident and charges [pager region
+          page] seconds of fault time to [fault_debt].  [None] = eager
+          semantics (no residency checks).  Installed by the lazy restart
+          path, cleared once the background prefetcher drains. *)
+  mutable fault_debt : float;
+      (** accumulated page-fault seconds, drained into the next scheduling
+          delay of whichever thread of this process runs next *)
 }
 
 type t

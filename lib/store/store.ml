@@ -65,6 +65,7 @@ type manifest = {
   m_real_len : int;
   m_sim_bytes : int;
   m_base : string option;      (* delta images: name of the base image *)
+  m_compacted : bool;          (* written by the delta-chain compactor *)
 }
 
 type stats = {
@@ -188,7 +189,7 @@ let release_manifest t m =
     };
   (!freed_blocks, !freed_bytes)
 
-let put ?base t ~node ~lineage ~generation ~name ~program ~sim_bytes ~chunks =
+let put ?base ?(compacted = false) t ~node ~lineage ~generation ~name ~program ~sim_bytes ~chunks =
   if not (node_alive t node) then invalid_arg "Store.put: writing node's disk is gone";
   let real_len = List.fold_left (fun acc c -> acc + String.length c) 0 chunks in
   let scale = if real_len = 0 then 0. else float_of_int sim_bytes /. float_of_int real_len in
@@ -242,6 +243,7 @@ let put ?base t ~node ~lineage ~generation ~name ~program ~sim_bytes ~chunks =
       m_real_len = real_len;
       m_sim_bytes = sim_bytes;
       m_base = base;
+      m_compacted = compacted;
     }
     :: t.manifests;
   Trace.Metrics.add m_blocks_written (float_of_int !new_blocks);
@@ -287,6 +289,19 @@ let missing_of t m =
 let contains t ~name =
   match find t ~name with None -> false | Some m -> missing_of t m = []
 
+(* Delta-chain depth of an image: 0 for a full image, 1 + base's depth
+   for a delta.  Broken chains count the links that resolve. *)
+let chain_depth t ~name =
+  let rec go name seen acc =
+    match find t ~name with
+    | None -> acc
+    | Some m -> (
+      match m.m_base with
+      | Some b when not (List.mem b seen) -> go b (b :: seen) (acc + 1)
+      | _ -> acc)
+  in
+  go name [ name ] 0
+
 (* Reassemble without booking any storage time: inspection/debugging. *)
 let peek t ~name =
   match find t ~name with
@@ -320,8 +335,18 @@ let fetch t ~node ~name =
       (fun d ->
         let b = Hashtbl.find t.blocks d in
         Buffer.add_string buf b.b_bytes;
-        (* prefer the reader's own disk; fall back to any survivor *)
-        let src = if List.mem node b.b_replicas then node else List.hd b.b_replicas in
+        (* stripe: each block reads from the least-loaded surviving
+           replica (the reader's own disk wins ties, then lowest node
+           id), so an N-replica image streams from all N targets in
+           parallel; per-target queuing stays honest through the
+           target's serialization cursor *)
+        let load r = Option.value ~default:0. (Hashtbl.find_opt completion r) in
+        let pref r = (load r, (if r = node then 0 else 1), r) in
+        let src =
+          List.fold_left
+            (fun best r -> if pref r < pref best then r else best)
+            (List.hd b.b_replicas) (List.tl b.b_replicas)
+        in
         if src <> node then incr remote;
         let delay = Storage.Target.read t.targets.(src) ~bytes:(scaled scale b.b_sim_len) in
         Hashtbl.replace completion src delay)

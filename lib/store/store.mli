@@ -41,6 +41,9 @@ type manifest = {
       (** delta images: catalog name of the base image this manifest's
           payload resolves against.  {!gc_lineage} keeps base chains of
           retained (or pinned) manifests alive transitively. *)
+  m_compacted : bool;
+      (** written by the background delta-chain compactor: a consolidated
+          full image that replaced a delta at the same catalog name *)
 }
 
 type stats = {
@@ -89,9 +92,12 @@ val find : t -> name:string -> manifest option
     Re-putting an existing [name] (interval checkpoints at the same
     generation) replaces that manifest.  [sim_bytes] is the modeled
     image size used for delay booking.  [base] records the delta chain:
-    the catalog name of the image this one's payload resolves against. *)
+    the catalog name of the image this one's payload resolves against.
+    [compacted] marks consolidated full images written by the
+    delta-chain compactor. *)
 val put :
   ?base:string ->
+  ?compacted:bool ->
   t ->
   node:int ->
   lineage:string ->
@@ -102,11 +108,14 @@ val put :
   chunks:string list ->
   float
 
-(** [fetch t ~node ~name] reassembles the image, reading each block
-    from [node] when it holds a replica and from a surviving replica
-    otherwise.  Returns the bytes and the read delay, [None] when the
-    name is not in the catalog.  Raises {!Missing_blocks} when
-    referenced blocks have no surviving replica. *)
+(** [fetch t ~node ~name] reassembles the image, striping block reads
+    across the surviving replicas: each block reads from the currently
+    least-loaded replica target (the reader's own disk wins ties), so
+    an N-replica image streams from all N targets in parallel while
+    per-target queuing stays honest through each target's serialization
+    cursor.  Returns the bytes and the read delay, [None] when the name
+    is not in the catalog.  Raises {!Missing_blocks} when referenced
+    blocks have no surviving replica. *)
 val fetch : t -> node:int -> name:string -> (string * float) option
 
 (** Catalogued with every block on at least one surviving replica
@@ -115,6 +124,10 @@ val contains : t -> name:string -> bool
 
 (** Reassemble without booking storage time — inspection only. *)
 val peek : t -> name:string -> string option
+
+(** Delta-chain depth of a catalogued image: 0 for a full image, 1 plus
+    the base's depth for a delta (unresolvable links stop the count). *)
+val chain_depth : t -> name:string -> int
 
 (** [pin t ~lineage ~generation] protects every manifest of [lineage] at
     [generation] or newer from GC (both {!gc_lineage} retention and an

@@ -161,6 +161,14 @@ let test_delta_forked_crash () =
 let test_delta_base_loss () =
   check_store_fault "base loss" Chaos.Delta_fault.base_loss
 
+(* restart fast-path scenarios: faults aimed at lazy restore and the
+   striped replica fetch (same convention — outside [Scenario.sample]) *)
+let test_restore_lazy_kill () =
+  check_store_fault "lazy kill" Chaos.Restore_fault.lazy_kill
+
+let test_restore_stripe_drop () =
+  check_store_fault "stripe drop" Chaos.Restore_fault.stripe_drop
+
 let test_catches_skip_drain () =
   check_bug_caught ~name:"skip-drain" Dmtcp.Faults.bug_skip_drain
 
@@ -210,5 +218,10 @@ let () =
           Alcotest.test_case "node crash mid-forked checkpoint" `Quick test_delta_forked_crash;
           Alcotest.test_case "delta base replica loss fails cleanly" `Quick
             test_delta_base_loss;
+        ] );
+      ( "restore-fault",
+        [
+          Alcotest.test_case "node crash mid-lazy-restore" `Quick test_restore_lazy_kill;
+          Alcotest.test_case "replica drop mid-striped-fetch" `Quick test_restore_stripe_drop;
         ] );
     ]

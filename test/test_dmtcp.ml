@@ -835,6 +835,9 @@ let test_options_env_roundtrip () =
       store_quorum = 2;
       keep_generations = 4;
       delta_chain = 5;
+      lazy_restart = true;
+      restart_parallel = 3;
+      compact_depth = 6;
     }
   in
   let opts' = Dmtcp.Options.of_env (Dmtcp.Options.to_env opts) in

@@ -262,6 +262,42 @@ let test_dirty_shared_always_full () =
   check Alcotest.int "shared still counts every page" 2
     (Mem.Address_space.region_dirty_pages seg)
 
+(* ------------------------------------------------------------------ *)
+(* per-page residency (demand-paged lazy restore) *)
+
+let test_resident_fresh_absent_faultin () =
+  let sp, heap = make_space () in
+  check Alcotest.int "fresh space fully resident" (8 + 16) (Mem.Address_space.resident_pages sp);
+  check Alcotest.int "counts every page" (8 + 16) (Mem.Address_space.total_pages sp);
+  Mem.Region.mark_all_absent heap;
+  check Alcotest.int "absent region drops out" 8 (Mem.Address_space.resident_pages sp);
+  Alcotest.(check bool) "page reads absent" false (Mem.Region.is_resident heap 3);
+  Mem.Region.set_resident heap 3;
+  Alcotest.(check bool) "fault-in marks the page" true (Mem.Region.is_resident heap 3);
+  check Alcotest.int "one page back" 9 (Mem.Address_space.resident_pages sp);
+  check Alcotest.int "region count agrees" 1 (Mem.Region.resident_count heap);
+  (* a store makes its page resident, like the kernel's fault hook *)
+  Mem.Address_space.write sp ~addr:(heap.Mem.Region.start_addr + Mem.Page.size) "x";
+  Alcotest.(check bool) "written page resident" true (Mem.Region.is_resident heap 1)
+
+let test_resident_excluded_from_codec () =
+  (* residency is a restart-time accounting device: it never travels
+     through the image codec, never affects equality, and a decoded
+     region always comes back fully resident *)
+  let sp, heap = make_space () in
+  let encoded sp =
+    let w = Util.Codec.Writer.create () in
+    Mem.Address_space.encode w sp;
+    Util.Codec.Writer.contents w
+  in
+  let full = encoded sp in
+  Mem.Region.mark_all_absent heap;
+  check Alcotest.string "encode ignores residency" full (encoded sp);
+  let sp2 = Mem.Address_space.decode (Util.Codec.Reader.of_string full) in
+  Alcotest.(check bool) "equality ignores residency" true (Mem.Address_space.equal sp sp2);
+  check Alcotest.int "decoded space fully resident" (8 + 16)
+    (Mem.Address_space.resident_pages sp2)
+
 let () =
   Alcotest.run "mem"
     [
@@ -302,5 +338,12 @@ let () =
           Alcotest.test_case "writes mark pages" `Quick test_dirty_write_marks_page;
           Alcotest.test_case "snapshot bitmap independent" `Quick test_dirty_snapshot_independent;
           Alcotest.test_case "shared segments stay dirty" `Quick test_dirty_shared_always_full;
+        ] );
+      ( "resident",
+        [
+          Alcotest.test_case "fresh, absent, fault-in accounting" `Quick
+            test_resident_fresh_absent_faultin;
+          Alcotest.test_case "excluded from codec and equality" `Quick
+            test_resident_excluded_from_codec;
         ] );
     ]

@@ -266,6 +266,47 @@ let test_wheel_interleaved_with_heap () =
   drain 6;
   check Alcotest.(option (pair (float 1e-12) int)) "both empty" None (pop_both "empty")
 
+let wheel_entry = Alcotest.(option (pair (float 1e-12) int))
+
+let test_wheel_horizon_migration () =
+  (* the exact horizon boundary: an entry at bucket [cur + nslots] is
+     the FIRST one outside the wheel, so it must start life in the
+     overflow heap — and once the cursor advances it migrates onto slot
+     [nslots mod nslots = 0], i.e. slot 0 of the next rotation.  Ties
+     that straddle the migration (one entry migrated from overflow, one
+     pushed straight onto the wheel) must still pop in push order. *)
+  let w = Sim.Wheel.create ~width:1.0 ~nslots:4 () in
+  Sim.Wheel.push w ~time:4.0 100;  (* bucket 4 = cur(0) + nslots: overflow *)
+  Sim.Wheel.push w ~time:3.9 101;  (* bucket 3: last slot inside the horizon *)
+  Sim.Wheel.push w ~time:0.5 102;
+  check wheel_entry "peek sees past the overflow entry" (Some (0.5, 102)) (Sim.Wheel.peek w);
+  check wheel_entry "in-wheel minimum first" (Some (0.5, 102)) (Sim.Wheel.pop w);
+  (* cursor still at bucket 0, so an equal-time push also overflows *)
+  Sim.Wheel.push w ~time:4.0 103;
+  check wheel_entry "last in-horizon slot" (Some (3.9, 101)) (Sim.Wheel.pop w);
+  (* cursor now at bucket 3: bucket 4 is inside [3, 7), so this push
+     lands directly on slot 0 of the next rotation, where the two
+     overflow entries are about to migrate *)
+  Sim.Wheel.push w ~time:4.0 104;
+  check wheel_entry "migrated entry keeps FIFO rank" (Some (4.0, 100)) (Sim.Wheel.pop w);
+  check wheel_entry "second overflow tie" (Some (4.0, 103)) (Sim.Wheel.pop w);
+  check wheel_entry "direct push pops last" (Some (4.0, 104)) (Sim.Wheel.pop w);
+  check wheel_entry "drained" None (Sim.Wheel.pop w)
+
+let test_wheel_overflow_cursor_jump () =
+  (* only overflow entries remain: pop must jump the cursor straight to
+     their bucket (several rotations out), migrate them, and still serve
+     equal-time entries FIFO alongside a post-jump push *)
+  let w = Sim.Wheel.create ~width:1.0 ~nslots:4 () in
+  Sim.Wheel.push w ~time:8.0 1;  (* bucket 8: two full rotations out *)
+  Sim.Wheel.push w ~time:8.0 2;
+  check wheel_entry "peek with an empty wheel reads overflow" (Some (8.0, 1)) (Sim.Wheel.peek w);
+  check wheel_entry "cursor jumps to the overflow bucket" (Some (8.0, 1)) (Sim.Wheel.pop w);
+  Sim.Wheel.push w ~time:8.0 3;  (* now in-horizon: same bucket, same slot *)
+  check wheel_entry "migrated tie first" (Some (8.0, 2)) (Sim.Wheel.pop w);
+  check wheel_entry "post-jump push last" (Some (8.0, 3)) (Sim.Wheel.pop w);
+  check wheel_entry "drained" None (Sim.Wheel.pop w)
+
 let () =
   Alcotest.run "sim"
     [
@@ -293,5 +334,7 @@ let () =
           prop_wheel_matches_heap;
           Alcotest.test_case "interleaved pop/push matches heap" `Quick
             test_wheel_interleaved_with_heap;
+          Alcotest.test_case "horizon-boundary migration" `Quick test_wheel_horizon_migration;
+          Alcotest.test_case "overflow-only cursor jump" `Quick test_wheel_overflow_cursor_jump;
         ] );
     ]

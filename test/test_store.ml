@@ -365,6 +365,42 @@ let test_store_dedup_ratio_on_dirty_pages () =
   Alcotest.(check bool) "most blocks deduped" true (s1.Store.blocks_deduped >= 15)
 
 (* ------------------------------------------------------------------ *)
+(* delta-chain depth and striped fetch *)
+
+let test_chain_depth () =
+  let _, store = mk () in
+  ignore (put ~name:"base" store [ "aaa" ]);
+  ignore (put ~base:"base" ~name:"d1" store [ "bbb" ]);
+  ignore (put ~base:"d1" ~name:"d2" store [ "ccc" ]);
+  check Alcotest.int "full image depth 0" 0 (Store.chain_depth store ~name:"base");
+  check Alcotest.int "first delta depth 1" 1 (Store.chain_depth store ~name:"d1");
+  check Alcotest.int "second delta depth 2" 2 (Store.chain_depth store ~name:"d2");
+  check Alcotest.int "unknown name depth 0" 0 (Store.chain_depth store ~name:"nope")
+
+let test_striped_fetch_speedup () =
+  (* eight equal blocks, read back from the writer's node: with two
+     replicas the stripe splits the reads across both disks, so the
+     modeled fetch delay must drop well below the single-replica case *)
+  let chunks = List.init 8 (fun i -> String.make 100_000 (Char.chr (Char.code 'a' + i))) in
+  let fetch_delay replicas =
+    let eng, store = mk ~replicas () in
+    ignore (put store chunks);
+    (* drain the put's write bookings so the fetch measures reads only *)
+    Sim.Engine.run ~until:10.0 eng;
+    match Store.fetch store ~node:0 ~name:"img-g0" with
+    | Some (bytes, delay) ->
+      check Alcotest.string "bytes reassemble exactly" (String.concat "" chunks) bytes;
+      delay
+    | None -> Alcotest.fail "catalogued image not fetchable"
+  in
+  let single = fetch_delay 1 in
+  let striped = fetch_delay 2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "two replicas at least 1.5x faster (%.4f vs %.4f)" striped single)
+    true
+    (striped <= single /. 1.5)
+
+(* ------------------------------------------------------------------ *)
 (* end-to-end through the DMTCP stack *)
 
 let setup_cluster () =
@@ -454,6 +490,62 @@ let test_e2e_restart_from_replica () =
   | Some f -> check Alcotest.string "computation finished correctly" "hog:400" (Simos.Vfs.read_all f)
   | None -> Alcotest.fail "restarted computation produced no output"
 
+let test_e2e_compaction_pinned_restart () =
+  (* pin x compaction: build a depth-3 delta chain through incremental
+     checkpoints, pin the lineage (as the scheduler does for preempted
+     jobs), let the compactor squash the chain — the pinned lineage
+     must stay restartable through the SAME catalog name and finish
+     bit-identical to an unfaulted run *)
+  Chaos.Progs.ensure_registered ();
+  let cl = Simos.Cluster.create ~nodes:4 () in
+  let options =
+    {
+      Dmtcp.Options.default with
+      Dmtcp.Options.store = true;
+      store_replicas = 2;
+      keep_generations = 2;
+      incremental = true;
+    }
+  in
+  let rt = Dmtcp.Api.install cl ~options () in
+  let store = Option.get (Dmtcp.Runtime.store rt) in
+  let _ = Dmtcp.Api.launch rt ~node:1 ~prog:"p:dirty" ~argv:[ "24"; "2"; "1000"; "/tmp/cp1" ] in
+  run_for cl 0.5;
+  Dmtcp.Api.checkpoint_now rt;
+  run_for cl 0.2;
+  Dmtcp.Api.checkpoint_now rt;
+  run_for cl 0.2;
+  Dmtcp.Api.checkpoint_now rt;
+  run_for cl 0.2;
+  Dmtcp.Api.checkpoint_now rt;
+  let script = Dmtcp.Api.restart_script rt in
+  Dmtcp.Api.kill_computation rt;
+  let name =
+    Filename.basename (snd (List.hd (Dmtcp.Runtime.ckpt_info rt).Dmtcp.Runtime.images))
+  in
+  check Alcotest.int "three incremental checkpoints chained" 3 (Store.chain_depth store ~name);
+  let m = Option.get (Store.find store ~name) in
+  Store.pin store ~lineage:m.Store.m_lineage ~generation:m.Store.m_generation;
+  let compacted = Dmtcp.Compactor.run ~max:10 store ~node:0 ~depth:1 in
+  Alcotest.(check bool) "compactor squashed the over-deep chains" true
+    (List.mem name compacted);
+  check Alcotest.int "newest image now a full frame" 0 (Store.chain_depth store ~name);
+  let m' = Option.get (Store.find store ~name) in
+  Alcotest.(check bool) "manifest marked compacted" true m'.Store.m_compacted;
+  Alcotest.(check bool) "consolidated image is self-contained" true
+    ((Dmtcp.Ckpt_image.decode (Option.get (Store.peek store ~name))).Dmtcp.Ckpt_image.delta_base
+    = None);
+  check Alcotest.(list Alcotest.string) "catalog healthy after compaction" [] (Store.verify store);
+  Alcotest.(check bool) "pinned generation survived the compactor's gc" true
+    (Store.contains store ~name);
+  Dmtcp.Api.restart rt script;
+  Dmtcp.Api.await_restart rt;
+  Simos.Cluster.run cl;
+  match Simos.Vfs.lookup (Simos.Kernel.vfs (Simos.Cluster.kernel cl 1)) "/tmp/cp1" with
+  | Some f ->
+    check Alcotest.string "computation finished correctly" "dirty:1000" (Simos.Vfs.read_all f)
+  | None -> Alcotest.fail "restart after compaction produced no output"
+
 let () =
   Alcotest.run "store"
     [
@@ -484,6 +576,11 @@ let () =
           Alcotest.test_case "fallback + missing blocks" `Quick test_drop_node_and_replica_fallback;
           Alcotest.test_case "placement skips dead nodes" `Quick test_placement_skips_dead_nodes;
         ] );
+      ( "fast-path",
+        [
+          Alcotest.test_case "chain depth" `Quick test_chain_depth;
+          Alcotest.test_case "striped fetch speedup" `Quick test_striped_fetch_speedup;
+        ] );
       ( "chunking",
         [
           Alcotest.test_case "concat identity" `Quick test_chunk_concat_identity;
@@ -495,5 +592,7 @@ let () =
           Alcotest.test_case "checkpoint lands in store" `Quick test_e2e_checkpoint_lands_in_store;
           Alcotest.test_case "interval dedup" `Quick test_e2e_interval_checkpoints_dedup;
           Alcotest.test_case "restart from replica" `Quick test_e2e_restart_from_replica;
+          Alcotest.test_case "compaction keeps pinned lineage restartable" `Quick
+            test_e2e_compaction_pinned_restart;
         ] );
     ]
