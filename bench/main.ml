@@ -421,6 +421,35 @@ let restore_records () =
     ("store.striped-fetch-speedup", ms single, ms striped);
   ]
 
+(* Plugin hook overhead: the same 1-of-16-dirty cycle with every
+   built-in plugin enabled vs none.  Handlers run in zero simulated
+   time and this workload holds nothing the heuristics act on, so the
+   checkpoint+restart blackout must not grow — the record pins the
+   dispatch machinery itself at <= 5% overhead. *)
+let plugin_cycle ~plugins () =
+  Chaos.Progs.ensure_registered ();
+  let options = { Dmtcp.Options.default with Dmtcp.Options.plugins } in
+  let env = Harness.Common.setup ~nodes:1 ~options () in
+  let rt = env.Harness.Common.rt in
+  ignore
+    (Dmtcp.Api.launch rt ~node:0 ~prog:"p:dirty" ~argv:[ "1024"; "64"; "20000"; "/tmp/po" ]);
+  Harness.Common.run_for env 1.0;
+  Dmtcp.Api.checkpoint_now rt;
+  let ckpt = Dmtcp.Api.last_checkpoint_seconds rt in
+  let script = Dmtcp.Api.restart_script rt in
+  Dmtcp.Api.kill_computation rt;
+  Dmtcp.Api.restart rt script;
+  Dmtcp.Api.await_restart rt;
+  let rst = Dmtcp.Api.last_restart_seconds rt in
+  Harness.Common.teardown env;
+  ckpt +. rst
+
+let plugin_records () =
+  let ms s = int_of_float (Float.round (s *. 1000.)) in
+  let off = plugin_cycle ~plugins:[] () in
+  let all = plugin_cycle ~plugins:Dmtcp.Plugins.all_names () in
+  [ ("plugin.hook-overhead", ms off, ms all) ]
+
 (* BENCH_RESTORE_SWEEP=1: print the eager/lazy blackout sweep over
    working-set sizes, and the striped fetch delay over replica counts
    (the tables in EXPERIMENTS.md). Virtual-time deterministic, but kept
@@ -518,6 +547,8 @@ let assert_invariants ratios =
     "lazy restore must cut the restart blackout to a quarter or less" 0.25;
   check "store.striped-fetch-speedup"
     "striped fetch over two replicas must run at least 1.5x faster than one" (1. /. 1.5);
+  check "plugin.hook-overhead"
+    "dispatching every built-in plugin hook must cost at most 5% blackout" 1.05;
   flush stdout;
   if !failed then exit 1
 
@@ -527,7 +558,7 @@ let () =
   let timings = if sections <> `Repro then run_micro () else [] in
   let ratios =
     ratio_records () @ store_records () @ delta_records () @ sched_records ()
-    @ sched1k_records () @ restore_records ()
+    @ sched1k_records () @ restore_records () @ plugin_records ()
   in
   print_ratios ratios;
   (match Sys.getenv_opt "BENCH_JSON" with

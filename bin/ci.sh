@@ -29,6 +29,31 @@ echo "== lazy-restart determinism: demand-paged restore scenario, two runs =="
 # cold pages through the prefetcher must trace byte-identical too.
 dune exec bin/dmtcp_sim.exe -- trace --lazy --check-determinism
 
+echo "== plugin determinism: every heuristic plugin on, two runs =="
+# The plugin/<name>/<site> spans join the trace stream; dispatch order
+# is registration order, so the traced cycle must stay byte-identical
+# across runs with every built-in heuristic enabled.
+dune exec bin/dmtcp_sim.exe -- trace --plugins --check-determinism
+
+echo "== plugin smoke: registry listing + heuristic verdict diff =="
+# Each heuristic scenario must change its verdict when its plugin is
+# enabled: blacklisted DNS degrades instead of staying live, the /proc
+# fd reads the restarted pid instead of a stale one, the NSCD app
+# detects the zeroed segment instead of trusting resurrected cache.
+mkdir -p _artifacts
+dune exec bin/dmtcp_sim.exe -- plugins ls
+dune exec bin/dmtcp_sim.exe -- plugins run > _artifacts/plugins_on.txt
+dune exec bin/dmtcp_sim.exe -- plugins run --off > _artifacts/plugins_off.txt
+cat _artifacts/plugins_on.txt
+if diff -q _artifacts/plugins_on.txt _artifacts/plugins_off.txt > /dev/null; then
+  echo "FAIL: heuristic verdicts identical with plugins on and off." >&2
+  exit 1
+fi
+grep -q "degraded" _artifacts/plugins_on.txt || { echo "FAIL: blacklist/extshm did not degrade with plugins on." >&2; exit 1; }
+grep -q "PROC OK" _artifacts/plugins_on.txt || { echo "FAIL: proc-fd did not re-point with plugins on." >&2; exit 1; }
+grep -q "dns:1200 live" _artifacts/plugins_off.txt || { echo "FAIL: dns pair did not stay live with plugins off." >&2; exit 1; }
+grep -q "PROC STALE" _artifacts/plugins_off.txt || { echo "FAIL: /proc fd unexpectedly fresh with plugins off." >&2; exit 1; }
+
 echo "== store smoke: catalog verify over the canned two-generation scenario =="
 dune exec bin/dmtcp_sim.exe -- store verify
 

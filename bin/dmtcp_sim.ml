@@ -159,18 +159,18 @@ let torture seeds base bug replay keep =
    checkpoint/restart protocol scenario, then the batch scheduler's
    preempt/fail/drain demo — so every category, "sched" included, has
    real events behind it.  The metrics snapshot is taken after both. *)
-let trace_scenario incremental lazy_restore =
-  let events, _ = Harness.Trace_scenario.run ~incremental ~lazy_restore () in
+let trace_scenario incremental lazy_restore plugins =
+  let events, _ = Harness.Trace_scenario.run ~incremental ~lazy_restore ~plugins () in
   let c = Trace.collector () in
   ignore
     (Trace.with_sink (Trace.collector_sink c) (fun () -> Chaos.Sched_demo.run ~faults:true ()));
   (events @ Trace.events c, Trace.Metrics.snapshot_text ())
 
-let trace_run format node pid cat stage metrics check incremental lazy_restore =
+let trace_run format node pid cat stage metrics check incremental lazy_restore plugins =
   if check then begin
     (* run the fixed scenario twice; the renderings must be byte-identical *)
-    let e1, m1 = trace_scenario incremental lazy_restore in
-    let e2, m2 = trace_scenario incremental lazy_restore in
+    let e1, m1 = trace_scenario incremental lazy_restore plugins in
+    let e2, m2 = trace_scenario incremental lazy_restore plugins in
     let j1 = Trace.jsonl e1 and j2 = Trace.jsonl e2 in
     if j1 = j2 && m1 = m2 then begin
       Printf.printf "deterministic: %d events, %d JSONL bytes, metrics snapshots equal\n"
@@ -185,7 +185,7 @@ let trace_run format node pid cat stage metrics check incremental lazy_restore =
     end
   end
   else begin
-    let events, msnap = trace_scenario incremental lazy_restore in
+    let events, msnap = trace_scenario incremental lazy_restore plugins in
     let filter = { Trace.f_node = node; f_pid = pid; f_cat = cat; f_prefix = stage } in
     let events = List.filter (Trace.matches filter) events in
     (match format with
@@ -386,6 +386,41 @@ let sched_run action no_faults =
 let cmd name doc f =
   Cmd.v (Cmd.info name ~doc) Term.(const f $ reps_arg $ quick_arg $ out_arg)
 
+(* the plugin registry and the open-world heuristic scenarios *)
+let plugins_run action off =
+  Dmtcp.Plugins.ensure_registered ();
+  match action with
+  | "ls" ->
+    (* enablement as the environment would configure it (DMTCP_PLUGINS;
+       default: ext-sock only, matching the pre-plugin behavior) *)
+    (let opts =
+       try Dmtcp.Options.of_getenv Sys.getenv_opt
+       with Invalid_argument msg ->
+         Printf.eprintf "%s\n" msg;
+         exit 2
+     in
+     Plugin.set_enabled opts.Dmtcp.Options.plugins);
+    Printf.printf "%-16s %-3s %5s  %s\n" "NAME" "ON" "HOOKS" "SITES";
+    List.iter
+      (fun (p : Plugin.t) ->
+        Printf.printf "%-16s %-3s %5d  %s\n" p.Plugin.p_name
+          (if Plugin.is_enabled p.Plugin.p_name then "*" else "")
+          (List.length p.Plugin.p_hooks)
+          (String.concat ", " (List.map fst p.Plugin.p_hooks));
+        Printf.printf "%-16s      %s\n" "" p.Plugin.p_doc)
+      (Plugin.registered ())
+  | "run" ->
+    (* one verdict line per heuristic; ci.sh diffs --off against the
+       default to prove each plugin changes the observable outcome *)
+    List.iter
+      (fun name ->
+        let v = Chaos.Plugin_fault.run_heuristic ~name ~plugins_on:(not off) in
+        Printf.printf "%-10s %s\n" name v)
+      Chaos.Plugin_fault.heuristic_names
+  | other ->
+    Printf.eprintf "unknown action %S (expected ls or run)\n" other;
+    exit 2
+
 let () =
   let doc = "Reproduce the DMTCP paper's evaluation on a simulated cluster" in
   let info = Cmd.info "dmtcp_sim" ~version:"1.0" ~doc in
@@ -471,6 +506,25 @@ let () =
             ~doc:"Chaos harness: fault-injected checkpoint torture over a block of seeds, with \
                   failure shrinking")
          Term.(const torture $ seeds_arg $ base_arg $ bug_arg $ replay_arg $ keep_arg));
+      (let action_arg =
+         Arg.(
+           required
+           & pos 0 (some string) None
+           & info [] ~docv:"ACTION" ~doc:"One of ls or run.")
+       in
+       let off_arg =
+         Arg.(
+           value & flag
+           & info [ "off" ]
+               ~doc:"With run: leave the heuristic plugins disabled (ext-sock only), so the \
+                     verdicts show what each heuristic changes.")
+       in
+       Cmd.v
+         (Cmd.info "plugins"
+            ~doc:"Plugin registry: 'ls' lists the registered hook plugins (hook counts, \
+                  enablement), 'run' plays the three open-world heuristic scenarios and prints \
+                  one verdict line each")
+         Term.(const plugins_run $ action_arg $ off_arg));
       (let format_arg =
          Arg.(
            value & opt string "text"
@@ -520,13 +574,21 @@ let () =
                ~doc:"Use demand-paged lazy restore: the traced restart resumes after the hot \
                      set and drains cold pages through the background prefetcher.")
        in
+       let plugins_arg =
+         Arg.(
+           value & flag
+           & info [ "plugins" ]
+               ~doc:"Enable every built-in heuristic plugin (ext-sock, blacklist-ports, proc-fd, \
+                     ext-shm): the trace then carries the deterministic plugin/<name>/<site> \
+                     spans.")
+       in
        Cmd.v
          (Cmd.info "trace"
             ~doc:"Trace a fixed checkpoint/restart scenario (text or JSONL), with filtering and a \
                   determinism self-check")
          Term.(
            const trace_run $ format_arg $ node_arg $ pid_arg $ cat_arg $ stage_arg $ metrics_arg
-           $ check_arg $ incremental_arg $ lazy_arg));
+           $ check_arg $ incremental_arg $ lazy_arg $ plugins_arg));
     ]
   in
   exit (Cmd.eval (Cmd.group info cmds))

@@ -1,0 +1,54 @@
+(* Typed payloads for the plugin hook sites the checkpoint/restart core
+   publishes.  [Plugin.payload] is an extensible variant so the generic
+   dispatcher in [lib/plugin] needs no knowledge of DMTCP types; the
+   mutable fields are the plugin API — handlers rewrite them in place
+   and the core reads the result back. *)
+
+type Plugin.payload +=
+  | Stage of { stage : Faults.stage }
+      (* pre-<stage> / post-<stage> and pre/post-barrier-<k> sites *)
+  | Coord_round of { round : int; procs : int }
+      (* coord-ckpt-begin / coord-ckpt-end at the coordinator *)
+  | Fd_capture of {
+      fd : int;
+      desc : Simos.Fdesc.t;
+      entry : Conn_table.entry option;
+      mutable info : Ckpt_image.fd_info option;
+          (* the classification about to be written into the image;
+             [None] drops the fd from the image *)
+    }
+  | Drain_select of {
+      fd : int;
+      entry : Conn_table.entry;
+      sock : Simnet.Fabric.socket;
+      mutable skip : bool;  (* true = leave this connection un-drained *)
+    }
+  | Image_write of { image : Mtcp.Image.t }
+      (* the captured address space, before sizing/encoding: mutations
+         here are what the image on disk contains *)
+  | Restart_discovery of {
+      kernel : Simos.Kernel.t;
+      key : string;  (* conn-id key of the unresolved connection *)
+      eof : bool;    (* the stream had already ended at checkpoint time *)
+      mutable desc : Simos.Fdesc.t option;
+          (* a plugin resolves the fd by filling this in *)
+    }
+  | Restart_rearrange of {
+      kernel : Simos.Kernel.t;
+      image : Ckpt_image.t;
+      proc : Simos.Kernel.process;
+          (* freshly materialized process, fds installed, not yet resumed *)
+    }
+
+(* Hook-site names (the <site> of [plugin/<name>/<site>] spans). *)
+
+let site_stage phase stage =
+  (match phase with `Pre -> "pre-" | `Post -> "post-") ^ Faults.stage_name stage
+
+let site_fd_capture = "fd-capture"
+let site_drain_select = "drain-select"
+let site_image_write = "image-write"
+let site_restart_discovery = "restart-discovery"
+let site_restart_rearrange = "restart-rearrange"
+let site_coord_begin = "coord-ckpt-begin"
+let site_coord_end = "coord-ckpt-end"

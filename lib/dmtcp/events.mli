@@ -1,0 +1,52 @@
+(** Typed payloads for the hook sites the checkpoint/restart core
+    publishes (the DMTCP-specific half of the {!Plugin} event API).
+    Mutable fields are the contract: handlers rewrite them in place and
+    the core reads the result back. *)
+
+type Plugin.payload +=
+  | Stage of { stage : Faults.stage }
+      (** [pre-<stage>] / [post-<stage>] and [pre/post-barrier<k>] *)
+  | Coord_round of { round : int; procs : int }
+      (** [coord-ckpt-begin] / [coord-ckpt-end] at the coordinator *)
+  | Fd_capture of {
+      fd : int;
+      desc : Simos.Fdesc.t;
+      entry : Conn_table.entry option;
+      mutable info : Ckpt_image.fd_info option;
+          (** classification about to be written into the image;
+              [None] drops the fd from the image *)
+    }
+  | Drain_select of {
+      fd : int;
+      entry : Conn_table.entry;
+      sock : Simnet.Fabric.socket;
+      mutable skip : bool;  (** [true] = leave this connection un-drained *)
+    }
+  | Image_write of { image : Mtcp.Image.t }
+      (** captured address space before sizing/encoding: mutations here
+          are what the image on disk contains *)
+  | Restart_discovery of {
+      kernel : Simos.Kernel.t;
+      key : string;
+      eof : bool;
+      mutable desc : Simos.Fdesc.t option;
+          (** a plugin resolves the unreachable connection's fd by
+              filling this in *)
+    }
+  | Restart_rearrange of {
+      kernel : Simos.Kernel.t;
+      image : Ckpt_image.t;
+      proc : Simos.Kernel.process;
+          (** freshly materialized, fds installed, not yet resumed *)
+    }
+
+(** Hook-site names — the [<site>] of [plugin/<name>/<site>] spans. *)
+
+val site_stage : [ `Pre | `Post ] -> Faults.stage -> string
+val site_fd_capture : string
+val site_drain_select : string
+val site_image_write : string
+val site_restart_discovery : string
+val site_restart_rearrange : string
+val site_coord_begin : string
+val site_coord_end : string

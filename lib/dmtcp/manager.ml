@@ -62,6 +62,15 @@ module P = struct
       Trace.instant ~node:ctx.Simos.Program.node_id ~pid:ctx.Simos.Program.pid ~cat:"dmtcp"
         ~name:("mgr/" ^ name) ~args ~time:(ctx.now ()) ()
 
+  (* plugin hook dispatch, co-located with the fault/trace
+     instrumentation: same protocol points, typed payloads *)
+  let hook (ctx : Simos.Program.ctx) site payload =
+    Plugin.dispatch ~node:ctx.Simos.Program.node_id ~pid:ctx.Simos.Program.pid
+      ~now:(ctx.now ()) site payload
+
+  let stage_hook ctx phase stg =
+    hook ctx (Events.site_stage phase stg) (Events.Stage { stage = stg })
+
   let my_kernel (ctx : Simos.Program.ctx) = Runtime.kernel_of (rt ()) ~node:ctx.node_id
 
   let my_proc (ctx : Simos.Program.ctx) =
@@ -135,6 +144,10 @@ module P = struct
     let ps = my_pstate ctx in
     let opts = Options.of_getenv ctx.getenv in
     let mtcp_image = Mtcp.Image.capture proc in
+    (* image-write hook: runs on the captured snapshot before sizing and
+       encoding, so whatever plugins mutate is exactly what lands on
+       disk (ext-shm zeroes external-service shared segments here) *)
+    hook ctx Events.site_image_write (Events.Image_write { image = mtcp_image });
     (* chain this checkpoint onto the previous image when incremental
        deltas are enabled and the chain is still short enough; a reset
        (None) writes a self-contained full image *)
@@ -167,75 +180,92 @@ module P = struct
          dirt relative to THIS checkpoint *)
       Mem.Address_space.clear_dirty proc.Simos.Kernel.space;
     let pty_records = Hashtbl.create 4 in
+    let classify fd (desc : Simos.Fdesc.t) entry =
+      match desc.Simos.Fdesc.kind with
+      | Simos.Fdesc.File { file; offset } ->
+        Some (Ckpt_image.FFile { path = Simos.Vfs.path_of file; offset })
+      | Simos.Fdesc.Sock s -> (
+        match entry with
+        | None -> None (* DMTCP-internal socket (coordinator link) *)
+        | Some entry ->
+          let state =
+            match Simnet.Fabric.state s with
+            | Simnet.Fabric.Established -> Ckpt_image.S_established
+            | Simnet.Fabric.Listening ->
+              let port, unix_path =
+                match Simnet.Fabric.local_addr s with
+                | Some (Simnet.Addr.Inet { port; _ }) -> (Some port, None)
+                | Some (Simnet.Addr.Unix { path; _ }) -> (None, Some path)
+                | None -> (None, None)
+              in
+              (* capture the real backlog so restart's re-listen
+                 restores it faithfully *)
+              Ckpt_image.S_listening { port; unix_path; backlog = Simnet.Fabric.backlog s }
+            | _ -> Ckpt_image.S_other
+          in
+          Some
+            (Ckpt_image.FSock
+               {
+                 state;
+                 kind = entry.Conn_table.kind;
+                 role = entry.Conn_table.role;
+                 conn_id = entry.Conn_table.conn_id;
+                 drained = entry.Conn_table.drained;
+                 eof = entry.Conn_table.eof;
+               }))
+      | Simos.Fdesc.Pty_m p | Simos.Fdesc.Pty_s p ->
+        let master =
+          match desc.Simos.Fdesc.kind with Simos.Fdesc.Pty_m _ -> true | _ -> false
+        in
+        let pty_key = Simos.Pty.id p in
+        if not (Hashtbl.mem pty_records pty_key) then begin
+          let tio = Simos.Pty.termios p in
+          let to_slave, to_master =
+            Option.value ~default:("", "") (Hashtbl.find_opt ps.Runtime.pty_drains pty_key)
+          in
+          Hashtbl.replace pty_records pty_key
+            {
+              Ckpt_image.pty_key;
+              pr_name = Simos.Pty.ptsname p;
+              icanon = tio.Simos.Pty.icanon;
+              echo = tio.Simos.Pty.echo;
+              isig = tio.Simos.Pty.isig;
+              baud = tio.Simos.Pty.baud;
+              drained_to_slave = to_slave;
+              drained_to_master = to_master;
+            }
+        end;
+        ignore fd;
+        Some (Ckpt_image.FPty { master; pty_key })
+      | Simos.Fdesc.Pipe_r _ | Simos.Fdesc.Pipe_w _ ->
+        (* pipes are promoted to socketpairs under DMTCP; a raw
+           pipe here predates hijacking and is dropped *)
+        None
+    in
     let fds =
       ctx.fds ()
       |> List.filter_map (fun fd ->
              match Simos.Kernel.fd_desc proc fd with
              | None -> None
-             | Some desc -> (
+             | Some desc ->
                let key = desc.Simos.Fdesc.desc_id in
-               match desc.Simos.Fdesc.kind with
-               | Simos.Fdesc.File { file; offset } ->
-                 Some (fd, key, Ckpt_image.FFile { path = Simos.Vfs.path_of file; offset })
-               | Simos.Fdesc.Sock s -> (
-                 match Conn_table.find ps.Runtime.conns ~fd with
-                 | None -> None (* DMTCP-internal socket (coordinator link) *)
-                 | Some entry ->
-                   let state =
-                     match Simnet.Fabric.state s with
-                     | Simnet.Fabric.Established -> Ckpt_image.S_established
-                     | Simnet.Fabric.Listening ->
-                       let port, unix_path =
-                         match Simnet.Fabric.local_addr s with
-                         | Some (Simnet.Addr.Inet { port; _ }) -> (Some port, None)
-                         | Some (Simnet.Addr.Unix { path; _ }) -> (None, Some path)
-                         | None -> (None, None)
-                       in
-                       (* capture the real backlog so restart's re-listen
-                          restores it faithfully *)
-                       Ckpt_image.S_listening
-                         { port; unix_path; backlog = Simnet.Fabric.backlog s }
-                     | _ -> Ckpt_image.S_other
-                   in
-                   Some
-                     ( fd,
-                       key,
-                       Ckpt_image.FSock
-                         {
-                           state;
-                           kind = entry.Conn_table.kind;
-                           role = entry.Conn_table.role;
-                           conn_id = entry.Conn_table.conn_id;
-                           drained = entry.Conn_table.drained;
-                           eof = entry.Conn_table.eof;
-                         } ))
-               | Simos.Fdesc.Pty_m p | Simos.Fdesc.Pty_s p ->
-                 let master =
-                   match desc.Simos.Fdesc.kind with Simos.Fdesc.Pty_m _ -> true | _ -> false
-                 in
-                 let pty_key = Simos.Pty.id p in
-                 if not (Hashtbl.mem pty_records pty_key) then begin
-                   let tio = Simos.Pty.termios p in
-                   let to_slave, to_master =
-                     Option.value ~default:("", "") (Hashtbl.find_opt ps.Runtime.pty_drains pty_key)
-                   in
-                   Hashtbl.replace pty_records pty_key
-                     {
-                       Ckpt_image.pty_key;
-                       pr_name = Simos.Pty.ptsname p;
-                       icanon = tio.Simos.Pty.icanon;
-                       echo = tio.Simos.Pty.echo;
-                       isig = tio.Simos.Pty.isig;
-                       baud = tio.Simos.Pty.baud;
-                       drained_to_slave = to_slave;
-                       drained_to_master = to_master;
-                     }
-                 end;
-                 Some (fd, key, Ckpt_image.FPty { master; pty_key })
-               | Simos.Fdesc.Pipe_r _ | Simos.Fdesc.Pipe_w _ ->
-                 (* pipes are promoted to socketpairs under DMTCP; a raw
-                    pipe here predates hijacking and is dropped *)
-                 None))
+               let entry =
+                 match desc.Simos.Fdesc.kind with
+                 | Simos.Fdesc.Sock _ -> Conn_table.find ps.Runtime.conns ~fd
+                 | _ -> None
+               in
+               (* fd-capture hook: plugins may rewrite the classification
+                  about to enter the image (blacklist-ports demotes
+                  established service connections to S_other) or drop
+                  the fd entirely *)
+               let payload =
+                 Events.Fd_capture { fd; desc; entry; info = classify fd desc entry }
+               in
+               hook ctx Events.site_fd_capture payload;
+               let info =
+                 match payload with Events.Fd_capture p -> p.info | _ -> None
+               in
+               Option.map (fun info -> (fd, key, info)) info)
     in
     let parent_vpid =
       match Runtime.pstate_of (rt ()) ~node:ctx.node_id ~pid:(ctx.ppid ()) with
@@ -370,17 +400,20 @@ module P = struct
         (* stage 2: suspend user threads *)
         Faults.notify ~node:ctx.node_id ~pid:ctx.pid Faults.Suspend;
         trace_phase ctx "suspend" [];
+        stage_hook ctx `Pre Faults.Suspend;
         let proc = my_proc ctx in
         (match proc.Simos.Kernel.cmdline with
         | prog :: _ -> Dmtcpaware.run_pre_ckpt ~prog
         | [] -> ());
         Simos.Kernel.suspend_user_threads (my_kernel ctx) proc;
+        stage_hook ctx `Post Faults.Suspend;
         let nthreads = List.length proc.Simos.Kernel.threads in
         Simos.Program.Compute (to_barrier st 1 P_elect, Mtcp.Cost.suspend_seconds ~nthreads)
       end
     | P_send_barrier (k, next) ->
       Faults.notify ~node:ctx.node_id ~pid:ctx.pid (Faults.Barrier k);
       trace_phase ctx "barrier" [ ("k", string_of_int k) ];
+      stage_hook ctx `Pre (Faults.Barrier k);
       send_coord ctx st (Proto.barrier k);
       st.phase <- P_barrier (k, next);
       Simos.Program.Continue st
@@ -388,6 +421,7 @@ module P = struct
       let lines = pump_coord ctx st in
       let released = List.exists (fun l -> Proto.parse l = Proto.Release k) lines in
       if released then begin
+        stage_hook ctx `Post (Faults.Barrier k);
         st.phase <- next;
         Simos.Program.Continue st
       end
@@ -406,6 +440,7 @@ module P = struct
          wins *)
       Faults.notify ~node:ctx.node_id ~pid:ctx.pid Faults.Elect;
       trace_phase ctx "elect" [];
+      stage_hook ctx `Pre Faults.Elect;
       let ps = my_pstate ctx in
       let entries = Conn_table.entries ps.Runtime.conns in
       List.iter
@@ -413,12 +448,14 @@ module P = struct
           entry.Conn_table.saved_owner <- ctx.get_fd_owner fd;
           ctx.set_fd_owner fd ctx.pid)
         entries;
+      stage_hook ctx `Post Faults.Elect;
       Simos.Program.Compute
         (to_barrier st 2 P_drain, Mtcp.Cost.elect_seconds ~nfds:(List.length entries))
     | P_drain ->
       if st.drains = [] then begin
         Faults.notify ~node:ctx.node_id ~pid:ctx.pid Faults.Drain;
         trace_phase ctx "drain" [];
+        stage_hook ctx `Pre Faults.Drain;
         if !Faults.bug_skip_drain then begin
           (* injected bug: skip stage 4 — no flush tokens, nothing
              stashed; whatever the kernel buffers held is left out of
@@ -427,8 +464,25 @@ module P = struct
           Simos.Program.Continue (to_barrier st 3 P_write)
         end
         else begin
-        (* first entry into the drain stage: pick the sockets we lead *)
-        let leaders = leader_fds ctx in
+        (* first entry into the drain stage: pick the sockets we lead.
+           The drain-select hook lets plugins exclude connections whose
+           peer is outside checkpoint control (blacklisted service
+           ports): a skipped connection sends no flush token and stashes
+           nothing. *)
+        let leaders =
+          leader_fds ctx
+          |> List.filter (fun (fd, entry, _) ->
+                 match desc_socket ctx fd with
+                 | Some sock ->
+                   let payload =
+                     Events.Drain_select { fd; entry; sock; skip = false }
+                   in
+                   hook ctx Events.site_drain_select payload;
+                   (match payload with
+                   | Events.Drain_select p -> not p.skip
+                   | _ -> true)
+                 | None -> true)
+        in
         if leaders = [] then begin
           drain_finished ctx st;
           Simos.Program.Continue (to_barrier st 3 P_write)
@@ -460,6 +514,7 @@ module P = struct
       (* stage 5: write the checkpoint image *)
       Faults.notify ~node:ctx.node_id ~pid:ctx.pid Faults.Write;
       trace_phase ctx "write" [];
+      stage_hook ctx `Pre Faults.Write;
       let opts = Options.of_getenv ctx.getenv in
       let image, fname = build_image ctx in
       let bytes = Ckpt_image.encode image in
@@ -532,6 +587,9 @@ module P = struct
                    (Sim.Engine.schedule eng ~delay:write_delay (fun () ->
                         write_image_file ctx path bytes sizes.Mtcp.Image.compressed;
                         landed ()))));
+        (* forked mode: the parent's write stage ends at the snapshot;
+           the image lands from the background child *)
+        stage_hook ctx `Post Faults.Write;
         Simos.Program.Compute (to_barrier st 4 P_refill, Mtcp.Cost.snapshot_seconds ~pages)
       end
       else begin
@@ -561,6 +619,7 @@ module P = struct
     | P_write_file { path; bytes; sim } ->
       write_image_file ctx path bytes sim;
       finish_write (Upid.lineage (my_pstate ctx).Runtime.upid);
+      stage_hook ctx `Post Faults.Write;
       Simos.Program.Continue (to_barrier st 4 P_refill)
     | P_write_store { path; bytes; sim; upid; program; base } -> (
       match Runtime.store (rt ()) with
@@ -576,12 +635,14 @@ module P = struct
         Simos.Program.Block (st, Simos.Program.Sleep_until (ctx.now () +. delay)))
     | P_store_commit { lineage } ->
       finish_write lineage;
+      stage_hook ctx `Post Faults.Write;
       Simos.Program.Continue (to_barrier st 4 P_refill)
     | P_refill ->
       (* stage 6: re-inject drained socket data and pty buffers, restore
          the original F_SETOWN owners *)
       Faults.notify ~node:ctx.node_id ~pid:ctx.pid Faults.Refill;
       trace_phase ctx "refill" [];
+      stage_hook ctx `Pre Faults.Refill;
       let ps = my_pstate ctx in
       List.iter
         (fun d ->
@@ -606,11 +667,14 @@ module P = struct
       st.phase <- P_refill_done;
       (* retransmission cost of sending drained data back (about one RTT) *)
       Simos.Program.Block (st, Simos.Program.Sleep_until (ctx.now () +. 3e-4))
-    | P_refill_done -> Simos.Program.Continue (to_barrier st 5 P_resume)
+    | P_refill_done ->
+      stage_hook ctx `Post Faults.Refill;
+      Simos.Program.Continue (to_barrier st 5 P_resume)
     | P_resume ->
       (* stage 7: resume user threads and return to normal execution *)
       Faults.notify ~node:ctx.node_id ~pid:ctx.pid Faults.Resume;
       trace_phase ctx "resume" [];
+      stage_hook ctx `Pre Faults.Resume;
       let ps = my_pstate ctx in
       Hashtbl.reset ps.Runtime.pty_drains;
       st.drains <- [];
@@ -619,6 +683,7 @@ module P = struct
       (match proc.Simos.Kernel.cmdline with
       | prog :: _ -> Dmtcpaware.run_post_ckpt ~prog
       | [] -> ());
+      stage_hook ctx `Post Faults.Resume;
       st.phase <- P_idle;
       Simos.Program.Continue st
 
@@ -705,7 +770,8 @@ module P = struct
           | None -> ())
         | _ -> ())
       (Conn_table.entries ps.Runtime.conns);
-    Runtime.write_conn_table (Runtime.active ()) (my_kernel ctx) proc
+    Runtime.write_conn_table (Runtime.active ()) (my_kernel ctx) proc;
+    stage_hook ctx `Post Faults.Drain
 
   let step ctx st =
     try step ctx st

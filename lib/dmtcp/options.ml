@@ -19,6 +19,19 @@ type t = {
   compact_depth : int;
       (* background compaction: squash delta chains deeper than this
          into consolidated full images; 0 = compactor off *)
+  plugins : string list;
+      (* enabled plugin set (DMTCP_PLUGINS, comma-separated; "none"
+         disables every plugin).  Parsed strictly: malformed names
+         raise, unlike the forgiving numeric knobs, because a typo'd
+         plugin silently not running is an open-world data-loss bug. *)
+  blacklist_ports : int list;
+      (* blacklist-ports plugin knob (DMTCP_PLUGIN_BLACKLIST_PORTS):
+         service ports whose connections are skipped at drain and
+         recreated as dead sockets on restart *)
+  ext_shm_prefix : string;
+      (* ext-shm plugin knob (DMTCP_PLUGIN_EXT_SHM_PREFIX): shared
+         mappings backed by paths under this prefix belong to an
+         external service and are zeroed in the written image *)
 }
 
 let default =
@@ -39,9 +52,42 @@ let default =
     lazy_restart = false;
     restart_parallel = 0;
     compact_depth = 0;
+    plugins = [ "ext-sock" ];
+    blacklist_ports = [ 53; 389; 636 ];
+    ext_shm_prefix = "/var/db/nscd";
   }
 
 let hijack_key = "DMTCP_HIJACK"
+
+let plugin_name_ok n =
+  n <> ""
+  && String.for_all (fun c -> (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '-') n
+
+(* Strict: raises [Invalid_argument] on malformed values. *)
+let parse_plugins s =
+  match String.trim s with
+  | "" | "none" -> []
+  | s ->
+    let names = String.split_on_char ',' s |> List.map String.trim in
+    List.iter
+      (fun n ->
+        if not (plugin_name_ok n) then
+          invalid_arg (Printf.sprintf "DMTCP_PLUGINS: malformed plugin name %S" n))
+      names;
+    names
+
+let parse_ports s =
+  match String.trim s with
+  | "" -> []
+  | s ->
+    String.split_on_char ',' s
+    |> List.map (fun tok ->
+           match int_of_string_opt (String.trim tok) with
+           | Some p when p > 0 && p < 65536 -> p
+           | _ ->
+             invalid_arg (Printf.sprintf "DMTCP_PLUGIN_BLACKLIST_PORTS: bad port %S" tok))
+
+let plugins_to_string = function [] -> "none" | names -> String.concat "," names
 
 (* Note: deliberately does NOT set the hijack marker — only
    dmtcp_checkpoint's exec wrapper injects the library, so DMTCP's own
@@ -64,6 +110,10 @@ let to_env t =
     ("DMTCP_LAZY_RESTART", if t.lazy_restart then "1" else "0");
     ("DMTCP_RESTART_PARALLEL", string_of_int t.restart_parallel);
     ("DMTCP_COMPACT_DEPTH", string_of_int t.compact_depth);
+    ("DMTCP_PLUGINS", plugins_to_string t.plugins);
+    ( "DMTCP_PLUGIN_BLACKLIST_PORTS",
+      String.concat "," (List.map string_of_int t.blacklist_ports) );
+    ("DMTCP_PLUGIN_EXT_SHM_PREFIX", t.ext_shm_prefix);
   ]
 
 let of_env env =
@@ -87,6 +137,17 @@ let of_env env =
   let lazy_restart = get "DMTCP_LAZY_RESTART" "0" = "1" in
   let restart_parallel = get_int "DMTCP_RESTART_PARALLEL" default.restart_parallel in
   let compact_depth = get_int "DMTCP_COMPACT_DEPTH" default.compact_depth in
+  let plugins =
+    match List.assoc_opt "DMTCP_PLUGINS" env with
+    | None -> default.plugins
+    | Some s -> parse_plugins s
+  in
+  let blacklist_ports =
+    match List.assoc_opt "DMTCP_PLUGIN_BLACKLIST_PORTS" env with
+    | None -> default.blacklist_ports
+    | Some s -> parse_ports s
+  in
+  let ext_shm_prefix = get "DMTCP_PLUGIN_EXT_SHM_PREFIX" default.ext_shm_prefix in
   {
     coord_host;
     coord_port;
@@ -104,6 +165,9 @@ let of_env env =
     lazy_restart;
     restart_parallel;
     compact_depth;
+    plugins;
+    blacklist_ports;
+    ext_shm_prefix;
   }
 
 let of_getenv getenv =
@@ -115,7 +179,8 @@ let of_getenv getenv =
         "DMTCP_FORKED"; "DMTCP_INCREMENTAL"; "DMTCP_INTERVAL"; "DMTCP_SYNC"; "DMTCP_STORE";
         "DMTCP_STORE_REPLICAS"; "DMTCP_STORE_QUORUM"; "DMTCP_KEEP_GENERATIONS";
         "DMTCP_DELTA_CHAIN"; "DMTCP_LAZY_RESTART"; "DMTCP_RESTART_PARALLEL";
-        "DMTCP_COMPACT_DEPTH";
+        "DMTCP_COMPACT_DEPTH"; "DMTCP_PLUGINS"; "DMTCP_PLUGIN_BLACKLIST_PORTS";
+        "DMTCP_PLUGIN_EXT_SHM_PREFIX";
       ]
   in
   of_env env

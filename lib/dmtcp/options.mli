@@ -40,6 +40,22 @@ type t = {
           chains deeper than this are squashed into consolidated full
           images at the same catalog name, bounding restart chain depth
           independently of [delta_chain]; [0] disables the compactor *)
+  plugins : string list;
+      (** enabled plugin set ([DMTCP_PLUGINS], comma-separated plugin
+          names; ["none"] or empty disables all plugins).  Cached once
+          per runtime install, like coordinator options are cached at
+          coordinator boot.  Parsed strictly: a malformed name raises
+          [Invalid_argument] rather than silently dropping the plugin. *)
+  blacklist_ports : int list;
+      (** blacklist-ports plugin knob ([DMTCP_PLUGIN_BLACKLIST_PORTS]):
+          service ports (DNS 53, LDAP 389/636 by default) whose
+          connections are skipped at drain and recreated as dead
+          sockets on restart.  Bad ports raise [Invalid_argument]. *)
+  ext_shm_prefix : string;
+      (** ext-shm plugin knob ([DMTCP_PLUGIN_EXT_SHM_PREFIX]): shared
+          mappings backed by paths under this prefix belong to an
+          external service (NSCD-style) and are zeroed in the written
+          image *)
 }
 
 val default : t
@@ -57,3 +73,12 @@ val of_getenv : (string -> string option) -> t
 (** Environment marker that makes {!Simos.Kernel} treat a process as
     hijacked ([LD_PRELOAD=dmtcphijack.so] in the real system). *)
 val hijack_key : string
+
+(** Strict [DMTCP_PLUGINS] parser: comma-separated plugin names, [""]
+    or ["none"] for the empty set.  Raises [Invalid_argument] on a
+    malformed name (anything outside [a-z0-9-]). *)
+val parse_plugins : string -> string list
+
+(** Strict [DMTCP_PLUGIN_BLACKLIST_PORTS] parser: comma-separated
+    ports; raises [Invalid_argument] on a non-port token. *)
+val parse_ports : string -> int list

@@ -1,0 +1,202 @@
+(* Built-in plugins: the paper's "open world" heuristics as first-class
+   plugins on the {!Plugin} event API (SNIPPETS.md §2; real DMTCP grew
+   the same heuristics into its plugin event model).
+
+   - [ext-sock]        dead sockets for connections whose peer is gone
+                       (migrated from the old inline special case in
+                       restart.ml's discovery deadline path)
+   - [blacklist-ports] connections to well-known service ports (DNS 53,
+                       LDAP 389/636) are never drained and come back as
+                       dead sockets, so the app's resolver library
+                       reconnects instead of the checkpointer hanging on
+                       an uncontrolled peer
+   - [proc-fd]         open fds on /proc/<pid>/* re-pointed at the
+                       restarted pid via the VFS path-rewrite hook
+   - [ext-shm]         shared memory backed by an external service's
+                       file (NSCD-style) is zeroed in the written image;
+                       the app detects the zeroed region and degrades
+
+   Registration order here is the dispatch order everywhere. *)
+
+(* Per-plugin knobs, cached once per runtime install from the same
+   Options record the coordinator caches at boot. *)
+let cfg = ref Options.default
+let configure opts = cfg := opts
+
+let dead_socket kernel =
+  let fab = Simos.Kernel.fabric kernel in
+  let s = Simnet.Fabric.socket fab ~host:(Simos.Kernel.node_id kernel) in
+  s
+
+(* ------------------------------------------------------------------ *)
+(* ext-sock: unresolved connections get a fresh dead socket so reads
+   return EOF/ECONNRESET instead of blocking forever (paper §4.4's
+   answer to peers outside the checkpointed world). *)
+
+let ext_sock =
+  {
+    Plugin.p_name = "ext-sock";
+    p_doc = "dead sockets for connections whose peer was not checkpointed";
+    p_hooks =
+      [
+        ( Events.site_restart_discovery,
+          fun payload ->
+            match payload with
+            | Events.Restart_discovery p when p.desc = None ->
+              let s = dead_socket p.kernel in
+              (* a stream that had already ended keeps its EOF *)
+              if p.eof then Simnet.Fabric.inject_eof s;
+              p.desc <- Some (Simos.Fdesc.make (Simos.Fdesc.Sock s))
+            | _ -> () );
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* blacklist-ports *)
+
+(* a connection is blacklisted if *either* endpoint sits on a listed
+   port: the client names the service port as its peer, the accepted
+   server socket as its local address *)
+let blacklisted s =
+  let listed = function
+    | Some (Simnet.Addr.Inet { port; _ }) -> List.mem port !cfg.Options.blacklist_ports
+    | _ -> false
+  in
+  listed (Simnet.Fabric.peer_addr s) || listed (Simnet.Fabric.local_addr s)
+
+let blacklist_ports =
+  {
+    Plugin.p_name = "blacklist-ports";
+    p_doc = "skip draining service ports (DNS/LDAP); dead sockets on restart";
+    p_hooks =
+      [
+        ( Events.site_drain_select,
+          fun payload ->
+            match payload with
+            | Events.Drain_select p when blacklisted p.sock -> p.skip <- true
+            | _ -> () );
+        ( Events.site_fd_capture,
+          fun payload ->
+            match payload with
+            | Events.Fd_capture p -> (
+              (* demote the established connection to S_other in the
+                 image: restart recreates it as a fresh dead socket and
+                 skips peer discovery for it entirely.  [eof = true] so
+                 the recreated socket carries an injected EOF — a reader
+                 blocked on the old connection wakes with EOF and the
+                 resolver library reconnects, instead of hanging on a
+                 socket that will never become readable *)
+              match (p.desc.Simos.Fdesc.kind, p.info) with
+              | ( Simos.Fdesc.Sock s,
+                  Some
+                    (Ckpt_image.FSock
+                      ({ state = Ckpt_image.S_established; _ } as fs)) )
+                when blacklisted s ->
+                p.info <-
+                  Some
+                    (Ckpt_image.FSock
+                       {
+                         fs with
+                         state = Ckpt_image.S_other;
+                         drained = "";
+                         eof = true;
+                       })
+              | _ -> () )
+            | _ -> () );
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* proc-fd: /proc/<old pid>/... re-pointed at the restarted pid.  The
+   VFS path-rewrite hook keeps the pid-naming convention out of the
+   checkpoint core: the plugin rewrites the prefix, the core never
+   learns what /proc paths mean. *)
+
+let proc_fd =
+  {
+    Plugin.p_name = "proc-fd";
+    p_doc = "re-point /proc/<pid>/* fds at the restarted pid";
+    p_hooks =
+      [
+        ( Events.site_restart_rearrange,
+          fun payload ->
+            match payload with
+            | Events.Restart_rearrange p ->
+              let old_prefix =
+                Printf.sprintf "/proc/%d/" p.image.Ckpt_image.upid.Upid.pid
+              in
+              let new_prefix =
+                Printf.sprintf "/proc/%d/" p.proc.Simos.Kernel.pid
+              in
+              let vfs = Simos.Kernel.vfs p.kernel in
+              List.iter
+                (fun (fd, _, info) ->
+                  match info with
+                  | Ckpt_image.FFile { path; _ }
+                    when String.starts_with ~prefix:old_prefix path ->
+                    Simos.Vfs.with_rewrite vfs
+                      (fun pth ->
+                        if String.starts_with ~prefix:old_prefix pth then
+                          new_prefix
+                          ^ String.sub pth (String.length old_prefix)
+                              (String.length pth - String.length old_prefix)
+                        else pth)
+                      (fun () ->
+                        let file = Simos.Vfs.open_or_create vfs path in
+                        let desc =
+                          Simos.Fdesc.make (Simos.Fdesc.File { file; offset = 0 })
+                        in
+                        Simos.Kernel.remove_fd p.kernel p.proc ~fd;
+                        Simos.Fdesc.incr_ref desc;
+                        Simos.Kernel.install_fd p.kernel p.proc ~fd desc)
+                  | _ -> ())
+                p.image.Ckpt_image.fds
+            | _ -> () );
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* ext-shm: zero external-service shared segments in the written image.
+   The captured space aliases the live pages for shared mappings, so the
+   zeroing must substitute a fresh page array into the snapshot — never
+   write through the alias into the running service's memory. *)
+
+let ext_shm =
+  {
+    Plugin.p_name = "ext-shm";
+    p_doc = "zero external-service shared memory in the image (NSCD-style)";
+    p_hooks =
+      [
+        ( Events.site_image_write,
+          fun payload ->
+            match payload with
+            | Events.Image_write p ->
+              let space = p.image.Mtcp.Image.space in
+              List.iter
+                (fun (r : Mem.Region.t) ->
+                  match r.Mem.Region.kind with
+                  | Mem.Region.Mmap_shared { backing_path }
+                    when String.starts_with ~prefix:!cfg.Options.ext_shm_prefix
+                           backing_path ->
+                    Mem.Address_space.substitute_pages space
+                      ~region_id:r.Mem.Region.id
+                      (Array.make (Mem.Region.npages r) Mem.Page.Zero)
+                  | _ -> ())
+                (Mem.Address_space.regions space)
+            | _ -> () );
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let ensure_registered () =
+  (* fixed program-text order = dispatch order; re-registration is
+     positionally stable, so calling this per install is safe *)
+  Plugin.register ext_sock;
+  Plugin.register blacklist_ports;
+  Plugin.register proc_fd;
+  Plugin.register ext_shm
+
+(* every built-in on — what the heuristic scenarios and the trace
+   --plugins harness enable *)
+let all_names = [ "ext-sock"; "blacklist-ports"; "proc-fd"; "ext-shm" ]

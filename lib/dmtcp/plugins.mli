@@ -1,0 +1,16 @@
+(** Built-in plugins: the paper's "open world" heuristics, implemented
+    on the {!Plugin} event API (see DESIGN.md §8 for the hook catalog
+    and the heuristics table). *)
+
+(** Cache the per-plugin knobs (blacklisted ports, external-shm prefix)
+    from an options record — called once per runtime install, mirroring
+    how the coordinator caches its options at boot. *)
+val configure : Options.t -> unit
+
+(** Register the built-ins ([ext-sock], [blacklist-ports], [proc-fd],
+    [ext-shm]) in their fixed dispatch order.  Idempotent. *)
+val ensure_registered : unit -> unit
+
+(** All built-in names, registration order — the set the heuristic
+    chaos scenarios and [trace --plugins] enable. *)
+val all_names : string list

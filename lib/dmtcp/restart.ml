@@ -170,9 +170,12 @@ module P = struct
                 in
                 ignore (Simnet.Fabric.listen s ~backlog);
                 Hashtbl.replace st.desc_map desc_key (Simos.Fdesc.make (Simos.Fdesc.Sock s))
-              | Ckpt_image.FSock { state = Ckpt_image.S_other; _ } ->
+              | Ckpt_image.FSock { state = Ckpt_image.S_other; eof; _ } ->
                 let fab = Simos.Kernel.fabric k in
                 let s = Simnet.Fabric.socket fab ~host:ctx.node_id in
+                (* a recorded EOF survives onto the fresh dead socket so
+                   a reader blocked on it wakes instead of hanging *)
+                if eof then Simnet.Fabric.inject_eof s;
                 Hashtbl.replace st.desc_map desc_key (Simos.Fdesc.make (Simos.Fdesc.Sock s))
               | Ckpt_image.FSock { state = Ckpt_image.S_established; _ } ->
                 (* handled by the reconnect stage *)
@@ -225,21 +228,35 @@ module P = struct
     Hashtbl.fold (fun _ spec acc -> spec :: acc) by_desc []
     |> List.sort (fun a b -> compare a.cs_desc_key b.cs_desc_key)
 
+  (* restart-discovery hook: a connection whose peer cannot be
+     rediscovered (outside the checkpointed set, or already drained to
+     EOF) is offered to plugins; a plugin resolves the spec by filling
+     in a descriptor (ext-sock answers with a fresh dead socket, with
+     the recorded EOF injected).  With no plugin claiming it, the spec
+     stays unresolved and the fd is simply absent after restart. *)
+  let discover_external (ctx : Simos.Program.ctx) spec =
+    if spec.cs_desc = None then begin
+      let payload =
+        Events.Restart_discovery
+          { kernel = my_kernel ctx; key = spec.cs_key; eof = spec.cs_eof; desc = None }
+      in
+      Plugin.dispatch ~node:ctx.node_id ~pid:ctx.pid ~now:(ctx.now ())
+        Events.site_restart_discovery payload;
+      match payload with
+      | Events.Restart_discovery p -> spec.cs_desc <- p.desc
+      | _ -> ()
+    end
+
   let start_socket_restore (ctx : Simos.Program.ctx) st =
     (* namespace discovery keys by coordinator port: each job's restart
        wave advertises and looks up only within its own domain *)
     st.specs <- build_conn_specs ~prefix:(Printf.sprintf "%d/" (my_port ctx)) st;
-    (* a drained-to-EOF connection has no peer to rediscover: give it its
-       dead-but-readable endpoint now instead of waiting out the
-       discovery deadline *)
+    (* a drained-to-EOF connection has no peer to rediscover: offer it
+       to the restart-discovery hook now instead of waiting out the
+       discovery deadline (the ext-sock plugin answers with a dead
+       socket carrying the recorded EOF) *)
     List.iter
-      (fun spec ->
-        if spec.cs_eof then begin
-          let fab = Simos.Kernel.fabric (my_kernel ctx) in
-          let s = Simnet.Fabric.socket fab ~host:ctx.node_id in
-          Simnet.Fabric.inject_eof s;
-          spec.cs_desc <- Some (Simos.Fdesc.make (Simos.Fdesc.Sock s))
-        end)
+      (fun spec -> if spec.cs_eof then discover_external ctx spec)
       st.specs;
     if List.for_all (fun spec -> spec.cs_desc <> None) st.specs then ()
     else begin
@@ -441,6 +458,13 @@ module P = struct
             img.Ckpt_image.fds;
           Runtime.register_pstate run ~node:ctx.node_id ~pid ps;
           Runtime.claim_vpid run ~vpid:ps.Runtime.vpid ~node:ctx.node_id ~pid;
+          (* restart-rearrange hook: the process exists with its fds
+             installed but threads still suspended — the point where
+             plugins fix up resources whose names broke across the
+             restart (proc-fd re-points /proc/<old pid>/* here) *)
+          Plugin.dispatch ~node:ctx.node_id ~pid:ctx.pid ~now:(ctx.now ())
+            Events.site_restart_rearrange
+            (Events.Restart_rearrange { kernel = k; image = img; proc });
           (img, proc))
         st.images;
     (* second pass: parent/child relationships via virtual pids *)
@@ -854,15 +878,14 @@ module P = struct
          give up on external peers then, not at some later event *)
       if all_done || ctx.now () >= deadline then begin
         (* specs still unresolved belong to connections whose peer is
-           outside the checkpointed set; give them dead sockets *)
+           outside the checkpointed set; offer each to the
+           restart-discovery hook (ext-sock gives them dead sockets) *)
         let dead = ref 0 in
         List.iter
           (fun spec ->
             if spec.cs_desc = None then begin
-              incr dead;
-              let fab = Simos.Kernel.fabric (my_kernel ctx) in
-              let s = Simnet.Fabric.socket fab ~host:ctx.node_id in
-              spec.cs_desc <- Some (Simos.Fdesc.make (Simos.Fdesc.Sock s))
+              discover_external ctx spec;
+              if spec.cs_desc <> None then incr dead
             end)
           st.specs;
         trace_rst ctx "sockets-done"

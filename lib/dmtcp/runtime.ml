@@ -579,5 +579,13 @@ let install cl ?(options = Options.default) () =
     }
   in
   Simos.Cluster.set_hooks cl (make_hooks t);
+  (* plugin subsystem: register the built-ins, cache the per-plugin
+     knobs and apply the enabled set — once per install, the same way
+     the coordinator caches its options at boot.  Unknown names in
+     DMTCP_PLUGINS raise here, before any computation starts. *)
+  Plugins.ensure_registered ();
+  Plugins.configure options;
+  Plugin.set_enabled options.Options.plugins;
+  Plugin.reset_counts ();
   active_rt := Some t;
   t

@@ -14,18 +14,21 @@ let workload =
     w_warmup = 0.5;
   }
 
-let run ?(incremental = false) ?(lazy_restore = false) () =
+let run ?(incremental = false) ?(lazy_restore = false) ?(plugins = false) () =
   Trace.Metrics.reset ();
   let coll = Trace.collector () in
   Trace.with_sink (Trace.collector_sink coll) (fun () ->
       let options =
-        if incremental || lazy_restore then
+        if incremental || lazy_restore || plugins then
           Some
             {
               Dmtcp.Options.default with
               Dmtcp.Options.incremental;
               forked = incremental;
               lazy_restart = lazy_restore;
+              plugins =
+                (if plugins then Dmtcp.Plugins.all_names
+                 else Dmtcp.Options.default.Dmtcp.Options.plugins);
             }
         else None
       in

@@ -9,5 +9,7 @@
     chains two delta checkpoints onto the full base before the kill, so
     the traced restart resolves a depth-2 delta chain.  [lazy_restore]
     switches on demand-paged lazy restore, so the traced restart resumes
-    after the hot set and drains cold pages through the prefetcher. *)
-val run : ?incremental:bool -> ?lazy_restore:bool -> unit -> Trace.event list * string
+    after the hot set and drains cold pages through the prefetcher.
+    [plugins] enables every built-in heuristic plugin, so the trace also
+    carries the deterministic [plugin/<name>/<site>] spans. *)
+val run : ?incremental:bool -> ?lazy_restore:bool -> ?plugins:bool -> unit -> Trace.event list * string

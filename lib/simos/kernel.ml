@@ -101,6 +101,16 @@ let node_id t = t.knode_id
 let engine t = t.eng
 let fabric t = t.fab
 let vfs t = t.kvfs
+
+(* Every process gets a pid-derived procfs entry, the canonical example
+   of a resource whose *name* breaks across restart: a checkpointed fd
+   on /proc/<pid>/status names the dead pid until a restart-rearrange
+   plugin re-points it.  Entries for dead pids linger, as real procfs
+   readers of a cached fd would observe. *)
+let write_proc_status t ~pid =
+  let f = Vfs.open_or_create t.kvfs (Printf.sprintf "/proc/%d/status" pid) in
+  Vfs.truncate f;
+  Vfs.append f (Printf.sprintf "pid:%d\n" pid)
 let storage t = t.store
 let cores t = t.kcores
 let peer t i = t.peers.(i)
@@ -682,6 +692,7 @@ and spawn_internal t ~prog ~argv ~env ~ppid ~hijacked =
     }
   in
   Hashtbl.replace t.procs pid proc;
+  write_proc_status t ~pid;
   Trace.Metrics.incr m_spawns;
   trace_proc t ~pid "proc/spawn" [ ("prog", prog) ];
   let th = add_thread_internal t proc ~inst ~manager:false ~blocked:None in
@@ -750,6 +761,7 @@ and do_fork t parent child_inst =
       | _ -> ())
     child.fdtable;
   Hashtbl.replace t.procs pid child;
+  write_proc_status t ~pid;
   Trace.Metrics.incr m_forks;
   trace_proc t ~pid:parent.pid "proc/fork" [ ("child", string_of_int pid) ];
   ignore (add_thread_internal t child ~inst:child_inst ~manager:false ~blocked:None);
@@ -826,6 +838,7 @@ let refork t ~child =
      address space, so no refcount adjustment is needed *)
   let proc = { child with pid; threads = []; next_tid = 1 } in
   Hashtbl.replace t.procs pid proc;
+  write_proc_status t ~pid;
   ignore (add_thread_internal t proc ~inst ~manager:false ~blocked:None);
   proc
 
@@ -854,6 +867,7 @@ let create_raw_process t ~pid ~ppid ~env ~hijacked =
     }
   in
   Hashtbl.replace t.procs pid proc;
+  write_proc_status t ~pid;
   proc
 
 let fresh_pid t =

@@ -5,11 +5,24 @@ type file = {
   mutable declared_sim_size : int option;
 }
 
-type t = { files : (string, file) Hashtbl.t }
+type t = {
+  files : (string, file) Hashtbl.t;
+  mutable rewrite : (string -> string) option;
+      (* path-rewrite hook (plugin API): applied to every path-taking
+         entry point while installed *)
+}
 
-let create () = { files = Hashtbl.create 64 }
+let create () = { files = Hashtbl.create 64; rewrite = None }
+
+let resolve t path = match t.rewrite with Some f -> f path | None -> path
+
+let with_rewrite t f body =
+  let saved = t.rewrite in
+  t.rewrite <- Some f;
+  Fun.protect ~finally:(fun () -> t.rewrite <- saved) body
 
 let open_or_create t path =
+  let path = resolve t path in
   match Hashtbl.find_opt t.files path with
   | Some f -> f
   | None ->
@@ -17,10 +30,11 @@ let open_or_create t path =
     Hashtbl.replace t.files path f;
     f
 
-let lookup t path = Hashtbl.find_opt t.files path
-let exists t path = Hashtbl.mem t.files path
+let lookup t path = Hashtbl.find_opt t.files (resolve t path)
+let exists t path = Hashtbl.mem t.files (resolve t path)
 
 let unlink t path =
+  let path = resolve t path in
   if Hashtbl.mem t.files path then begin
     Hashtbl.remove t.files path;
     Ok ()

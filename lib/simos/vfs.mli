@@ -20,6 +20,15 @@ val exists : t -> string -> bool
 val unlink : t -> string -> (unit, Errno.t) result
 val paths : t -> string list
 
+(** [with_rewrite t f body] runs [body] with the path-rewrite hook [f]
+    installed: every path-taking entry point ({!open_or_create},
+    {!lookup}, {!exists}, {!unlink}) maps its argument through [f]
+    first.  Restores the previous hook on exit.  Restart-rearrangement
+    plugins use this to re-point pid-derived paths ([/proc/<pid>/*]) at
+    the restarted process without the checkpoint core knowing the
+    convention. *)
+val with_rewrite : t -> (string -> string) -> (unit -> 'a) -> 'a
+
 val path_of : file -> string
 
 (** Real content length in bytes. *)

@@ -169,6 +169,18 @@ let test_restore_lazy_kill () =
 let test_restore_stripe_drop () =
   check_store_fault "stripe drop" Chaos.Restore_fault.stripe_drop
 
+(* heuristic-plugin scenarios: the paper's open-world heuristics as
+   plugins, each through a checkpoint with a kill landing between its
+   hook stages (same convention — outside [Scenario.sample]) *)
+let test_plugin_blacklist () =
+  check_store_fault "blacklist skip" Chaos.Plugin_fault.blacklist_skip
+
+let test_plugin_proc_repoint () =
+  check_store_fault "proc repoint" Chaos.Plugin_fault.proc_repoint
+
+let test_plugin_shm_zero () =
+  check_store_fault "shm zero" Chaos.Plugin_fault.shm_zero
+
 let test_catches_skip_drain () =
   check_bug_caught ~name:"skip-drain" Dmtcp.Faults.bug_skip_drain
 
@@ -223,5 +235,13 @@ let () =
         [
           Alcotest.test_case "node crash mid-lazy-restore" `Quick test_restore_lazy_kill;
           Alcotest.test_case "replica drop mid-striped-fetch" `Quick test_restore_stripe_drop;
+        ] );
+      ( "plugin-fault",
+        [
+          Alcotest.test_case "blacklisted port skipped, dead socket back" `Quick
+            test_plugin_blacklist;
+          Alcotest.test_case "/proc fd re-pointed at restarted pid" `Quick
+            test_plugin_proc_repoint;
+          Alcotest.test_case "external shm zeroed in image only" `Quick test_plugin_shm_zero;
         ] );
     ]

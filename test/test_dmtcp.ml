@@ -838,6 +838,9 @@ let test_options_env_roundtrip () =
       lazy_restart = true;
       restart_parallel = 3;
       compact_depth = 6;
+      plugins = [ "ext-sock"; "blacklist-ports" ];
+      blacklist_ports = [ 53; 631 ];
+      ext_shm_prefix = "/var/db/nscd";
     }
   in
   let opts' = Dmtcp.Options.of_env (Dmtcp.Options.to_env opts) in
