@@ -450,6 +450,65 @@ let plugin_records () =
   let all = plugin_cycle ~plugins:Dmtcp.Plugins.all_names () in
   [ ("plugin.hook-overhead", ms off, ms all) ]
 
+(* The rank/proxy split's image-shape payoff, as committed records: the
+   same bsp collective workload checkpointed mid-straggle on both
+   transports.  The phase straggler is the allreduce root, so at the
+   checkpoint the other ranks' gather frames are parked en route to a
+   rank that is not reading.  On the direct backend those bytes sit in
+   the root's TCP sockets and the drain barrier copies them into the
+   rank images; on the proxy backend they are proxy custody —
+   disposable by design — so rank images carry no drained bytes, and
+   shed the per-neighbour socket specs besides. *)
+let mpi_cycle ~kind ~extra () =
+  let base_port = Harness.Common.base_port in
+  Proxy.Accounting.reset ~base_port;
+  let options =
+    if kind = Harness.Common.Proxy then
+      { Dmtcp.Options.default with Dmtcp.Options.plugins = [ "ext-sock"; "mpi-proxy" ] }
+    else Dmtcp.Options.default
+  in
+  let env = Harness.Common.setup ~nodes:4 ~cores_per_node:2 ~options () in
+  Harness.Common.start_workload env
+    {
+      Harness.Common.w_name = "bsp";
+      w_kind = kind;
+      w_prog = Apps.Stencil.bsp_prog;
+      w_nprocs = 8;
+      w_rpn = 2;
+      w_extra = extra;
+      w_warmup = 0.05;
+    };
+  Harness.Common.run_for env 0.2;
+  Dmtcp.Api.checkpoint_now env.Harness.Common.rt;
+  let script = Dmtcp.Api.restart_script env.Harness.Common.rt in
+  (* encoded image bytes, not the modeled memory footprint: the fd
+     specs and drained socket bytes the proxy split removes live in the
+     encoding *)
+  let image_bytes =
+    List.fold_left
+      (fun total (host, paths) ->
+        let vfs = Simos.Kernel.vfs (Simos.Cluster.kernel env.Harness.Common.cl host) in
+        List.fold_left
+          (fun total path ->
+            match Simos.Vfs.lookup vfs path with
+            | Some f -> total + String.length (Simos.Vfs.read_all f)
+            | None -> total)
+          total paths)
+      0 script.Dmtcp.Restart_script.entries
+  in
+  let _estab, drained = Chaos.Proxy_fault.image_stats env script in
+  Harness.Common.teardown env;
+  (image_bytes, drained)
+
+let mpi_records () =
+  let bsp = [ "1"; "512"; "1"; "0.6" ] in
+  let d_img, d_drained = mpi_cycle ~kind:Harness.Common.Direct ~extra:("direct" :: bsp) () in
+  let p_img, p_drained = mpi_cycle ~kind:Harness.Common.Proxy ~extra:bsp () in
+  [
+    ("mpi.proxy-vs-direct-drain-bytes", d_drained, p_drained);
+    ("mpi.proxy-ckpt-image-bytes", d_img, p_img);
+  ]
+
 (* BENCH_RESTORE_SWEEP=1: print the eager/lazy blackout sweep over
    working-set sizes, and the striped fetch delay over replica counts
    (the tables in EXPERIMENTS.md). Virtual-time deterministic, but kept
@@ -549,6 +608,10 @@ let assert_invariants ratios =
     "striped fetch over two replicas must run at least 1.5x faster than one" (1. /. 1.5);
   check "plugin.hook-overhead"
     "dispatching every built-in plugin hook must cost at most 5% blackout" 1.05;
+  check "mpi.proxy-vs-direct-drain-bytes"
+    "the proxy split must leave nothing to drain into rank images" 0.0;
+  check "mpi.proxy-ckpt-image-bytes"
+    "proxy-backend rank images must encode strictly smaller than direct-backend ones" 0.999;
   flush stdout;
   if !failed then exit 1
 
@@ -558,7 +621,7 @@ let () =
   let timings = if sections <> `Repro then run_micro () else [] in
   let ratios =
     ratio_records () @ store_records () @ delta_records () @ sched_records ()
-    @ sched1k_records () @ restore_records () @ plugin_records ()
+    @ sched1k_records () @ restore_records () @ plugin_records () @ mpi_records ()
   in
   print_ratios ratios;
   (match Sys.getenv_opt "BENCH_JSON" with

@@ -102,6 +102,22 @@ if ! diff -u _artifacts/sched_demo1k_1.txt _artifacts/sched_demo1k_2.txt; then
 fi
 cat _artifacts/sched_demo1k_1.txt
 
+echo "== mpi proxy smoke: stencil ckpt/restart cycle on the proxy backend, deterministic =="
+# The rank/proxy split: checkpoint the stencil mid-run on the proxy
+# backend, kill, restart from the images and run out.  Two invocations
+# must print byte-identical result/image-shape/trace-digest lines, and
+# the rank images must carry no live socket state and nothing drained —
+# that is the point of the split.
+dune exec bin/dmtcp_sim.exe -- mpi run proxy > _artifacts/mpi_proxy_1.txt
+dune exec bin/dmtcp_sim.exe -- mpi run proxy > _artifacts/mpi_proxy_2.txt
+if ! diff -u _artifacts/mpi_proxy_1.txt _artifacts/mpi_proxy_2.txt; then
+  echo "FAIL: proxy-backend mpi cycle is non-deterministic across two runs." >&2
+  exit 1
+fi
+cat _artifacts/mpi_proxy_1.txt
+grep -q "0 established socket spec(s), 0 drained byte(s)" _artifacts/mpi_proxy_1.txt \
+  || { echo "FAIL: proxy-backend rank images carry socket state." >&2; exit 1; }
+
 echo "== chaos smoke: 25-seed torture + 25-seed scheduler corpus =="
 dune exec bin/dmtcp_sim.exe -- torture --seeds "${CHAOS_SEEDS:-25}"
 dune exec bin/dmtcp_sim.exe -- sched chaos

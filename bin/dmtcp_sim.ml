@@ -421,6 +421,104 @@ let plugins_run action off =
     Printf.eprintf "unknown action %S (expected ls or run)\n" other;
     exit 2
 
+(* The rank/proxy split, end to end: launch the Jacobi stencil on the
+   chosen transport, checkpoint it mid-exchange, kill the computation,
+   restart from the images and run to completion.  The printed lines —
+   result bytes, image shape, trace digest — are deterministic, which is
+   what the CI proxy smoke diffs across two invocations. *)
+let mpi_run transport =
+  let module Common = Harness.Common in
+  let kind, w_extra, options =
+    match transport with
+    | "direct" -> (Common.Direct, "direct" :: [ "96"; "4"; "10"; "0.08" ], Dmtcp.Options.default)
+    | "proxy" | "proxied" ->
+      ( Common.Proxy,
+        [ "96"; "4"; "10"; "0.08" ],
+        { Dmtcp.Options.default with Dmtcp.Options.plugins = [ "ext-sock"; "mpi-proxy" ] } )
+    | other ->
+      Printf.eprintf "unknown --transport %S (expected direct or proxy)\n" other;
+      exit 2
+  in
+  let base_port = Common.base_port in
+  Proxy.Accounting.reset ~base_port;
+  let env = Common.setup ~nodes:4 ~cores_per_node:2 ~options () in
+  let col = Trace.collector () in
+  let sink = Trace.collector_sink col in
+  Trace.attach sink;
+  Common.start_workload env
+    {
+      Common.w_name = "stencil";
+      w_kind = kind;
+      w_prog = Apps.Stencil.stencil_prog;
+      w_nprocs = 8;
+      w_rpn = 2;
+      w_extra;
+      w_warmup = 0.05;
+    };
+  Common.run_for env 0.1;
+  Dmtcp.Api.checkpoint_now env.Common.rt;
+  let image_bytes = fst (Dmtcp.Api.last_checkpoint_bytes env.Common.rt) in
+  let script = Dmtcp.Api.restart_script env.Common.rt in
+  let estab, drained = Chaos.Proxy_fault.image_stats env script in
+  Dmtcp.Api.kill_computation env.Common.rt;
+  Dmtcp.Api.restart env.Common.rt script;
+  Dmtcp.Api.await_restart env.Common.rt;
+  let out_path = Printf.sprintf "/result/stencil-%d" base_port in
+  let result () =
+    match
+      Simos.Vfs.lookup (Simos.Kernel.vfs (Simos.Cluster.kernel env.Common.cl 0)) out_path
+    with
+    | Some f -> Some (Simos.Vfs.read_all f)
+    | None -> None
+  in
+  let deadline = Simos.Cluster.now env.Common.cl +. 120. in
+  while result () = None && Simos.Cluster.now env.Common.cl < deadline do
+    Common.run_for env 0.05
+  done;
+  Trace.detach sink;
+  let out = result () in
+  Common.teardown env;
+  match out with
+  | None ->
+    prerr_endline "the restarted stencil never produced a result";
+    exit 1
+  | Some r ->
+    Printf.printf "%-6s %s\n" transport (String.trim r);
+    Printf.printf "rank images: %s total, %d established socket spec(s), %d drained byte(s)\n"
+      (Util.Units.pp_mb image_bytes) estab drained;
+    let jsonl = Trace.jsonl (Trace.events col) in
+    Printf.printf "trace digest: %08lx (%d events)\n" (Util.Crc32.digest jsonl)
+      (List.length (Trace.events col))
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let mpi_chaos scenario =
+  let names =
+    match scenario with
+    | "all" -> Chaos.Proxy_fault.scenario_names
+    | name when List.mem name Chaos.Proxy_fault.scenario_names -> [ name ]
+    | other ->
+      Printf.eprintf "unknown scenario %S (expected all%s)\n" other
+        (String.concat ""
+           (List.map (fun n -> ", " ^ n) Chaos.Proxy_fault.scenario_names));
+      exit 2
+  in
+  let verdicts = List.map (fun name -> Chaos.Proxy_fault.run_scenario ~name) names in
+  List.iter print_endline verdicts;
+  let clean = List.for_all (fun v -> contains_sub v "bit-identical") verdicts in
+  exit (if clean then 0 else 1)
+
+let mpi_dispatch action arg =
+  match action with
+  | "run" -> mpi_run (Option.value arg ~default:"proxy")
+  | "chaos" -> mpi_chaos (Option.value arg ~default:"all")
+  | other ->
+    Printf.eprintf "unknown mpi action %S (expected run or chaos)\n" other;
+    exit 2
+
 let () =
   let doc = "Reproduce the DMTCP paper's evaluation on a simulated cluster" in
   let info = Cmd.info "dmtcp_sim" ~version:"1.0" ~doc in
@@ -525,6 +623,27 @@ let () =
                   enablement), 'run' plays the three open-world heuristic scenarios and prints \
                   one verdict line each")
          Term.(const plugins_run $ action_arg $ off_arg));
+      (let action_arg =
+         Arg.(
+           required
+           & pos 0 (some string) None
+           & info [] ~docv:"ACTION" ~doc:"One of run or chaos.")
+       in
+       let arg_arg =
+         Arg.(
+           value
+           & pos 1 (some string) None
+           & info [] ~docv:"ARG"
+               ~doc:"For run: the transport (direct or proxy; default proxy).  For chaos: the \
+                     scenario (mid-allreduce, mid-halo or all; default all).")
+       in
+       Cmd.v
+         (Cmd.info "mpi"
+            ~doc:"MPI-via-proxies subsystem: 'run' plays a checkpoint/kill/restart cycle of the \
+                  Jacobi stencil on the chosen transport and prints the result, rank-image \
+                  shape and trace digest; 'chaos' plays the kill-mid-collective scenarios and \
+                  prints one verdict line each")
+         Term.(const mpi_dispatch $ action_arg $ arg_arg));
       (let format_arg =
          Arg.(
            value & opt string "text"

@@ -1,42 +1,79 @@
-(** A message-passing library over the simulated cluster's TCP sockets —
-    the stand-in for MPICH2/OpenMPI in the paper's evaluation.
+(** A message-passing library over the simulated cluster — the stand-in
+    for MPICH2/OpenMPI in the paper's evaluation — with two
+    interchangeable transports:
 
-    DMTCP deliberately knows nothing about it: checkpoints see only the
-    sockets it creates, which is the paper's whole point (no MPI-specific
-    checkpoint hooks).  The library lives *inside* application state
-    machines: a {!t} value is part of the program state and fully
-    serializable, so a checkpoint taken mid-collective restores and
-    completes correctly.
+    - {b direct}: every neighbour pair holds a TCP socket of its own
+      (rank [r] listens on [base_port + r]) — the classic mesh.  A
+      checkpoint must drain and restore every one of those sockets.
+    - {b proxy}: the rank holds exactly one unix-domain connection to
+      its node's proxy daemon ({!Proxy.Daemon}); all inter-node TCP
+      lives in the proxy, outside checkpoint control.  A checkpoint of
+      the rank sees only its in-flight protocol state: per-peer
+      sequence numbers and unacknowledged-send buffers.  Proxy custody
+      is disposable — after restart the relaunched (empty) proxy hands
+      the rank a fresh [Welcome] and the rank resends whatever was
+      never acknowledged end-to-end; receivers accept in sequence order
+      and discard duplicates, so delivery stays exactly-once.
 
-    Topology: rank [r] listens on [base_port + r] of node
-    [r / ranks_per_node] and eagerly connects to every lower-rank
-    neighbour at init; the neighbour relation must be symmetric.
-    Collectives (barrier, allreduce, bcast) run over a star rooted at
-    rank 0, so rank 0 must be a neighbour of everyone. *)
+    DMTCP deliberately knows nothing about the library itself: on the
+    direct path checkpoints see only its sockets (the paper's point —
+    no MPI-specific checkpoint hooks); on the proxy path the rank image
+    shrinks to the protocol state above.
+
+    The library lives *inside* application state machines: a {!t} value
+    is part of the program state and fully serializable, so a
+    checkpoint taken mid-collective restores and completes correctly on
+    either transport.  Collectives (barrier, allreduce, bcast) run over
+    a star rooted at rank 0, so rank 0 neighbours everyone. *)
 
 type t
 
-(** [create ~rank ~size ~base_port ~ranks_per_node ~neighbors] prepares a
-    communicator; drive {!init_step} until [`Ready].  [neighbors] lists
-    the peer ranks this rank communicates with (symmetric; rank 0 is
-    added automatically). *)
+type transport = Direct | Proxied
+
+(** ["direct"] or ["proxy"]/["proxied"]; raises [Invalid_argument]
+    otherwise. *)
+val transport_of_string : string -> transport
+
+val transport_name : transport -> string
+
+(** [create ~rank ~size ~base_port ~ranks_per_node ~neighbors ()]
+    prepares a communicator; drive {!init_step} until [`Ready].
+
+    [neighbors] is the {e whole} neighbour relation, queried for every
+    rank: rank [r] may exchange point-to-point messages with
+    [neighbors r].  Rank 0 is implicitly a neighbour of every rank.
+    The relation is validated eagerly: an out-of-range rank, or an
+    asymmetric pair — some [r] listing [n] while [n] does not list [r],
+    which would deadlock {!init_step} — raises [Invalid_argument]
+    naming both ranks. *)
 val create :
-  rank:int -> size:int -> base_port:int -> ranks_per_node:int -> neighbors:int list -> t
+  rank:int ->
+  size:int ->
+  base_port:int ->
+  ranks_per_node:int ->
+  ?transport:transport ->
+  neighbors:(int -> int list) ->
+  unit ->
+  t
 
 val rank : t -> int
 val size : t -> int
+val transport : t -> transport
 
 (** Node hosting a rank under this communicator's placement. *)
 val host_of_rank : t -> int -> int
 
-(** Progress connection establishment. *)
+(** Progress connection establishment.  Direct: listeners, eager
+    connects and rank handshakes.  Proxy: connect to the node proxy and
+    await [Welcome]. *)
 val init_step : Simos.Program.ctx -> t -> [ `Ready | `Pending ]
 
 (** Queue a message to [dst] (a neighbour). Never blocks; bytes drain via
-    {!progress}. *)
+    {!progress}.  Tags ['g'] and ['r'] are reserved for collectives. *)
 val send : t -> dst:int -> tag:char -> string -> unit
 
-(** Push queued bytes out and parse arrived frames into per-peer inboxes.
+(** Push queued bytes out and parse arrived frames into per-peer inboxes
+    (on the proxy path this also runs the ack/resend protocol).
     Call once per step before receiving. *)
 val progress : Simos.Program.ctx -> t -> unit
 
@@ -47,11 +84,19 @@ val recv : t -> src:int -> tag:char -> string option
 val recv_any : t -> tag:char -> (int * string) option
 
 (** Bytes queued toward [dst] that have not yet entered the socket
-    (application-level backpressure signal). *)
+    (direct: unflushed frames; proxy: unacknowledged payload bytes) —
+    application-level backpressure signal. *)
 val pending_out : t -> dst:int -> int
 
 (** The wait condition to block on when nothing can progress. *)
 val wait : Simos.Program.ctx -> t -> Simos.Program.wait
+
+(** Every payload this rank produced has reached its destination rank
+    (direct: output flushed; proxy: nothing buffered or unacknowledged).
+    Transport custody is disposable, so a rank must keep driving
+    {!progress} until quiesced before it exits — bytes still awaiting
+    acknowledgement would otherwise never be resent. *)
+val quiesced : t -> bool
 
 (** 8-byte float payload helpers (halo exchanges etc.). *)
 val f64_str : float -> string

@@ -86,7 +86,8 @@ module Make (K : KERNEL) : Simos.Program.S = struct
         (Workload_mem.alloc ctx ~bytes:K.mem_bytes ~mix:K.mem_mix ~seed:((rank * 7919) + 13));
       let comm =
         Mpi.create ~rank ~size ~base_port ~ranks_per_node:rpn
-          ~neighbors:(K.neighbors ~rank ~size)
+          ~neighbors:(fun r -> K.neighbors ~rank:r ~size)
+          ()
       in
       Simos.Program.Continue (F_init (comm, K.kinit ~rank ~size ~extra))
     | F_init (comm, k) -> (

@@ -1,6 +1,8 @@
 let register_all () =
   Launchers.register ();
   Nas.register ();
+  Stencil.register ();
+  Proxy.Daemon.register ();
   Pargeant4.register ();
   Ipython.register ();
   Synthetic.register ();

@@ -32,6 +32,12 @@ type t = {
       (* ext-shm plugin knob (DMTCP_PLUGIN_EXT_SHM_PREFIX): shared
          mappings backed by paths under this prefix belong to an
          external service and are zeroed in the written image *)
+  mpi_proxy_prefix : string;
+      (* mpi-proxy plugin knob (DMTCP_PLUGIN_MPI_PROXY_PREFIX): unix
+         sockets whose path starts with this prefix connect a rank to
+         its node's MPI proxy daemon; they are not drained and restore
+         as dead sockets so the rank reconnects to the relaunched
+         proxy *)
 }
 
 let default =
@@ -55,6 +61,7 @@ let default =
     plugins = [ "ext-sock" ];
     blacklist_ports = [ 53; 389; 636 ];
     ext_shm_prefix = "/var/db/nscd";
+    mpi_proxy_prefix = Proxy.Wire.path_prefix;
   }
 
 let hijack_key = "DMTCP_HIJACK"
@@ -114,6 +121,7 @@ let to_env t =
     ( "DMTCP_PLUGIN_BLACKLIST_PORTS",
       String.concat "," (List.map string_of_int t.blacklist_ports) );
     ("DMTCP_PLUGIN_EXT_SHM_PREFIX", t.ext_shm_prefix);
+    ("DMTCP_PLUGIN_MPI_PROXY_PREFIX", t.mpi_proxy_prefix);
   ]
 
 let of_env env =
@@ -148,6 +156,7 @@ let of_env env =
     | Some s -> parse_ports s
   in
   let ext_shm_prefix = get "DMTCP_PLUGIN_EXT_SHM_PREFIX" default.ext_shm_prefix in
+  let mpi_proxy_prefix = get "DMTCP_PLUGIN_MPI_PROXY_PREFIX" default.mpi_proxy_prefix in
   {
     coord_host;
     coord_port;
@@ -168,6 +177,7 @@ let of_env env =
     plugins;
     blacklist_ports;
     ext_shm_prefix;
+    mpi_proxy_prefix;
   }
 
 let of_getenv getenv =
@@ -180,7 +190,7 @@ let of_getenv getenv =
         "DMTCP_STORE_REPLICAS"; "DMTCP_STORE_QUORUM"; "DMTCP_KEEP_GENERATIONS";
         "DMTCP_DELTA_CHAIN"; "DMTCP_LAZY_RESTART"; "DMTCP_RESTART_PARALLEL";
         "DMTCP_COMPACT_DEPTH"; "DMTCP_PLUGINS"; "DMTCP_PLUGIN_BLACKLIST_PORTS";
-        "DMTCP_PLUGIN_EXT_SHM_PREFIX";
+        "DMTCP_PLUGIN_EXT_SHM_PREFIX"; "DMTCP_PLUGIN_MPI_PROXY_PREFIX";
       ]
   in
   of_env env

@@ -56,6 +56,14 @@ type t = {
           mappings backed by paths under this prefix belong to an
           external service (NSCD-style) and are zeroed in the written
           image *)
+  mpi_proxy_prefix : string;
+      (** mpi-proxy plugin knob ([DMTCP_PLUGIN_MPI_PROXY_PREFIX]): unix
+          sockets whose path starts with this prefix connect a rank to
+          its node's MPI proxy daemon ({!Proxy.Daemon}).  The plugin
+          skips them at drain, captures them as immediately-dead
+          sockets, and at restart relaunches the node's proxy (from the
+          rank's [MPI_PROXY] environment marker) before the rank
+          resumes and reconnects. *)
 }
 
 val default : t

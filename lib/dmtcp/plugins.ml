@@ -188,6 +188,78 @@ let ext_shm =
   }
 
 (* ------------------------------------------------------------------ *)
+(* mpi-proxy: the checkpoint side of the rank/proxy split.  A rank's
+   only transport fd is its unix connection to the node's proxy daemon
+   (path under [mpi_proxy_prefix]); the daemon is un-hijacked, so the
+   connection must not be drained (the peer would never cooperate) and
+   cannot be restored as live.  Instead it is captured as an
+   immediately-dead socket — the rank's protocol treats EOF as "proxy
+   gone, reconnect and resend unacked" — and restart relaunches the
+   node's proxy, keyed off the MPI_PROXY environment marker the rank
+   left behind, before the rank resumes. *)
+
+let proxy_socket s =
+  let under = function
+    | Some (Simnet.Addr.Unix { path; _ }) ->
+      String.starts_with ~prefix:!cfg.Options.mpi_proxy_prefix path
+    | _ -> false
+  in
+  under (Simnet.Fabric.peer_addr s) || under (Simnet.Fabric.local_addr s)
+
+let mpi_proxy =
+  {
+    Plugin.p_name = "mpi-proxy";
+    p_doc = "rank/proxy split: skip proxy sockets, relaunch proxies on restart";
+    p_hooks =
+      [
+        ( Events.site_drain_select,
+          fun payload ->
+            match payload with
+            | Events.Drain_select p when proxy_socket p.sock -> p.skip <- true
+            | _ -> () );
+        ( Events.site_fd_capture,
+          fun payload ->
+            match payload with
+            | Events.Fd_capture p -> (
+              (* same demotion as blacklist-ports: restart recreates the
+                 connection as a fresh dead socket with an injected EOF,
+                 waking a rank blocked on the proxy so it reconnects *)
+              match (p.desc.Simos.Fdesc.kind, p.info) with
+              | ( Simos.Fdesc.Sock s,
+                  Some
+                    (Ckpt_image.FSock
+                      ({ state = Ckpt_image.S_established; _ } as fs)) )
+                when proxy_socket s ->
+                p.info <-
+                  Some
+                    (Ckpt_image.FSock
+                       {
+                         fs with
+                         state = Ckpt_image.S_other;
+                         drained = "";
+                         eof = true;
+                       })
+              | _ -> () )
+            | _ -> () );
+        ( Events.site_restart_rearrange,
+          fun payload ->
+            match payload with
+            | Events.Restart_rearrange p -> (
+              match List.assoc_opt "MPI_PROXY" p.proc.Simos.Kernel.env with
+              | Some marker -> (
+                match String.split_on_char ':' marker with
+                | [ bp; rpn ] -> (
+                  match (int_of_string_opt bp, int_of_string_opt rpn) with
+                  | Some base_port, Some rpn ->
+                    Proxy.Daemon.ensure p.kernel ~base_port ~rpn
+                  | _ -> ())
+                | _ -> ())
+              | None -> ())
+            | _ -> () );
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
 
 let ensure_registered () =
   (* fixed program-text order = dispatch order; re-registration is
@@ -195,8 +267,9 @@ let ensure_registered () =
   Plugin.register ext_sock;
   Plugin.register blacklist_ports;
   Plugin.register proc_fd;
-  Plugin.register ext_shm
+  Plugin.register ext_shm;
+  Plugin.register mpi_proxy
 
 (* every built-in on — what the heuristic scenarios and the trace
    --plugins harness enable *)
-let all_names = [ "ext-sock"; "blacklist-ports"; "proc-fd"; "ext-shm" ]
+let all_names = [ "ext-sock"; "blacklist-ports"; "proc-fd"; "ext-shm"; "mpi-proxy" ]

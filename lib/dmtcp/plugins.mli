@@ -8,7 +8,8 @@
 val configure : Options.t -> unit
 
 (** Register the built-ins ([ext-sock], [blacklist-ports], [proc-fd],
-    [ext-shm]) in their fixed dispatch order.  Idempotent. *)
+    [ext-shm], [mpi-proxy]) in their fixed dispatch order.
+    Idempotent. *)
 val ensure_registered : unit -> unit
 
 (** All built-in names, registration order — the set the heuristic

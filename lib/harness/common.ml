@@ -1,4 +1,4 @@
-type runtime_kind = Mpich2 | Openmpi | Direct | Plain
+type runtime_kind = Mpich2 | Openmpi | Direct | Proxy | Plain
 
 type workload = {
   w_name : string;
@@ -25,7 +25,9 @@ let nodes_used w = (w.w_nprocs + w.w_rpn - 1) / w.w_rpn
 
 let expected_processes w =
   match w.w_kind with
-  | Direct | Plain -> w.w_nprocs
+  (* proxies are un-hijacked, so a Proxy workload checkpoints exactly
+     its ranks *)
+  | Direct | Proxy | Plain -> w.w_nprocs
   | Mpich2 ->
     (* ranks + one mpd per node + mpirun *)
     w.w_nprocs + nodes_used w + 1
@@ -54,6 +56,13 @@ let start_workload env w =
   (match w.w_kind with
   | Plain -> ignore (Dmtcp.Api.launch env.rt ~node:0 ~prog:w.w_prog ~argv:w.w_extra)
   | Direct -> launch_direct env w
+  | Proxy ->
+    (* un-hijacked proxy daemon per node first, then the ranks with the
+       proxy transport selected (first extra argv word) *)
+    List.iter
+      (fun node -> Proxy.Daemon.spawn_on env.cl ~node ~base_port ~rpn:w.w_rpn)
+      (Proxy.Daemon.nodes_of_job ~size:w.w_nprocs ~rpn:w.w_rpn);
+    launch_direct env { w with w_extra = "proxy" :: w.w_extra }
   | Mpich2 ->
     ignore
       (Dmtcp.Api.launch env.rt ~node:0 ~prog:"mpi:mpdboot" ~argv:[ string_of_int (nodes_used w) ]);

@@ -8,6 +8,11 @@ type runtime_kind =
   | Mpich2   (** mpd ring + mpirun + ranks *)
   | Openmpi  (** orted star + mpirun + ranks *)
   | Direct   (** rank processes launched directly (iPython-style) *)
+  | Proxy
+      (** rank processes launched directly, plus one un-hijacked
+          {!Proxy.Daemon} per node; ["proxy"] is prepended to [w_extra]
+          so transport-aware programs ({!Apps.Stencil}) pick the proxy
+          backend *)
   | Plain    (** a single non-rank program; [w_extra] is its raw argv *)
 
 type workload = {
@@ -38,6 +43,10 @@ val start_workload : env -> workload -> unit
 (** Expected number of checkpointed processes (ranks + resource
     managers). *)
 val expected_processes : workload -> int
+
+(** MPI job port every workload launch uses (rank result files land at
+    [/result/<short>-<base_port>]). *)
+val base_port : int
 
 type ckpt_measure = {
   ckpt_times : Util.Stats.t;

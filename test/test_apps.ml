@@ -226,15 +226,21 @@ let test_ipython_shell () =
 
 (* pure unit tests: no simulation required *)
 
+let ring size r = List.filter (fun n -> n >= 0 && n < size) [ r - 1; r + 1 ]
+
 let test_mpi_placement () =
-  let comm = Apps.Mpi.create ~rank:5 ~size:16 ~base_port:6000 ~ranks_per_node:4 ~neighbors:[ 4; 6 ] in
+  let comm =
+    Apps.Mpi.create ~rank:5 ~size:16 ~base_port:6000 ~ranks_per_node:4 ~neighbors:(ring 16) ()
+  in
   check Alcotest.int "rank" 5 (Apps.Mpi.rank comm);
   check Alcotest.int "size" 16 (Apps.Mpi.size comm);
   check Alcotest.int "rank 5 on node 1" 1 (Apps.Mpi.host_of_rank comm 5);
   check Alcotest.int "rank 15 on node 3" 3 (Apps.Mpi.host_of_rank comm 15)
 
 let test_mpi_codec_roundtrip () =
-  let comm = Apps.Mpi.create ~rank:2 ~size:8 ~base_port:6000 ~ranks_per_node:2 ~neighbors:[ 1; 3 ] in
+  let comm =
+    Apps.Mpi.create ~rank:2 ~size:8 ~base_port:6000 ~ranks_per_node:2 ~neighbors:(ring 8) ()
+  in
   Apps.Mpi.send comm ~dst:1 ~tag:'D' "payload-bytes";
   let comm' = Util.Codec.roundtrip Apps.Mpi.encode Apps.Mpi.decode comm in
   check Alcotest.int "rank preserved" 2 (Apps.Mpi.rank comm');

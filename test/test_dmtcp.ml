@@ -841,6 +841,7 @@ let test_options_env_roundtrip () =
       plugins = [ "ext-sock"; "blacklist-ports" ];
       blacklist_ports = [ 53; 631 ];
       ext_shm_prefix = "/var/db/nscd";
+      mpi_proxy_prefix = "/run/mpiproxy";
     }
   in
   let opts' = Dmtcp.Options.of_env (Dmtcp.Options.to_env opts) in

@@ -170,15 +170,23 @@ let dns_cycle () =
 let golden_spans =
   [
     "plugin/blacklist-ports/drain-select";
+    "plugin/mpi-proxy/drain-select";
     "plugin/blacklist-ports/drain-select";
+    "plugin/mpi-proxy/drain-select";
     "plugin/ext-shm/image-write";
     "plugin/blacklist-ports/fd-capture";
+    "plugin/mpi-proxy/fd-capture";
     "plugin/blacklist-ports/fd-capture";
+    "plugin/mpi-proxy/fd-capture";
     "plugin/ext-shm/image-write";
     "plugin/blacklist-ports/fd-capture";
+    "plugin/mpi-proxy/fd-capture";
     "plugin/blacklist-ports/fd-capture";
+    "plugin/mpi-proxy/fd-capture";
     "plugin/proc-fd/restart-rearrange";
+    "plugin/mpi-proxy/restart-rearrange";
     "plugin/proc-fd/restart-rearrange";
+    "plugin/mpi-proxy/restart-rearrange";
   ]
 
 let test_golden_spans () =
